@@ -1,0 +1,97 @@
+//! Counter ablation: flat hash-map probing vs hash-tree walking, the
+//! choice DESIGN.md calls out. The flat map wins at k = 2 (one hash per
+//! pair); the tree wins once subset enumeration explodes (k ≥ 3 on long
+//! extended transactions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gar_mining::counter::build_counter;
+use gar_mining::CounterKind;
+use gar_types::{ItemId, Itemset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_candidates(k: usize, n: usize, universe: u32, seed: u64) -> Vec<Itemset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = std::collections::BTreeSet::new();
+    while out.len() < n {
+        let mut items = std::collections::BTreeSet::new();
+        while items.len() < k {
+            items.insert(ItemId(rng.gen_range(0..universe)));
+        }
+        out.insert(Itemset::from_unsorted(items.into_iter().collect()));
+    }
+    out.into_iter().collect()
+}
+
+fn random_transactions(len: usize, n: usize, universe: u32, seed: u64) -> Vec<Vec<ItemId>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut t = std::collections::BTreeSet::new();
+            while t.len() < len {
+                t.insert(ItemId(rng.gen_range(0..universe)));
+            }
+            t.into_iter().collect()
+        })
+        .collect()
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let txns = random_transactions(20, 500, 800, 7);
+    for k in [2usize, 3] {
+        let candidates = random_candidates(k, 5_000, 800, 42);
+        let mut group = c.benchmark_group(format!("count_k{k}"));
+        for kind in [CounterKind::HashMap, CounterKind::HashTree] {
+            let name = match kind {
+                CounterKind::HashMap => "flat_hashmap",
+                CounterKind::HashTree => "hash_tree",
+            };
+            group.bench_function(BenchmarkId::new(name, "500txn_5kcand"), |b| {
+                b.iter(|| {
+                    let mut counter = build_counter(kind, k, &candidates);
+                    let mut hits = 0;
+                    for t in &txns {
+                        hits += counter.count_transaction(black_box(t)).hits;
+                    }
+                    black_box(hits)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let candidates = random_candidates(2, 20_000, 2_000, 3);
+    let probes: Vec<[ItemId; 2]> = {
+        let mut rng = StdRng::seed_from_u64(9);
+        (0..10_000)
+            .map(|_| {
+                let a = rng.gen_range(0..1_999u32);
+                [ItemId(a), ItemId(a + 1)]
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("single_probe");
+    for kind in [CounterKind::HashMap, CounterKind::HashTree] {
+        let name = match kind {
+            CounterKind::HashMap => "flat_hashmap",
+            CounterKind::HashTree => "hash_tree",
+        };
+        group.bench_function(name, |b| {
+            let mut counter = build_counter(kind, 2, &candidates);
+            b.iter(|| {
+                let mut hits = 0;
+                for p in &probes {
+                    hits += counter.probe(black_box(p)).hits;
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting, bench_probe);
+criterion_main!(benches);

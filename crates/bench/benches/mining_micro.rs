@@ -1,0 +1,99 @@
+//! Microbenchmarks of the per-pass building blocks: candidate
+//! generation, taxonomy extension/reduction, and data generation
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gar_datagen::{DatasetSpec, TransactionGenerator};
+use gar_mining::candidate::{generate_candidates, generate_pairs};
+use gar_taxonomy::synth::{synthesize, SynthTaxonomyConfig};
+use gar_taxonomy::PrunedView;
+use gar_types::{ItemId, Itemset};
+use std::hint::black_box;
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let l1: Vec<ItemId> = (0..600).map(ItemId).collect();
+    let tax = synthesize(&SynthTaxonomyConfig {
+        num_items: 600,
+        num_roots: 30,
+        fanout: 5.0,
+        seed: 1,
+    });
+    c.bench_function("generate_pairs_600_items_taxonomy", |b| {
+        b.iter(|| black_box(generate_pairs(black_box(&l1), Some(&tax))).len())
+    });
+
+    // L2 with clustered prefixes so the join step has real runs.
+    let l2: Vec<Itemset> = (0..200u32)
+        .flat_map(|a| (a + 1..a + 6).map(move |b| Itemset::pair(ItemId(a), ItemId(b))))
+        .collect();
+    c.bench_function("generate_c3_from_1000_l2", |b| {
+        b.iter(|| black_box(generate_candidates(black_box(&l2))).len())
+    });
+}
+
+fn bench_taxonomy_ops(c: &mut Criterion) {
+    let tax = synthesize(&SynthTaxonomyConfig {
+        num_items: 30_000,
+        num_roots: 30,
+        fanout: 5.0,
+        seed: 2,
+    });
+    let leaves = tax.leaves();
+    let txn: Vec<ItemId> = (0..10).map(|i| leaves[i * 97 % leaves.len()]).collect();
+    let txn = {
+        let mut t = txn;
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+
+    c.bench_function("extend_transaction_10_items", |b| {
+        b.iter(|| black_box(tax.extend_transaction(black_box(&txn))).len())
+    });
+
+    let view = PrunedView::keep_all(&tax);
+    c.bench_function("extend_transaction_filtered_10_items", |b| {
+        b.iter(|| black_box(view.extend_transaction(&tax, black_box(&txn))).len())
+    });
+
+    c.bench_function("reduce_to_lowest_large_10_items", |b| {
+        b.iter(|| {
+            black_box(tax.reduce_to_lowest_large(black_box(&txn), |i| i.raw() % 3 != 0)).len()
+        })
+    });
+
+    c.bench_function("synthesize_30k_item_forest", |b| {
+        b.iter(|| {
+            synthesize(&SynthTaxonomyConfig {
+                num_items: 30_000,
+                num_roots: 30,
+                fanout: 5.0,
+                seed: 3,
+            })
+            .num_items()
+        })
+    });
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    let spec = DatasetSpec {
+        name: "bench".into(),
+        num_transactions: 10_000,
+        avg_transaction_size: 10.0,
+        avg_pattern_size: 5.0,
+        num_patterns: 500,
+        num_items: 3_000,
+        num_roots: 30,
+        fanout: 5.0,
+        seed: 4,
+    };
+    c.bench_function("generate_10k_transactions", |b| {
+        b.iter(|| {
+            let g = TransactionGenerator::new(black_box(&spec)).unwrap();
+            black_box(g.count())
+        })
+    });
+}
+
+criterion_group!(benches, bench_candidate_generation, bench_taxonomy_ops, bench_datagen);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! End-to-end pass-2 benchmarks of the parallel algorithms on a small
+//! fixed workload — real threaded runs, measuring this machine's wall
+//! time (the per-figure binaries report the modeled SP-2 time instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gar_bench::{Env, Workload};
+use gar_cluster::ClusterConfig;
+use gar_datagen::presets;
+use gar_mining::parallel::mine_parallel;
+use gar_mining::{Algorithm, MiningParams};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn bench_parallel_pass2(c: &mut Criterion) {
+    let env = Env {
+        scale: 0.002,
+        seed: 42,
+        results_dir: PathBuf::from("results"),
+    };
+    let workload = Workload::generate(&presets::r30f5(env.seed), &env).unwrap();
+    let nodes = 4;
+    let db = workload.partition(nodes).unwrap();
+    let memory = workload.memory_per_node(0.005, nodes);
+    let params = MiningParams::with_min_support(0.005).max_pass(2);
+    let cluster = ClusterConfig::new(nodes, memory);
+
+    let mut group = c.benchmark_group("parallel_pass2");
+    group.sample_size(10);
+    for alg in Algorithm::parallel_all() {
+        group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
+            b.iter(|| {
+                let rep =
+                    mine_parallel(alg, &db, &workload.taxonomy, &params, &cluster).unwrap();
+                black_box(rep.output.num_large())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_pass2);
+criterion_main!(benches);

@@ -1,0 +1,256 @@
+//! Reproduction harness shared by the per-figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 and EXPERIMENTS.md). This library carries the
+//! common machinery: scaled dataset construction, the memory-budget rule,
+//! run wrappers, aligned-table printing, and CSV output under `results/`.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `GAR_SCALE` — dataset scale factor vs the paper's 3.2 M transactions
+//!   (default per binary, typically 0.01-0.02);
+//! * `GAR_SEED`  — RNG seed (default 42);
+//! * `GAR_RESULTS_DIR` — where CSVs land (default `results/`).
+
+use gar_cluster::ClusterConfig;
+use gar_datagen::{DatasetSpec, TransactionGenerator};
+use gar_mining::candidate::generate_pairs;
+use gar_mining::counter::candidate_entry_bytes;
+use gar_mining::parallel::mine_parallel;
+use gar_mining::{Algorithm, MiningParams, ParallelReport};
+use gar_storage::PartitionedDatabase;
+use gar_taxonomy::Taxonomy;
+use gar_types::{ItemId, Result};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Experiment-wide configuration pulled from the environment.
+#[derive(Debug, Clone)]
+pub struct Env {
+    /// Dataset scale factor (fraction of the paper's full size).
+    pub scale: f64,
+    /// Seed for taxonomy/pattern/transaction generation.
+    pub seed: u64,
+    /// Directory CSV outputs are written to.
+    pub results_dir: PathBuf,
+}
+
+impl Env {
+    /// Reads the environment, with `default_scale` as the fallback scale.
+    pub fn load(default_scale: f64) -> Env {
+        let scale = std::env::var("GAR_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_scale);
+        let seed = std::env::var("GAR_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
+        let results_dir = std::env::var("GAR_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        Env {
+            scale,
+            seed,
+            results_dir,
+        }
+    }
+}
+
+/// A generated dataset, partitioned for a given cluster size.
+pub struct Workload {
+    /// The (scaled) spec it came from.
+    pub spec: DatasetSpec,
+    /// Its classification hierarchy.
+    pub taxonomy: Taxonomy,
+    /// The raw transactions (kept so the same data can be re-partitioned
+    /// for different node counts, as the speedup experiment requires).
+    pub transactions: Vec<Vec<ItemId>>,
+}
+
+impl Workload {
+    /// Generates the workload for `spec` scaled by `env.scale`.
+    pub fn generate(spec: &DatasetSpec, env: &Env) -> Result<Workload> {
+        let scaled = spec.scaled(env.scale);
+        let mut generator = TransactionGenerator::new(&scaled)?;
+        let transactions: Vec<_> = generator.by_ref().collect();
+        Ok(Workload {
+            spec: scaled,
+            taxonomy: generator.into_taxonomy(),
+            transactions,
+        })
+    }
+
+    /// Partitions the transactions over `nodes` simulated disks.
+    pub fn partition(&self, nodes: usize) -> Result<PartitionedDatabase> {
+        PartitionedDatabase::build_in_memory(nodes, self.transactions.iter().cloned())
+    }
+
+    /// Exact pass-2 candidate memory at minimum support `minsup`: one
+    /// sequential item-count scan, then `|generate_pairs(L1)|` priced at
+    /// the per-entry footprint. Used to place the per-node memory budget
+    /// in the paper's regime (`M < |C_2| < N·M`).
+    pub fn pass2_candidate_bytes(&self, minsup: f64) -> u64 {
+        let n = self.transactions.len() as u64;
+        let threshold = MiningParams::with_min_support(minsup).min_support_count(n);
+        let mut counts = vec![0u64; self.taxonomy.num_items() as usize];
+        for t in &self.transactions {
+            for it in self.taxonomy.extend_transaction(t) {
+                counts[it.index()] += 1;
+            }
+        }
+        let l1: Vec<ItemId> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(i, _)| ItemId(i as u32))
+            .collect();
+        let c2 = generate_pairs(&l1, Some(&self.taxonomy)).len();
+        c2 as u64 * candidate_entry_bytes(2)
+    }
+
+    /// The memory-budget rule used across the experiments: per-node memory
+    /// is sized so the largest candidate set of the sweep exceeds one
+    /// node's memory but fits in the aggregate — exactly the regime the
+    /// paper assumes ("the size of the candidate itemsets is larger than
+    /// the size of local memory of a single node but smaller than the sum
+    /// of the memory space of all the nodes").
+    pub fn memory_per_node(&self, smallest_minsup: f64, nodes: usize) -> u64 {
+        self.memory_with_headroom(smallest_minsup, nodes, 1.5)
+    }
+
+    /// [`Workload::memory_per_node`] with an explicit headroom factor.
+    /// Candidate *ownership* across nodes is itself skewed (hot root
+    /// combinations carry more candidates), so a factor below ~2 leaves
+    /// the hottest node with no free duplication space at all — the
+    /// regime where TGD/PGD/FGD degenerate to H-HPGM.
+    pub fn memory_with_headroom(&self, minsup: f64, nodes: usize, factor: f64) -> u64 {
+        let total = self.pass2_candidate_bytes(minsup);
+        ((total as f64 * factor) / nodes as f64).ceil() as u64 + 1
+    }
+}
+
+/// Runs one algorithm over the workload.
+pub fn run(
+    alg: Algorithm,
+    workload: &Workload,
+    db: &PartitionedDatabase,
+    minsup: f64,
+    nodes: usize,
+    memory_per_node: u64,
+    max_pass: Option<usize>,
+) -> Result<ParallelReport> {
+    let mut params = MiningParams::with_min_support(minsup);
+    params.max_pass = max_pass;
+    let cluster = ClusterConfig::new(nodes, memory_per_node);
+    mine_parallel(alg, db, &workload.taxonomy, &params, &cluster)
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let parts: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Writes rows as CSV under the results directory.
+pub fn write_csv(env: &Env, name: &str, headers: &[&str], rows: &[Vec<String>]) -> Result<()> {
+    std::fs::create_dir_all(&env.results_dir)
+        .map_err(|e| gar_types::Error::io("creating results dir", e))?;
+    let path = env.results_dir.join(name);
+    let mut f = std::fs::File::create(&path)
+        .map_err(|e| gar_types::Error::io(format!("creating {}", path.display()), e))?;
+    let esc = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    writeln!(f, "{}", headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","))
+        .map_err(|e| gar_types::Error::io("writing csv header", e))?;
+    for row in rows {
+        writeln!(f, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","))
+            .map_err(|e| gar_types::Error::io("writing csv row", e))?;
+    }
+    println!("\n  [written {}]", path.display());
+    Ok(())
+}
+
+/// The minimum-support sweep the execution-time figures use, in percent
+/// (the paper sweeps roughly 0.3%-2%).
+pub const MINSUP_SWEEP_PCT: [f64; 5] = [2.0, 1.5, 1.0, 0.5, 0.3];
+
+/// Standard banner for the binaries.
+pub fn banner(what: &str, env: &Env) {
+    println!("=== {what} ===");
+    println!(
+        "scale {} of the paper's datasets, seed {}\n",
+        env.scale, env.seed
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_datagen::presets;
+
+    #[test]
+    fn workload_generation_and_memory_rule() {
+        let env = Env {
+            scale: 0.003,
+            seed: 1,
+            results_dir: PathBuf::from("/tmp/gar-bench-test-results"),
+        };
+        let w = Workload::generate(&presets::r30f5(env.seed), &env).unwrap();
+        assert!(!w.transactions.is_empty());
+        let bytes = w.pass2_candidate_bytes(0.01);
+        assert!(bytes > 0);
+        let m = w.memory_per_node(0.01, 4);
+        // One node cannot hold everything; four can.
+        assert!(m < bytes);
+        assert!(4 * m > bytes);
+    }
+
+    #[test]
+    fn csv_writing_round_trips() {
+        let env = Env {
+            scale: 1.0,
+            seed: 0,
+            results_dir: std::env::temp_dir().join(format!("gar-csv-{}", std::process::id())),
+        };
+        write_csv(
+            &env,
+            "t.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(env.results_dir.join("t.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n");
+        std::fs::remove_dir_all(&env.results_dir).ok();
+    }
+
+    #[test]
+    fn env_defaults() {
+        let e = Env::load(0.5);
+        assert!(e.scale > 0.0);
+        assert_eq!(e.results_dir, PathBuf::from("results"));
+    }
+}

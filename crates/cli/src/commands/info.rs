@@ -1,0 +1,60 @@
+//! `gar-cli info` — describe a dataset directory.
+
+use crate::args::Args;
+use crate::commands::{load_taxonomy, open_partitions, META_FILE};
+use gar_storage::TransactionSource;
+use gar_types::Result;
+use std::path::Path;
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<()> {
+    let dir = Path::new(args.require("data")?);
+    let parts = open_partitions(dir)?;
+    let tax = load_taxonomy(dir)?;
+
+    println!("dataset: {}", dir.display());
+    if let Ok(meta) = std::fs::read_to_string(dir.join(META_FILE)) {
+        for line in meta.lines() {
+            println!("  {line}");
+        }
+    }
+    println!("partitions:");
+    let mut total_txns = 0usize;
+    let mut total_bytes = 0u64;
+    for (i, p) in parts.iter().enumerate() {
+        println!(
+            "  part {i:>3}: {:>9} txns  {:>9.1} KiB",
+            p.num_transactions(),
+            p.size_bytes() as f64 / 1024.0
+        );
+        total_txns += p.num_transactions();
+        total_bytes += p.size_bytes();
+    }
+    println!(
+        "total: {total_txns} transactions, {:.1} MiB",
+        total_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "taxonomy: {} items, {} roots, {} leaves, {} levels",
+        tax.num_items(),
+        tax.roots().len(),
+        tax.leaves().len(),
+        tax.max_depth() + 1
+    );
+
+    // A quick shape check: mean transaction size from the first partition.
+    let mut scan = parts[0].scan()?;
+    let mut buf = Vec::new();
+    let (mut n, mut items) = (0usize, 0usize);
+    while scan.next_into(&mut buf)? && n < 10_000 {
+        n += 1;
+        items += buf.len();
+    }
+    if n > 0 {
+        println!(
+            "mean transaction size (first {n} of partition 0): {:.1}",
+            items as f64 / n as f64
+        );
+    }
+    Ok(())
+}

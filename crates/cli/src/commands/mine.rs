@@ -1,0 +1,95 @@
+//! `gar-cli mine` — run a mining algorithm over a dataset directory.
+
+use crate::args::Args;
+use crate::commands::{load_taxonomy, open_partitions, ChainedSource};
+use gar_cluster::ClusterConfig;
+use gar_mining::parallel::mine_parallel;
+use gar_mining::persist::{algorithm_by_name, save_output};
+use gar_mining::sequential::{apriori, cumulate};
+use gar_mining::{Algorithm, MiningOutput, MiningParams};
+use gar_storage::PartitionedDatabase;
+use gar_types::Result;
+use std::path::Path;
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<()> {
+    let dir = Path::new(args.require("data")?);
+    let min_support: f64 = args.require_parsed("min-support")?;
+    let algorithm = algorithm_by_name(args.get("algorithm").unwrap_or("H-HPGM-FGD"))?;
+    let memory_mb: u64 = args.get_or("memory-mb", 64)?;
+
+    let mut params = MiningParams::with_min_support(min_support);
+    if let Some(k) = args.get("max-pass") {
+        params = params.max_pass(k.parse().map_err(|_| {
+            gar_types::Error::InvalidConfig(format!("bad --max-pass '{k}'"))
+        })?);
+    }
+    params.validate()?;
+
+    let parts = open_partitions(dir)?;
+    let tax = load_taxonomy(dir)?;
+    let started = std::time::Instant::now();
+
+    let output: MiningOutput = match algorithm {
+        Algorithm::Cumulate => {
+            let chain = ChainedSource::new(&parts);
+            cumulate(&chain, &tax, &params)?
+        }
+        Algorithm::Apriori => {
+            let chain = ChainedSource::new(&parts);
+            apriori(&chain, tax.num_items(), &params)?
+        }
+        parallel_alg => {
+            let nodes = parts.len();
+            // Reopen through the PartitionedDatabase wrapper for the
+            // parallel entry point (one partition = one node).
+            let db = {
+                let boxed = parts
+                    .into_iter()
+                    .map(|p| Box::new(p) as Box<dyn gar_storage::TransactionSource>)
+                    .collect::<Vec<_>>();
+                PartitionedDatabase::from_parts(boxed)
+            };
+            let cluster = ClusterConfig::new(nodes, memory_mb * 1024 * 1024);
+            let report = mine_parallel(parallel_alg, &db, &tax, &params, &cluster)?;
+            println!(
+                "{} on {} nodes: wall {:?}, modeled SP-2 time {:.2}s",
+                algorithm.name(),
+                nodes,
+                report.wall,
+                report.modeled_seconds
+            );
+            println!(
+                "{:>5} {:>12} {:>10} {:>10} {:>12}",
+                "pass", "candidates", "dup", "large", "avg MB recv"
+            );
+            for p in &report.pass_reports {
+                println!(
+                    "{:>5} {:>12} {:>10} {:>10} {:>12.3}",
+                    p.k,
+                    p.num_candidates,
+                    p.num_duplicated,
+                    p.num_large,
+                    p.avg_mb_received()
+                );
+            }
+            report.output
+        }
+    };
+
+    println!(
+        "{}: {} large itemsets across {} passes in {:?} (min support {:.3}% = {} txns)",
+        algorithm.name(),
+        output.num_large(),
+        output.passes.len(),
+        started.elapsed(),
+        min_support * 100.0,
+        output.min_support_count
+    );
+
+    if let Some(out_path) = args.get("out") {
+        save_output(&output, out_path)?;
+        println!("wrote {out_path}");
+    }
+    Ok(())
+}

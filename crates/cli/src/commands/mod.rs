@@ -1,0 +1,140 @@
+//! The CLI subcommands.
+
+pub mod gen;
+pub mod info;
+pub mod mine;
+pub mod rules;
+
+use gar_storage::{DiskPartition, TransactionSource};
+use gar_taxonomy::Taxonomy;
+use gar_types::{Error, ItemId, Result};
+use std::path::{Path, PathBuf};
+
+/// Name of the taxonomy file inside a dataset directory.
+pub const TAXONOMY_FILE: &str = "taxonomy.gtax";
+/// Name of the human-readable metadata file inside a dataset directory.
+pub const META_FILE: &str = "dataset.txt";
+
+/// Opens every `part-*.txn` partition of a dataset directory, sorted by
+/// file name (= node id).
+pub fn open_partitions(dir: &Path) -> Result<Vec<DiskPartition>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| Error::io(format!("reading dataset dir {}", dir.display()), e))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("part-") && n.ends_with(".txn"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(Error::InvalidConfig(format!(
+            "{} contains no part-*.txn partitions (not a dataset dir?)",
+            dir.display()
+        )));
+    }
+    paths.into_iter().map(DiskPartition::open).collect()
+}
+
+/// Loads the taxonomy of a dataset directory.
+pub fn load_taxonomy(dir: &Path) -> Result<Taxonomy> {
+    gar_taxonomy::io::load(dir.join(TAXONOMY_FILE))
+}
+
+/// A read-only concatenation of partitions, presented as one
+/// [`TransactionSource`] — what the sequential algorithms scan.
+pub struct ChainedSource<'a> {
+    parts: &'a [DiskPartition],
+}
+
+impl<'a> ChainedSource<'a> {
+    /// Chains `parts` in order.
+    pub fn new(parts: &'a [DiskPartition]) -> ChainedSource<'a> {
+        ChainedSource { parts }
+    }
+}
+
+impl TransactionSource for ChainedSource<'_> {
+    fn num_transactions(&self) -> usize {
+        self.parts.iter().map(|p| p.num_transactions()).sum()
+    }
+
+    fn scan(&self) -> Result<Box<dyn gar_storage::TransactionScan + '_>> {
+        Ok(Box::new(ChainedScan {
+            parts: self.parts,
+            current: None,
+            next_part: 0,
+        }))
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.parts.iter().map(|p| p.bytes_read()).sum()
+    }
+}
+
+struct ChainedScan<'a> {
+    parts: &'a [DiskPartition],
+    current: Option<Box<dyn gar_storage::TransactionScan + 'a>>,
+    next_part: usize,
+}
+
+impl gar_storage::TransactionScan for ChainedScan<'_> {
+    fn next_into(&mut self, buf: &mut Vec<ItemId>) -> Result<bool> {
+        loop {
+            if let Some(scan) = self.current.as_mut() {
+                if scan.next_into(buf)? {
+                    return Ok(true);
+                }
+                self.current = None;
+            }
+            if self.next_part >= self.parts.len() {
+                return Ok(false);
+            }
+            self.current = Some(self.parts[self.next_part].scan()?);
+            self.next_part += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_storage::PartitionWriter;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    #[test]
+    fn chained_source_concatenates() {
+        let dir = std::env::temp_dir().join(format!("gar-cli-chain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut parts = Vec::new();
+        for (i, txns) in [vec![ids(&[1])], vec![ids(&[2]), ids(&[3])]].iter().enumerate() {
+            let mut w = PartitionWriter::create(dir.join(format!("part-{i:04}.txn"))).unwrap();
+            for t in txns {
+                w.write(t).unwrap();
+            }
+            parts.push(w.finish().unwrap());
+        }
+        let chain = ChainedSource::new(&parts);
+        assert_eq!(chain.num_transactions(), 3);
+        let mut scan = chain.scan().unwrap();
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        while scan.next_into(&mut buf).unwrap() {
+            got.push(buf.clone());
+        }
+        assert_eq!(got, vec![ids(&[1]), ids(&[2]), ids(&[3])]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_partitions_requires_dataset_dir() {
+        let dir = std::env::temp_dir().join(format!("gar-cli-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(open_partitions(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,49 @@
+//! `gar-cli rules` — derive association rules from a saved mining output.
+
+use crate::args::Args;
+use gar_mining::persist::load_output;
+use gar_mining::rules::{derive_rules, prune_uninteresting};
+use gar_taxonomy::Taxonomy;
+use gar_types::Result;
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<()> {
+    let output_path = args.require("output")?;
+    let min_confidence: f64 = args.require_parsed("min-confidence")?;
+    let top: usize = args.get_or("top", 50)?;
+
+    let output = load_output(output_path)?;
+    let taxonomy: Option<Taxonomy> = match args.get("taxonomy") {
+        Some(p) => Some(gar_taxonomy::io::load(p)?),
+        None => None,
+    };
+
+    let mut rules = derive_rules(&output, min_confidence, taxonomy.as_ref());
+    let total = rules.len();
+    if let Some(r) = args.get("interest") {
+        let r: f64 = r.parse().map_err(|_| {
+            gar_types::Error::InvalidConfig(format!("bad --interest '{r}'"))
+        })?;
+        let tax = taxonomy.as_ref().ok_or_else(|| {
+            gar_types::Error::InvalidConfig(
+                "--interest needs --taxonomy (ancestor rules define expectations)".into(),
+            )
+        })?;
+        rules = prune_uninteresting(&rules, &output, tax, r);
+        println!(
+            "{total} rules at confidence >= {:.0}%; {} remain after the R={r} interest filter",
+            min_confidence * 100.0,
+            rules.len()
+        );
+    } else {
+        println!("{total} rules at confidence >= {:.0}%", min_confidence * 100.0);
+    }
+
+    for rule in rules.iter().take(top) {
+        println!("  {rule}");
+    }
+    if rules.len() > top {
+        println!("  ... ({} more; raise --top to see them)", rules.len() - top);
+    }
+    Ok(())
+}

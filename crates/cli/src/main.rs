@@ -1,0 +1,72 @@
+//! `gar-cli` — generate hierarchical retail datasets, mine them with the
+//! paper's parallel algorithms, and derive rules, as separate steps with
+//! on-disk artifacts between them.
+//!
+//! ```text
+//! gar-cli gen   --preset R30F5 --scale 0.01 --partitions 8 --out data/
+//! gar-cli info  --data data/
+//! gar-cli mine  --data data/ --algorithm H-HPGM-FGD --min-support 0.005 \
+//!               --out large.gout
+//! gar-cli rules --output large.gout --taxonomy data/taxonomy.gtax \
+//!               --min-confidence 0.6 --top 20
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use gar_types::Result;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        print_usage();
+        return;
+    }
+    match run(argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<()> {
+    let args = Args::parse(argv)?;
+    match args.command.as_deref() {
+        Some("gen") => commands::gen::run(&args),
+        Some("info") => commands::info::run(&args),
+        Some("mine") => commands::mine::run(&args),
+        Some("rules") => commands::rules::run(&args),
+        Some(other) => {
+            print_usage();
+            Err(gar_types::Error::InvalidConfig(format!(
+                "unknown subcommand '{other}'"
+            )))
+        }
+        None => {
+            print_usage();
+            Ok(())
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "gar-cli — generalized association rule mining (SIGMOD '98 reproduction)
+
+USAGE:
+  gar-cli gen   --out DIR [--preset R30F5|R30F3|R30F10] [--scale F]
+                [--seed N] [--partitions N]
+  gar-cli info  --data DIR
+  gar-cli mine  --data DIR --min-support F [--algorithm NAME]
+                [--max-pass K] [--memory-mb M] [--out FILE.gout]
+  gar-cli rules --output FILE.gout --min-confidence F
+                [--taxonomy FILE.gtax] [--interest R] [--top N]
+
+ALGORITHMS:
+  Cumulate (sequential), NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD,
+  H-HPGM-FGD (default)"
+    );
+}

@@ -1,0 +1,157 @@
+//! End-to-end tests of the `gar-cli` binary: gen → info → mine → rules,
+//! exercising the real executable via `CARGO_BIN_EXE`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gar-cli"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gar-cli-test-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn full_pipeline() {
+    let dir = tmp_dir("pipeline");
+    let data = dir.join("data");
+    let gout = dir.join("large.gout");
+
+    let out = run_ok(bin().args([
+        "gen",
+        "--out",
+        data.to_str().unwrap(),
+        "--preset",
+        "R30F10",
+        "--scale",
+        "0.001",
+        "--partitions",
+        "3",
+        "--seed",
+        "9",
+    ]));
+    assert!(out.contains("wrote"), "{out}");
+    assert!(data.join("part-0000.txn").exists());
+    assert!(data.join("taxonomy.gtax").exists());
+    assert!(data.join("dataset.txt").exists());
+
+    let out = run_ok(bin().args(["info", "--data", data.to_str().unwrap()]));
+    assert!(out.contains("total: 3200 transactions"), "{out}");
+    assert!(out.contains("taxonomy:"), "{out}");
+
+    let out = run_ok(bin().args([
+        "mine",
+        "--data",
+        data.to_str().unwrap(),
+        "--min-support",
+        "0.02",
+        "--max-pass",
+        "2",
+        "--algorithm",
+        "h-hpgm-pgd",
+        "--out",
+        gout.to_str().unwrap(),
+    ]));
+    assert!(out.contains("H-HPGM-PGD"), "{out}");
+    assert!(out.contains("large itemsets"), "{out}");
+    assert!(gout.exists());
+
+    let out = run_ok(bin().args([
+        "rules",
+        "--output",
+        gout.to_str().unwrap(),
+        "--taxonomy",
+        data.join("taxonomy.gtax").to_str().unwrap(),
+        "--min-confidence",
+        "0.6",
+        "--top",
+        "5",
+    ]));
+    assert!(out.contains("rules at confidence"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sequential_mining_agrees_with_parallel() {
+    let dir = tmp_dir("seq");
+    let data = dir.join("data");
+    run_ok(bin().args([
+        "gen",
+        "--out",
+        data.to_str().unwrap(),
+        "--scale",
+        "0.001",
+        "--partitions",
+        "2",
+        "--seed",
+        "4",
+    ]));
+    let count_of = |algorithm: &str| -> String {
+        let out = run_ok(bin().args([
+            "mine",
+            "--data",
+            data.to_str().unwrap(),
+            "--min-support",
+            "0.03",
+            "--max-pass",
+            "2",
+            "--algorithm",
+            algorithm,
+        ]));
+        out.lines()
+            .find(|l| l.contains("large itemsets across"))
+            .unwrap_or_default()
+            .split(':')
+            .nth(1)
+            .unwrap_or_default()
+            .trim()
+            .to_string()
+    };
+    let seq = count_of("cumulate");
+    let par = count_of("npgm");
+    assert_eq!(
+        seq.split(' ').next(),
+        par.split(' ').next(),
+        "sequential vs parallel counts differ: '{seq}' vs '{par}'"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let out = bin().args(["mine"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
+
+    let out = bin()
+        .args(["mine", "--data", "/nonexistent", "--min-support", "0.1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn usage_prints_without_args() {
+    let out = bin().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

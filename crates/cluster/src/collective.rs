@@ -1,0 +1,296 @@
+//! Collective operations: barrier, all-reduce, broadcast.
+//!
+//! Every algorithm in the paper ends a pass the same way: support counts
+//! (or locally decided `L_k^n` fragments) flow to the coordinator, the
+//! coordinator assembles `L_k` and broadcasts it. These primitives provide
+//! the synchronization; the *communication charging* happens in
+//! [`crate::NodeCtx`], which knows the per-node ledgers.
+//!
+//! All operations are generation-counted so they can be reused pass after
+//! pass, and they are poisoned when any node fails so the surviving nodes
+//! error out instead of deadlocking.
+
+use bytes::Bytes;
+use gar_types::{Error, Result};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct ReduceState {
+    gen: u64,
+    pending: usize,
+    acc: Vec<u64>,
+    result: Arc<Vec<u64>>,
+}
+
+#[derive(Default)]
+struct BcastState {
+    gen: u64,
+    pending: usize,
+    slot: Option<Bytes>,
+    result: Bytes,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    gen: u64,
+    pending: usize,
+}
+
+/// Shared synchronization core for one cluster run.
+pub struct Collectives {
+    num_nodes: usize,
+    poisoned: AtomicBool,
+    reduce: Mutex<ReduceState>,
+    reduce_cv: Condvar,
+    bcast: Mutex<BcastState>,
+    bcast_cv: Condvar,
+    barrier: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+}
+
+impl Collectives {
+    /// Creates the collectives for `num_nodes` participants.
+    pub fn new(num_nodes: usize) -> Collectives {
+        assert!(num_nodes >= 1);
+        Collectives {
+            num_nodes,
+            poisoned: AtomicBool::new(false),
+            reduce: Mutex::default(),
+            reduce_cv: Condvar::new(),
+            bcast: Mutex::default(),
+            bcast_cv: Condvar::new(),
+            barrier: Mutex::default(),
+            barrier_cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Marks the run failed and wakes every waiter. Called when a node
+    /// panics so its peers fail fast instead of deadlocking.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.reduce_cv.notify_all();
+        self.bcast_cv.notify_all();
+        self.barrier_cv.notify_all();
+    }
+
+    /// True once any participant has failed.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn check_poison(&self) -> Result<()> {
+        if self.is_poisoned() {
+            Err(Error::Protocol(
+                "collective aborted: a peer node failed".into(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Element-wise sum of every node's `contribution`. All participants
+    /// must pass slices of the same length; all receive the same result.
+    pub fn all_reduce_u64(&self, contribution: &[u64]) -> Result<Arc<Vec<u64>>> {
+        self.check_poison()?;
+        let mut s = self.reduce.lock();
+        let my_gen = s.gen;
+        if s.pending == 0 {
+            s.acc.clear();
+            s.acc.resize(contribution.len(), 0);
+        } else if s.acc.len() != contribution.len() {
+            self.poison();
+            return Err(Error::Protocol(format!(
+                "all_reduce length mismatch: {} vs {}",
+                s.acc.len(),
+                contribution.len()
+            )));
+        }
+        for (a, &c) in s.acc.iter_mut().zip(contribution) {
+            *a += c;
+        }
+        s.pending += 1;
+        if s.pending == self.num_nodes {
+            s.result = Arc::new(std::mem::take(&mut s.acc));
+            s.pending = 0;
+            s.gen += 1;
+            self.reduce_cv.notify_all();
+            Ok(s.result.clone())
+        } else {
+            while s.gen == my_gen && !self.is_poisoned() {
+                self.reduce_cv.wait(&mut s);
+            }
+            self.check_poison()?;
+            Ok(s.result.clone())
+        }
+    }
+
+    /// One-to-all broadcast: exactly one participant passes `Some(data)`,
+    /// all receive that data.
+    pub fn broadcast(&self, data: Option<Bytes>) -> Result<Bytes> {
+        self.check_poison()?;
+        let mut s = self.bcast.lock();
+        let my_gen = s.gen;
+        if let Some(d) = data {
+            if s.slot.is_some() {
+                self.poison();
+                return Err(Error::Protocol(
+                    "two nodes tried to broadcast in one round".into(),
+                ));
+            }
+            s.slot = Some(d);
+        }
+        s.pending += 1;
+        if s.pending == self.num_nodes {
+            let Some(d) = s.slot.take() else {
+                self.poison();
+                return Err(Error::Protocol("broadcast round with no root".into()));
+            };
+            s.result = d;
+            s.pending = 0;
+            s.gen += 1;
+            self.bcast_cv.notify_all();
+            Ok(s.result.clone())
+        } else {
+            while s.gen == my_gen && !self.is_poisoned() {
+                self.bcast_cv.wait(&mut s);
+            }
+            self.check_poison()?;
+            Ok(s.result.clone())
+        }
+    }
+
+    /// Rendezvous of all participants.
+    pub fn barrier(&self) -> Result<()> {
+        self.check_poison()?;
+        let mut s = self.barrier.lock();
+        let my_gen = s.gen;
+        s.pending += 1;
+        if s.pending == self.num_nodes {
+            s.pending = 0;
+            s.gen += 1;
+            self.barrier_cv.notify_all();
+        } else {
+            while s.gen == my_gen && !self.is_poisoned() {
+                self.barrier_cv.wait(&mut s);
+            }
+            self.check_poison()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_nodes<T: Send>(n: usize, f: impl Fn(usize, &Collectives) -> T + Sync) -> Vec<T> {
+        let c = Collectives::new(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|id| {
+                    let c = &c;
+                    let f = &f;
+                    s.spawn(move || f(id, c))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn all_reduce_sums_elementwise() {
+        let results = run_nodes(4, |id, c| {
+            c.all_reduce_u64(&[id as u64, 1, 10 * id as u64]).unwrap()
+        });
+        for r in results {
+            assert_eq!(&*r, &[6, 4, 60]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_is_reusable_across_generations() {
+        let results = run_nodes(3, |_, c| {
+            let a = c.all_reduce_u64(&[1]).unwrap()[0];
+            let b = c.all_reduce_u64(&[2]).unwrap()[0];
+            (a, b)
+        });
+        for (a, b) in results {
+            assert_eq!((a, b), (3, 6));
+        }
+    }
+
+    #[test]
+    fn all_reduce_length_mismatch_poisons() {
+        let c = Collectives::new(2);
+        let outcome = std::thread::scope(|s| {
+            let h0 = s.spawn(|| c.all_reduce_u64(&[1, 2]));
+            let h1 = s.spawn(|| c.all_reduce_u64(&[1]));
+            (h0.join().unwrap(), h1.join().unwrap())
+        });
+        assert!(outcome.0.is_err() || outcome.1.is_err());
+        assert!(c.is_poisoned());
+    }
+
+    #[test]
+    fn broadcast_delivers_root_payload() {
+        let results = run_nodes(4, |id, c| {
+            let data = (id == 2).then(|| Bytes::from_static(b"Lk"));
+            c.broadcast(data).unwrap()
+        });
+        for r in results {
+            assert_eq!(&r[..], b"Lk");
+        }
+    }
+
+    #[test]
+    fn broadcast_with_two_roots_poisons() {
+        let c = Collectives::new(2);
+        let outcome = std::thread::scope(|s| {
+            let h0 = s.spawn(|| c.broadcast(Some(Bytes::from_static(b"a"))));
+            let h1 = s.spawn(|| c.broadcast(Some(Bytes::from_static(b"b"))));
+            (h0.join().unwrap(), h1.join().unwrap())
+        });
+        assert!(outcome.0.is_err() || outcome.1.is_err());
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        run_nodes(8, |_, c| {
+            before.fetch_add(1, Ordering::SeqCst);
+            c.barrier().unwrap();
+            // After the barrier every node must observe all 8 arrivals.
+            assert_eq!(before.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn poison_wakes_waiters() {
+        let c = Collectives::new(2);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| c.barrier());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            c.poison();
+            assert!(waiter.join().unwrap().is_err());
+        });
+    }
+
+    #[test]
+    fn single_node_collectives_are_trivial() {
+        let c = Collectives::new(1);
+        assert_eq!(&*c.all_reduce_u64(&[5]).unwrap(), &[5]);
+        assert_eq!(
+            c.broadcast(Some(Bytes::from_static(b"x"))).unwrap(),
+            Bytes::from_static(b"x")
+        );
+        c.barrier().unwrap();
+    }
+}

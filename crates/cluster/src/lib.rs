@@ -1,0 +1,37 @@
+//! A shared-nothing parallel machine, simulated.
+//!
+//! The paper runs on a 16-node IBM SP-2: POWER2 processors, 256 MB local
+//! memory and a 2 GB local disk per node, joined by the High-Performance
+//! Switch, programmed in a message-passing style with a coordinator node.
+//! This crate reproduces that execution model on one machine:
+//!
+//! * each simulated node is an OS thread with a private message inbox
+//!   (crossbeam channels play the switch);
+//! * every byte and message crossing a link is **counted per node** — the
+//!   paper's Table 6 metric ("average amount of received messages") falls
+//!   out of these counters directly;
+//! * collective operations (barrier, all-reduce of support-count vectors,
+//!   coordinator broadcast of `L_k`) are provided and *also* charged to the
+//!   communication ledger as gather-to-coordinator + broadcast;
+//! * a [`CostModel`] converts a node's counters (CPU ticks, bytes moved,
+//!   I/O) into an SP-2-shaped execution time. Reported times are the
+//!   critical path: `max` over nodes, per phase. Real wall-clock of the
+//!   threaded run is reported alongside by the bench harness.
+//!
+//! Why a simulator instead of MPI: no SP-2 (or any multi-node machine)
+//! exists in this environment, and Rust MPI bindings are thin. The paper's
+//! claims are about *relative* communication volume, workload distribution
+//! and speedup shape — all functions of the counted quantities, which this
+//! substrate measures exactly (see DESIGN.md §2).
+
+mod collective;
+mod cost;
+mod node;
+mod runner;
+pub mod stats;
+
+pub use collective::Collectives;
+pub use cost::CostModel;
+pub use node::{Envelope, NodeCtx, CONTROL_TAG_EOS};
+pub use runner::{Cluster, ClusterConfig, ClusterRun};
+pub use stats::{NodeStats, NodeStatsSnapshot};

@@ -1,0 +1,295 @@
+//! The per-node execution context: messaging, collectives, ledgers.
+
+use crate::collective::Collectives;
+use crate::stats::NodeStats;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
+use gar_types::{Error, Result};
+use std::sync::Arc;
+
+/// Reserved message tag marking the end of a node's contribution to the
+/// current exchange phase (the distributed-termination token).
+pub const CONTROL_TAG_EOS: u32 = u32::MAX;
+
+/// Number of children of `node` in a binomial reduction tree over
+/// `0..n` rooted at node 0: in round `r` (step `2^r`), every node
+/// congruent to `2^r (mod 2^{r+1})` sends to `node - 2^r` and drops out.
+pub(crate) fn binomial_children(node: usize, n: usize) -> usize {
+    let mut count = 0;
+    let mut step = 1;
+    while step < n {
+        if node.is_multiple_of(2 * step) {
+            if node + step < n {
+                count += 1;
+            }
+        } else {
+            break; // this node sends at this round and exits
+        }
+        step *= 2;
+    }
+    count
+}
+
+/// A point-to-point message on the simulated interconnect.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: usize,
+    /// Application-defined tag ([`CONTROL_TAG_EOS`] is reserved).
+    pub tag: u32,
+    /// Payload. `Bytes` keeps fan-out sends allocation-free.
+    pub payload: Bytes,
+}
+
+/// Everything one simulated node can do: its identity, its private memory
+/// budget, point-to-point messaging with per-byte accounting, and the
+/// coordinator collectives. Handed by value to each node's closure by
+/// [`crate::Cluster::run`].
+pub struct NodeCtx {
+    node_id: usize,
+    memory_budget: u64,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    stats: Arc<Vec<NodeStats>>,
+    collectives: Arc<Collectives>,
+}
+
+impl NodeCtx {
+    pub(crate) fn new(
+        node_id: usize,
+        memory_budget: u64,
+        senders: Vec<Sender<Envelope>>,
+        inbox: Receiver<Envelope>,
+        stats: Arc<Vec<NodeStats>>,
+        collectives: Arc<Collectives>,
+    ) -> NodeCtx {
+        NodeCtx {
+            node_id,
+            memory_budget,
+            senders,
+            inbox,
+            stats,
+            collectives,
+        }
+    }
+
+    /// This node's identifier in `0..num_nodes`.
+    #[inline]
+    pub fn node_id(&self) -> usize {
+        self.node_id
+    }
+
+    /// Cluster size.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True for the coordinator (node 0 by convention, as in the paper).
+    #[inline]
+    pub fn is_coordinator(&self) -> bool {
+        self.node_id == 0
+    }
+
+    /// The node's candidate-memory budget in bytes (the simulated 256 MB).
+    #[inline]
+    pub fn memory_budget(&self) -> u64 {
+        self.memory_budget
+    }
+
+    /// This node's live counters.
+    #[inline]
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats[self.node_id]
+    }
+
+    /// Sends `payload` to node `to`. Messages to self are delivered but
+    /// not charged to the communication ledger (the paper counts only
+    /// inter-processor traffic; local work is CPU).
+    pub fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<()> {
+        let len = payload.len() as u64;
+        let env = Envelope {
+            from: self.node_id,
+            tag,
+            payload,
+        };
+        self.senders[to]
+            .send(env)
+            .map_err(|_| Error::NodeFailure {
+                node: to,
+                reason: "inbox disconnected".into(),
+            })?;
+        if to != self.node_id {
+            self.stats[self.node_id].record_send(len);
+        }
+        Ok(())
+    }
+
+    /// Blocking receive. Charges the receive ledger for remote messages.
+    pub fn recv(&self) -> Result<Envelope> {
+        let env = self.inbox.recv().map_err(|_| Error::NodeFailure {
+            node: self.node_id,
+            reason: "all senders disconnected".into(),
+        })?;
+        if env.from != self.node_id {
+            self.stats[self.node_id].record_recv(env.payload.len() as u64);
+        }
+        Ok(env)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Option<Envelope>> {
+        match self.inbox.try_recv() {
+            Ok(env) => {
+                if env.from != self.node_id {
+                    self.stats[self.node_id].record_recv(env.payload.len() as u64);
+                }
+                Ok(Some(env))
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(Error::NodeFailure {
+                node: self.node_id,
+                reason: "all senders disconnected".into(),
+            }),
+        }
+    }
+
+    /// Rendezvous of all nodes (uncharged control traffic).
+    pub fn barrier(&self) -> Result<()> {
+        self.collectives.barrier()
+    }
+
+    /// Gathers every node's `contribution` at the coordinator, sums
+    /// element-wise, broadcasts the sum — the paper's "all node's sup_cou
+    /// are gathered into the coordinator node ... and broadcast".
+    ///
+    /// Charged as a **binomial-tree** reduce + broadcast (what MPL's
+    /// collective operations implement): each node sends its partial sum
+    /// once up the tree and forwards the result once per child on the way
+    /// down, so the coordinator handles `⌈log2 N⌉` vectors instead of
+    /// `N-1` — a star-topology charge would hand the coordinator a
+    /// spurious bottleneck the real machine does not have.
+    pub fn all_reduce_u64(&self, contribution: &[u64]) -> Result<Arc<Vec<u64>>> {
+        let bytes = 8 * contribution.len() as u64;
+        let children = binomial_children(self.node_id, self.num_nodes()) as u64;
+        let has_parent = u64::from(self.node_id != 0);
+        // Up: one send to the parent, one receive per child.
+        // Down: one receive from the parent, one send per child.
+        let sends = has_parent + children;
+        let recvs = children + has_parent;
+        for _ in 0..sends {
+            self.stats[self.node_id].record_send(bytes);
+        }
+        for _ in 0..recvs {
+            self.stats[self.node_id].record_recv(bytes);
+        }
+        self.collectives.all_reduce_u64(contribution)
+    }
+
+    /// One-to-all broadcast of `data` (exactly one node passes `Some`).
+    /// Charged as one message down to each non-root node.
+    pub fn broadcast(&self, data: Option<Bytes>) -> Result<Bytes> {
+        let is_root = data.is_some();
+        let root_send = data.as_ref().map(|d| d.len() as u64);
+        let out = self.collectives.broadcast(data)?;
+        if is_root {
+            let bytes = root_send.unwrap_or(0);
+            for _ in 0..self.num_nodes() - 1 {
+                self.stats[self.node_id].record_send(bytes);
+            }
+        } else {
+            self.stats[self.node_id].record_recv(out.len() as u64);
+        }
+        Ok(out)
+    }
+
+    /// Marks this run failed (wakes peers blocked in collectives).
+    pub fn poison(&self) {
+        self.collectives.poison();
+    }
+
+    /// Starts an all-to-all data-exchange phase (see [`Exchange`]).
+    pub fn exchange(&self) -> Exchange<'_> {
+        Exchange {
+            ctx: self,
+            eos_seen: 0,
+        }
+    }
+}
+
+/// One all-to-all exchange phase with distributed termination: every node
+/// streams data messages to peers, interleaving opportunistic receives
+/// (bounding queue growth), then flushes an EOS token to every peer and
+/// drains its inbox until it has seen EOS from all of them.
+///
+/// This is the count-support communication pattern of HPGM and the
+/// H-HPGM family (paper Figures 3 and 5, lines 7-18).
+pub struct Exchange<'a> {
+    ctx: &'a NodeCtx,
+    eos_seen: usize,
+}
+
+impl Exchange<'_> {
+    /// Sends a data message to `to` (self-sends allowed; see
+    /// [`NodeCtx::send`]).
+    pub fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<()> {
+        debug_assert_ne!(tag, CONTROL_TAG_EOS, "EOS tag is reserved");
+        self.ctx.send(to, tag, payload)
+    }
+
+    /// Drains currently pending messages without blocking, invoking
+    /// `on_data` per data message. Call this periodically while producing.
+    pub fn poll(&mut self, mut on_data: impl FnMut(&Envelope) -> Result<()>) -> Result<()> {
+        while let Some(env) = self.ctx.try_recv()? {
+            if env.tag == CONTROL_TAG_EOS {
+                self.eos_seen += 1;
+            } else {
+                on_data(&env)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Signals this node is done producing, then blocks until every peer
+    /// has signaled too, handing each remaining data message to `on_data`.
+    pub fn finish(mut self, mut on_data: impl FnMut(&Envelope) -> Result<()>) -> Result<()> {
+        let me = self.ctx.node_id();
+        for peer in 0..self.ctx.num_nodes() {
+            if peer != me {
+                self.ctx.send(peer, CONTROL_TAG_EOS, Bytes::new())?;
+            }
+        }
+        let expect = self.ctx.num_nodes() - 1;
+        while self.eos_seen < expect {
+            let env = self.ctx.recv()?;
+            if env.tag == CONTROL_TAG_EOS {
+                self.eos_seen += 1;
+            } else {
+                on_data(&env)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::binomial_children;
+
+    #[test]
+    fn binomial_tree_shape() {
+        // n = 8 rooted at 0: children(0) = {1,2,4}, children(2) = {3},
+        // children(4) = {5,6}, children(6) = {7}; odd nodes are leaves.
+        assert_eq!(binomial_children(0, 8), 3);
+        assert_eq!(binomial_children(1, 8), 0);
+        assert_eq!(binomial_children(2, 8), 1);
+        assert_eq!(binomial_children(3, 8), 0);
+        assert_eq!(binomial_children(4, 8), 2);
+        assert_eq!(binomial_children(6, 8), 1);
+        // Edges total n - 1 for various n.
+        for n in 1..40 {
+            let edges: usize = (0..n).map(|i| binomial_children(i, n)).sum();
+            assert_eq!(edges, n - 1, "n = {n}");
+        }
+    }
+}

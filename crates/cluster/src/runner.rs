@@ -1,0 +1,334 @@
+//! Spawning a cluster run.
+
+use crate::collective::Collectives;
+use crate::cost::CostModel;
+use crate::node::{Envelope, NodeCtx};
+use crate::stats::{NodeStats, NodeStatsSnapshot};
+use crossbeam::channel::unbounded;
+use gar_types::{Error, Result};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of shared-nothing nodes (the paper uses 4-16).
+    pub num_nodes: usize,
+    /// Candidate-memory budget per node in bytes (the simulated 256 MB —
+    /// scaled down alongside the datasets).
+    pub memory_per_node: u64,
+    /// Price list for the modeled execution time.
+    pub cost: CostModel,
+}
+
+impl ClusterConfig {
+    /// A cluster of `num_nodes` with a given per-node memory budget and
+    /// the default SP-2 cost model.
+    pub fn new(num_nodes: usize, memory_per_node: u64) -> ClusterConfig {
+        ClusterConfig {
+            num_nodes,
+            memory_per_node,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_nodes == 0 {
+            return Err(Error::InvalidConfig("num_nodes must be >= 1".into()));
+        }
+        if self.memory_per_node == 0 {
+            return Err(Error::InvalidConfig(
+                "memory_per_node must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a cluster run: the per-node return values (index = node id),
+/// the per-node counter snapshots, wall-clock, and the modeled time.
+#[derive(Debug)]
+pub struct ClusterRun<T> {
+    /// Per-node results, indexed by node id.
+    pub results: Vec<T>,
+    /// Per-node counters at the end of the run.
+    pub stats: Vec<NodeStatsSnapshot>,
+    /// Real elapsed time of the threaded simulation on this machine.
+    pub wall: Duration,
+    /// Cost-model execution time (critical path over nodes).
+    pub modeled_seconds: f64,
+}
+
+impl<T> ClusterRun<T> {
+    /// Average bytes received per node — Table 6's row metric.
+    pub fn avg_bytes_received(&self) -> f64 {
+        if self.stats.is_empty() {
+            return 0.0;
+        }
+        self.stats.iter().map(|s| s.bytes_received as f64).sum::<f64>() / self.stats.len() as f64
+    }
+
+    /// Per-node hash-probe counts — Figure 15's series.
+    pub fn probes_per_node(&self) -> Vec<u64> {
+        self.stats.iter().map(|s| s.hash_probes).collect()
+    }
+}
+
+/// The simulated shared-nothing machine.
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs `node_fn` once per node, each on its own OS thread, wired
+    /// through counted channels and shared collectives. Returns when every
+    /// node completes; a panicking or erroring node poisons the
+    /// collectives so its peers fail fast rather than deadlock.
+    pub fn run<T, F>(config: &ClusterConfig, node_fn: F) -> Result<ClusterRun<T>>
+    where
+        T: Send,
+        F: Fn(&mut NodeCtx) -> Result<T> + Send + Sync,
+    {
+        config.validate()?;
+        let n = config.num_nodes;
+        let stats: Arc<Vec<NodeStats>> =
+            Arc::new((0..n).map(|_| NodeStats::default()).collect());
+        let collectives = Arc::new(Collectives::new(n));
+
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let started = Instant::now();
+        let mut outcomes: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (node_id, inbox) in receivers.into_iter().enumerate() {
+                let senders = senders.clone();
+                let stats = Arc::clone(&stats);
+                let collectives = Arc::clone(&collectives);
+                let node_fn = &node_fn;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = NodeCtx::new(
+                        node_id,
+                        config.memory_per_node,
+                        senders,
+                        inbox,
+                        stats,
+                        Arc::clone(&collectives),
+                    );
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        node_fn(&mut ctx)
+                    }));
+                    match out {
+                        Ok(res) => {
+                            if res.is_err() {
+                                collectives.poison();
+                            }
+                            res
+                        }
+                        Err(panic) => {
+                            collectives.poison();
+                            let reason = panic
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                                .unwrap_or_else(|| "panic".into());
+                            Err(Error::NodeFailure {
+                                node: node_id,
+                                reason,
+                            })
+                        }
+                    }
+                }));
+            }
+            for (node_id, h) in handles.into_iter().enumerate() {
+                outcomes[node_id] = Some(h.join().unwrap_or_else(|_| {
+                    Err(Error::NodeFailure {
+                        node: node_id,
+                        reason: "worker thread died".into(),
+                    })
+                }));
+            }
+        });
+        // The original senders must drop so pending inboxes disconnect.
+        drop(senders);
+        let wall = started.elapsed();
+
+        let mut results = Vec::with_capacity(n);
+        for out in outcomes {
+            results.push(out.expect("every node produced an outcome")?);
+        }
+        let snapshots: Vec<NodeStatsSnapshot> = stats.iter().map(NodeStats::snapshot).collect();
+        let modeled_seconds = config.cost.execution_seconds(&snapshots);
+        Ok(ClusterRun {
+            results,
+            stats: snapshots,
+            wall,
+            modeled_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn cfg(n: usize) -> ClusterConfig {
+        ClusterConfig::new(n, 1 << 20)
+    }
+
+    #[test]
+    fn nodes_get_distinct_ids_and_results_are_ordered() {
+        let run = Cluster::run(&cfg(4), |ctx| Ok(ctx.node_id() * 10)).unwrap();
+        assert_eq!(run.results, vec![0, 10, 20, 30]);
+        assert_eq!(run.stats.len(), 4);
+    }
+
+    #[test]
+    fn point_to_point_messaging_is_counted() {
+        // Ring: node i sends 100 bytes to node (i+1) % n.
+        let run = Cluster::run(&cfg(3), |ctx| {
+            let to = (ctx.node_id() + 1) % ctx.num_nodes();
+            ctx.send(to, 7, Bytes::from(vec![0u8; 100]))?;
+            let env = ctx.recv()?;
+            assert_eq!(env.tag, 7);
+            assert_eq!(env.payload.len(), 100);
+            Ok(())
+        })
+        .unwrap();
+        for s in &run.stats {
+            assert_eq!(s.messages_sent, 1);
+            assert_eq!(s.bytes_sent, 100);
+            assert_eq!(s.messages_received, 1);
+            assert_eq!(s.bytes_received, 100);
+        }
+        assert!(run.avg_bytes_received() == 100.0);
+    }
+
+    #[test]
+    fn self_sends_are_delivered_but_uncharged() {
+        let run = Cluster::run(&cfg(2), |ctx| {
+            ctx.send(ctx.node_id(), 1, Bytes::from_static(b"local"))?;
+            let env = ctx.recv()?;
+            assert_eq!(env.from, ctx.node_id());
+            Ok(())
+        })
+        .unwrap();
+        for s in &run.stats {
+            assert_eq!(s.messages_sent, 0);
+            assert_eq!(s.bytes_received, 0);
+        }
+    }
+
+    #[test]
+    fn all_reduce_matches_and_charges_both_directions() {
+        let run = Cluster::run(&cfg(4), |ctx| {
+            let v = ctx.all_reduce_u64(&[ctx.node_id() as u64 + 1])?;
+            Ok(v[0])
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![10, 10, 10, 10]);
+        // Binomial tree over 4 nodes rooted at 0:
+        //   node 0 has children {1, 2}: 2 sends + 2 receives each way;
+        //   node 2 has child {3} plus its parent: 2 and 2;
+        //   leaves 1 and 3: 1 send up + 1 receive down.
+        assert_eq!(run.stats[0].bytes_sent, 16);
+        assert_eq!(run.stats[0].bytes_received, 16);
+        assert_eq!(run.stats[1].bytes_sent, 8);
+        assert_eq!(run.stats[1].bytes_received, 8);
+        assert_eq!(run.stats[2].bytes_sent, 16);
+        assert_eq!(run.stats[2].bytes_received, 16);
+        assert_eq!(run.stats[3].bytes_sent, 8);
+        assert_eq!(run.stats[3].bytes_received, 8);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let run = Cluster::run(&cfg(3), |ctx| {
+            let data = ctx
+                .is_coordinator()
+                .then(|| Bytes::from_static(b"large-itemsets"));
+            let got = ctx.broadcast(data)?;
+            Ok(got.len())
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![14, 14, 14]);
+        assert_eq!(run.stats[0].messages_sent, 2);
+        assert_eq!(run.stats[1].bytes_received, 14);
+    }
+
+    #[test]
+    fn exchange_phase_terminates_and_delivers() {
+        // Every node sends one message to every other node.
+        let run = Cluster::run(&cfg(4), |ctx| {
+            let mut got = 0usize;
+            let mut ex = ctx.exchange();
+            for peer in 0..ctx.num_nodes() {
+                if peer != ctx.node_id() {
+                    ex.send(peer, 1, Bytes::from_static(b"data"))?;
+                }
+            }
+            ex.poll(|_| {
+                got += 1;
+                Ok(())
+            })?;
+            ex.finish(|_| {
+                got += 1;
+                Ok(())
+            })?;
+            Ok(got)
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn node_error_fails_the_run_without_deadlock() {
+        let err = Cluster::run(&cfg(3), |ctx| {
+            if ctx.node_id() == 1 {
+                return Err(Error::Protocol("injected failure".into()));
+            }
+            // Peers head into a collective that node 1 will never join.
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("injected") || err.to_string().contains("aborted"));
+    }
+
+    #[test]
+    fn node_panic_is_contained() {
+        let err = Cluster::run::<(), _>(&cfg(2), |ctx| {
+            if ctx.node_id() == 0 {
+                panic!("boom");
+            }
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("boom") || err.to_string().contains("aborted"), "{err}");
+    }
+
+    #[test]
+    fn modeled_time_reflects_counters() {
+        let run = Cluster::run(&cfg(2), |ctx| {
+            ctx.stats().add_cpu(1_000_000);
+            Ok(())
+        })
+        .unwrap();
+        assert!(run.modeled_seconds > 0.0);
+        assert!(run.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ClusterConfig::new(0, 1).validate().is_err());
+        assert!(ClusterConfig::new(1, 0).validate().is_err());
+        assert!(ClusterConfig::new(4, 1 << 20).validate().is_ok());
+    }
+}

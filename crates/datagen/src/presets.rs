@@ -1,0 +1,106 @@
+//! The Table-5 dataset presets.
+//!
+//! | Parameter | R30F5 | R30F3 | R30F10 |
+//! |---|---|---|---|
+//! | Transactions | 3 200 000 | 3 200 000 | 3 200 000 |
+//! | Avg transaction size | 10 | 10 | 10 |
+//! | Avg maximal potentially large itemset | 5 | 5 | 5 |
+//! | Maximal potentially large itemsets | 10 000 | 10 000 | 10 000 |
+//! | Items | 30 000 | 30 000 | 30 000 |
+//! | Roots | 30 | 30 | 30 |
+//! | Levels (emergent) | 5-6 | 6-7 | 3-4 |
+//! | Fanout | 5 | 3 | 10 |
+//!
+//! The benches run these at a `scale` factor (see
+//! [`DatasetSpec::scaled`]); EXPERIMENTS.md records which scale each figure
+//! used.
+
+use crate::generator::DatasetSpec;
+
+fn base(name: &str, fanout: f64, seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        name: name.to_string(),
+        num_transactions: 3_200_000,
+        avg_transaction_size: 10.0,
+        avg_pattern_size: 5.0,
+        num_patterns: 10_000,
+        num_items: 30_000,
+        num_roots: 30,
+        fanout,
+        seed,
+    }
+}
+
+/// `R30F5`: 30 roots, fanout 5 (5-6 levels at full size).
+pub fn r30f5(seed: u64) -> DatasetSpec {
+    base("R30F5", 5.0, seed)
+}
+
+/// `R30F3`: 30 roots, fanout 3 (6-7 levels — deepest hierarchy).
+pub fn r30f3(seed: u64) -> DatasetSpec {
+    base("R30F3", 3.0, seed)
+}
+
+/// `R30F10`: 30 roots, fanout 10 (3-4 levels — shallowest hierarchy).
+pub fn r30f10(seed: u64) -> DatasetSpec {
+    base("R30F10", 10.0, seed)
+}
+
+/// All three Table-5 datasets.
+pub fn all(seed: u64) -> Vec<DatasetSpec> {
+    vec![r30f5(seed), r30f3(seed), r30f10(seed)]
+}
+
+/// Looks a preset up by name (case-insensitive).
+pub fn by_name(name: &str, seed: u64) -> Option<DatasetSpec> {
+    match name.to_ascii_uppercase().as_str() {
+        "R30F5" => Some(r30f5(seed)),
+        "R30F3" => Some(r30f3(seed)),
+        "R30F10" => Some(r30f10(seed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_5() {
+        for spec in all(0) {
+            assert_eq!(spec.num_transactions, 3_200_000);
+            assert_eq!(spec.avg_transaction_size, 10.0);
+            assert_eq!(spec.avg_pattern_size, 5.0);
+            assert_eq!(spec.num_patterns, 10_000);
+            assert_eq!(spec.num_items, 30_000);
+            assert_eq!(spec.num_roots, 30);
+            assert!(spec.validate().is_ok());
+        }
+        assert_eq!(r30f5(0).fanout, 5.0);
+        assert_eq!(r30f3(0).fanout, 3.0);
+        assert_eq!(r30f10(0).fanout, 10.0);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("r30f5", 0).is_some());
+        assert!(by_name("R30F10", 0).is_some());
+        assert!(by_name("R99F1", 0).is_none());
+    }
+
+    #[test]
+    fn emergent_levels_match_table_5() {
+        // Levels in Table 5 are 1-based counts of hierarchy levels; our
+        // max_depth is edges below the root, so levels = max_depth + 1.
+        // Scaled-down forests are shallower; check ordering + plausible
+        // ranges at a moderate scale.
+        let depth = |spec: &DatasetSpec| spec.build_taxonomy().max_depth() + 1;
+        let f3 = depth(&r30f3(1));
+        let f5 = depth(&r30f5(1));
+        let f10 = depth(&r30f10(1));
+        assert!(f10 < f5 && f5 < f3, "levels: f10={f10} f5={f5} f3={f3}");
+        assert!((5..=8).contains(&f5), "R30F5 levels {f5}");
+        assert!((6..=10).contains(&f3), "R30F3 levels {f3}");
+        assert!((3..=5).contains(&f10), "R30F10 levels {f10}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The hash-tree candidate counter.
+
+use super::{CandidateCounter, CountOutcome};
+use gar_types::{FxHashMap, ItemId, Itemset};
+
+/// One node of the candidate tree: hashed fan-out on the next item of the
+/// (sorted) candidate, with an optional terminal at this depth.
+///
+/// This is the prefix-tree formulation of [RR94]'s hash tree: interior
+/// levels fan out by hashing the item (here: an Fx map keyed by the item
+/// itself, the degenerate perfect-hash case), and counting walks the
+/// transaction and tree together so subsets that match no candidate prefix
+/// are never enumerated.
+#[derive(Default)]
+struct TreeNode {
+    children: FxHashMap<ItemId, TreeNode>,
+    /// Index into the dense counts vector when a candidate ends here.
+    terminal: Option<u32>,
+}
+
+/// Candidate counter backed by the hash tree.
+pub struct HashTreeCounter {
+    k: usize,
+    root: TreeNode,
+    itemsets: Vec<Itemset>,
+    counts: Vec<u64>,
+}
+
+impl HashTreeCounter {
+    /// Builds the tree over `candidates` (each of size `k`).
+    pub fn new(k: usize, candidates: &[Itemset]) -> HashTreeCounter {
+        let mut root = TreeNode::default();
+        let mut itemsets = Vec::with_capacity(candidates.len());
+        for (i, c) in candidates.iter().enumerate() {
+            debug_assert_eq!(c.len(), k);
+            let mut node = &mut root;
+            for &it in c.items() {
+                node = node.children.entry(it).or_default();
+            }
+            debug_assert!(node.terminal.is_none(), "duplicate candidate {c:?}");
+            node.terminal = Some(i as u32);
+            itemsets.push(c.clone());
+        }
+        HashTreeCounter {
+            k,
+            root,
+            itemsets,
+            counts: vec![0; candidates.len()],
+        }
+    }
+
+    fn walk(node: &TreeNode, t: &[ItemId], counts: &mut [u64], out: &mut CountOutcome) {
+        if let Some(idx) = node.terminal {
+            counts[idx as usize] += 1;
+            out.hits += 1;
+        }
+        if node.children.is_empty() {
+            return;
+        }
+        for (i, &it) in t.iter().enumerate() {
+            out.work += 1;
+            if let Some(child) = node.children.get(&it) {
+                Self::walk(child, &t[i + 1..], counts, out);
+            }
+        }
+    }
+}
+
+impl CandidateCounter for HashTreeCounter {
+    fn num_candidates(&self) -> usize {
+        self.itemsets.len()
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn probe(&mut self, itemset: &[ItemId]) -> CountOutcome {
+        debug_assert_eq!(itemset.len(), self.k);
+        let mut out = CountOutcome { work: 1, hits: 0 };
+        let mut node = &self.root;
+        for it in itemset {
+            match node.children.get(it) {
+                Some(c) => node = c,
+                None => return out,
+            }
+        }
+        if let Some(idx) = node.terminal {
+            self.counts[idx as usize] += 1;
+            out.hits = 1;
+        }
+        out
+    }
+
+    fn count_transaction(&mut self, t: &[ItemId]) -> CountOutcome {
+        debug_assert!(t.windows(2).all(|w| w[0] < w[1]), "unsorted txn");
+        let mut out = CountOutcome::default();
+        if t.len() < self.k || self.itemsets.is_empty() {
+            return out;
+        }
+        Self::walk(&self.root, t, &mut self.counts, &mut out);
+        out
+    }
+
+    fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn set_counts(&mut self, counts: &[u64]) {
+        assert_eq!(counts.len(), self.counts.len());
+        self.counts.copy_from_slice(counts);
+    }
+
+    fn into_counts(self: Box<Self>) -> Vec<(Itemset, u64)> {
+        self.itemsets.into_iter().zip(self.counts).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_types::iset;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    #[test]
+    fn shared_prefixes_share_paths() {
+        let cands = vec![iset![1, 2, 3], iset![1, 2, 4]];
+        let mut c = HashTreeCounter::new(3, &cands);
+        let out = c.count_transaction(&ids(&[1, 2, 3, 4]));
+        assert_eq!(out.hits, 2);
+        assert_eq!(c.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn probe_walks_the_exact_path() {
+        let mut c = HashTreeCounter::new(2, &[iset![3, 7]]);
+        assert_eq!(c.probe(&ids(&[3, 7])).hits, 1);
+        assert_eq!(c.probe(&ids(&[3, 8])).hits, 0);
+        assert_eq!(c.probe(&ids(&[7, 3])).hits, 0); // unsorted = not a path
+        assert_eq!(c.counts(), &[1]);
+    }
+
+    #[test]
+    fn no_match_means_no_hits_but_some_walk_work() {
+        let mut c = HashTreeCounter::new(2, &[iset![100, 200]]);
+        let out = c.count_transaction(&ids(&[1, 2, 3]));
+        assert_eq!(out.hits, 0);
+        assert!(out.work > 0);
+    }
+
+    #[test]
+    fn k1_terminals_at_depth_one() {
+        let mut c = HashTreeCounter::new(1, &[iset![5], iset![9]]);
+        c.count_transaction(&ids(&[5, 6, 7]));
+        assert_eq!(c.counts(), &[1, 0]);
+    }
+}

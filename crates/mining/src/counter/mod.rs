@@ -1,0 +1,291 @@
+//! Candidate support counters.
+//!
+//! Support counting is the hot loop of every algorithm in the paper: for
+//! each (extended) transaction, find which candidates it contains and
+//! increment their `sup_cou`. Two interchangeable structures:
+//!
+//! * [`HashMapCounter`] — a flat Fx hash map over the candidates; the
+//!   transaction's k-subsets are enumerated and each is probed. This is
+//!   the structure the HPA/HPGM papers describe ("search the hash table,
+//!   if hit increment its sup_cou") and the default.
+//! * [`HashTreeCounter`] — a candidate prefix tree with hashed fan-out in
+//!   the style of [RR94]'s hash tree; it walks transaction and tree
+//!   together, skipping subsets that cannot match. The ablation benchmark
+//!   compares the two.
+//!
+//! Both report the same two meters: `hits` (successful probes — the
+//! quantity Figure 15 plots as "the number of hash table probes to
+//! increment sup_cou value") and `work` (abstract CPU steps: enumerated
+//! subsets or visited tree nodes) for the cost model.
+//!
+//! Counts live in one dense `Vec<u64>` in **candidate insertion order**,
+//! which is identical on every node (candidate generation is
+//! deterministic), so NPGM and the `C_k^D` duplicate sets can all-reduce
+//! raw count vectors without any key exchange.
+
+mod hashmap;
+mod hashtree;
+
+pub use hashmap::HashMapCounter;
+pub use hashtree::HashTreeCounter;
+
+use crate::params::CounterKind;
+use gar_types::{ItemId, Itemset};
+
+/// Meters returned by a counting call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountOutcome {
+    /// Abstract work: subsets enumerated / tree nodes visited.
+    pub work: u64,
+    /// Successful probes (candidate count increments).
+    pub hits: u64,
+}
+
+impl CountOutcome {
+    /// Accumulates another outcome into this one.
+    pub fn absorb(&mut self, other: CountOutcome) {
+        self.work += other.work;
+        self.hits += other.hits;
+    }
+}
+
+/// A support counter over a fixed candidate set.
+pub trait CandidateCounter: Send {
+    /// Number of candidates.
+    fn num_candidates(&self) -> usize;
+
+    /// The `k` of the k-itemsets being counted.
+    fn k(&self) -> usize;
+
+    /// Probes one sorted k-itemset; increments its count if it is a
+    /// candidate. Returns the outcome (work 1, hits 0/1).
+    fn probe(&mut self, itemset: &[ItemId]) -> CountOutcome;
+
+    /// Counts every candidate contained in the sorted, de-duplicated
+    /// transaction `t` (increments each at most once).
+    fn count_transaction(&mut self, t: &[ItemId]) -> CountOutcome;
+
+    /// The counts, in candidate insertion order.
+    fn counts(&self) -> &[u64];
+
+    /// Overwrites the counts (used after an all-reduce).
+    fn set_counts(&mut self, counts: &[u64]);
+
+    /// The candidates with their counts, in insertion order.
+    fn into_counts(self: Box<Self>) -> Vec<(Itemset, u64)>;
+}
+
+/// Builds the configured counter over `candidates` (all of size `k`, all
+/// distinct).
+pub fn build_counter(
+    kind: CounterKind,
+    k: usize,
+    candidates: &[Itemset],
+) -> Box<dyn CandidateCounter> {
+    match kind {
+        CounterKind::HashMap => Box::new(HashMapCounter::new(k, candidates)),
+        CounterKind::HashTree => Box::new(HashTreeCounter::new(k, candidates)),
+    }
+}
+
+/// Approximate in-memory footprint of one candidate k-itemset entry, in
+/// bytes: `k` item codes, a 64-bit count, and hash-table overhead. This is
+/// the unit of the simulated 256 MB memory budget: NPGM fragments by it,
+/// and the TGD/PGD/FGD duplication budget is measured in it.
+#[inline]
+pub fn candidate_entry_bytes(k: usize) -> u64 {
+    (4 * k + 8 + 16) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_types::iset;
+
+    fn counters(k: usize, cands: &[Itemset]) -> Vec<Box<dyn CandidateCounter>> {
+        vec![
+            build_counter(CounterKind::HashMap, k, cands),
+            build_counter(CounterKind::HashTree, k, cands),
+        ]
+    }
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    #[test]
+    fn both_counters_agree_on_simple_counting() {
+        let cands = vec![iset![1, 2], iset![2, 3], iset![4, 5]];
+        for mut c in counters(2, &cands) {
+            assert_eq!(c.num_candidates(), 3);
+            assert_eq!(c.k(), 2);
+            c.count_transaction(&ids(&[1, 2, 3]));
+            c.count_transaction(&ids(&[2, 3]));
+            c.count_transaction(&ids(&[1, 4]));
+            let counts = Box::new(c).into_counts();
+            let get = |s: &Itemset| counts.iter().find(|(x, _)| x == s).unwrap().1;
+            assert_eq!(get(&iset![1, 2]), 1);
+            assert_eq!(get(&iset![2, 3]), 2);
+            assert_eq!(get(&iset![4, 5]), 0);
+        }
+    }
+
+    #[test]
+    fn probe_hits_and_misses() {
+        let cands = vec![iset![1, 2]];
+        for mut c in counters(2, &cands) {
+            let hit = c.probe(&ids(&[1, 2]));
+            assert_eq!(hit.hits, 1);
+            let miss = c.probe(&ids(&[1, 3]));
+            assert_eq!(miss.hits, 0);
+            assert_eq!(c.counts(), &[1]);
+        }
+    }
+
+    #[test]
+    fn counts_preserve_insertion_order() {
+        let cands = vec![iset![9, 10], iset![1, 2], iset![5, 6]];
+        for mut c in counters(2, &cands) {
+            c.probe(&ids(&[1, 2]));
+            c.probe(&ids(&[1, 2]));
+            c.probe(&ids(&[5, 6]));
+            assert_eq!(c.counts(), &[0, 2, 1]);
+            let drained = Box::new(c).into_counts();
+            let sets: Vec<&Itemset> = drained.iter().map(|(s, _)| s).collect();
+            assert_eq!(sets, vec![&iset![9, 10], &iset![1, 2], &iset![5, 6]]);
+        }
+    }
+
+    #[test]
+    fn set_counts_overwrites() {
+        let cands = vec![iset![1, 2], iset![3, 4]];
+        for mut c in counters(2, &cands) {
+            c.probe(&ids(&[1, 2]));
+            c.set_counts(&[7, 9]);
+            assert_eq!(c.counts(), &[7, 9]);
+        }
+    }
+
+    #[test]
+    fn transaction_shorter_than_k_is_no_work_hit_wise() {
+        let cands = vec![iset![1, 2, 3]];
+        for mut c in counters(3, &cands) {
+            let out = c.count_transaction(&ids(&[1, 2]));
+            assert_eq!(out.hits, 0);
+            assert_eq!(c.counts(), &[0]);
+        }
+    }
+
+    #[test]
+    fn triple_counting_agrees_between_counters() {
+        let cands = vec![iset![1, 2, 3], iset![1, 2, 4], iset![2, 3, 4], iset![1, 3, 5]];
+        let t = ids(&[1, 2, 3, 4, 5, 6]);
+        let mut results = Vec::new();
+        for mut c in counters(3, &cands) {
+            c.count_transaction(&t);
+            results.push(c.counts().to_vec());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn duplicate_transaction_items_would_be_a_bug_upstream() {
+        // Counters require sorted deduped transactions; a candidate is
+        // counted at most once per call even when it matches.
+        let cands = vec![iset![1, 2]];
+        for mut c in counters(2, &cands) {
+            c.count_transaction(&ids(&[1, 2]));
+            assert_eq!(c.counts(), &[1]);
+        }
+    }
+
+    #[test]
+    fn entry_bytes_grows_with_k() {
+        assert!(candidate_entry_bytes(3) > candidate_entry_bytes(2));
+        assert_eq!(candidate_entry_bytes(2), 32);
+    }
+
+    #[test]
+    fn hashtree_does_less_work_on_long_transactions() {
+        // With k = 3 and a 20-item transaction, subset enumeration visits
+        // C(20,3) = 1140 subsets; the tree only walks matching prefixes.
+        let cands = vec![iset![1, 2, 3]];
+        let t: Vec<ItemId> = (1..=20).map(ItemId).collect();
+        let mut flat = build_counter(CounterKind::HashMap, 3, &cands);
+        let mut tree = build_counter(CounterKind::HashTree, 3, &cands);
+        let wf = flat.count_transaction(&t).work;
+        let wt = tree.count_transaction(&t).work;
+        assert!(wt < wf, "tree work {wt} >= flat work {wf}");
+        assert_eq!(flat.counts(), tree.counts());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_itemsets(k: usize) -> impl Strategy<Value = Vec<Itemset>> {
+        proptest::collection::btree_set(
+            proptest::collection::btree_set(0u32..40, k..=k),
+            1..25,
+        )
+        .prop_map(|sets| {
+            sets.into_iter()
+                .map(|s| Itemset::from_unsorted(s.into_iter().map(ItemId).collect()))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn counters_agree_with_naive_containment(
+            cands in arb_itemsets(2),
+            txns in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..40, 0..12), 1..20)
+        ) {
+            let txns: Vec<Vec<ItemId>> = txns.into_iter()
+                .map(|s| s.into_iter().map(ItemId).collect())
+                .collect();
+            // Ground truth by direct containment.
+            let mut truth = vec![0u64; cands.len()];
+            for t in &txns {
+                for (i, c) in cands.iter().enumerate() {
+                    if c.is_contained_in(t) {
+                        truth[i] += 1;
+                    }
+                }
+            }
+            for kind in [CounterKind::HashMap, CounterKind::HashTree] {
+                let mut counter = build_counter(kind, 2, &cands);
+                for t in &txns {
+                    counter.count_transaction(t);
+                }
+                prop_assert_eq!(counter.counts(), truth.as_slice());
+            }
+        }
+
+        #[test]
+        fn counters_agree_for_k3(
+            cands in arb_itemsets(3),
+            txns in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..40, 0..10), 1..12)
+        ) {
+            let txns: Vec<Vec<ItemId>> = txns.into_iter()
+                .map(|s| s.into_iter().map(ItemId).collect())
+                .collect();
+            let mut flat = build_counter(CounterKind::HashMap, 3, &cands);
+            let mut tree = build_counter(CounterKind::HashTree, 3, &cands);
+            let mut flat_hits = 0;
+            let mut tree_hits = 0;
+            for t in &txns {
+                flat_hits += flat.count_transaction(t).hits;
+                tree_hits += tree.count_transaction(t).hits;
+            }
+            prop_assert_eq!(flat.counts(), tree.counts());
+            prop_assert_eq!(flat_hits, tree_hits);
+            prop_assert_eq!(flat_hits, flat.counts().iter().sum::<u64>());
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Shared plumbing for the parallel algorithms: pass 1, scan accounting,
+//! subset enumeration, the coordinator gather, and report assembly.
+
+use crate::candidate::{generate_candidates, generate_pairs};
+use crate::counter::candidate_entry_bytes;
+use crate::params::{Algorithm, MiningParams};
+use crate::report::{LargePass, MiningOutput, ParallelReport, PassReport};
+use crate::sequential::large_items_from_counts;
+use crate::wire;
+use gar_cluster::{ClusterConfig, ClusterRun, NodeCtx, NodeStatsSnapshot};
+use gar_storage::TransactionSource;
+use gar_taxonomy::Taxonomy;
+use gar_types::{Error, ItemId, Itemset, Result};
+
+/// Message tags used by the pass-k exchange phases.
+pub(crate) mod tags {
+    /// A sub-transaction (item list) — the H-HPGM family.
+    pub const ITEMS: u32 = 1;
+    /// A flat batch of k-itemsets — HPGM.
+    pub const ITEMSETS: u32 = 2;
+    /// An `L_k^n` fragment flowing to the coordinator.
+    pub const GATHER: u32 = 3;
+}
+
+/// Flush threshold for outgoing message batches, in bytes. Large enough to
+/// amortize per-message latency, small enough to keep the exchange flowing
+/// (the SP-2 implementations batched the same way).
+pub(crate) const BATCH_FLUSH_BYTES: usize = 16 * 1024;
+
+/// How many transactions to process between opportunistic inbox drains
+/// during an exchange phase.
+pub(crate) const POLL_EVERY_TXNS: usize = 32;
+
+/// Per-pass bookkeeping accumulated by a node: everything the report needs
+/// beyond the counter snapshots.
+#[derive(Debug, Clone)]
+pub(crate) struct NodePassInfo {
+    pub k: usize,
+    pub num_candidates: usize,
+    pub num_duplicated: usize,
+    pub num_fragments: usize,
+    pub num_large: usize,
+    pub delta: NodeStatsSnapshot,
+}
+
+/// What each node thread returns to the report assembler.
+pub(crate) struct NodeOutcome {
+    pub pass_infos: Vec<NodePassInfo>,
+    /// The mined output; identical on every node, so the assembler takes
+    /// node 0's.
+    pub output: MiningOutput,
+}
+
+/// Result of the shared pass 1.
+pub(crate) struct Pass1 {
+    pub num_transactions: u64,
+    pub min_support_count: u64,
+    /// Global per-item support counts (dense) — the duplicate-selection
+    /// heuristics of TGD/PGD/FGD price candidates with these.
+    pub item_counts: Vec<u64>,
+    pub large: LargePass,
+}
+
+/// Pass 1 (identical in every algorithm): count all items of all levels
+/// over ancestor-extended local transactions, then all-reduce.
+pub(crate) fn pass1(
+    ctx: &NodeCtx,
+    part: &dyn TransactionSource,
+    tax: &Taxonomy,
+    params: &MiningParams,
+) -> Result<Pass1> {
+    let num_transactions = ctx.all_reduce_u64(&[part.num_transactions() as u64])?[0];
+    let min_support_count = params.min_support_count(num_transactions);
+    let mut counts = vec![0u64; tax.num_items() as usize];
+    scan_partition(ctx, part, |t| {
+        let extended = tax.extend_transaction(t);
+        ctx.stats().add_cpu(extended.len() as u64);
+        for it in extended {
+            counts[it.index()] += 1;
+        }
+        Ok(())
+    })?;
+    let global = ctx.all_reduce_u64(&counts)?;
+    let large = large_items_from_counts(&global, min_support_count);
+    Ok(Pass1 {
+        num_transactions,
+        min_support_count,
+        item_counts: global.as_ref().clone(),
+        large,
+    })
+}
+
+/// One full pass over the node's local partition, with I/O accounting
+/// (bytes + scan-pass counters — NPGM's fragment loop makes these the
+/// story of Figure 14).
+pub(crate) fn scan_partition(
+    ctx: &NodeCtx,
+    part: &dyn TransactionSource,
+    mut f: impl FnMut(&[ItemId]) -> Result<()>,
+) -> Result<()> {
+    let before = part.bytes_read();
+    let mut scan = part.scan()?;
+    let mut buf = Vec::new();
+    while scan.next_into(&mut buf)? {
+        f(&buf)?;
+    }
+    drop(scan);
+    ctx.stats().record_io(part.bytes_read() - before);
+    ctx.stats().record_scan_pass();
+    Ok(())
+}
+
+/// Generates pass-k candidates exactly as the sequential Cumulate does
+/// (identical on every node).
+pub(crate) fn candidates_for_pass(
+    k: usize,
+    prev: &LargePass,
+    tax: &Taxonomy,
+) -> Vec<Itemset> {
+    if k == 2 {
+        let l1: Vec<ItemId> = prev.itemsets.iter().map(|(s, _)| s.items()[0]).collect();
+        generate_pairs(&l1, Some(tax))
+    } else {
+        let prev_sets: Vec<Itemset> = prev.itemsets.iter().map(|(s, _)| s.clone()).collect();
+        generate_candidates(&prev_sets)
+    }
+}
+
+/// Byte footprint of `count` candidate k-itemsets under the memory model.
+pub(crate) fn candidates_bytes(k: usize, count: usize) -> u64 {
+    count as u64 * candidate_entry_bytes(k)
+}
+
+/// Assembles the global `L_k` from each node's locally decided fragment:
+/// non-coordinators ship `L_k^n` to node 0, the coordinator merges and
+/// broadcasts the union (the paper's step 3). Fragments own disjoint
+/// candidates, so the merge is a concatenation + sort.
+pub(crate) fn gather_large(
+    ctx: &NodeCtx,
+    k: usize,
+    local: Vec<(Itemset, u64)>,
+) -> Result<Vec<(Itemset, u64)>> {
+    if ctx.is_coordinator() {
+        let mut all = local;
+        for _ in 0..ctx.num_nodes() - 1 {
+            let env = ctx.recv()?;
+            if env.tag != tags::GATHER {
+                return Err(Error::Protocol(format!(
+                    "coordinator expected GATHER, got tag {}",
+                    env.tag
+                )));
+            }
+            all.extend(wire::decode_counted(&env.payload)?);
+        }
+        all.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        let encoded = wire::encode_counted(k, &all);
+        ctx.broadcast(Some(encoded))?;
+        Ok(all)
+    } else {
+        ctx.send(0, tags::GATHER, wire::encode_counted(k, &local))?;
+        let merged = ctx.broadcast(None)?;
+        wire::decode_counted(&merged)
+    }
+}
+
+/// Enumerates every k-subset of the sorted slice `t`, invoking `f` on
+/// each. The HPGM send loop needs the subsets themselves (to route them),
+/// so this cannot be folded into a counter.
+pub(crate) fn for_each_k_subset(
+    t: &[ItemId],
+    k: usize,
+    scratch: &mut Vec<ItemId>,
+    f: &mut impl FnMut(&[ItemId]) -> Result<()>,
+) -> Result<()> {
+    if t.len() < k {
+        return Ok(());
+    }
+    if k == 2 {
+        for i in 0..t.len() - 1 {
+            for j in i + 1..t.len() {
+                f(&[t[i], t[j]])?;
+            }
+        }
+        return Ok(());
+    }
+    fn rec(
+        t: &[ItemId],
+        start: usize,
+        need: usize,
+        scratch: &mut Vec<ItemId>,
+        f: &mut impl FnMut(&[ItemId]) -> Result<()>,
+    ) -> Result<()> {
+        if need == 0 {
+            return f(scratch);
+        }
+        if t.len() - start < need {
+            return Ok(());
+        }
+        for i in start..t.len() {
+            scratch.push(t[i]);
+            rec(t, i + 1, need - 1, scratch, f)?;
+            scratch.pop();
+        }
+        Ok(())
+    }
+    scratch.clear();
+    rec(t, 0, k, scratch, f)
+}
+
+/// The root-itemset partitioning key of the H-HPGM family: each item
+/// replaced by its root, the multiset sorted. Duplicates are *kept* — the
+/// multiset `(r, r)` is a different hash bucket than `(r)`, exactly as in
+/// the paper's `h(X, Y)` over root codes.
+pub(crate) fn root_key(items: &[ItemId], tax: &Taxonomy) -> Box<[u32]> {
+    let mut roots: Vec<u32> = items.iter().map(|&i| tax.root_of(i).raw()).collect();
+    roots.sort_unstable();
+    roots.into_boxed_slice()
+}
+
+/// Enumerates every k-multiset over `roots` (ascending root codes) whose
+/// per-root multiplicity does not exceed that root's `avail` (the number
+/// of distinct transaction items under it — fewer can never support a
+/// candidate, because ancestor-related items never form one).
+pub(crate) fn for_each_root_multiset(
+    roots: &[(u32, usize)],
+    k: usize,
+    f: &mut impl FnMut(&[u32]),
+) {
+    fn rec(
+        roots: &[(u32, usize)],
+        start: usize,
+        need: usize,
+        scratch: &mut Vec<u32>,
+        f: &mut impl FnMut(&[u32]),
+    ) {
+        if need == 0 {
+            f(scratch);
+            return;
+        }
+        for i in start..roots.len() {
+            let (root, avail) = roots[i];
+            // Current multiplicity of this root in the scratch prefix.
+            let used = scratch.iter().rev().take_while(|&&r| r == root).count();
+            if used >= avail {
+                continue;
+            }
+            scratch.push(root);
+            rec(roots, i, need - 1, scratch, f);
+            scratch.pop();
+        }
+    }
+    let mut scratch = Vec::with_capacity(k);
+    rec(roots, 0, k, &mut scratch, f);
+}
+
+/// Drives the common pass loop on one node. `run_pass` implements the
+/// algorithm-specific pass k ≥ 2 and returns the global `L_k` plus its
+/// bookkeeping.
+pub(crate) fn node_pass_loop(
+    ctx: &NodeCtx,
+    part: &dyn TransactionSource,
+    tax: &Taxonomy,
+    params: &MiningParams,
+    algorithm: Algorithm,
+    mut run_pass: impl FnMut(
+        &NodeCtx,
+        usize,                 // k
+        &[Itemset],            // C_k
+        &Pass1,                // thresholds + item counts
+    ) -> Result<(Vec<(Itemset, u64)>, usize, usize)>, // (L_k, duplicated, fragments)
+) -> Result<NodeOutcome> {
+    let mut pass_infos = Vec::new();
+    let mut last_snap = ctx.stats().snapshot();
+
+    let p1 = pass1(ctx, part, tax, params)?;
+    let snap = ctx.stats().snapshot();
+    pass_infos.push(NodePassInfo {
+        k: 1,
+        num_candidates: tax.num_items() as usize,
+        num_duplicated: 0,
+        num_fragments: 1,
+        num_large: p1.large.itemsets.len(),
+        delta: snap.delta_since(&last_snap),
+    });
+    last_snap = snap;
+
+    let mut passes = vec![p1.large.clone()];
+    let mut k = 2;
+    loop {
+        if passes.last().is_none_or(|p| p.itemsets.is_empty()) {
+            break;
+        }
+        if let Some(max) = params.max_pass {
+            if k > max {
+                break;
+            }
+        }
+        let candidates = candidates_for_pass(k, passes.last().expect("nonempty"), tax);
+        if candidates.is_empty() {
+            break;
+        }
+        ctx.stats().add_cpu(candidates.len() as u64);
+
+        let (large, num_duplicated, num_fragments) = run_pass(ctx, k, &candidates, &p1)?;
+        let snap = ctx.stats().snapshot();
+        pass_infos.push(NodePassInfo {
+            k,
+            num_candidates: candidates.len(),
+            num_duplicated,
+            num_fragments,
+            num_large: large.len(),
+            delta: snap.delta_since(&last_snap),
+        });
+        last_snap = snap;
+
+        if large.is_empty() {
+            break;
+        }
+        passes.push(LargePass { k, itemsets: large });
+        k += 1;
+    }
+
+    passes.retain(|p| !p.itemsets.is_empty());
+    Ok(NodeOutcome {
+        pass_infos,
+        output: MiningOutput {
+            algorithm,
+            num_transactions: p1.num_transactions,
+            min_support_count: p1.min_support_count,
+            passes,
+        },
+    })
+}
+
+/// Builds the [`ParallelReport`] from a finished cluster run.
+pub(crate) fn assemble_report(
+    cluster: &ClusterConfig,
+    run: ClusterRun<NodeOutcome>,
+) -> ParallelReport {
+    let num_nodes = cluster.num_nodes;
+    let num_passes = run.results[0].pass_infos.len();
+    debug_assert!(run
+        .results
+        .iter()
+        .all(|r| r.pass_infos.len() == num_passes));
+
+    let mut pass_reports = Vec::with_capacity(num_passes);
+    let mut total_modeled = 0.0;
+    for p in 0..num_passes {
+        let info = &run.results[0].pass_infos[p];
+        let node_deltas: Vec<NodeStatsSnapshot> = run
+            .results
+            .iter()
+            .map(|r| r.pass_infos[p].delta)
+            .collect();
+        let modeled_seconds = cluster.cost.execution_seconds(&node_deltas);
+        total_modeled += modeled_seconds;
+        pass_reports.push(PassReport {
+            k: info.k,
+            num_candidates: info.num_candidates,
+            num_duplicated: info.num_duplicated,
+            num_fragments: info.num_fragments,
+            num_large: info.num_large,
+            node_deltas,
+            modeled_seconds,
+        });
+    }
+
+    let output = run.results.into_iter().next().expect("node 0").output;
+    ParallelReport {
+        output,
+        num_nodes,
+        pass_reports,
+        wall: run.wall,
+        modeled_seconds: total_modeled,
+        node_totals: run.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_taxonomy::TaxonomyBuilder;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    #[test]
+    fn k_subsets_pairs_and_triples() {
+        let t = ids(&[1, 2, 3, 4]);
+        let mut got = Vec::new();
+        let mut scratch = Vec::new();
+        for_each_k_subset(&t, 2, &mut scratch, &mut |s| {
+            got.push(s.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got.len(), 6);
+        assert_eq!(got[0], ids(&[1, 2]));
+        assert_eq!(got[5], ids(&[3, 4]));
+
+        got.clear();
+        for_each_k_subset(&t, 3, &mut scratch, &mut |s| {
+            got.push(s.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
+    }
+
+    #[test]
+    fn k_subsets_of_short_input_is_empty() {
+        let mut scratch = Vec::new();
+        let mut n = 0;
+        for_each_k_subset(&ids(&[1]), 2, &mut scratch, &mut |_| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn root_key_keeps_multiplicity() {
+        // 1 -> {3,4}; 2 -> {5}
+        let mut b = TaxonomyBuilder::new(6);
+        b.edge(3, 1).unwrap();
+        b.edge(4, 1).unwrap();
+        b.edge(5, 2).unwrap();
+        let tax = b.build().unwrap();
+        assert_eq!(&*root_key(&ids(&[3, 4]), &tax), &[1, 1]);
+        assert_eq!(&*root_key(&ids(&[4, 5]), &tax), &[1, 2]);
+        assert_eq!(&*root_key(&ids(&[5, 3]), &tax), &[1, 2]);
+    }
+
+    #[test]
+    fn root_multisets_respect_availability() {
+        let roots = [(1u32, 2usize), (2, 1)];
+        let mut got = Vec::new();
+        for_each_root_multiset(&roots, 2, &mut |m| got.push(m.to_vec()));
+        // (1,1) allowed (avail 2), (1,2) allowed, (2,2) blocked (avail 1).
+        assert_eq!(got, vec![vec![1, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn root_multisets_k3() {
+        let roots = [(1u32, 3usize), (2, 2)];
+        let mut got = Vec::new();
+        for_each_root_multiset(&roots, 3, &mut |m| got.push(m.to_vec()));
+        assert_eq!(
+            got,
+            vec![
+                vec![1, 1, 1],
+                vec![1, 1, 2],
+                vec![1, 2, 2],
+                vec![2, 2, 2]
+            ]
+            .into_iter()
+            .filter(|m| m != &vec![2, 2, 2]) // avail(2) = 2
+            .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn candidate_bytes_scale_with_k_and_count() {
+        assert_eq!(candidates_bytes(2, 10), 320);
+        assert!(candidates_bytes(3, 10) > candidates_bytes(2, 10));
+    }
+}

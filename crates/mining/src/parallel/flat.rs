@@ -1,0 +1,359 @@
+//! Non-hierarchical parallel baselines: CD and HPA.
+//!
+//! The paper's introduction positions its algorithms against the earlier
+//! flat (taxonomy-free) parallel miners: **CD** (Count Distribution,
+//! Agrawal & Shafer [AS96]) replicates the candidates and all-reduces
+//! counts — NPGM without the hierarchy — while **HPA** (Hash Partitioned
+//! Apriori, the authors' own [SK96]) hash-partitions the candidates and
+//! ships generated k-itemsets — the algorithm HPGM generalizes. Both are
+//! implemented here so the lineage can be measured: on flat data they are
+//! the exact baselines; on hierarchical data they mine leaf-level rules
+//! only (see [`crate::sequential::apriori`]).
+
+use crate::candidate::{generate_candidates, generate_pairs};
+use crate::counter::build_counter;
+use crate::params::MiningParams;
+use crate::parallel::common::{
+    candidates_bytes, for_each_k_subset, gather_large, scan_partition, tags, BATCH_FLUSH_BYTES,
+    POLL_EVERY_TXNS,
+};
+use crate::report::{LargePass, MiningOutput, ParallelReport, PassReport};
+use crate::sequential::{extract_large, large_items_from_counts};
+use crate::wire::{for_each_itemset, ItemsetBatch};
+use gar_cluster::{Cluster, ClusterConfig, ClusterRun, NodeStatsSnapshot};
+use gar_storage::PartitionedDatabase;
+use gar_types::{Error, ItemId, Itemset, Result};
+use std::hash::Hasher;
+
+/// The flat parallel algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlatAlgorithm {
+    /// Count Distribution [AS96]: replicated candidates, all-reduced
+    /// counts, no data exchange (fragments under memory pressure, like
+    /// NPGM).
+    CountDistribution,
+    /// Hash Partitioned Apriori [SK96]: candidates hash-partitioned by
+    /// itemset, generated k-itemsets shipped to their owners.
+    Hpa,
+}
+
+impl FlatAlgorithm {
+    /// The published name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FlatAlgorithm::CountDistribution => "CD",
+            FlatAlgorithm::Hpa => "HPA",
+        }
+    }
+}
+
+fn owner_of(items: &[ItemId], num_nodes: usize) -> usize {
+    let mut h = gar_types::FxHasher::default();
+    for it in items {
+        h.write_u32(it.raw());
+    }
+    (h.finish() % num_nodes as u64) as usize
+}
+
+struct NodeOutcome {
+    pass_infos: Vec<(usize, usize, usize, usize, NodeStatsSnapshot)>,
+    output: MiningOutput,
+}
+
+/// Runs a flat parallel algorithm over `db` (items `0..num_items`, no
+/// taxonomy).
+pub fn mine_parallel_flat(
+    algorithm: FlatAlgorithm,
+    db: &PartitionedDatabase,
+    num_items: u32,
+    params: &MiningParams,
+    cluster: &ClusterConfig,
+) -> Result<ParallelReport> {
+    params.validate()?;
+    cluster.validate()?;
+    if db.num_partitions() != cluster.num_nodes {
+        return Err(Error::InvalidConfig(format!(
+            "database has {} partitions but the cluster has {} nodes",
+            db.num_partitions(),
+            cluster.num_nodes
+        )));
+    }
+
+    let run: ClusterRun<NodeOutcome> = Cluster::run(cluster, |ctx| {
+        let part = db.partition(ctx.node_id());
+        let mut pass_infos = Vec::new();
+        let mut last_snap = ctx.stats().snapshot();
+
+        // Pass 1: dense item counts, all-reduced.
+        let num_transactions = ctx.all_reduce_u64(&[part.num_transactions() as u64])?[0];
+        let min_support_count = params.min_support_count(num_transactions);
+        let mut counts = vec![0u64; num_items as usize];
+        scan_partition(ctx, part, |t| {
+            ctx.stats().add_cpu(t.len() as u64);
+            for it in t {
+                counts[it.index()] += 1;
+            }
+            Ok(())
+        })?;
+        let global = ctx.all_reduce_u64(&counts)?;
+        let l1 = large_items_from_counts(&global, min_support_count);
+        let snap = ctx.stats().snapshot();
+        pass_infos.push((1, num_items as usize, 1, l1.itemsets.len(), snap.delta_since(&last_snap)));
+        last_snap = snap;
+
+        let mut passes = vec![l1];
+        let mut k = 2;
+        loop {
+            if passes.last().is_none_or(|p| p.itemsets.is_empty()) {
+                break;
+            }
+            if let Some(max) = params.max_pass {
+                if k > max {
+                    break;
+                }
+            }
+            let prev = &passes.last().expect("nonempty").itemsets;
+            let candidates: Vec<Itemset> = if k == 2 {
+                let l1_items: Vec<ItemId> = prev.iter().map(|(s, _)| s.items()[0]).collect();
+                generate_pairs(&l1_items, None)
+            } else {
+                let prev_sets: Vec<Itemset> = prev.iter().map(|(s, _)| s.clone()).collect();
+                generate_candidates(&prev_sets)
+            };
+            if candidates.is_empty() {
+                break;
+            }
+            ctx.stats().add_cpu(candidates.len() as u64);
+
+            let (large, fragments) = match algorithm {
+                FlatAlgorithm::CountDistribution => {
+                    let total = candidates_bytes(k, candidates.len());
+                    let fragments = (total.div_ceil(ctx.memory_budget())).max(1) as usize;
+                    let frag_len = candidates.len().div_ceil(fragments).max(1);
+                    let mut large = Vec::new();
+                    for fragment in candidates.chunks(frag_len) {
+                        let mut counter = build_counter(params.counter, k, fragment);
+                        scan_partition(ctx, part, |t| {
+                            let out = counter.count_transaction(t);
+                            ctx.stats().add_cpu(out.work);
+                            ctx.stats().add_probes(out.hits);
+                            Ok(())
+                        })?;
+                        let global = ctx.all_reduce_u64(counter.counts())?;
+                        counter.set_counts(&global);
+                        large.extend(extract_large(counter, min_support_count));
+                    }
+                    large.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+                    (large, fragments)
+                }
+                FlatAlgorithm::Hpa => {
+                    let n = ctx.num_nodes();
+                    let me = ctx.node_id();
+                    let mine: Vec<Itemset> = candidates
+                        .iter()
+                        .filter(|c| owner_of(c.items(), n) == me)
+                        .cloned()
+                        .collect();
+                    let mut counter = build_counter(params.counter, k, &mine);
+                    let mut batches: Vec<ItemsetBatch> =
+                        (0..n).map(|_| ItemsetBatch::new(k)).collect();
+                    let mut ex = ctx.exchange();
+                    let mut scratch = Vec::with_capacity(k);
+                    let mut txn_no = 0usize;
+                    scan_partition(ctx, part, |t| {
+                        for_each_k_subset(t, k, &mut scratch, &mut |subset| {
+                            ctx.stats().add_cpu(1);
+                            let owner = owner_of(subset, n);
+                            if owner == me {
+                                let out = counter.probe(subset);
+                                ctx.stats().add_probes(out.hits);
+                            } else {
+                                let batch = &mut batches[owner];
+                                batch.push(subset);
+                                if batch.byte_len() >= BATCH_FLUSH_BYTES {
+                                    ex.send(owner, tags::ITEMSETS, batch.take())?;
+                                }
+                            }
+                            Ok(())
+                        })?;
+                        txn_no += 1;
+                        if txn_no % POLL_EVERY_TXNS == 0 {
+                            ex.poll(|env| {
+                                for_each_itemset(&env.payload, k, |s| {
+                                    let out = counter.probe(s);
+                                    ctx.stats().add_cpu(1);
+                                    ctx.stats().add_probes(out.hits);
+                                    Ok(())
+                                })
+                            })?;
+                        }
+                        Ok(())
+                    })?;
+                    for (owner, batch) in batches.iter_mut().enumerate() {
+                        if !batch.is_empty() {
+                            ex.send(owner, tags::ITEMSETS, batch.take())?;
+                        }
+                    }
+                    ex.finish(|env| {
+                        for_each_itemset(&env.payload, k, |s| {
+                            let out = counter.probe(s);
+                            ctx.stats().add_cpu(1);
+                            ctx.stats().add_probes(out.hits);
+                            Ok(())
+                        })
+                    })?;
+                    ctx.barrier()?;
+                    let local_large = extract_large(counter, min_support_count);
+                    (gather_large(ctx, k, local_large)?, 1)
+                }
+            };
+
+            let snap = ctx.stats().snapshot();
+            pass_infos.push((k, candidates.len(), fragments, large.len(), snap.delta_since(&last_snap)));
+            last_snap = snap;
+            if large.is_empty() {
+                break;
+            }
+            passes.push(LargePass { k, itemsets: large });
+            k += 1;
+        }
+
+        passes.retain(|p| !p.itemsets.is_empty());
+        Ok(NodeOutcome {
+            pass_infos,
+            output: MiningOutput {
+                algorithm: crate::params::Algorithm::Apriori,
+                num_transactions,
+                min_support_count,
+                passes,
+            },
+        })
+    })?;
+
+    // Assemble the report (same shape as the hierarchical algorithms').
+    let num_passes = run.results[0].pass_infos.len();
+    let mut pass_reports = Vec::with_capacity(num_passes);
+    let mut total_modeled = 0.0;
+    for p in 0..num_passes {
+        let (k, cands, fragments, large, _) = run.results[0].pass_infos[p];
+        let node_deltas: Vec<NodeStatsSnapshot> =
+            run.results.iter().map(|r| r.pass_infos[p].4).collect();
+        let modeled_seconds = cluster.cost.execution_seconds(&node_deltas);
+        total_modeled += modeled_seconds;
+        pass_reports.push(PassReport {
+            k,
+            num_candidates: cands,
+            num_duplicated: 0,
+            num_fragments: fragments,
+            num_large: large,
+            node_deltas,
+            modeled_seconds,
+        });
+    }
+    let output = run.results.into_iter().next().expect("node 0").output;
+    Ok(ParallelReport {
+        output,
+        num_nodes: cluster.num_nodes,
+        pass_reports,
+        wall: run.wall,
+        modeled_seconds: total_modeled,
+        node_totals: run.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::apriori;
+
+    fn flat_txns(seed: u64) -> Vec<Vec<ItemId>> {
+        // Deterministic pseudo-random flat transactions over 40 items.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..400)
+            .map(|_| {
+                let len = 2 + (next() % 6) as usize;
+                let mut t: Vec<ItemId> = (0..len).map(|_| ItemId((next() % 40) as u32)).collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cd_and_hpa_match_sequential_apriori() {
+        let txns = flat_txns(3);
+        let seq_db = PartitionedDatabase::build_in_memory(1, txns.clone().into_iter()).unwrap();
+        let params = MiningParams::with_min_support(0.05);
+        let expected = apriori(seq_db.partition(0), 40, &params).unwrap();
+        assert!(expected.num_large() > 10, "dataset too sparse");
+
+        let db = PartitionedDatabase::build_in_memory(4, txns.into_iter()).unwrap();
+        let cluster = ClusterConfig::new(4, 1 << 24);
+        for alg in [FlatAlgorithm::CountDistribution, FlatAlgorithm::Hpa] {
+            let rep = mine_parallel_flat(alg, &db, 40, &params, &cluster)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
+            assert_eq!(rep.output.num_large(), expected.num_large(), "{}", alg.name());
+            for (a, b) in rep.output.all_large().zip(expected.all_large()) {
+                assert_eq!(a, b, "{}", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cd_fragments_under_memory_pressure() {
+        let txns = flat_txns(7);
+        let db = PartitionedDatabase::build_in_memory(2, txns.into_iter()).unwrap();
+        let params = MiningParams::with_min_support(0.02).max_pass(2);
+        let tight = ClusterConfig::new(2, 1024);
+        let rep = mine_parallel_flat(FlatAlgorithm::CountDistribution, &db, 40, &params, &tight)
+            .unwrap();
+        assert!(rep.pass_reports[1].num_fragments > 1);
+    }
+
+    #[test]
+    fn hpa_traffic_scales_with_data_cd_with_candidates() {
+        // The structural difference: CD's only traffic is the count
+        // all-reduce (independent of |D|); HPA ships generated itemsets
+        // (linear in |D|). Doubling the data must roughly double HPA's
+        // bytes and leave CD's unchanged.
+        let params = MiningParams::with_min_support(0.02).max_pass(2);
+        let cluster = ClusterConfig::new(3, 1 << 24);
+        let pass2_bytes = |alg: FlatAlgorithm, copies: usize| -> u64 {
+            let txns: Vec<Vec<ItemId>> = std::iter::repeat_n(flat_txns(11), copies)
+                .flatten()
+                .collect();
+            let db = PartitionedDatabase::build_in_memory(3, txns.into_iter()).unwrap();
+            let rep = mine_parallel_flat(alg, &db, 40, &params, &cluster).unwrap();
+            rep.pass_reports[1].node_deltas.iter().map(|d| d.bytes_sent).sum()
+        };
+        let cd_1 = pass2_bytes(FlatAlgorithm::CountDistribution, 1);
+        let cd_2 = pass2_bytes(FlatAlgorithm::CountDistribution, 2);
+        assert_eq!(cd_1, cd_2, "CD traffic must not scale with data");
+        let hpa_1 = pass2_bytes(FlatAlgorithm::Hpa, 1);
+        let hpa_2 = pass2_bytes(FlatAlgorithm::Hpa, 2);
+        assert!(
+            hpa_2 as f64 > 1.5 * hpa_1 as f64,
+            "HPA traffic should scale with data: {hpa_1} -> {hpa_2}"
+        );
+    }
+
+    #[test]
+    fn single_node_flat_runs() {
+        let txns = flat_txns(1);
+        let db = PartitionedDatabase::build_in_memory(1, txns.into_iter()).unwrap();
+        let params = MiningParams::with_min_support(0.05);
+        let cluster = ClusterConfig::new(1, 1 << 24);
+        for alg in [FlatAlgorithm::CountDistribution, FlatAlgorithm::Hpa] {
+            let rep = mine_parallel_flat(alg, &db, 40, &params, &cluster).unwrap();
+            assert!(rep.output.num_large() > 0);
+            assert_eq!(rep.node_totals[0].bytes_sent, 0);
+        }
+    }
+}

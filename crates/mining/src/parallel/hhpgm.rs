@@ -1,0 +1,466 @@
+//! H-HPGM and the skew-handling variants (§3.3-§3.4).
+//!
+//! The defining move: candidates are assigned to nodes by hashing their
+//! **root itemset** (each member replaced by the root of its tree). Every
+//! generalization of an itemset shares its root itemset, so whole ancestor
+//! chains land on one node and no ancestor ever needs to cross the wire.
+//! A node ships only the *reduced* transaction — each raw item replaced by
+//! its closest-to-bottom large ancestor — and only to the owners of root
+//! combinations actually present (the paper's Example 2: 3 items sent
+//! where HPGM sends 18).
+//!
+//! The receiving node re-extends the sub-transaction with (candidate-
+//! present) ancestors and counts its local candidates — "increment the
+//! sup_cou for the itemset and all its ancestor candidates".
+//!
+//! With a [`DuplicateGrain`], the hottest candidates (`C_k^D`) are first
+//! replicated into every node's free memory and counted locally against
+//! each node's *own* transactions (evenly distributed data ⇒ evenly
+//! distributed work), with one all-reduce at the end of the pass. Root
+//! combinations whose candidates are all duplicated stop being shipped
+//! at all.
+
+use crate::candidate::items_in_candidates;
+use crate::counter::{build_counter, CandidateCounter};
+use crate::params::{Algorithm, MiningParams};
+use crate::parallel::common::{
+    assemble_report, candidates_bytes, for_each_root_multiset, gather_large, node_pass_loop,
+    root_key, scan_partition, tags, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
+};
+use crate::parallel::duplicate::{select_duplicates, DuplicateGrain, DuplicateSelection};
+use crate::report::ParallelReport;
+use crate::sequential::extract_large;
+use crate::wire::{for_each_item_list, ItemListBatch};
+use gar_cluster::{Cluster, ClusterConfig, NodeCtx};
+use gar_storage::PartitionedDatabase;
+use gar_taxonomy::{PrunedView, Taxonomy};
+use gar_types::{FxHashSet, ItemId, Itemset, Result};
+use std::hash::Hasher;
+
+/// Owner node of a root-itemset key.
+fn owner_of_key(key: &[u32], num_nodes: usize) -> usize {
+    let mut h = gar_types::FxHasher::default();
+    for &r in key {
+        h.write_u32(r);
+    }
+    (h.finish() % num_nodes as u64) as usize
+}
+
+/// Enumerates the item choices of one root combination: `parts` gives
+/// `(group, multiplicity)` per distinct root; every way of choosing
+/// `multiplicity` items from each group yields one candidate probe.
+fn enumerate_combo_subsets(
+    parts: &[(&[ItemId], usize)],
+    scratch: &mut Vec<ItemId>,
+    sorted: &mut Vec<ItemId>,
+    f: &mut impl FnMut(&[ItemId]),
+) {
+    fn choose(
+        parts: &[(&[ItemId], usize)],
+        part: usize,
+        start: usize,
+        left: usize,
+        scratch: &mut Vec<ItemId>,
+        sorted: &mut Vec<ItemId>,
+        f: &mut impl FnMut(&[ItemId]),
+    ) {
+        if left == 0 {
+            if part + 1 == parts.len() {
+                sorted.clear();
+                sorted.extend_from_slice(scratch);
+                sorted.sort_unstable();
+                f(sorted);
+            } else {
+                choose(parts, part + 1, 0, parts[part + 1].1, scratch, sorted, f);
+            }
+            return;
+        }
+        let group = parts[part].0;
+        if group.len() - start < left {
+            return;
+        }
+        for (i, &item) in group.iter().enumerate().skip(start) {
+            scratch.push(item);
+            choose(parts, part, i + 1, left - 1, scratch, sorted, f);
+            scratch.pop();
+        }
+    }
+    if parts.is_empty() {
+        return;
+    }
+    scratch.clear();
+    choose(parts, 0, 0, parts[0].1, scratch, sorted, f);
+}
+
+/// Counts, in one pass over `items` (a local reduced transaction or a
+/// received sub-transaction), both counter targets:
+///
+/// * `dup_counter` for root combinations in `dup_combos` (the replicated
+///   `C_k^D`, counted by every node on its own data — pass an empty set
+///   on the receive path, where `C_k^D` was already handled by the
+///   sender);
+/// * `local_counter` for root combinations in `owned_active` (this node's
+///   hash partition).
+///
+/// The items are extended with candidate-present ancestors **once**,
+/// grouped by root, and only combinations in either set are enumerated —
+/// the aggregate subset enumeration across the cluster therefore happens
+/// exactly once per combination ("generate k-itemset from the received
+/// items and increment the sup_cou for the itemset and all its ancestor
+/// candidates").
+#[allow(clippy::too_many_arguments)]
+fn count_combos(
+    ctx: &NodeCtx,
+    tax: &Taxonomy,
+    view: &PrunedView,
+    dup_counter: &mut dyn CandidateCounter,
+    dup_combos: &FxHashSet<Box<[u32]>>,
+    local_counter: &mut dyn CandidateCounter,
+    owned_active: &FxHashSet<Box<[u32]>>,
+    items: &[ItemId],
+    k: usize,
+) {
+    if (owned_active.is_empty() && dup_combos.is_empty()) || items.is_empty() {
+        return;
+    }
+    let ext = view.extend_transaction(tax, items);
+    ctx.stats().add_cpu(ext.len() as u64);
+
+    // Group the extended items by root (ancestors share their
+    // descendants' root, so groups are per-tree).
+    let mut groups: Vec<(u32, Vec<ItemId>)> = Vec::new();
+    for &it in &ext {
+        let r = tax.root_of(it).raw();
+        match groups.iter_mut().find(|(x, _)| *x == r) {
+            Some((_, v)) => v.push(it),
+            None => groups.push((r, vec![it])),
+        }
+    }
+    groups.sort_unstable_by_key(|(r, _)| *r);
+    let roots: Vec<(u32, usize)> = groups.iter().map(|(r, v)| (*r, v.len())).collect();
+
+    let mut work = 0u64;
+    let mut hits = 0u64;
+    let mut scratch = Vec::with_capacity(k);
+    let mut sorted = Vec::with_capacity(k);
+    for_each_root_multiset(&roots, k, &mut |combo| {
+        work += 1;
+        let in_dup = dup_combos.contains(combo);
+        let in_owned = owned_active.contains(combo);
+        if !in_dup && !in_owned {
+            return;
+        }
+        // Split the combo into (group items, multiplicity) parts.
+        let mut parts: Vec<(&[ItemId], usize)> = Vec::with_capacity(k);
+        let mut i = 0;
+        while i < combo.len() {
+            let r = combo[i];
+            let mut m = 1;
+            while i + m < combo.len() && combo[i + m] == r {
+                m += 1;
+            }
+            let gi = groups.binary_search_by_key(&r, |(x, _)| *x).expect("root present");
+            parts.push((&groups[gi].1, m));
+            i += m;
+        }
+        enumerate_combo_subsets(&parts, &mut scratch, &mut sorted, &mut |subset| {
+            if in_dup {
+                let out = dup_counter.probe(subset);
+                work += out.work;
+                hits += out.hits;
+            }
+            if in_owned {
+                let out = local_counter.probe(subset);
+                work += out.work;
+                hits += out.hits;
+            }
+        });
+    });
+    ctx.stats().add_cpu(work);
+    ctx.stats().add_probes(hits);
+}
+
+/// Runs H-HPGM (grain `None`) or one of the duplication variants.
+pub(crate) fn mine(
+    algorithm: Algorithm,
+    grain: Option<DuplicateGrain>,
+    db: &PartitionedDatabase,
+    tax: &Taxonomy,
+    params: &MiningParams,
+    cluster: &ClusterConfig,
+) -> Result<ParallelReport> {
+    let run = Cluster::run(cluster, |ctx| {
+        let part = db.partition(ctx.node_id());
+        node_pass_loop(ctx, part, tax, params, algorithm, |ctx, k, candidates, p1| {
+            let n = ctx.num_nodes();
+            let me = ctx.node_id();
+
+            // L1 membership mask: defines "large item" for the
+            // reduce-to-lowest-large transformation.
+            let mut l1 = vec![false; tax.num_items() as usize];
+            for (s, _) in &p1.large.itemsets {
+                l1[s.items()[0].index()] = true;
+            }
+
+            // Duplicate selection (identical on every node — inputs are
+            // all globally agreed).
+            let selection = match grain {
+                Some(g) => {
+                    let mut load = vec![0u64; n];
+                    for c in candidates {
+                        load[owner_of_key(&root_key(c.items(), tax), n)] +=
+                            candidates_bytes(k, 1);
+                    }
+                    let max_load = load.iter().copied().max().unwrap_or(0);
+                    let budget = ctx.memory_budget().saturating_sub(max_load);
+                    select_duplicates(
+                        g,
+                        candidates,
+                        tax,
+                        &p1.item_counts,
+                        p1.num_transactions,
+                        &l1,
+                        budget,
+                    )
+                }
+                None => DuplicateSelection::none(candidates),
+            };
+
+            // Ancestor-extension filter over the *full* candidate set.
+            let view = PrunedView::new(tax, items_in_candidates(candidates));
+
+            // My partition of the non-duplicated candidates.
+            let mine: Vec<Itemset> = selection
+                .remaining
+                .iter()
+                .filter(|c| owner_of_key(&root_key(c.items(), tax), n) == me)
+                .cloned()
+                .collect();
+            let mut local_counter = build_counter(params.counter, k, &mine);
+            let mut dup_counter = build_counter(params.counter, k, &selection.duplicated);
+
+            // Root combinations that still have partitioned candidates —
+            // only these cause any shipping — and the subset owned here,
+            // which is all this node ever enumerates.
+            let active: FxHashSet<Box<[u32]>> = selection
+                .remaining
+                .iter()
+                .map(|c| root_key(c.items(), tax))
+                .collect();
+            let owned_active: FxHashSet<Box<[u32]>> =
+                mine.iter().map(|c| root_key(c.items(), tax)).collect();
+            let dup_combos: FxHashSet<Box<[u32]>> = selection
+                .duplicated
+                .iter()
+                .map(|c| root_key(c.items(), tax))
+                .collect();
+            // Receive-path sentinel: C_k^D was already counted by the
+            // sender against its own transaction.
+            let no_dup: FxHashSet<Box<[u32]>> = FxHashSet::default();
+
+            let mut ex = ctx.exchange();
+            let mut txn_no = 0usize;
+            let mut roots_scratch: Vec<(u32, usize)> = Vec::new();
+            let mut owner_roots: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+            let mut group_scratch: Vec<ItemId> = Vec::new();
+            let mut recv_scratch: Vec<ItemId> = Vec::new();
+            let mut batches: Vec<ItemListBatch> = (0..n).map(|_| ItemListBatch::new()).collect();
+
+            scan_partition(ctx, part, |t| {
+                let reduced = tax.reduce_to_lowest_large(t, |it| l1[it.index()]);
+                ctx.stats().add_cpu(t.len() as u64);
+                if reduced.is_empty() {
+                    return Ok(());
+                }
+
+                // One combined local counting pass: C_k^D combos (counted
+                // on every node's own data) and this node's own partition
+                // combos, sharing a single ancestor extension.
+                count_combos(
+                    ctx,
+                    tax,
+                    &view,
+                    dup_counter.as_mut(),
+                    &dup_combos,
+                    local_counter.as_mut(),
+                    &owned_active,
+                    &reduced,
+                    k,
+                );
+
+                // Distinct roots present, with the number of reduced items
+                // under each (availability bound for same-root combos).
+                roots_scratch.clear();
+                for &it in &reduced {
+                    let r = tax.root_of(it).raw();
+                    match roots_scratch.iter_mut().find(|(x, _)| *x == r) {
+                        Some((_, c)) => *c += 1,
+                        None => roots_scratch.push((r, 1)),
+                    }
+                }
+                roots_scratch.sort_unstable();
+
+                // Route: every active root k-combination marks its roots
+                // for the owning node.
+                for s in owner_roots.iter_mut() {
+                    s.clear();
+                }
+                for_each_root_multiset(&roots_scratch, k, &mut |combo| {
+                    ctx.stats().add_cpu(1);
+                    if active.contains(combo) {
+                        let owner = owner_of_key(combo, n);
+                        for &r in combo {
+                            owner_roots[owner].insert(r);
+                        }
+                    }
+                });
+
+                // Ship sub-transactions to the other owners (this node's
+                // own combinations were counted above).
+                for owner in 0..n {
+                    if owner == me || owner_roots[owner].is_empty() {
+                        continue;
+                    }
+                    group_scratch.clear();
+                    group_scratch.extend(
+                        reduced
+                            .iter()
+                            .copied()
+                            .filter(|&it| owner_roots[owner].contains(&tax.root_of(it).raw())),
+                    );
+                    let batch = &mut batches[owner];
+                    batch.push(&group_scratch);
+                    if batch.byte_len() >= BATCH_FLUSH_BYTES {
+                        ex.send(owner, tags::ITEMS, batch.take())?;
+                    }
+                }
+
+                txn_no += 1;
+                if txn_no.is_multiple_of(POLL_EVERY_TXNS) {
+                    ex.poll(|env| {
+                        for_each_item_list(&env.payload, &mut recv_scratch, |list| {
+                            count_combos(
+                                ctx,
+                                tax,
+                                &view,
+                                dup_counter.as_mut(),
+                                &no_dup,
+                                local_counter.as_mut(),
+                                &owned_active,
+                                list,
+                                k,
+                            );
+                            Ok(())
+                        })
+                    })?;
+                }
+                Ok(())
+            })?;
+
+            for (owner, batch) in batches.iter_mut().enumerate() {
+                if !batch.is_empty() {
+                    ex.send(owner, tags::ITEMS, batch.take())?;
+                }
+            }
+            ex.finish(|env| {
+                for_each_item_list(&env.payload, &mut recv_scratch, |list| {
+                    count_combos(
+                        ctx,
+                        tax,
+                        &view,
+                        dup_counter.as_mut(),
+                        &no_dup,
+                        local_counter.as_mut(),
+                        &owned_active,
+                        list,
+                        k,
+                    );
+                    Ok(())
+                })
+            })?;
+            // Quiesce the exchange before coordinator gathers start so no
+            // GATHER message can race into a peer's exchange drain.
+            ctx.barrier()?;
+
+            // Partitioned candidates: local decision + coordinator merge.
+            let local_large = extract_large(local_counter, p1.min_support_count);
+            let mut large = gather_large(ctx, k, local_large)?;
+
+            // Duplicated candidates: one all-reduce, decided everywhere.
+            if !selection.duplicated.is_empty() {
+                let global = ctx.all_reduce_u64(dup_counter.counts())?;
+                dup_counter.set_counts(&global);
+                large.extend(extract_large(dup_counter, p1.min_support_count));
+                large.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+            }
+            Ok((large, selection.duplicated.len(), 1))
+        })
+    })?;
+    Ok(assemble_report(cluster, run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    fn collect_subsets(parts: &[(&[ItemId], usize)]) -> Vec<Vec<ItemId>> {
+        let mut scratch = Vec::new();
+        let mut sorted = Vec::new();
+        let mut out = Vec::new();
+        enumerate_combo_subsets(parts, &mut scratch, &mut sorted, &mut |s| {
+            out.push(s.to_vec())
+        });
+        out
+    }
+
+    #[test]
+    fn combo_subsets_cross_product_of_two_groups() {
+        let g1 = ids(&[5, 9]);
+        let g2 = ids(&[7]);
+        let subsets = collect_subsets(&[(&g1, 1), (&g2, 1)]);
+        assert_eq!(subsets, vec![ids(&[5, 7]), ids(&[7, 9])]);
+    }
+
+    #[test]
+    fn combo_subsets_within_one_group() {
+        let g = ids(&[1, 4, 8]);
+        let subsets = collect_subsets(&[(&g, 2)]);
+        assert_eq!(subsets, vec![ids(&[1, 4]), ids(&[1, 8]), ids(&[4, 8])]);
+    }
+
+    #[test]
+    fn combo_subsets_mixed_multiplicities() {
+        let g1 = ids(&[2, 6]);
+        let g2 = ids(&[3, 5]);
+        // Choose 2 from g1, 1 from g2: 1 * 2 = 2 subsets, always sorted.
+        let subsets = collect_subsets(&[(&g1, 2), (&g2, 1)]);
+        assert_eq!(subsets, vec![ids(&[2, 3, 6]), ids(&[2, 5, 6])]);
+        for s in &subsets {
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn combo_subsets_insufficient_group_yields_nothing() {
+        let g = ids(&[1]);
+        assert!(collect_subsets(&[(&g, 2)]).is_empty());
+        assert!(collect_subsets(&[]).is_empty());
+    }
+
+    #[test]
+    fn owner_of_key_is_stable_and_bounded() {
+        for n in 1..8 {
+            let o = owner_of_key(&[3, 7], n);
+            assert!(o < n);
+            assert_eq!(o, owner_of_key(&[3, 7], n));
+        }
+        // Multiplicity matters: (r) vs (r, r) are distinct keys.
+        let a = owner_of_key(&[5], 64);
+        let b = owner_of_key(&[5, 5], 64);
+        assert!(a < 64 && b < 64);
+    }
+}

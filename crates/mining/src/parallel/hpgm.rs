@@ -1,0 +1,159 @@
+//! HPGM — Hash Partitioned Generalized association rule Mining (§3.2).
+//!
+//! Candidates are spread over the nodes by hashing the *itemset* — no
+//! hierarchy awareness. Each node extends its local transactions with all
+//! (candidate-present) ancestors, generates every k-subset, and ships each
+//! subset to the node the hash assigns it to (paper Figure 3). The
+//! paper's Example 1 shows the consequence: one transaction of 3 items
+//! turns into 18 shipped items, because the ancestor itemsets scatter
+//! uniformly over the cluster. Table 6 and Figure 13 quantify the damage
+//! relative to H-HPGM.
+
+use crate::candidate::items_in_candidates;
+use crate::counter::build_counter;
+use crate::params::{Algorithm, MiningParams};
+use crate::parallel::common::{
+    assemble_report, for_each_k_subset, gather_large, node_pass_loop, scan_partition, tags,
+    BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
+};
+use crate::report::ParallelReport;
+use crate::sequential::extract_large;
+use crate::wire::{for_each_itemset, ItemsetBatch};
+use gar_cluster::{Cluster, ClusterConfig};
+use gar_storage::PartitionedDatabase;
+use gar_taxonomy::{PrunedView, Taxonomy};
+use gar_types::{ItemId, Itemset, Result};
+
+/// The hierarchy-blind partitioning function: hash of the itemset's codes.
+fn owner_of(items: &[ItemId], num_nodes: usize) -> usize {
+    let mut h = gar_types::FxHasher::default();
+    use std::hash::Hasher;
+    for it in items {
+        h.write_u32(it.raw());
+    }
+    (h.finish() % num_nodes as u64) as usize
+}
+
+/// Owner of a candidate [`Itemset`].
+fn candidate_owner(c: &Itemset, num_nodes: usize) -> usize {
+    owner_of(c.items(), num_nodes)
+}
+
+/// Runs HPGM over the database.
+pub(crate) fn mine(
+    db: &PartitionedDatabase,
+    tax: &Taxonomy,
+    params: &MiningParams,
+    cluster: &ClusterConfig,
+) -> Result<ParallelReport> {
+    let run = Cluster::run(cluster, |ctx| {
+        let part = db.partition(ctx.node_id());
+        node_pass_loop(ctx, part, tax, params, Algorithm::Hpgm, |ctx, k, candidates, p1| {
+            let n = ctx.num_nodes();
+            let me = ctx.node_id();
+            let view = PrunedView::new(tax, items_in_candidates(candidates));
+
+            // C_k^n: candidates whose hash lands on this node.
+            let mine: Vec<Itemset> = candidates
+                .iter()
+                .filter(|c| candidate_owner(c, n) == me)
+                .cloned()
+                .collect();
+            let mut counter = build_counter(params.counter, k, &mine);
+
+            let mut batches: Vec<ItemsetBatch> = (0..n).map(|_| ItemsetBatch::new(k)).collect();
+            let mut ex = ctx.exchange();
+            let mut scratch = Vec::with_capacity(k);
+            let mut decoded = 0usize;
+            let mut txn_no = 0usize;
+
+            scan_partition(ctx, part, |t| {
+                let extended = view.extend_transaction(tax, t);
+                ctx.stats().add_cpu(extended.len() as u64);
+                for_each_k_subset(&extended, k, &mut scratch, &mut |subset| {
+                    ctx.stats().add_cpu(1);
+                    let owner = owner_of(subset, n);
+                    if owner == me {
+                        let out = counter.probe(subset);
+                        ctx.stats().add_probes(out.hits);
+                    } else {
+                        let batch = &mut batches[owner];
+                        batch.push(subset);
+                        if batch.byte_len() >= BATCH_FLUSH_BYTES {
+                            ex.send(owner, tags::ITEMSETS, batch.take())?;
+                        }
+                    }
+                    Ok(())
+                })?;
+                txn_no += 1;
+                if txn_no.is_multiple_of(POLL_EVERY_TXNS) {
+                    ex.poll(|env| {
+                        for_each_itemset(&env.payload, k, |s| {
+                            let out = counter.probe(s);
+                            ctx.stats().add_cpu(1);
+                            ctx.stats().add_probes(out.hits);
+                            decoded += 1;
+                            Ok(())
+                        })
+                    })?;
+                }
+                Ok(())
+            })?;
+
+            for (owner, batch) in batches.iter_mut().enumerate() {
+                if !batch.is_empty() {
+                    ex.send(owner, tags::ITEMSETS, batch.take())?;
+                }
+            }
+            ex.finish(|env| {
+                for_each_itemset(&env.payload, k, |s| {
+                    let out = counter.probe(s);
+                    ctx.stats().add_cpu(1);
+                    ctx.stats().add_probes(out.hits);
+                    decoded += 1;
+                    Ok(())
+                })
+            })?;
+            // Quiesce the exchange before coordinator gathers start so no
+            // GATHER message can race into a peer's exchange drain.
+            ctx.barrier()?;
+
+            // Each node decides its own candidates, the coordinator merges.
+            let local_large = extract_large(counter, p1.min_support_count);
+            let large = gather_large(ctx, k, local_large)?;
+            Ok((large, 0, 1))
+        })
+    })?;
+    Ok(assemble_report(cluster, run))
+}
+
+/// Exposed for the partitioning unit tests.
+#[cfg(test)]
+pub(crate) fn owner_for_test(items: &[ItemId], n: usize) -> usize {
+    owner_of(items, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_stable_and_in_range() {
+        let items: Vec<ItemId> = vec![ItemId(3), ItemId(9)];
+        let o = owner_for_test(&items, 7);
+        assert!(o < 7);
+        assert_eq!(o, owner_for_test(&items, 7));
+    }
+
+    #[test]
+    fn owners_spread_over_nodes() {
+        // 100 distinct pairs over 4 nodes: every node should own some.
+        let mut seen = [false; 4];
+        for a in 0..10u32 {
+            for b in 10..20u32 {
+                seen[owner_for_test(&[ItemId(a), ItemId(b)], 4)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

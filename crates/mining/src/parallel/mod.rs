@@ -1,0 +1,78 @@
+//! The six parallel algorithms of the paper, on the shared-nothing
+//! simulator.
+//!
+//! All algorithms share the pass skeleton (the paper's steps 1-4):
+//!
+//! 1. every node generates the identical candidate set `C_k` from
+//!    `L_{k-1}` (deterministic — see [`crate::candidate`]);
+//! 2. every node scans its local partition `D^n` once, exchanging data as
+//!    the algorithm dictates;
+//! 3. counts are assembled (all-reduce for replicated candidate sets,
+//!    local decision + coordinator gather for partitioned ones);
+//! 4. the coordinator's `L_k` goes everywhere; iterate until empty.
+//!
+//! Where they differ is candidate placement, which is the paper's whole
+//! subject:
+//!
+//! | module | placement | data shipped per transaction |
+//! |---|---|---|
+//! | [`npgm`] | replicated (fragmented when `\|C_k\| > M`) | nothing — but one full partition re-scan per fragment |
+//! | [`hpgm`] | hash of the itemset | every k-subset of the ancestor-extended transaction |
+//! | [`hhpgm`] | hash of the *root* itemset | the lowest-large-item sub-transaction, once per owner node |
+//! | [`hhpgm`] + [`duplicate`] | H-HPGM minus the hottest candidates, which are replicated | same, minus traffic for fully-duplicated root groups |
+
+pub(crate) mod common;
+pub mod duplicate;
+pub mod flat;
+mod hhpgm;
+pub mod rules;
+mod hpgm;
+mod npgm;
+
+use crate::params::{Algorithm, MiningParams};
+use crate::report::ParallelReport;
+use gar_cluster::ClusterConfig;
+use gar_storage::PartitionedDatabase;
+use gar_taxonomy::Taxonomy;
+use gar_types::{Error, Result};
+
+pub use duplicate::{select_duplicates, DuplicateGrain, DuplicateSelection};
+pub use flat::{mine_parallel_flat, FlatAlgorithm};
+
+/// Runs `algorithm` over `db` (one partition per node) with hierarchy
+/// `tax` on a simulated cluster of `cluster.num_nodes` nodes.
+///
+/// # Errors
+/// Rejects sequential algorithm identifiers, a node/partition mismatch,
+/// and invalid parameters; propagates node failures.
+pub fn mine_parallel(
+    algorithm: Algorithm,
+    db: &PartitionedDatabase,
+    tax: &Taxonomy,
+    params: &MiningParams,
+    cluster: &ClusterConfig,
+) -> Result<ParallelReport> {
+    params.validate()?;
+    cluster.validate()?;
+    if db.num_partitions() != cluster.num_nodes {
+        return Err(Error::InvalidConfig(format!(
+            "database has {} partitions but the cluster has {} nodes",
+            db.num_partitions(),
+            cluster.num_nodes
+        )));
+    }
+    let grain = match algorithm {
+        Algorithm::Apriori | Algorithm::Cumulate => {
+            return Err(Error::InvalidConfig(format!(
+                "{algorithm} is a sequential algorithm; use gar_mining::sequential"
+            )))
+        }
+        Algorithm::Npgm => return npgm::mine(db, tax, params, cluster),
+        Algorithm::Hpgm => return hpgm::mine(db, tax, params, cluster),
+        Algorithm::HHpgm => None,
+        Algorithm::HHpgmTgd => Some(DuplicateGrain::Tree),
+        Algorithm::HHpgmPgd => Some(DuplicateGrain::Path),
+        Algorithm::HHpgmFgd => Some(DuplicateGrain::Fine),
+    };
+    hhpgm::mine(algorithm, grain, db, tax, params, cluster)
+}

@@ -1,0 +1,215 @@
+//! Persistence of mining outputs.
+//!
+//! Format (little-endian): magic `GOUT`, `u32` version, algorithm name
+//! (`u32` length + UTF-8), `u64` transaction count, `u64` minimum-support
+//! count, `u32` pass count, then per pass a `u32 k` and a
+//! [`crate::wire::encode_counted`] block prefixed by its `u32` byte
+//! length. Used by the CLI so a mine step and a rules step can run as
+//! separate processes.
+
+use crate::params::Algorithm;
+use crate::report::{LargePass, MiningOutput};
+use crate::wire;
+use gar_types::{Error, Result};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GOUT";
+const VERSION: u32 = 1;
+
+/// Writes a mining output to `path`.
+pub fn save_output(output: &MiningOutput, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path)
+        .map_err(|e| Error::io(format!("creating output file {}", path.display()), e))?;
+    let mut w = BufWriter::new(file);
+    let io_err = |e| Error::io(format!("writing output file {}", path.display()), e);
+
+    w.write_all(MAGIC).map_err(io_err)?;
+    w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+    let name = output.algorithm.name().as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes()).map_err(io_err)?;
+    w.write_all(name).map_err(io_err)?;
+    w.write_all(&output.num_transactions.to_le_bytes()).map_err(io_err)?;
+    w.write_all(&output.min_support_count.to_le_bytes()).map_err(io_err)?;
+    w.write_all(&(output.passes.len() as u32).to_le_bytes()).map_err(io_err)?;
+    for pass in &output.passes {
+        w.write_all(&(pass.k as u32).to_le_bytes()).map_err(io_err)?;
+        let block = wire::encode_counted(pass.k, &pass.itemsets);
+        w.write_all(&(block.len() as u32).to_le_bytes()).map_err(io_err)?;
+        w.write_all(&block).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Reads a mining output from `path`.
+pub fn load_output(path: impl AsRef<Path>) -> Result<MiningOutput> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)
+        .map_err(|e| Error::io(format!("opening output file {}", path.display()), e))?;
+    let mut r = BufReader::new(file);
+    let io_err = |e| Error::io(format!("reading output file {}", path.display()), e);
+
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(Error::Corrupt(format!(
+            "{} is not a mining-output file (bad magic)",
+            path.display()
+        )));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u32buf).map_err(io_err)?;
+    if u32::from_le_bytes(u32buf) != VERSION {
+        return Err(Error::Corrupt("unsupported output file version".into()));
+    }
+    r.read_exact(&mut u32buf).map_err(io_err)?;
+    let name_len = u32::from_le_bytes(u32buf) as usize;
+    if name_len > 64 {
+        return Err(Error::Corrupt("implausible algorithm name length".into()));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name).map_err(io_err)?;
+    let name = String::from_utf8(name)
+        .map_err(|_| Error::Corrupt("algorithm name is not UTF-8".into()))?;
+    let algorithm = algorithm_by_name(&name)?;
+
+    r.read_exact(&mut u64buf).map_err(io_err)?;
+    let num_transactions = u64::from_le_bytes(u64buf);
+    r.read_exact(&mut u64buf).map_err(io_err)?;
+    let min_support_count = u64::from_le_bytes(u64buf);
+    r.read_exact(&mut u32buf).map_err(io_err)?;
+    let num_passes = u32::from_le_bytes(u32buf) as usize;
+    if num_passes > 64 {
+        return Err(Error::Corrupt("implausible pass count".into()));
+    }
+
+    let mut passes = Vec::with_capacity(num_passes);
+    for _ in 0..num_passes {
+        r.read_exact(&mut u32buf).map_err(io_err)?;
+        let k = u32::from_le_bytes(u32buf) as usize;
+        r.read_exact(&mut u32buf).map_err(io_err)?;
+        let block_len = u32::from_le_bytes(u32buf) as usize;
+        let mut block = vec![0u8; block_len];
+        r.read_exact(&mut block).map_err(io_err)?;
+        let itemsets = wire::decode_counted(&block)?;
+        if itemsets.iter().any(|(s, _)| s.len() != k) {
+            return Err(Error::Corrupt(format!("pass {k} holds non-{k}-itemsets")));
+        }
+        passes.push(LargePass { k, itemsets });
+    }
+    Ok(MiningOutput {
+        algorithm,
+        num_transactions,
+        min_support_count,
+        passes,
+    })
+}
+
+/// Resolves an algorithm from its paper name (case-insensitive).
+pub fn algorithm_by_name(name: &str) -> Result<Algorithm> {
+    let all = [
+        Algorithm::Apriori,
+        Algorithm::Cumulate,
+        Algorithm::Npgm,
+        Algorithm::Hpgm,
+        Algorithm::HHpgm,
+        Algorithm::HHpgmTgd,
+        Algorithm::HHpgmPgd,
+        Algorithm::HHpgmFgd,
+    ];
+    all.into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            Error::InvalidConfig(format!(
+                "unknown algorithm '{name}' (expected one of {})",
+                all.map(|a| a.name()).join(", ")
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_types::iset;
+
+    fn sample() -> MiningOutput {
+        MiningOutput {
+            algorithm: Algorithm::HHpgmFgd,
+            num_transactions: 1234,
+            min_support_count: 12,
+            passes: vec![
+                LargePass {
+                    k: 1,
+                    itemsets: vec![(iset![1], 100), (iset![2], 50)],
+                },
+                LargePass {
+                    k: 2,
+                    itemsets: vec![(iset![1, 2], 30)],
+                },
+            ],
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gar-persist-{}-{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn round_trip() {
+        let out = sample();
+        let path = tmp("roundtrip");
+        save_output(&out, &path).unwrap();
+        let loaded = load_output(&path).unwrap();
+        assert_eq!(loaded.algorithm, out.algorithm);
+        assert_eq!(loaded.num_transactions, 1234);
+        assert_eq!(loaded.min_support_count, 12);
+        assert_eq!(loaded.passes.len(), 2);
+        for (a, b) in loaded.all_large().zip(out.all_large()) {
+            assert_eq!(a, b);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_output_round_trips() {
+        let out = MiningOutput {
+            algorithm: Algorithm::Cumulate,
+            num_transactions: 0,
+            min_support_count: 1,
+            passes: vec![],
+        };
+        let path = tmp("empty");
+        save_output(&out, &path).unwrap();
+        let loaded = load_output(&path).unwrap();
+        assert_eq!(loaded.num_large(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"XXXX\x01\x00\x00\x00").unwrap();
+        assert!(load_output(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let path = tmp("trunc");
+        save_output(&sample(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(load_output(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn algorithm_names_resolve() {
+        assert_eq!(algorithm_by_name("h-hpgm-fgd").unwrap(), Algorithm::HHpgmFgd);
+        assert_eq!(algorithm_by_name("NPGM").unwrap(), Algorithm::Npgm);
+        assert_eq!(algorithm_by_name("Cumulate").unwrap(), Algorithm::Cumulate);
+        assert!(algorithm_by_name("magic").is_err());
+    }
+}

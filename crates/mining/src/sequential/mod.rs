@@ -1,0 +1,65 @@
+//! Sequential miners: the baselines every parallel algorithm must match.
+//!
+//! * [`cumulate`] — the hierarchy-aware algorithm of [SA95] the paper
+//!   parallelizes (section 2 describes it pass by pass);
+//! * [`apriori`] — the hierarchy-blind original [RR94], kept to quantify
+//!   what the taxonomy costs and finds;
+//! * [`stratify`] — [SA95]'s other strategy (count shallow strata first,
+//!   prune descendants of small itemsets), reproduced as an extension.
+//!
+//! The parallel correctness tests assert every parallel variant produces
+//! exactly `cumulate`'s large itemsets and counts.
+
+mod apriori;
+mod cumulate;
+mod stratify;
+
+pub use apriori::apriori;
+pub use cumulate::cumulate;
+pub use stratify::stratify;
+
+use crate::counter::CandidateCounter;
+use crate::report::LargePass;
+use gar_types::{ItemId, Itemset};
+
+/// Filters a counter's results to the large itemsets (count ≥ threshold),
+/// keeping itemset order (already sorted — candidates are generated
+/// sorted).
+pub(crate) fn extract_large(
+    counter: Box<dyn CandidateCounter>,
+    min_support_count: u64,
+) -> Vec<(Itemset, u64)> {
+    counter
+        .into_counts()
+        .into_iter()
+        .filter(|(_, c)| *c >= min_support_count)
+        .collect()
+}
+
+/// Builds the pass-1 result from dense per-item counts.
+pub(crate) fn large_items_from_counts(counts: &[u64], min_support_count: u64) -> LargePass {
+    let itemsets = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c >= min_support_count)
+        .map(|(i, &c)| (Itemset::singleton(ItemId(i as u32)), c))
+        .collect();
+    LargePass { k: 1, itemsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_items_filters_by_threshold() {
+        let pass = large_items_from_counts(&[5, 0, 3, 10], 4);
+        let items: Vec<u32> = pass
+            .itemsets
+            .iter()
+            .map(|(s, _)| s.items()[0].raw())
+            .collect();
+        assert_eq!(items, vec![0, 3]);
+        assert_eq!(pass.itemsets[1].1, 10);
+    }
+}

@@ -1,0 +1,350 @@
+//! Message encodings for the parallel algorithms.
+//!
+//! Everything a node ships is `u32`/`u64` little-endian, mirroring the
+//! storage codec. Three message bodies exist:
+//!
+//! * **item lists** — the H-HPGM family ships sub-transactions (lists of
+//!   item codes); 4 bytes per item, so the Table-6 byte counts mean what
+//!   the paper's do ("Node 2 sends 3 items");
+//! * **flat k-itemset batches** — HPGM ships generated k-itemsets; the
+//!   batch is a flat run of `k·n` item codes (`k` is pass context);
+//! * **counted itemset lists** — `L_k^n` fragments flowing to the
+//!   coordinator and `L_k` broadcasts coming back.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use gar_types::{Error, ItemId, Itemset, Result};
+
+/// Encodes a plain item list (a sub-transaction).
+pub fn encode_items(items: &[ItemId]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 * items.len());
+    for it in items {
+        buf.put_u32_le(it.raw());
+    }
+    buf.freeze()
+}
+
+/// Decodes a plain item list into `out` (cleared first).
+pub fn decode_items(payload: &[u8], out: &mut Vec<ItemId>) -> Result<()> {
+    if !payload.len().is_multiple_of(4) {
+        return Err(Error::Corrupt(format!(
+            "item list payload of {} bytes is not a multiple of 4",
+            payload.len()
+        )));
+    }
+    out.clear();
+    out.reserve(payload.len() / 4);
+    for chunk in payload.chunks_exact(4) {
+        out.push(ItemId(u32::from_le_bytes(chunk.try_into().expect("4 bytes"))));
+    }
+    Ok(())
+}
+
+/// An append-only batch of length-prefixed item lists (sub-transactions),
+/// flushed as one message. The H-HPGM family sends a handful of items per
+/// transaction per owner; without batching, per-message latency would
+/// dwarf the byte savings the algorithm exists for.
+pub struct ItemListBatch {
+    buf: BytesMut,
+    lists: usize,
+}
+
+impl Default for ItemListBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ItemListBatch {
+    /// An empty batch.
+    pub fn new() -> ItemListBatch {
+        ItemListBatch {
+            buf: BytesMut::new(),
+            lists: 0,
+        }
+    }
+
+    /// Appends one item list (framed with a `u32` count).
+    pub fn push(&mut self, items: &[ItemId]) {
+        self.buf.put_u32_le(items.len() as u32);
+        for it in items {
+            self.buf.put_u32_le(it.raw());
+        }
+        self.lists += 1;
+    }
+
+    /// Number of lists queued.
+    pub fn len(&self) -> usize {
+        self.lists
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lists == 0
+    }
+
+    /// Current payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the queued payload, leaving the batch empty.
+    pub fn take(&mut self) -> Bytes {
+        self.lists = 0;
+        self.buf.split().freeze()
+    }
+}
+
+/// Iterates the item lists of a framed batch payload. The scratch buffer
+/// is reused across lists.
+pub fn for_each_item_list(
+    payload: &[u8],
+    scratch: &mut Vec<ItemId>,
+    mut f: impl FnMut(&[ItemId]) -> Result<()>,
+) -> Result<()> {
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        if payload.len() - pos < 4 {
+            return Err(Error::Corrupt("item-list frame header truncated".into()));
+        }
+        let n = u32::from_le_bytes(payload[pos..pos + 4].try_into().expect("4")) as usize;
+        pos += 4;
+        if payload.len() - pos < 4 * n {
+            return Err(Error::Corrupt(format!(
+                "item-list frame of {n} items truncated"
+            )));
+        }
+        scratch.clear();
+        for chunk in payload[pos..pos + 4 * n].chunks_exact(4) {
+            scratch.push(ItemId(u32::from_le_bytes(chunk.try_into().expect("4"))));
+        }
+        pos += 4 * n;
+        f(scratch)?;
+    }
+    Ok(())
+}
+
+/// An append-only batch of k-itemsets, flushed as one message (HPGM ships
+/// millions of tiny itemsets; batching is what makes per-message latency
+/// survivable — the real SP-2 code did the same).
+pub struct ItemsetBatch {
+    k: usize,
+    buf: BytesMut,
+}
+
+impl ItemsetBatch {
+    /// An empty batch of k-itemsets.
+    pub fn new(k: usize) -> ItemsetBatch {
+        ItemsetBatch {
+            k,
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Appends one sorted k-itemset.
+    pub fn push(&mut self, itemset: &[ItemId]) {
+        debug_assert_eq!(itemset.len(), self.k);
+        for it in itemset {
+            self.buf.put_u32_le(it.raw());
+        }
+    }
+
+    /// Number of itemsets queued.
+    pub fn len(&self) -> usize {
+        self.buf.len() / (4 * self.k)
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the queued payload, leaving the batch empty.
+    pub fn take(&mut self) -> Bytes {
+        self.buf.split().freeze()
+    }
+}
+
+/// Iterates the k-itemsets of a flat batch payload, passing each to `f`.
+pub fn for_each_itemset(
+    payload: &[u8],
+    k: usize,
+    mut f: impl FnMut(&[ItemId]) -> Result<()>,
+) -> Result<()> {
+    let stride = 4 * k;
+    if stride == 0 || !payload.len().is_multiple_of(stride) {
+        return Err(Error::Corrupt(format!(
+            "batch payload of {} bytes is not a multiple of {stride}",
+            payload.len()
+        )));
+    }
+    let mut scratch = vec![ItemId(0); k];
+    for group in payload.chunks_exact(stride) {
+        for (slot, chunk) in scratch.iter_mut().zip(group.chunks_exact(4)) {
+            *slot = ItemId(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+        }
+        f(&scratch)?;
+    }
+    Ok(())
+}
+
+/// Encodes counted itemsets (an `L_k^n` fragment or the full `L_k`).
+/// Layout: `u32 n, u32 k`, then `n` records of `k` item codes + `u64`
+/// count. `k = 0` with item-count-prefixed records is not needed — all
+/// itemsets in one message share their size.
+pub fn encode_counted(k: usize, itemsets: &[(Itemset, u64)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + itemsets.len() * (4 * k + 8));
+    buf.put_u32_le(itemsets.len() as u32);
+    buf.put_u32_le(k as u32);
+    for (set, count) in itemsets {
+        debug_assert_eq!(set.len(), k);
+        for it in set.items() {
+            buf.put_u32_le(it.raw());
+        }
+        buf.put_u64_le(*count);
+    }
+    buf.freeze()
+}
+
+/// Decodes a counted itemset list.
+pub fn decode_counted(payload: &[u8]) -> Result<Vec<(Itemset, u64)>> {
+    if payload.len() < 8 {
+        return Err(Error::Corrupt("counted list shorter than header".into()));
+    }
+    let n = u32::from_le_bytes(payload[0..4].try_into().expect("4")) as usize;
+    let k = u32::from_le_bytes(payload[4..8].try_into().expect("4")) as usize;
+    let stride = 4 * k + 8;
+    let body = &payload[8..];
+    if body.len() != n * stride {
+        return Err(Error::Corrupt(format!(
+            "counted list body {} bytes, expected {}",
+            body.len(),
+            n * stride
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for rec in body.chunks_exact(stride) {
+        let mut items = Vec::with_capacity(k);
+        for chunk in rec[..4 * k].chunks_exact(4) {
+            items.push(ItemId(u32::from_le_bytes(chunk.try_into().expect("4"))));
+        }
+        // Validate the canonical-itemset invariant rather than trusting
+        // the wire: a corrupted or adversarial payload must surface as an
+        // error, never as a malformed Itemset.
+        if !items.windows(2).all(|w| w[0] < w[1]) {
+            return Err(Error::Corrupt(
+                "counted list record is not a strictly increasing itemset".into(),
+            ));
+        }
+        let count = u64::from_le_bytes(rec[4 * k..].try_into().expect("8"));
+        out.push((Itemset::from_sorted(items), count));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_types::iset;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    #[test]
+    fn items_round_trip() {
+        let items = ids(&[5, 6, 10]);
+        let b = encode_items(&items);
+        assert_eq!(b.len(), 12); // "Node 2 sends 3 items" = 12 bytes
+        let mut out = Vec::new();
+        decode_items(&b, &mut out).unwrap();
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn items_reject_ragged_payload() {
+        let mut out = Vec::new();
+        assert!(decode_items(&[1, 2, 3], &mut out).is_err());
+    }
+
+    #[test]
+    fn item_list_batch_round_trip() {
+        let mut b = ItemListBatch::new();
+        assert!(b.is_empty());
+        b.push(&ids(&[5, 6, 10]));
+        b.push(&ids(&[]));
+        b.push(&ids(&[7]));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.byte_len(), 28); // 3 u32 headers + 4 u32 items
+        let payload = b.take();
+        assert!(b.is_empty());
+        let mut scratch = Vec::new();
+        let mut got = Vec::new();
+        for_each_item_list(&payload, &mut scratch, |l| {
+            got.push(l.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, vec![ids(&[5, 6, 10]), ids(&[]), ids(&[7])]);
+    }
+
+    #[test]
+    fn item_list_batch_rejects_truncation() {
+        let mut b = ItemListBatch::new();
+        b.push(&ids(&[1, 2]));
+        let payload = b.take();
+        let mut scratch = Vec::new();
+        assert!(for_each_item_list(&payload[..payload.len() - 1], &mut scratch, |_| Ok(())).is_err());
+        assert!(for_each_item_list(&payload[..2], &mut scratch, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let mut b = ItemsetBatch::new(2);
+        assert!(b.is_empty());
+        b.push(&ids(&[1, 2]));
+        b.push(&ids(&[3, 15]));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.byte_len(), 16);
+        let payload = b.take();
+        assert!(b.is_empty());
+        let mut got = Vec::new();
+        for_each_itemset(&payload, 2, |s| {
+            got.push(s.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, vec![ids(&[1, 2]), ids(&[3, 15])]);
+    }
+
+    #[test]
+    fn batch_rejects_ragged_payload() {
+        let res = for_each_itemset(&[0u8; 12], 2, |_| Ok(()));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn counted_round_trip() {
+        let sets = vec![(iset![1, 2], 42u64), (iset![3, 15], 7)];
+        let b = encode_counted(2, &sets);
+        assert_eq!(decode_counted(&b).unwrap(), sets);
+    }
+
+    #[test]
+    fn counted_empty_list() {
+        let b = encode_counted(3, &[]);
+        assert_eq!(decode_counted(&b).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn counted_rejects_truncation() {
+        let sets = vec![(iset![1, 2], 42u64)];
+        let b = encode_counted(2, &sets);
+        assert!(decode_counted(&b[..b.len() - 1]).is_err());
+        assert!(decode_counted(&b[..4]).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's headline *shapes*, asserted as tests (the bench binaries
+//! only print them): duplication flattens the probe distribution, and
+//! the finest grain flattens it most.
+
+use gar_cluster::stats::skew_summary;
+use gar_cluster::ClusterConfig;
+use gar_datagen::{DatasetSpec, TransactionGenerator};
+use gar_mining::parallel::mine_parallel;
+use gar_mining::{Algorithm, MiningParams};
+use gar_storage::PartitionedDatabase;
+
+fn skewed_workload() -> (gar_taxonomy::Taxonomy, PartitionedDatabase) {
+    // Few patterns over a moderately deep forest: exponential pattern
+    // weights make a couple of trees hot, which is the skew §3.4 targets.
+    let spec = DatasetSpec {
+        name: "skewed".into(),
+        num_transactions: 8_000,
+        avg_transaction_size: 8.0,
+        avg_pattern_size: 4.0,
+        num_patterns: 40,
+        num_items: 600,
+        num_roots: 12,
+        fanout: 4.0,
+        seed: 42,
+    };
+    let mut g = TransactionGenerator::new(&spec).unwrap();
+    let txns: Vec<_> = g.by_ref().collect();
+    let tax = g.into_taxonomy();
+    let db = PartitionedDatabase::build_in_memory(8, txns.into_iter()).unwrap();
+    (tax, db)
+}
+
+fn probe_cv(alg: Algorithm, tax: &gar_taxonomy::Taxonomy, db: &PartitionedDatabase, memory: u64) -> f64 {
+    let params = MiningParams::with_min_support(0.008).max_pass(2);
+    let cluster = ClusterConfig::new(8, memory);
+    let rep = mine_parallel(alg, db, tax, &params, &cluster).unwrap();
+    skew_summary(&rep.pass(2).expect("pass 2").probes_per_node()).cv
+}
+
+#[test]
+fn duplication_flattens_probe_distribution() {
+    let (tax, db) = skewed_workload();
+    let memory = 2 * 1024 * 1024; // ample free space for duplication
+    let hhpgm = probe_cv(Algorithm::HHpgm, &tax, &db, memory);
+    let fgd = probe_cv(Algorithm::HHpgmFgd, &tax, &db, memory);
+    let pgd = probe_cv(Algorithm::HHpgmPgd, &tax, &db, memory);
+    assert!(
+        fgd < hhpgm,
+        "FGD probe cv {fgd:.3} should be below H-HPGM's {hhpgm:.3}"
+    );
+    assert!(
+        pgd < hhpgm,
+        "PGD probe cv {pgd:.3} should be below H-HPGM's {hhpgm:.3}"
+    );
+    // The finest grain ends up (weakly) flattest.
+    assert!(fgd <= pgd + 0.05, "FGD {fgd:.3} vs PGD {pgd:.3}");
+}
+
+#[test]
+fn fgd_duplicates_replicate_hot_candidates() {
+    let (tax, db) = skewed_workload();
+    let params = MiningParams::with_min_support(0.008).max_pass(2);
+    let cluster = ClusterConfig::new(8, 2 * 1024 * 1024);
+    let rep = mine_parallel(Algorithm::HHpgmFgd, &db, &tax, &params, &cluster).unwrap();
+    let p2 = rep.pass(2).expect("pass 2");
+    assert!(p2.num_duplicated > 0);
+    // Duplicated counting happens on every node's own data, so every
+    // node must show probe work even if it owns few partitioned combos.
+    assert!(p2.node_deltas.iter().all(|d| d.hash_probes > 0));
+}
+
+#[test]
+fn modeled_time_beats_hhpgm_under_skew_with_free_memory() {
+    let (tax, db) = skewed_workload();
+    let params = MiningParams::with_min_support(0.008).max_pass(2);
+    let memory = 2 * 1024 * 1024;
+    let run = |alg| {
+        let cluster = ClusterConfig::new(8, memory);
+        mine_parallel(alg, &db, &tax, &params, &cluster)
+            .unwrap()
+            .pass(2)
+            .unwrap()
+            .modeled_seconds
+    };
+    let hhpgm = run(Algorithm::HHpgm);
+    let fgd = run(Algorithm::HHpgmFgd);
+    assert!(
+        fgd < hhpgm * 1.05,
+        "FGD {fgd:.3}s should not lose to H-HPGM {hhpgm:.3}s under skew"
+    );
+}

@@ -1,0 +1,110 @@
+//! Property tests for the message encodings and the persistence format:
+//! arbitrary values round-trip exactly, and random corruption never
+//! panics (it errors or yields a decoded value, but must not crash).
+
+use gar_mining::params::Algorithm;
+use gar_mining::persist::{load_output, save_output};
+use gar_mining::report::{LargePass, MiningOutput};
+use gar_mining::wire;
+use gar_types::{ItemId, Itemset};
+use proptest::prelude::*;
+
+fn arb_itemsets(k: usize) -> impl Strategy<Value = Vec<(Itemset, u64)>> {
+    proptest::collection::btree_map(
+        proptest::collection::btree_set(0u32..10_000, k..=k),
+        proptest::num::u64::ANY,
+        0..30,
+    )
+    .prop_map(|m| {
+        m.into_iter()
+            .map(|(s, c)| (Itemset::from_unsorted(s.into_iter().map(ItemId).collect()), c))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn counted_lists_round_trip(sets in arb_itemsets(3)) {
+        let encoded = wire::encode_counted(3, &sets);
+        prop_assert_eq!(wire::decode_counted(&encoded).unwrap(), sets);
+    }
+
+    #[test]
+    fn item_lists_round_trip(lists in proptest::collection::vec(
+        proptest::collection::vec(0u32..1_000_000, 0..20), 0..20))
+    {
+        let mut batch = wire::ItemListBatch::new();
+        let lists: Vec<Vec<ItemId>> = lists
+            .into_iter()
+            .map(|l| l.into_iter().map(ItemId).collect())
+            .collect();
+        for l in &lists {
+            batch.push(l);
+        }
+        let payload = batch.take();
+        let mut scratch = Vec::new();
+        let mut got = Vec::new();
+        wire::for_each_item_list(&payload, &mut scratch, |l| {
+            got.push(l.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        prop_assert_eq!(got, lists);
+    }
+
+    #[test]
+    fn corrupted_counted_lists_never_panic(
+        sets in arb_itemsets(2),
+        cut in 0usize..200,
+        flip in 0usize..200,
+    ) {
+        let encoded = wire::encode_counted(2, &sets);
+        if encoded.is_empty() {
+            return Ok(());
+        }
+        // Truncation.
+        let cut = cut % encoded.len();
+        let _ = wire::decode_counted(&encoded[..cut]);
+        // Bit flip.
+        let mut mutated = encoded.to_vec();
+        let at = flip % mutated.len();
+        mutated[at] ^= 0x55;
+        let _ = wire::decode_counted(&mutated);
+    }
+
+    #[test]
+    fn outputs_round_trip_via_disk(
+        l1 in arb_itemsets(1),
+        l2 in arb_itemsets(2),
+        n in 1u64..1_000_000,
+        thresh in 1u64..1_000,
+    ) {
+        let mut passes = Vec::new();
+        if !l1.is_empty() {
+            passes.push(LargePass { k: 1, itemsets: l1 });
+        }
+        if !l2.is_empty() {
+            passes.push(LargePass { k: 2, itemsets: l2 });
+        }
+        let out = MiningOutput {
+            algorithm: Algorithm::HHpgmTgd,
+            num_transactions: n,
+            min_support_count: thresh,
+            passes,
+        };
+        let path = std::env::temp_dir().join(format!(
+            "gar-prop-{}-{n}-{thresh}.gout",
+            std::process::id()
+        ));
+        save_output(&out, &path).unwrap();
+        let loaded = load_output(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(loaded.algorithm, out.algorithm);
+        prop_assert_eq!(loaded.num_transactions, out.num_transactions);
+        prop_assert_eq!(loaded.min_support_count, out.min_support_count);
+        prop_assert_eq!(
+            loaded.all_large().collect::<Vec<_>>(),
+            out.all_large().collect::<Vec<_>>()
+        );
+    }
+}

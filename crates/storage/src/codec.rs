@@ -1,0 +1,195 @@
+//! Binary record format for transaction partitions.
+//!
+//! One record = `u32` LE item count followed by that many `u32` LE item
+//! codes. Dense, alignment-free, and trivially seekable from the front —
+//! all a sequential mining scan needs. Item codes within a record are
+//! stored sorted (the writer enforces it), so scans never re-sort.
+
+use gar_types::{Error, ItemId, Result};
+use std::io::{Read, Write};
+
+/// Encoded size of a transaction with `len` items, in bytes.
+#[inline]
+pub fn encoded_len(len: usize) -> usize {
+    4 + 4 * len
+}
+
+/// Writes one transaction record.
+///
+/// # Errors
+/// Propagates the writer's I/O errors; rejects transactions longer than
+/// `u32::MAX` items (unrepresentable length prefix).
+pub fn write_transaction(w: &mut impl Write, items: &[ItemId]) -> Result<()> {
+    let len = u32::try_from(items.len())
+        .map_err(|_| Error::Corrupt(format!("transaction of {} items is too long", items.len())))?;
+    debug_assert!(
+        items.windows(2).all(|p| p[0] < p[1]),
+        "records must be sorted/deduped before writing"
+    );
+    let mut buf = Vec::with_capacity(encoded_len(items.len()));
+    buf.extend_from_slice(&len.to_le_bytes());
+    for it in items {
+        buf.extend_from_slice(&it.raw().to_le_bytes());
+    }
+    w.write_all(&buf)
+        .map_err(|e| Error::io("writing transaction record", e))
+}
+
+/// Reads the next record into `buf` (cleared first). Returns the number of
+/// bytes consumed, or `None` on a clean end-of-stream.
+///
+/// # Errors
+/// A record truncated mid-way is reported as [`Error::Corrupt`]; other read
+/// failures as [`Error::Io`].
+pub fn read_transaction(r: &mut impl Read, buf: &mut Vec<ItemId>) -> Result<Option<usize>> {
+    buf.clear();
+    let mut len_bytes = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_bytes)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Partial => {
+            return Err(Error::Corrupt("record length prefix truncated".into()))
+        }
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    buf.reserve(len);
+    let mut word = [0u8; 4];
+    for i in 0..len {
+        match read_exact_or_eof(r, &mut word)? {
+            ReadOutcome::Full => buf.push(ItemId(u32::from_le_bytes(word))),
+            _ => {
+                return Err(Error::Corrupt(format!(
+                    "record truncated at item {i} of {len}"
+                )))
+            }
+        }
+    }
+    Ok(Some(encoded_len(len)))
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// `read_exact` that distinguishes "no bytes at all" (clean EOF between
+/// records) from "some but not all" (corruption).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Error::io("reading transaction record", e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    #[test]
+    fn round_trip_single_record() {
+        let txn = ids(&[1, 5, 9, 200]);
+        let mut out = Vec::new();
+        write_transaction(&mut out, &txn).unwrap();
+        assert_eq!(out.len(), encoded_len(4));
+
+        let mut cur = Cursor::new(out);
+        let mut buf = Vec::new();
+        let n = read_transaction(&mut cur, &mut buf).unwrap();
+        assert_eq!(n, Some(encoded_len(4)));
+        assert_eq!(buf, txn);
+        assert_eq!(read_transaction(&mut cur, &mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn round_trip_many_records_including_empty() {
+        let txns = vec![ids(&[3]), ids(&[]), ids(&[1, 2, 3, 4, 5])];
+        let mut out = Vec::new();
+        for t in &txns {
+            write_transaction(&mut out, t).unwrap();
+        }
+        let mut cur = Cursor::new(out);
+        let mut buf = Vec::new();
+        for t in &txns {
+            assert!(read_transaction(&mut cur, &mut buf).unwrap().is_some());
+            assert_eq!(&buf, t);
+        }
+        assert_eq!(read_transaction(&mut cur, &mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_prefix_is_corrupt() {
+        let mut cur = Cursor::new(vec![1u8, 0]); // 2 of 4 prefix bytes
+        let mut buf = Vec::new();
+        let err = read_transaction(&mut cur, &mut buf).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_body_is_corrupt() {
+        let mut bytes = Vec::new();
+        write_transaction(&mut bytes, &ids(&[1, 2, 3])).unwrap();
+        bytes.truncate(bytes.len() - 2);
+        let mut cur = Cursor::new(bytes);
+        let mut buf = Vec::new();
+        let err = read_transaction(&mut cur, &mut buf).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn encoded_len_matches_reality() {
+        for n in [0usize, 1, 7, 100] {
+            let txn: Vec<ItemId> = (0..n as u32).map(ItemId).collect();
+            let mut out = Vec::new();
+            write_transaction(&mut out, &txn).unwrap();
+            assert_eq!(out.len(), encoded_len(n));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    proptest! {
+        #[test]
+        fn arbitrary_batches_round_trip(
+            txns in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..10_000, 0..40), 0..50)
+        ) {
+            let txns: Vec<Vec<ItemId>> = txns.into_iter()
+                .map(|s| s.into_iter().map(ItemId).collect())
+                .collect();
+            let mut bytes = Vec::new();
+            for t in &txns {
+                write_transaction(&mut bytes, t).unwrap();
+            }
+            let mut cur = Cursor::new(bytes);
+            let mut buf = Vec::new();
+            let mut got = Vec::new();
+            while read_transaction(&mut cur, &mut buf).unwrap().is_some() {
+                got.push(buf.clone());
+            }
+            prop_assert_eq!(got, txns);
+        }
+    }
+}

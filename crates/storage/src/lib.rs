@@ -1,0 +1,53 @@
+//! The transaction database substrate.
+//!
+//! The paper's SP-2 nodes each own a 2 GB local disk holding their share of
+//! the (horizontally partitioned) transaction file; "the transaction data is
+//! evenly spread over the local disks of all the nodes". This crate
+//! reproduces that layout:
+//!
+//! * [`codec`] — a compact length-prefixed binary record format;
+//! * [`DiskPartition`] / [`PartitionWriter`] — one file per node, buffered,
+//!   with cumulative read-byte accounting (NPGM's defining cost is
+//!   *re-scanning* these files once per candidate fragment);
+//! * [`MemoryPartition`] — an in-memory stand-in with the same interface
+//!   for unit tests and allocation-free microbenches;
+//! * [`PartitionedDatabase`] — splits a transaction stream round-robin
+//!   across `N` node partitions, as the evaluation section prescribes.
+//!
+//! Every scan path is infallible-fast: records stream through a reusable
+//! buffer; corruption and truncation surface as [`gar_types::Error`].
+
+pub mod codec;
+mod database;
+mod memory;
+mod partition;
+
+pub use database::PartitionedDatabase;
+pub use memory::MemoryPartition;
+pub use partition::{DiskPartition, PartitionWriter, ScanIter};
+
+use gar_types::{ItemId, Result};
+
+/// A node-local slice of the transaction database (`D^n` in the paper's
+/// notation): something that can be scanned start-to-finish, repeatedly.
+pub trait TransactionSource: Send + Sync {
+    /// Number of transactions in this partition.
+    fn num_transactions(&self) -> usize;
+
+    /// Starts a fresh scan. Each call rewinds to the first transaction.
+    fn scan(&self) -> Result<Box<dyn TransactionScan + '_>>;
+
+    /// Total bytes read from this partition so far, across all scans.
+    /// Memory partitions report equivalent encoded bytes so NPGM's
+    /// fragment-rescan cost stays visible in either mode.
+    fn bytes_read(&self) -> u64;
+}
+
+/// A streaming pass over one partition. `next_into` refills the caller's
+/// buffer to avoid a per-transaction allocation on the hot path (see the
+/// perf-book guidance on reusing workhorse collections).
+pub trait TransactionScan {
+    /// Reads the next transaction into `buf` (cleared first). Returns
+    /// `Ok(false)` on a clean end-of-partition.
+    fn next_into(&mut self, buf: &mut Vec<ItemId>) -> Result<bool>;
+}

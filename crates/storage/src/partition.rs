@@ -1,0 +1,218 @@
+//! On-disk partitions (one per simulated node).
+
+use crate::codec;
+use crate::{TransactionScan, TransactionSource};
+use gar_types::{Error, ItemId, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Streams transaction records into a partition file.
+pub struct PartitionWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    num_transactions: usize,
+    bytes: u64,
+}
+
+impl PartitionWriter {
+    /// Creates (truncating) the partition file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<PartitionWriter> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)
+            .map_err(|e| Error::io(format!("creating partition {}", path.display()), e))?;
+        Ok(PartitionWriter {
+            path,
+            out: BufWriter::new(file),
+            num_transactions: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Appends one transaction (must be sorted and de-duplicated).
+    pub fn write(&mut self, items: &[ItemId]) -> Result<()> {
+        codec::write_transaction(&mut self.out, items)?;
+        self.num_transactions += 1;
+        self.bytes += codec::encoded_len(items.len()) as u64;
+        Ok(())
+    }
+
+    /// Flushes and seals the partition, returning the readable handle.
+    pub fn finish(mut self) -> Result<DiskPartition> {
+        self.out
+            .flush()
+            .map_err(|e| Error::io(format!("flushing partition {}", self.path.display()), e))?;
+        Ok(DiskPartition {
+            path: self.path,
+            num_transactions: self.num_transactions,
+            bytes: self.bytes,
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+}
+
+/// A sealed, scannable partition file — the simulated node-local disk
+/// (`D^n`). Tracks cumulative bytes read so repeated scans (NPGM fragment
+/// loops) show up in the I/O ledger.
+#[derive(Debug)]
+pub struct DiskPartition {
+    path: PathBuf,
+    num_transactions: usize,
+    bytes: u64,
+    bytes_read: AtomicU64,
+}
+
+impl DiskPartition {
+    /// Opens an existing partition file, counting its records up front.
+    pub fn open(path: impl AsRef<Path>) -> Result<DiskPartition> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)
+            .map_err(|e| Error::io(format!("opening partition {}", path.display()), e))?;
+        let mut reader = BufReader::new(file);
+        let mut buf = Vec::new();
+        let mut num_transactions = 0;
+        let mut bytes = 0u64;
+        while let Some(n) = codec::read_transaction(&mut reader, &mut buf)? {
+            num_transactions += 1;
+            bytes += n as u64;
+        }
+        Ok(DiskPartition {
+            path,
+            num_transactions,
+            bytes,
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Encoded size of the partition in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl TransactionSource for DiskPartition {
+    fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+
+    fn scan(&self) -> Result<Box<dyn TransactionScan + '_>> {
+        let file = File::open(&self.path)
+            .map_err(|e| Error::io(format!("re-opening partition {}", self.path.display()), e))?;
+        Ok(Box::new(ScanIter {
+            reader: BufReader::with_capacity(256 * 1024, file),
+            bytes_read: &self.bytes_read,
+        }))
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+}
+
+/// One sequential pass over a [`DiskPartition`].
+pub struct ScanIter<'a> {
+    reader: BufReader<File>,
+    bytes_read: &'a AtomicU64,
+}
+
+impl TransactionScan for ScanIter<'_> {
+    fn next_into(&mut self, buf: &mut Vec<ItemId>) -> Result<bool> {
+        match codec::read_transaction(&mut self.reader, buf)? {
+            Some(n) => {
+                self.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gar-storage-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&x| ItemId(x)).collect()
+    }
+
+    #[test]
+    fn write_then_scan_round_trips() {
+        let path = tmp("roundtrip");
+        let mut w = PartitionWriter::create(&path).unwrap();
+        let txns = vec![ids(&[1, 2]), ids(&[7]), ids(&[3, 4, 5])];
+        for t in &txns {
+            w.write(t).unwrap();
+        }
+        let p = w.finish().unwrap();
+        assert_eq!(p.num_transactions(), 3);
+
+        let mut scan = p.scan().unwrap();
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        while scan.next_into(&mut buf).unwrap() {
+            got.push(buf.clone());
+        }
+        assert_eq!(got, txns);
+        drop(scan);
+        assert_eq!(p.bytes_read(), p.size_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repeated_scans_accumulate_bytes_read() {
+        let path = tmp("rescan");
+        let mut w = PartitionWriter::create(&path).unwrap();
+        for i in 0..10u32 {
+            w.write(&ids(&[i, i + 100])).unwrap();
+        }
+        let p = w.finish().unwrap();
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            let mut scan = p.scan().unwrap();
+            while scan.next_into(&mut buf).unwrap() {}
+        }
+        assert_eq!(p.bytes_read(), 3 * p.size_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_recounts_records() {
+        let path = tmp("open");
+        let mut w = PartitionWriter::create(&path).unwrap();
+        for i in 0..5u32 {
+            w.write(&ids(&[i])).unwrap();
+        }
+        let sealed = w.finish().unwrap();
+        let reopened = DiskPartition::open(&path).unwrap();
+        assert_eq!(reopened.num_transactions(), 5);
+        assert_eq!(reopened.size_bytes(), sealed.size_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_missing_file_fails_with_context() {
+        let err = DiskPartition::open("/nonexistent/gar-part").unwrap_err();
+        assert!(err.to_string().contains("opening partition"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_file_detected_on_open() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, [5u8, 0, 0, 0, 1, 0]).unwrap(); // claims 5 items, has 1.5
+        let err = DiskPartition::open(&path).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

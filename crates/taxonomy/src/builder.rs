@@ -1,0 +1,153 @@
+//! Validated construction of a [`Taxonomy`].
+
+use crate::taxonomy::Taxonomy;
+use gar_types::{Error, ItemId, Result};
+
+/// Incrementally assembles a taxonomy from `(child, parent)` edges and
+/// validates the forest invariants before producing a [`Taxonomy`].
+///
+/// Invariants checked by [`TaxonomyBuilder::build`]:
+/// * every referenced item id is `< num_items`;
+/// * no item has two parents (the hierarchy is a forest, per the paper's
+///   Figure 1);
+/// * no cycles (an item is never its own ancestor).
+#[derive(Debug, Clone)]
+pub struct TaxonomyBuilder {
+    num_items: u32,
+    parent: Vec<Option<ItemId>>,
+}
+
+impl TaxonomyBuilder {
+    /// Starts a taxonomy over items `0..num_items`, all initially roots.
+    pub fn new(num_items: u32) -> Self {
+        TaxonomyBuilder {
+            num_items,
+            parent: vec![None; num_items as usize],
+        }
+    }
+
+    /// Records that `parent` is the direct generalization of `child`.
+    ///
+    /// Returns an error if either id is out of range or `child` already has
+    /// a different parent.
+    pub fn add_edge(&mut self, child: ItemId, parent: ItemId) -> Result<&mut Self> {
+        if child.raw() >= self.num_items || parent.raw() >= self.num_items {
+            return Err(Error::InvalidTaxonomy(format!(
+                "edge {child:?} -> {parent:?} references an item >= num_items ({})",
+                self.num_items
+            )));
+        }
+        if child == parent {
+            return Err(Error::InvalidTaxonomy(format!(
+                "item {child:?} cannot be its own parent"
+            )));
+        }
+        match self.parent[child.index()] {
+            Some(existing) if existing != parent => Err(Error::InvalidTaxonomy(format!(
+                "item {child:?} has two parents: {existing:?} and {parent:?}"
+            ))),
+            _ => {
+                self.parent[child.index()] = Some(parent);
+                Ok(self)
+            }
+        }
+    }
+
+    /// Convenience wrapper over [`add_edge`](Self::add_edge) for raw codes.
+    pub fn edge(&mut self, child: u32, parent: u32) -> Result<&mut Self> {
+        self.add_edge(ItemId(child), ItemId(parent))
+    }
+
+    /// Validates the forest and produces the immutable [`Taxonomy`].
+    pub fn build(self) -> Result<Taxonomy> {
+        // Cycle check: walk up from every node; a walk longer than num_items
+        // steps must have revisited something.
+        let n = self.num_items as usize;
+        for start in 0..n {
+            let mut cur = start;
+            let mut steps = 0usize;
+            while let Some(p) = self.parent[cur] {
+                cur = p.index();
+                steps += 1;
+                if steps > n {
+                    return Err(Error::InvalidTaxonomy(format!(
+                        "cycle detected on the ancestor chain of item {start}"
+                    )));
+                }
+            }
+        }
+        Ok(Taxonomy::from_parent_array(self.parent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_universe_is_all_roots() {
+        let t = TaxonomyBuilder::new(4).build().unwrap();
+        assert_eq!(t.num_items(), 4);
+        assert_eq!(t.roots().len(), 4);
+        assert!(t.ancestors(ItemId(2)).is_empty());
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        let mut b = TaxonomyBuilder::new(3);
+        assert!(b.edge(0, 5).is_err());
+        assert!(b.edge(5, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_self_parent() {
+        let mut b = TaxonomyBuilder::new(3);
+        assert!(b.edge(1, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_second_parent() {
+        let mut b = TaxonomyBuilder::new(3);
+        b.edge(2, 0).unwrap();
+        assert!(b.edge(2, 1).is_err());
+        // Re-adding the same edge is idempotent, not an error.
+        assert!(b.edge(2, 0).is_ok());
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = TaxonomyBuilder::new(3);
+        b.edge(0, 1).unwrap();
+        b.edge(1, 2).unwrap();
+        b.edge(2, 0).unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn builds_paper_figure_1_shape() {
+        // A two-tree forest like the paper's running example:
+        //   1 -> {3,4,5}, 3 -> {7,8}, 4 -> {9,10}
+        //   2 -> {6}, 6 -> {15}
+        let mut b = TaxonomyBuilder::new(16);
+        for (c, p) in [
+            (3, 1),
+            (4, 1),
+            (5, 1),
+            (7, 3),
+            (8, 3),
+            (9, 4),
+            (10, 4),
+            (6, 2),
+            (15, 6),
+        ] {
+            b.edge(c, p).unwrap();
+        }
+        let t = b.build().unwrap();
+        assert_eq!(t.root_of(ItemId(10)), ItemId(1));
+        assert_eq!(t.root_of(ItemId(15)), ItemId(2));
+        assert_eq!(t.ancestors(ItemId(10)), &[ItemId(4), ItemId(1)]);
+        assert!(t.is_ancestor(ItemId(1), ItemId(8)));
+        assert!(!t.is_ancestor(ItemId(8), ItemId(1)));
+        assert!(!t.is_ancestor(ItemId(2), ItemId(8)));
+    }
+}

@@ -1,0 +1,172 @@
+//! Taxonomy persistence.
+//!
+//! Format (little-endian): magic `GTAX`, `u32` version, `u32` item count,
+//! then one `u32` per item — the parent's code, or `u32::MAX` for a root.
+//! The parent array is the taxonomy's complete definition; everything
+//! else is derived on load (and re-validated, so a corrupted file cannot
+//! smuggle in a cycle).
+
+use crate::builder::TaxonomyBuilder;
+use crate::taxonomy::Taxonomy;
+use gar_types::{Error, ItemId, Result};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GTAX";
+const VERSION: u32 = 1;
+const NO_PARENT: u32 = u32::MAX;
+
+/// Writes `tax` to `path` (overwriting).
+pub fn save(tax: &Taxonomy, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path)
+        .map_err(|e| Error::io(format!("creating taxonomy file {}", path.display()), e))?;
+    let mut w = BufWriter::new(file);
+    let io_err = |e| Error::io(format!("writing taxonomy file {}", path.display()), e);
+    w.write_all(MAGIC).map_err(io_err)?;
+    w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+    w.write_all(&tax.num_items().to_le_bytes()).map_err(io_err)?;
+    for i in 0..tax.num_items() {
+        let code = tax.parent(ItemId(i)).map_or(NO_PARENT, |p| p.raw());
+        w.write_all(&code.to_le_bytes()).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Loads a taxonomy from `path`, re-validating the forest invariants.
+pub fn load(path: impl AsRef<Path>) -> Result<Taxonomy> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)
+        .map_err(|e| Error::io(format!("opening taxonomy file {}", path.display()), e))?;
+    let mut r = BufReader::new(file);
+    let io_err = |e| Error::io(format!("reading taxonomy file {}", path.display()), e);
+
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(Error::Corrupt(format!(
+            "{} is not a taxonomy file (bad magic)",
+            path.display()
+        )));
+    }
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word).map_err(io_err)?;
+    let version = u32::from_le_bytes(word);
+    if version != VERSION {
+        return Err(Error::Corrupt(format!(
+            "unsupported taxonomy file version {version}"
+        )));
+    }
+    r.read_exact(&mut word).map_err(io_err)?;
+    let n = u32::from_le_bytes(word);
+
+    let mut builder = TaxonomyBuilder::new(n);
+    for child in 0..n {
+        r.read_exact(&mut word).map_err(io_err)?;
+        let parent = u32::from_le_bytes(word);
+        if parent != NO_PARENT {
+            builder.add_edge(ItemId(child), ItemId(parent))?;
+        }
+    }
+    // Trailing garbage means a corrupt or concatenated file.
+    let mut extra = [0u8; 1];
+    match r.read(&mut extra) {
+        Ok(0) => {}
+        Ok(_) => {
+            return Err(Error::Corrupt(format!(
+                "taxonomy file {} has trailing bytes",
+                path.display()
+            )))
+        }
+        Err(e) => return Err(io_err(e)),
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SynthTaxonomyConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gar-tax-io-{}-{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let tax = synthesize(&SynthTaxonomyConfig {
+            num_items: 500,
+            num_roots: 7,
+            fanout: 4.0,
+            seed: 3,
+        });
+        let path = tmp("roundtrip");
+        save(&tax, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.num_items(), tax.num_items());
+        for i in 0..tax.num_items() {
+            assert_eq!(loaded.parent(ItemId(i)), tax.parent(ItemId(i)));
+            assert_eq!(loaded.root_of(ItemId(i)), tax.root_of(ItemId(i)));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00").unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let tax = synthesize(&SynthTaxonomyConfig {
+            num_items: 50,
+            num_roots: 2,
+            fanout: 3.0,
+            seed: 0,
+        });
+        let path = tmp("trunc");
+        save(&tax, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let tax = synthesize(&SynthTaxonomyConfig {
+            num_items: 10,
+            num_roots: 1,
+            fanout: 3.0,
+            seed: 0,
+        });
+        let path = tmp("trail");
+        save(&tax, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_cycle_rejected_on_load() {
+        // Hand-craft a 2-item file where 0 -> 1 -> 0.
+        let path = tmp("cycle");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"GTAX");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // parent(0) = 1
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // parent(1) = 0
+        std::fs::write(&path, bytes).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

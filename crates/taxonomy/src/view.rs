@@ -1,0 +1,103 @@
+//! Pruned taxonomy views (the Cumulate ancestor-filtering optimization).
+
+use crate::taxonomy::Taxonomy;
+use gar_types::ItemId;
+
+/// A per-pass filter over the taxonomy: "which ancestors are present in at
+/// least one candidate of `C_k`?"
+///
+/// Cumulate's second optimization ([SA95], carried into every algorithm of
+/// the paper): when an interior item occurs in no candidate of the current
+/// pass, adding it to extended transactions is pure waste, so it is deleted
+/// from the taxonomy *for this pass*. The view is a dense bitmask, so the
+/// per-item check on the extension hot path is one load.
+#[derive(Debug, Clone)]
+pub struct PrunedView {
+    keep: Vec<bool>,
+    kept: usize,
+}
+
+impl PrunedView {
+    /// Keeps exactly the items yielded by `present`.
+    pub fn new(tax: &Taxonomy, present: impl IntoIterator<Item = ItemId>) -> Self {
+        let mut keep = vec![false; tax.num_items() as usize];
+        let mut kept = 0;
+        for it in present {
+            if !keep[it.index()] {
+                keep[it.index()] = true;
+                kept += 1;
+            }
+        }
+        PrunedView { keep, kept }
+    }
+
+    /// Keeps every item (no pruning).
+    pub fn keep_all(tax: &Taxonomy) -> Self {
+        PrunedView {
+            keep: vec![true; tax.num_items() as usize],
+            kept: tax.num_items() as usize,
+        }
+    }
+
+    /// Whether `item` survives the pruning.
+    #[inline]
+    pub fn keeps(&self, item: ItemId) -> bool {
+        self.keep[item.index()]
+    }
+
+    /// Number of items kept.
+    #[inline]
+    pub fn kept(&self) -> usize {
+        self.kept
+    }
+
+    /// Extends a transaction with only the ancestors this view keeps.
+    /// Original items are always retained (they may still match leaf-level
+    /// candidates); only the *added ancestors* are filtered, exactly as in
+    /// Cumulate's count-support step.
+    pub fn extend_transaction(&self, tax: &Taxonomy, t: &[ItemId]) -> Vec<ItemId> {
+        tax.extend_transaction_filtered(t, |a| self.keeps(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxonomyBuilder;
+
+    fn chain() -> Taxonomy {
+        // 0 <- 1 <- 2 <- 3 (3 is the deepest leaf)
+        let mut b = TaxonomyBuilder::new(4);
+        b.edge(1, 0).unwrap();
+        b.edge(2, 1).unwrap();
+        b.edge(3, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn filters_absent_ancestors() {
+        let tax = chain();
+        let view = PrunedView::new(&tax, [ItemId(0), ItemId(3)]);
+        assert!(view.keeps(ItemId(0)));
+        assert!(!view.keeps(ItemId(1)));
+        assert_eq!(view.kept(), 2);
+        let ext = view.extend_transaction(&tax, &[ItemId(3)]);
+        assert_eq!(ext, vec![ItemId(0), ItemId(3)]);
+    }
+
+    #[test]
+    fn keep_all_behaves_like_plain_extension() {
+        let tax = chain();
+        let view = PrunedView::keep_all(&tax);
+        let ext = view.extend_transaction(&tax, &[ItemId(3)]);
+        assert_eq!(ext, tax.extend_transaction(&[ItemId(3)]));
+        assert_eq!(view.kept(), 4);
+    }
+
+    #[test]
+    fn duplicate_present_items_counted_once() {
+        let tax = chain();
+        let view = PrunedView::new(&tax, [ItemId(1), ItemId(1), ItemId(1)]);
+        assert_eq!(view.kept(), 1);
+    }
+}

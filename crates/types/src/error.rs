@@ -1,0 +1,96 @@
+//! Shared error type for the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the mining library and its substrates.
+#[derive(Debug)]
+pub enum Error {
+    /// A classification hierarchy failed validation (cycle, duplicate
+    /// parent, unknown item, ...).
+    InvalidTaxonomy(String),
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+    /// An I/O error from the storage substrate, with context.
+    Io {
+        /// What the storage layer was doing when the error occurred.
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A corrupt or truncated record was found while decoding a partition.
+    Corrupt(String),
+    /// A simulated cluster node panicked or disconnected.
+    NodeFailure {
+        /// Identifier of the failed node.
+        node: usize,
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+    /// The coordinator protocol was violated (e.g. a reduce with a
+    /// mismatched number of contributions).
+    Protocol(String),
+}
+
+impl Error {
+    /// Convenience constructor wrapping an [`std::io::Error`] with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Error::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidTaxonomy(msg) => write!(f, "invalid taxonomy: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Io { context, source } => write!(f, "i/o error while {context}: {source}"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::NodeFailure { node, reason } => {
+                write!(f, "cluster node {node} failed: {reason}")
+            }
+            Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::InvalidTaxonomy("item 3 has two parents".into());
+        assert_eq!(
+            e.to_string(),
+            "invalid taxonomy: item 3 has two parents"
+        );
+        let e = Error::NodeFailure {
+            node: 7,
+            reason: "worker thread panicked".into(),
+        };
+        assert_eq!(e.to_string(), "cluster node 7 failed: worker thread panicked");
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let inner = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = Error::io("reading partition 3", inner);
+        assert!(e.to_string().contains("reading partition 3"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

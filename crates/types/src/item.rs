@@ -1,0 +1,87 @@
+//! Dense item identifiers.
+
+use std::fmt;
+
+/// Identifier of an item in the universe `I = {i_1, ..., i_m}`.
+///
+/// Items are numbered densely from zero. Both leaf items (the things that
+/// actually appear in raw transactions) and interior/root items of the
+/// classification hierarchy are `ItemId`s — the taxonomy crate tells them
+/// apart.
+///
+/// A `u32` is used rather than `usize` because candidate tables hold many
+/// millions of itemsets, and halving key width measurably reduces memory
+/// traffic (see the type-size guidance in the Rust performance book).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The identifier as an index usable for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` code.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for ItemId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl From<ItemId> for u32 {
+    #[inline]
+    fn from(v: ItemId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = ItemId::from(17u32);
+        assert_eq!(id.raw(), 17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(u32::from(id), 17);
+    }
+
+    #[test]
+    fn ordering_follows_raw_code() {
+        assert!(ItemId(1) < ItemId(2));
+        assert_eq!(ItemId(5), ItemId(5));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", ItemId(3)), "i3");
+        assert_eq!(format!("{}", ItemId(3)), "3");
+    }
+
+    #[test]
+    fn is_small() {
+        assert_eq!(std::mem::size_of::<ItemId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<ItemId>>(), 8);
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the full public API. See README.md.
+pub use gar_cluster as cluster;
+pub use gar_datagen as datagen;
+pub use gar_mining as mining;
+pub use gar_storage as storage;
+pub use gar_taxonomy as taxonomy;
+pub use gar_types as types;
