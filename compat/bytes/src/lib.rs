@@ -1,0 +1,210 @@
+//! Offline stand-in for the `bytes 1` API subset this workspace uses.
+//!
+//! [`Bytes`] is an immutable, cheaply clonable byte buffer (`Arc<[u8]>`
+//! underneath — clones share one allocation, which is what keeps the
+//! cluster simulator's fan-out sends allocation-free). [`BytesMut`] is a
+//! growable builder that freezes into a `Bytes`. Zero-copy slicing of a
+//! sub-range is not implemented because nothing in the workspace slices a
+//! `Bytes` without copying.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable shared byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A buffer borrowing nothing: the static slice is copied once into a
+    /// shared allocation (the real crate points at the static data; the
+    /// workspace only uses this for tiny test payloads).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes { data: data.into() }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.data == other
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable byte builder, frozen into [`Bytes`] when complete.
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty builder with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Takes the accumulated bytes, leaving this builder empty (the
+    /// `split().freeze()` idiom for reusable batch buffers).
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut {
+            buf: std::mem::take(&mut self.buf),
+        }
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Little-endian append operations (`bytes::BufMut` subset).
+pub trait BufMut {
+    /// Appends a `u32` in little-endian byte order.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a `u64` in little-endian byte order.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a raw byte slice.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(7);
+        b.put_slice(&[1, 2]);
+        assert_eq!(b.len(), 14);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..4], &0xDEAD_BEEFu32.to_le_bytes());
+        assert_eq!(&frozen[4..12], &7u64.to_le_bytes());
+        assert_eq!(&frozen[12..], &[1, 2]);
+    }
+
+    #[test]
+    fn split_leaves_builder_empty_and_reusable() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(1);
+        let first = b.split().freeze();
+        assert!(b.is_empty());
+        b.put_u32_le(2);
+        let second = b.split().freeze();
+        assert_eq!(&first[..], &1u32.to_le_bytes());
+        assert_eq!(&second[..], &2u32.to_le_bytes());
+    }
+
+    #[test]
+    fn clones_share_and_compare() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+        assert_eq!(Bytes::from_static(b"xy"), Bytes::from(vec![b'x', b'y']));
+    }
+
+    #[test]
+    fn slicing_through_deref() {
+        let a = Bytes::from(vec![9u8; 10]);
+        assert_eq!(a.len(), 10);
+        assert_eq!(&a[..3], &[9, 9, 9]);
+        assert!(!a.is_empty());
+        assert_eq!(Bytes::new().len(), 0);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let a = Bytes::from_static(b"a\n");
+        assert_eq!(format!("{a:?}"), "b\"a\\n\"");
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion 0.5` API subset this workspace
+//! uses. It is a fixed-budget timing loop, not a statistics engine: each
+//! benchmark warms up briefly, then runs timed batches until a time
+//! budget or the sample count is exhausted, and prints mean and minimum
+//! per-iteration times. Good enough to compare the counter
+//! implementations on one machine; not calibrated for regressions below
+//! a few percent.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (`criterion::Criterion` subset).
+pub struct Criterion {
+    sample_size: usize,
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 30,
+            measure_budget: Duration::from_millis(750),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.sample_size, self.measure_budget, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&label, samples, self.criterion.measure_budget, f);
+        self
+    }
+
+    /// Ends the group (report flushing happens per-benchmark here).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+/// Hands the measured closure to the timing loop.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    min_iter: Duration,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` until the sample budget is spent.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        loop {
+            let start = Instant::now();
+            let out = f();
+            let dt = start.elapsed();
+            std::hint::black_box(out);
+            self.iters_done += 1;
+            self.elapsed += dt;
+            if dt < self.min_iter {
+                self.min_iter = dt;
+            }
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, samples: usize, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up pass: populate caches and lazy state, untimed.
+    let mut warm = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        min_iter: Duration::MAX,
+        deadline: Instant::now() + Duration::from_millis(100),
+    };
+    f(&mut warm);
+
+    let per_sample = budget / samples.max(1) as u32;
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            min_iter: Duration::MAX,
+            deadline: Instant::now() + per_sample,
+        };
+        f(&mut b);
+        total_iters += b.iters_done;
+        total_time += b.elapsed;
+        if b.min_iter < best {
+            best = b.min_iter;
+        }
+    }
+    if total_iters == 0 {
+        println!("{label}: no iterations completed");
+        return;
+    }
+    let mean = total_time / total_iters as u32;
+    println!("{label}: mean {mean:?}/iter, min {best:?}/iter ({total_iters} iters)");
+}
+
+/// Groups benchmark functions under one entry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measure_budget: Duration::from_millis(10),
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = Criterion {
+            sample_size: 1,
+            measure_budget: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        group.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| 1 + 1));
+        group.bench_function(BenchmarkId::from_parameter("p"), |b| b.iter(|| 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,467 @@
+//! Offline stand-in for the `proptest 1` API subset this workspace uses.
+//!
+//! Random testing without shrinking: each `#[test]` inside [`proptest!`]
+//! runs `cases` times with inputs drawn from the given strategies. On
+//! failure the panic message carries the case's seed and the `Debug`
+//! rendering of every generated argument, so any failure replays with
+//! `GAR_PROPTEST_SEED=<seed> cargo test <name>`.
+//!
+//! Implemented surface: range strategies (`0u32..200`), tuple strategies,
+//! [`Strategy::prop_map`], [`collection::vec`] / [`collection::btree_set`]
+//! / [`collection::btree_map`], `num::u64::ANY`, `prop_assert!`,
+//! `prop_assert_eq!`, `ProptestConfig::with_cases`, and early `return
+//! Ok(())` from test bodies. Not implemented: shrinking, `prop_assume`,
+//! `prop_oneof`, recursive strategies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng, UniformInt};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// How many cases each property runs (subset of proptest's config).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Smaller than proptest's 256: no shrinker means failures print
+        // whole inputs, and the heavy differential suites multiply this
+        // by full mining runs. Override with GAR_PROPTEST_CASES.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed property case. Construct through [`TestCaseError::fail`] or
+/// the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T: UniformInt + Copy> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// An inclusive length/size band for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi + 1)
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a size in `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>` with a size in `size`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Sets can stall below the target size when the element space
+            // is small; bail out after a bounded number of rejections
+            // rather than looping forever (proptest does the same).
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < 50 * (n + 1) {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < 50 * (n + 1) {
+                out.insert(self.key.sample(rng), self.value.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Numeric "any value" strategies (`proptest::num` subset).
+pub mod num {
+    /// Strategies over `u64`.
+    pub mod u64 {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::RngCore;
+
+        /// Every `u64`, uniformly.
+        pub struct Any;
+
+        /// Uniform over all of `u64`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u64;
+            fn sample(&self, rng: &mut StdRng) -> u64 {
+                rng.next_u64()
+            }
+        }
+    }
+}
+
+/// Drives the cases of one property (used by the [`proptest!`] macro).
+pub struct TestRunner {
+    cases: u32,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Builds a runner for the named property.
+    pub fn new(config: &ProptestConfig, name: &str) -> TestRunner {
+        let cases = std::env::var("GAR_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        // Stable per-property seed so every run explores the same inputs
+        // (deterministic CI); perturb with GAR_PROPTEST_SEED to explore.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let base_seed = std::env::var("GAR_PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(h);
+        TestRunner { cases, base_seed }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The RNG for one case.
+    pub fn rng_for_case(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.base_seed.wrapping_add(u64::from(case)))
+    }
+
+    /// Panics with a replayable report when `result` is a failure.
+    pub fn check(&self, case: u32, result: Result<(), TestCaseError>, inputs: &str) {
+        if let Err(TestCaseError(msg)) = result {
+            panic!(
+                "property failed at case {case}/{cases}: {msg}\n\
+                 replay: GAR_PROPTEST_SEED={seed} (case offset {case})\n\
+                 inputs:\n{inputs}",
+                cases = self.cases,
+                seed = self.base_seed,
+            );
+        }
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn p(x in strat) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config = $cfg;
+            let runner = $crate::TestRunner::new(&config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let rendered = {
+                    let mut s = String::new();
+                    $(s.push_str(&format!(
+                        "  {} = {:?}\n", stringify!($arg), $arg));)+
+                    s
+                };
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                runner.check(case, result, &rendered);
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let strat = crate::collection::vec(0u32..100, 3..8);
+        let mut a = rand::rngs::StdRng::seed_from_u64(1);
+        let mut b = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    #[test]
+    fn btree_set_respects_exact_size() {
+        let strat = crate::collection::btree_set(0u32..40, 3..=3usize);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut rng).len(), 3);
+        }
+    }
+
+    #[test]
+    fn small_element_space_terminates() {
+        let strat = crate::collection::btree_set(0u32..2, 5..=10usize);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert!(strat.sample(&mut rng).len() <= 2);
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(strat.sample(&mut rng) <= 18);
+        }
+    }
+
+    // The macro path itself, including early return and failure capture.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_in_range(x in 5u32..10, v in crate::collection::vec(0u32..3, 0..4)) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(v.len() < 4);
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert_eq!(v.iter().filter(|&&e| e > 2).count(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed at case")]
+    fn failures_report_seed_and_inputs() {
+        let config = ProptestConfig::with_cases(1);
+        let runner = TestRunner::new(&config, "failures_report_seed_and_inputs");
+        runner.check(0, Err(TestCaseError::fail("boom")), "  x = 1\n");
+    }
+}

@@ -95,5 +95,10 @@ fn bench_datagen(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_candidate_generation, bench_taxonomy_ops, bench_datagen);
+criterion_group!(
+    benches,
+    bench_candidate_generation,
+    bench_taxonomy_ops,
+    bench_datagen
+);
 criterion_main!(benches);

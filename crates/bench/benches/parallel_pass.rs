@@ -29,8 +29,7 @@ fn bench_parallel_pass2(c: &mut Criterion) {
     for alg in Algorithm::parallel_all() {
         group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
             b.iter(|| {
-                let rep =
-                    mine_parallel(alg, &db, &workload.taxonomy, &params, &cluster).unwrap();
+                let rep = mine_parallel(alg, &db, &workload.taxonomy, &params, &cluster).unwrap();
                 black_box(rep.output.num_large())
             })
         });

@@ -17,7 +17,10 @@ use gar_mining::Algorithm;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = Env::load(0.01);
-    banner("Ablation: duplication budget vs load balance (H-HPGM-FGD)", &env);
+    banner(
+        "Ablation: duplication budget vs load balance (H-HPGM-FGD)",
+        &env,
+    );
 
     const NODES: usize = 16;
     const MINSUP: f64 = 0.005;
@@ -25,11 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = workload.partition(NODES)?;
     let base = workload.pass2_candidate_bytes(MINSUP);
 
-    let headers = ["memory/partition", "duplicated", "probe max/avg", "probe cv", "modeled (s)"];
+    let headers = [
+        "memory/partition",
+        "duplicated",
+        "probe max/avg",
+        "probe cv",
+        "modeled (s)",
+    ];
     let mut rows = Vec::new();
     for factor in [1.05, 1.25, 1.5, 2.0, 4.0, 16.0] {
         let memory = ((base as f64 * factor) / NODES as f64).ceil() as u64 + 1;
-        let rep = run(Algorithm::HHpgmFgd, &workload, &db, MINSUP, NODES, memory, Some(2))?;
+        let rep = run(
+            Algorithm::HHpgmFgd,
+            &workload,
+            &db,
+            MINSUP,
+            NODES,
+            memory,
+            Some(2),
+        )?;
         let p2 = rep.pass(2).expect("pass 2");
         let skew = skew_summary(&p2.probes_per_node());
         rows.push(vec![

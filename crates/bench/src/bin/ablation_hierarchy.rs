@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let part = db.partition(0);
 
     let headers = [
-        "minsup %", "flat large", "generalized large", "ratio", "flat (ms)", "generalized (ms)",
+        "minsup %",
+        "flat large",
+        "generalized large",
+        "ratio",
+        "flat (ms)",
+        "generalized (ms)",
     ];
     let mut rows = Vec::new();
     for pct in [2.0f64, 1.0, 0.5] {
@@ -40,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{pct:.1}"),
             flat.num_large().to_string(),
             gen.num_large().to_string(),
-            format!("{:.1}x", gen.num_large() as f64 / flat.num_large().max(1) as f64),
+            format!(
+                "{:.1}x",
+                gen.num_large() as f64 / flat.num_large().max(1) as f64
+            ),
             flat_ms.to_string(),
             gen_ms.to_string(),
         ]);

@@ -13,13 +13,17 @@ use gar_mining::Algorithm;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = Env::load(0.01);
-    banner("Figure 13: execution time, HPGM vs H-HPGM (pass 2, 16 nodes)", &env);
+    banner(
+        "Figure 13: execution time, HPGM vs H-HPGM (pass 2, 16 nodes)",
+        &env,
+    );
 
     const NODES: usize = 16;
     let mut csv_rows = Vec::new();
     for spec in presets::all(env.seed) {
         let workload = Workload::generate(&spec, &env)?;
-        let memory = workload.memory_per_node(MINSUP_SWEEP_PCT[MINSUP_SWEEP_PCT.len() - 1] / 100.0, NODES);
+        let memory =
+            workload.memory_per_node(MINSUP_SWEEP_PCT[MINSUP_SWEEP_PCT.len() - 1] / 100.0, NODES);
         let db = workload.partition(NODES)?;
 
         println!("\n--- dataset {} ---", spec.name);
@@ -27,8 +31,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rows = Vec::new();
         for pct in MINSUP_SWEEP_PCT {
             let minsup = pct / 100.0;
-            let hpgm = run(Algorithm::Hpgm, &workload, &db, minsup, NODES, memory, Some(2))?;
-            let hhpgm = run(Algorithm::HHpgm, &workload, &db, minsup, NODES, memory, Some(2))?;
+            let hpgm = run(
+                Algorithm::Hpgm,
+                &workload,
+                &db,
+                minsup,
+                NODES,
+                memory,
+                Some(2),
+            )?;
+            let hhpgm = run(
+                Algorithm::HHpgm,
+                &workload,
+                &db,
+                minsup,
+                NODES,
+                memory,
+                Some(2),
+            )?;
             let a = hpgm.pass(2).map(|p| p.modeled_seconds).unwrap_or(0.0);
             let b = hhpgm.pass(2).map(|p| p.modeled_seconds).unwrap_or(0.0);
             rows.push(vec![

@@ -15,7 +15,10 @@ use gar_mining::Algorithm;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = Env::load(0.01);
-    banner("Figure 14: execution time of the proposed algorithms (pass 2, 16 nodes)", &env);
+    banner(
+        "Figure 14: execution time of the proposed algorithms (pass 2, 16 nodes)",
+        &env,
+    );
 
     const NODES: usize = 16;
     const ALGS: [Algorithm; 5] = [
@@ -29,10 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut csv_rows = Vec::new();
     for spec in presets::all(env.seed) {
         let workload = Workload::generate(&spec, &env)?;
-        let memory = workload.memory_per_node(MINSUP_SWEEP_PCT[MINSUP_SWEEP_PCT.len() - 1] / 100.0, NODES);
+        let memory =
+            workload.memory_per_node(MINSUP_SWEEP_PCT[MINSUP_SWEEP_PCT.len() - 1] / 100.0, NODES);
         let db = workload.partition(NODES)?;
 
-        println!("\n--- dataset {} (memory/node = {} KiB) ---", spec.name, memory / 1024);
+        println!(
+            "\n--- dataset {} (memory/node = {} KiB) ---",
+            spec.name,
+            memory / 1024
+        );
         let headers = ["minsup %", "NPGM", "H-HPGM", "TGD", "PGD", "FGD"];
         let mut rows = Vec::new();
         for pct in MINSUP_SWEEP_PCT {

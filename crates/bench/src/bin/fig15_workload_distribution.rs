@@ -15,7 +15,10 @@ use gar_mining::Algorithm;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = Env::load(0.01);
-    banner("Figure 15: per-node sup_cou probes at pass 2 (R30F5, 0.3%, 16 nodes)", &env);
+    banner(
+        "Figure 15: per-node sup_cou probes at pass 2 (R30F5, 0.3%, 16 nodes)",
+        &env,
+    );
 
     const NODES: usize = 16;
     const MINSUP: f64 = 0.003;

@@ -13,9 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = Env::load(0.01);
     banner("Table 5: parameters of datasets", &env);
 
-    let headers = [
-        "parameter", "R30F5", "R30F3", "R30F10",
-    ];
+    let headers = ["parameter", "R30F5", "R30F3", "R30F10"];
     let mut cols: Vec<Vec<String>> = Vec::new();
     for spec in presets::all(env.seed) {
         let w = Workload::generate(&spec, &env)?;

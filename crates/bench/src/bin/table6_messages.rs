@@ -13,7 +13,10 @@ use gar_mining::Algorithm;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = Env::load(0.01);
-    banner("Table 6: average received message volume per node (pass 2)", &env);
+    banner(
+        "Table 6: average received message volume per node (pass 2)",
+        &env,
+    );
 
     const MINSUP: f64 = 0.003;
     let workload = Workload::generate(&presets::r30f5(env.seed), &env)?;
@@ -23,8 +26,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for nodes in [8usize, 12, 16] {
         let db = workload.partition(nodes)?;
-        let hpgm = run(Algorithm::Hpgm, &workload, &db, MINSUP, nodes, memory, Some(2))?;
-        let hhpgm = run(Algorithm::HHpgm, &workload, &db, MINSUP, nodes, memory, Some(2))?;
+        let hpgm = run(
+            Algorithm::Hpgm,
+            &workload,
+            &db,
+            MINSUP,
+            nodes,
+            memory,
+            Some(2),
+        )?;
+        let hhpgm = run(
+            Algorithm::HHpgm,
+            &workload,
+            &db,
+            MINSUP,
+            nodes,
+            memory,
+            Some(2),
+        )?;
         let a = hpgm.pass(2).map(|p| p.avg_mb_received()).unwrap_or(0.0);
         let b = hhpgm.pass(2).map(|p| p.avg_mb_received()).unwrap_or(0.0);
         rows.push(vec![

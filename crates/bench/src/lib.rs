@@ -183,11 +183,19 @@ pub fn write_csv(env: &Env, name: &str, headers: &[&str], rows: &[Vec<String>]) 
             s.to_string()
         }
     };
-    writeln!(f, "{}", headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","))
-        .map_err(|e| gar_types::Error::io("writing csv header", e))?;
+    writeln!(
+        f,
+        "{}",
+        headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+    )
+    .map_err(|e| gar_types::Error::io("writing csv header", e))?;
     for row in rows {
-        writeln!(f, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","))
-            .map_err(|e| gar_types::Error::io("writing csv row", e))?;
+        writeln!(
+            f,
+            "{}",
+            row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        )
+        .map_err(|e| gar_types::Error::io("writing csv row", e))?;
     }
     println!("\n  [written {}]", path.display());
     Ok(())

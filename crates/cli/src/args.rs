@@ -71,9 +71,8 @@ impl Args {
     /// Parsed value of a required flag.
     pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T> {
         let v = self.require(key)?;
-        v.parse().map_err(|_| {
-            Error::InvalidConfig(format!("flag --{key} has unparsable value '{v}'"))
-        })
+        v.parse()
+            .map_err(|_| Error::InvalidConfig(format!("flag --{key} has unparsable value '{v}'")))
     }
 
     /// True when the bare switch was given.
@@ -144,7 +143,10 @@ mod tests {
     fn positional_arguments_collected() {
         let a = parse("rules out.gout extra");
         assert_eq!(a.command.as_deref(), Some("rules"));
-        assert_eq!(a.positional(), &["out.gout".to_string(), "extra".to_string()]);
+        assert_eq!(
+            a.positional(),
+            &["out.gout".to_string(), "extra".to_string()]
+        );
     }
 
     #[test]

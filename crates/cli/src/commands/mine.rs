@@ -20,9 +20,10 @@ pub fn run(args: &Args) -> Result<()> {
 
     let mut params = MiningParams::with_min_support(min_support);
     if let Some(k) = args.get("max-pass") {
-        params = params.max_pass(k.parse().map_err(|_| {
-            gar_types::Error::InvalidConfig(format!("bad --max-pass '{k}'"))
-        })?);
+        params = params.max_pass(
+            k.parse()
+                .map_err(|_| gar_types::Error::InvalidConfig(format!("bad --max-pass '{k}'")))?,
+        );
     }
     params.validate()?;
 

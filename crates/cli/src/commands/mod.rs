@@ -111,7 +111,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("gar-cli-chain-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let mut parts = Vec::new();
-        for (i, txns) in [vec![ids(&[1])], vec![ids(&[2]), ids(&[3])]].iter().enumerate() {
+        for (i, txns) in [vec![ids(&[1])], vec![ids(&[2]), ids(&[3])]]
+            .iter()
+            .enumerate()
+        {
             let mut w = PartitionWriter::create(dir.join(format!("part-{i:04}.txn"))).unwrap();
             for t in txns {
                 w.write(t).unwrap();

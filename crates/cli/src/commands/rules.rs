@@ -21,9 +21,9 @@ pub fn run(args: &Args) -> Result<()> {
     let mut rules = derive_rules(&output, min_confidence, taxonomy.as_ref());
     let total = rules.len();
     if let Some(r) = args.get("interest") {
-        let r: f64 = r.parse().map_err(|_| {
-            gar_types::Error::InvalidConfig(format!("bad --interest '{r}'"))
-        })?;
+        let r: f64 = r
+            .parse()
+            .map_err(|_| gar_types::Error::InvalidConfig(format!("bad --interest '{r}'")))?;
         let tax = taxonomy.as_ref().ok_or_else(|| {
             gar_types::Error::InvalidConfig(
                 "--interest needs --taxonomy (ancestor rules define expectations)".into(),
@@ -36,14 +36,20 @@ pub fn run(args: &Args) -> Result<()> {
             rules.len()
         );
     } else {
-        println!("{total} rules at confidence >= {:.0}%", min_confidence * 100.0);
+        println!(
+            "{total} rules at confidence >= {:.0}%",
+            min_confidence * 100.0
+        );
     }
 
     for rule in rules.iter().take(top) {
         println!("  {rule}");
     }
     if rules.len() > top {
-        println!("  ... ({} more; raise --top to see them)", rules.len() - top);
+        println!(
+            "  ... ({} more; raise --top to see them)",
+            rules.len() - top
+        );
     }
     Ok(())
 }

@@ -8,13 +8,27 @@
 //!
 //! All operations are generation-counted so they can be reused pass after
 //! pass, and they are poisoned when any node fails so the surviving nodes
-//! error out instead of deadlocking.
+//! error out instead of deadlocking. Poisoning records the *first*
+//! failing node's id, which every subsequent error carries
+//! ([`gar_types::Error::Poisoned`]) so a cascade of secondary failures
+//! still points at its root cause.
+//!
+//! Concurrency discipline (model-checked by `cargo xtask loom`, enforced
+//! textually by `cargo xtask lint`):
+//!
+//! * every `Condvar` wait sits in a loop re-checking the generation
+//!   counter, so spurious or stale wakeups (a notify from a *previous*
+//!   generation's completion) re-park instead of returning early;
+//! * a node leaves a collective only when the generation has advanced
+//!   exactly once past the value it saw on entry, or the run is
+//!   poisoned — asserted in debug builds.
 
+use crate::sync::{Arc, AtomicUsize, Condvar, Mutex, Ordering};
 use bytes::Bytes;
 use gar_types::{Error, Result};
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+
+/// Sentinel for "no node has poisoned the run".
+const NOT_POISONED: usize = usize::MAX;
 
 #[derive(Default)]
 struct ReduceState {
@@ -41,7 +55,8 @@ struct BarrierState {
 /// Shared synchronization core for one cluster run.
 pub struct Collectives {
     num_nodes: usize,
-    poisoned: AtomicBool,
+    /// Id of the first node that poisoned the run, or [`NOT_POISONED`].
+    poisoned_by: AtomicUsize,
     reduce: Mutex<ReduceState>,
     reduce_cv: Condvar,
     bcast: Mutex<BcastState>,
@@ -56,12 +71,12 @@ impl Collectives {
         assert!(num_nodes >= 1);
         Collectives {
             num_nodes,
-            poisoned: AtomicBool::new(false),
-            reduce: Mutex::default(),
+            poisoned_by: AtomicUsize::new(NOT_POISONED),
+            reduce: Mutex::new(ReduceState::default()),
             reduce_cv: Condvar::new(),
-            bcast: Mutex::default(),
+            bcast: Mutex::new(BcastState::default()),
             bcast_cv: Condvar::new(),
-            barrier: Mutex::default(),
+            barrier: Mutex::new(BarrierState::default()),
             barrier_cv: Condvar::new(),
         }
     }
@@ -71,44 +86,62 @@ impl Collectives {
         self.num_nodes
     }
 
-    /// Marks the run failed and wakes every waiter. Called when a node
-    /// panics so its peers fail fast instead of deadlocking.
-    pub fn poison(&self) {
-        self.poisoned.store(true, Ordering::SeqCst);
+    /// Marks the run failed on behalf of `node` and wakes every waiter.
+    /// Called when a node panics or errors so its peers fail fast instead
+    /// of deadlocking. The first caller wins: later poisons keep the
+    /// original culprit.
+    pub fn poison(&self, node: usize) {
+        let _ = self.poisoned_by.compare_exchange(
+            NOT_POISONED,
+            node,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        // Take each state lock before notifying: a waiter that has
+        // checked `is_poisoned` but not yet parked would otherwise miss
+        // this wakeup forever (the classic lost-wakeup race; the loom
+        // suite's poison_vs_wait scenarios check exactly this).
+        drop(self.reduce.lock());
         self.reduce_cv.notify_all();
+        drop(self.bcast.lock());
         self.bcast_cv.notify_all();
+        drop(self.barrier.lock());
         self.barrier_cv.notify_all();
     }
 
     /// True once any participant has failed.
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::SeqCst)
+        self.poisoned_by.load(Ordering::SeqCst) != NOT_POISONED
     }
 
     fn check_poison(&self) -> Result<()> {
-        if self.is_poisoned() {
-            Err(Error::Protocol(
-                "collective aborted: a peer node failed".into(),
-            ))
-        } else {
-            Ok(())
+        match self.poisoned_by.load(Ordering::SeqCst) {
+            NOT_POISONED => Ok(()),
+            node => Err(Error::Poisoned { node }),
         }
     }
 
     /// Element-wise sum of every node's `contribution`. All participants
     /// must pass slices of the same length; all receive the same result.
-    pub fn all_reduce_u64(&self, contribution: &[u64]) -> Result<Arc<Vec<u64>>> {
+    /// `node` identifies the caller (for poison attribution).
+    pub fn all_reduce_u64(&self, node: usize, contribution: &[u64]) -> Result<Arc<Vec<u64>>> {
         self.check_poison()?;
         let mut s = self.reduce.lock();
         let my_gen = s.gen;
+        debug_assert!(
+            s.pending < self.num_nodes,
+            "all_reduce: {} arrivals before generation {} closed",
+            s.pending + 1,
+            my_gen
+        );
         if s.pending == 0 {
             s.acc.clear();
             s.acc.resize(contribution.len(), 0);
         } else if s.acc.len() != contribution.len() {
-            self.poison();
+            drop(s);
+            self.poison(node);
             return Err(Error::Protocol(format!(
-                "all_reduce length mismatch: {} vs {}",
-                s.acc.len(),
+                "all_reduce length mismatch at node {node}: expected {} elements",
                 contribution.len()
             )));
         }
@@ -120,73 +153,109 @@ impl Collectives {
             s.result = Arc::new(std::mem::take(&mut s.acc));
             s.pending = 0;
             s.gen += 1;
+            debug_assert_eq!(s.gen, my_gen + 1, "all_reduce generation must be monotonic");
             self.reduce_cv.notify_all();
             Ok(s.result.clone())
         } else {
             while s.gen == my_gen && !self.is_poisoned() {
-                self.reduce_cv.wait(&mut s);
+                s = self.reduce_cv.wait(s);
             }
             self.check_poison()?;
+            debug_assert_eq!(
+                s.gen,
+                my_gen + 1,
+                "all_reduce waiter woke {} generations late",
+                s.gen.wrapping_sub(my_gen)
+            );
             Ok(s.result.clone())
         }
     }
 
     /// One-to-all broadcast: exactly one participant passes `Some(data)`,
-    /// all receive that data.
-    pub fn broadcast(&self, data: Option<Bytes>) -> Result<Bytes> {
+    /// all receive that data. `node` identifies the caller.
+    pub fn broadcast(&self, node: usize, data: Option<Bytes>) -> Result<Bytes> {
         self.check_poison()?;
         let mut s = self.bcast.lock();
         let my_gen = s.gen;
+        debug_assert!(
+            s.pending < self.num_nodes,
+            "broadcast: {} arrivals before generation {} closed",
+            s.pending + 1,
+            my_gen
+        );
         if let Some(d) = data {
             if s.slot.is_some() {
-                self.poison();
-                return Err(Error::Protocol(
-                    "two nodes tried to broadcast in one round".into(),
-                ));
+                drop(s);
+                self.poison(node);
+                return Err(Error::Protocol(format!(
+                    "node {node} tried to broadcast into an occupied round"
+                )));
             }
             s.slot = Some(d);
         }
         s.pending += 1;
         if s.pending == self.num_nodes {
             let Some(d) = s.slot.take() else {
-                self.poison();
+                drop(s);
+                self.poison(node);
                 return Err(Error::Protocol("broadcast round with no root".into()));
             };
             s.result = d;
             s.pending = 0;
             s.gen += 1;
+            debug_assert_eq!(s.gen, my_gen + 1, "broadcast generation must be monotonic");
             self.bcast_cv.notify_all();
             Ok(s.result.clone())
         } else {
             while s.gen == my_gen && !self.is_poisoned() {
-                self.bcast_cv.wait(&mut s);
+                s = self.bcast_cv.wait(s);
             }
             self.check_poison()?;
+            debug_assert_eq!(
+                s.gen,
+                my_gen + 1,
+                "broadcast waiter woke {} generations late",
+                s.gen.wrapping_sub(my_gen)
+            );
             Ok(s.result.clone())
         }
     }
 
-    /// Rendezvous of all participants.
-    pub fn barrier(&self) -> Result<()> {
+    /// Rendezvous of all participants. `node` identifies the caller.
+    pub fn barrier(&self, node: usize) -> Result<()> {
+        let _ = node; // reserved for poison attribution on future failure paths
         self.check_poison()?;
         let mut s = self.barrier.lock();
         let my_gen = s.gen;
+        debug_assert!(
+            s.pending < self.num_nodes,
+            "barrier: {} arrivals before generation {} closed",
+            s.pending + 1,
+            my_gen
+        );
         s.pending += 1;
         if s.pending == self.num_nodes {
             s.pending = 0;
             s.gen += 1;
+            debug_assert_eq!(s.gen, my_gen + 1, "barrier generation must be monotonic");
             self.barrier_cv.notify_all();
         } else {
             while s.gen == my_gen && !self.is_poisoned() {
-                self.barrier_cv.wait(&mut s);
+                s = self.barrier_cv.wait(s);
             }
             self.check_poison()?;
+            debug_assert_eq!(
+                s.gen,
+                my_gen + 1,
+                "barrier waiter woke {} generations late",
+                s.gen.wrapping_sub(my_gen)
+            );
         }
         Ok(())
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(gar_loom)))]
 mod tests {
     use super::*;
 
@@ -207,7 +276,8 @@ mod tests {
     #[test]
     fn all_reduce_sums_elementwise() {
         let results = run_nodes(4, |id, c| {
-            c.all_reduce_u64(&[id as u64, 1, 10 * id as u64]).unwrap()
+            c.all_reduce_u64(id, &[id as u64, 1, 10 * id as u64])
+                .unwrap()
         });
         for r in results {
             assert_eq!(&*r, &[6, 4, 60]);
@@ -216,9 +286,9 @@ mod tests {
 
     #[test]
     fn all_reduce_is_reusable_across_generations() {
-        let results = run_nodes(3, |_, c| {
-            let a = c.all_reduce_u64(&[1]).unwrap()[0];
-            let b = c.all_reduce_u64(&[2]).unwrap()[0];
+        let results = run_nodes(3, |id, c| {
+            let a = c.all_reduce_u64(id, &[1]).unwrap()[0];
+            let b = c.all_reduce_u64(id, &[2]).unwrap()[0];
             (a, b)
         });
         for (a, b) in results {
@@ -230,8 +300,8 @@ mod tests {
     fn all_reduce_length_mismatch_poisons() {
         let c = Collectives::new(2);
         let outcome = std::thread::scope(|s| {
-            let h0 = s.spawn(|| c.all_reduce_u64(&[1, 2]));
-            let h1 = s.spawn(|| c.all_reduce_u64(&[1]));
+            let h0 = s.spawn(|| c.all_reduce_u64(0, &[1, 2]));
+            let h1 = s.spawn(|| c.all_reduce_u64(1, &[1]));
             (h0.join().unwrap(), h1.join().unwrap())
         });
         assert!(outcome.0.is_err() || outcome.1.is_err());
@@ -242,7 +312,7 @@ mod tests {
     fn broadcast_delivers_root_payload() {
         let results = run_nodes(4, |id, c| {
             let data = (id == 2).then(|| Bytes::from_static(b"Lk"));
-            c.broadcast(data).unwrap()
+            c.broadcast(id, data).unwrap()
         });
         for r in results {
             assert_eq!(&r[..], b"Lk");
@@ -253,8 +323,8 @@ mod tests {
     fn broadcast_with_two_roots_poisons() {
         let c = Collectives::new(2);
         let outcome = std::thread::scope(|s| {
-            let h0 = s.spawn(|| c.broadcast(Some(Bytes::from_static(b"a"))));
-            let h1 = s.spawn(|| c.broadcast(Some(Bytes::from_static(b"b"))));
+            let h0 = s.spawn(|| c.broadcast(0, Some(Bytes::from_static(b"a"))));
+            let h1 = s.spawn(|| c.broadcast(1, Some(Bytes::from_static(b"b"))));
             (h0.join().unwrap(), h1.join().unwrap())
         });
         assert!(outcome.0.is_err() || outcome.1.is_err());
@@ -264,33 +334,46 @@ mod tests {
     fn barrier_synchronizes() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let before = AtomicUsize::new(0);
-        run_nodes(8, |_, c| {
+        run_nodes(8, |id, c| {
             before.fetch_add(1, Ordering::SeqCst);
-            c.barrier().unwrap();
+            c.barrier(id).unwrap();
             // After the barrier every node must observe all 8 arrivals.
             assert_eq!(before.load(Ordering::SeqCst), 8);
         });
     }
 
     #[test]
-    fn poison_wakes_waiters() {
+    fn poison_wakes_waiters_and_names_culprit() {
         let c = Collectives::new(2);
         std::thread::scope(|s| {
-            let waiter = s.spawn(|| c.barrier());
+            let waiter = s.spawn(|| c.barrier(0));
             std::thread::sleep(std::time::Duration::from_millis(20));
-            c.poison();
-            assert!(waiter.join().unwrap().is_err());
+            c.poison(1);
+            let err = waiter.join().unwrap().unwrap_err();
+            assert!(
+                matches!(err, Error::Poisoned { node: 1 }),
+                "expected Poisoned{{node: 1}}, got {err}"
+            );
         });
+    }
+
+    #[test]
+    fn first_poisoner_wins() {
+        let c = Collectives::new(3);
+        c.poison(2);
+        c.poison(0);
+        let err = c.barrier(1).unwrap_err();
+        assert!(matches!(err, Error::Poisoned { node: 2 }), "{err}");
     }
 
     #[test]
     fn single_node_collectives_are_trivial() {
         let c = Collectives::new(1);
-        assert_eq!(&*c.all_reduce_u64(&[5]).unwrap(), &[5]);
+        assert_eq!(&*c.all_reduce_u64(0, &[5]).unwrap(), &[5]);
         assert_eq!(
-            c.broadcast(Some(Bytes::from_static(b"x"))).unwrap(),
+            c.broadcast(0, Some(Bytes::from_static(b"x"))).unwrap(),
             Bytes::from_static(b"x")
         );
-        c.barrier().unwrap();
+        c.barrier(0).unwrap();
     }
 }

@@ -24,14 +24,27 @@
 //! and speedup shape — all functions of the counted quantities, which this
 //! substrate measures exactly (see DESIGN.md §2).
 
+// Under `--cfg gar_loom` (see `cargo xtask loom`) only the collectives
+// and the sync shim compile: the model checker replaces std primitives,
+// and the channel/thread machinery of the full simulator is out of the
+// model's scope.
 mod collective;
+#[cfg(not(gar_loom))]
 mod cost;
+#[cfg(not(gar_loom))]
 mod node;
+#[cfg(not(gar_loom))]
 mod runner;
+#[cfg(not(gar_loom))]
 pub mod stats;
+pub(crate) mod sync;
 
 pub use collective::Collectives;
+#[cfg(not(gar_loom))]
 pub use cost::CostModel;
+#[cfg(not(gar_loom))]
 pub use node::{Envelope, NodeCtx, CONTROL_TAG_EOS};
+#[cfg(not(gar_loom))]
 pub use runner::{Cluster, ClusterConfig, ClusterRun};
+#[cfg(not(gar_loom))]
 pub use stats::{NodeStats, NodeStatsSnapshot};

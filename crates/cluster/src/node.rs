@@ -113,12 +113,10 @@ impl NodeCtx {
             tag,
             payload,
         };
-        self.senders[to]
-            .send(env)
-            .map_err(|_| Error::NodeFailure {
-                node: to,
-                reason: "inbox disconnected".into(),
-            })?;
+        self.senders[to].send(env).map_err(|_| Error::NodeFailure {
+            node: to,
+            reason: "inbox disconnected".into(),
+        })?;
         if to != self.node_id {
             self.stats[self.node_id].record_send(len);
         }
@@ -156,7 +154,7 @@ impl NodeCtx {
 
     /// Rendezvous of all nodes (uncharged control traffic).
     pub fn barrier(&self) -> Result<()> {
-        self.collectives.barrier()
+        self.collectives.barrier(self.node_id)
     }
 
     /// Gathers every node's `contribution` at the coordinator, sums
@@ -183,7 +181,7 @@ impl NodeCtx {
         for _ in 0..recvs {
             self.stats[self.node_id].record_recv(bytes);
         }
-        self.collectives.all_reduce_u64(contribution)
+        self.collectives.all_reduce_u64(self.node_id, contribution)
     }
 
     /// One-to-all broadcast of `data` (exactly one node passes `Some`).
@@ -191,7 +189,7 @@ impl NodeCtx {
     pub fn broadcast(&self, data: Option<Bytes>) -> Result<Bytes> {
         let is_root = data.is_some();
         let root_send = data.as_ref().map(|d| d.len() as u64);
-        let out = self.collectives.broadcast(data)?;
+        let out = self.collectives.broadcast(self.node_id, data)?;
         if is_root {
             let bytes = root_send.unwrap_or(0);
             for _ in 0..self.num_nodes() - 1 {
@@ -203,9 +201,11 @@ impl NodeCtx {
         Ok(out)
     }
 
-    /// Marks this run failed (wakes peers blocked in collectives).
+    /// Marks this run failed on behalf of this node (wakes peers blocked
+    /// in collectives; the resulting [`Error::Poisoned`] names this node
+    /// unless a peer poisoned first).
     pub fn poison(&self) {
-        self.collectives.poison();
+        self.collectives.poison(self.node_id);
     }
 
     /// Starts an all-to-all data-exchange phase (see [`Exchange`]).

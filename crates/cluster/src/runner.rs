@@ -66,7 +66,11 @@ impl<T> ClusterRun<T> {
         if self.stats.is_empty() {
             return 0.0;
         }
-        self.stats.iter().map(|s| s.bytes_received as f64).sum::<f64>() / self.stats.len() as f64
+        self.stats
+            .iter()
+            .map(|s| s.bytes_received as f64)
+            .sum::<f64>()
+            / self.stats.len() as f64
     }
 
     /// Per-node hash-probe counts — Figure 15's series.
@@ -90,8 +94,7 @@ impl Cluster {
     {
         config.validate()?;
         let n = config.num_nodes;
-        let stats: Arc<Vec<NodeStats>> =
-            Arc::new((0..n).map(|_| NodeStats::default()).collect());
+        let stats: Arc<Vec<NodeStats>> = Arc::new((0..n).map(|_| NodeStats::default()).collect());
         let collectives = Arc::new(Collectives::new(n));
 
         let mut senders = Vec::with_capacity(n);
@@ -126,12 +129,12 @@ impl Cluster {
                     match out {
                         Ok(res) => {
                             if res.is_err() {
-                                collectives.poison();
+                                collectives.poison(node_id);
                             }
                             res
                         }
                         Err(panic) => {
-                            collectives.poison();
+                            collectives.poison(node_id);
                             let reason = panic
                                 .downcast_ref::<String>()
                                 .cloned()
@@ -159,8 +162,17 @@ impl Cluster {
         let wall = started.elapsed();
 
         let mut results = Vec::with_capacity(n);
-        for out in outcomes {
-            results.push(out.expect("every node produced an outcome")?);
+        for (node_id, out) in outcomes.into_iter().enumerate() {
+            // Filled by the scope join loop above for every node; a hole
+            // would mean the join loop itself was skipped, which the
+            // error path reports rather than crashing the caller.
+            let Some(outcome) = out else {
+                return Err(Error::NodeFailure {
+                    node: node_id,
+                    reason: "node produced no outcome".into(),
+                });
+            };
+            results.push(outcome?);
         }
         let snapshots: Vec<NodeStatsSnapshot> = stats.iter().map(NodeStats::snapshot).collect();
         let modeled_seconds = config.cost.execution_seconds(&snapshots);
@@ -298,7 +310,12 @@ mod tests {
             Ok(())
         })
         .unwrap_err();
-        assert!(err.to_string().contains("injected") || err.to_string().contains("aborted"));
+        // Node 0's outcome is reported first: it was poisoned by node 1,
+        // and the error names the culprit.
+        assert!(
+            err.to_string().contains("injected") || err.to_string().contains("poisoned by node 1"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -311,7 +328,10 @@ mod tests {
             Ok(())
         })
         .unwrap_err();
-        assert!(err.to_string().contains("boom") || err.to_string().contains("aborted"), "{err}");
+        assert!(
+            err.to_string().contains("boom") || err.to_string().contains("poisoned"),
+            "{err}"
+        );
     }
 
     #[test]

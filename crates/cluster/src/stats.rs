@@ -30,6 +30,9 @@ impl NodeStats {
     /// Captures a consistent-enough snapshot (relaxed loads; callers take
     /// snapshots at phase boundaries where the node threads are quiesced).
     pub fn snapshot(&self) -> NodeStatsSnapshot {
+        // relaxed: the counters are independent monotonic tallies and
+        // snapshots are taken at phase boundaries after the worker
+        // threads quiesce, so no inter-counter ordering is required.
         NodeStatsSnapshot {
             messages_sent: self.messages_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
@@ -45,6 +48,7 @@ impl NodeStats {
     /// Adds `n` abstract CPU work units.
     #[inline]
     pub fn add_cpu(&self, n: u64) {
+        // relaxed: independent monotonic counter; aggregated via snapshot()
         self.cpu_ticks.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -54,12 +58,14 @@ impl NodeStats {
     /// covers unsuccessful probes.
     #[inline]
     pub fn add_probes(&self, n: u64) {
+        // relaxed: independent monotonic counter; aggregated via snapshot()
         self.hash_probes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records a sent message of `bytes` payload bytes.
     #[inline]
     pub fn record_send(&self, bytes: u64) {
+        // relaxed: count/byte tallies are read together only in snapshot()
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -67,6 +73,7 @@ impl NodeStats {
     /// Records a received message of `bytes` payload bytes.
     #[inline]
     pub fn record_recv(&self, bytes: u64) {
+        // relaxed: count/byte tallies are read together only in snapshot()
         self.messages_received.fetch_add(1, Ordering::Relaxed);
         self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -74,12 +81,14 @@ impl NodeStats {
     /// Records `bytes` of local-disk input.
     #[inline]
     pub fn record_io(&self, bytes: u64) {
+        // relaxed: independent monotonic counter; aggregated via snapshot()
         self.io_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Records one complete pass over the local partition.
     #[inline]
     pub fn record_scan_pass(&self) {
+        // relaxed: independent monotonic counter; aggregated via snapshot()
         self.scan_passes.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -1,0 +1,75 @@
+//! Synchronization shim: `std::sync` in normal builds, the
+//! `gar-modelcheck` virtual primitives under `--cfg gar_loom`.
+//!
+//! Everything in [`crate::collective`] goes through these names, so the
+//! exact code that runs in production is the code the model checker
+//! explores (`cargo xtask loom`). The shim presents one API over both
+//! backends:
+//!
+//! * `Mutex::lock` returns the guard directly. On the `std` backend a
+//!   poisoned lock is recovered with `into_inner` — a panicking node
+//!   already poisons the collectives at a higher level (see
+//!   [`crate::Collectives::poison`]), and the protocol state itself is
+//!   kept consistent by the panicking operation never leaving a
+//!   half-updated generation behind.
+//! * `Condvar::wait` consumes and returns the guard (`std` style);
+//!   callers must loop on their predicate either way.
+
+#[cfg(not(gar_loom))]
+mod backend {
+    use std::sync::PoisonError;
+
+    pub use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    pub use std::sync::Arc;
+
+    /// `std::sync::Mutex` with panic-poisoning flattened away.
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    /// Guard type re-exported so signatures can name it under both
+    /// backends.
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// `std::sync::Condvar` with panic-poisoning flattened away.
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Condvar {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            // lint:allow(wait-loop): raw std passthrough — the predicate
+            // re-check loop lives at every call site (collective.rs).
+            self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+}
+
+#[cfg(gar_loom)]
+mod backend {
+    pub use gar_modelcheck::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    pub use gar_modelcheck::sync::{Condvar, Mutex, MutexGuard};
+    pub use std::sync::Arc;
+}
+
+pub(crate) use backend::{Arc, AtomicUsize, Condvar, Mutex, Ordering};
+
+// These are part of the shim surface even where collective.rs currently
+// names guards through inference and tracks poison state in an
+// AtomicUsize.
+#[allow(unused_imports)]
+pub(crate) use backend::{AtomicBool, MutexGuard};

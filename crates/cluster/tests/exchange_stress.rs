@@ -2,6 +2,9 @@
 //! matrices must be delivered exactly, and termination must hold under
 //! any interleaving of sends and polls.
 
+// The full simulator does not exist in model-checking builds.
+#![cfg(not(gar_loom))]
+
 use bytes::Bytes;
 use gar_cluster::{Cluster, ClusterConfig};
 use proptest::prelude::*;

@@ -77,7 +77,9 @@ impl WeightedIndex {
         let total = *self.cumulative.last().expect("non-empty");
         let x = rng.gen::<f64>() * total;
         // partition_point: first index whose cumulative sum exceeds x.
-        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Number of weights.

@@ -48,9 +48,7 @@ impl DatasetSpec {
             return Err(Error::InvalidConfig("num_patterns must be > 0".into()));
         }
         if self.avg_transaction_size < 1.0 || self.avg_pattern_size < 1.0 {
-            return Err(Error::InvalidConfig(
-                "average sizes must be >= 1".into(),
-            ));
+            return Err(Error::InvalidConfig("average sizes must be >= 1".into()));
         }
         if self.fanout <= 0.0 {
             return Err(Error::InvalidConfig("fanout must be positive".into()));
@@ -318,12 +316,21 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<_> = TransactionGenerator::new(&tiny_spec()).unwrap().take(50).collect();
-        let b: Vec<_> = TransactionGenerator::new(&tiny_spec()).unwrap().take(50).collect();
+        let a: Vec<_> = TransactionGenerator::new(&tiny_spec())
+            .unwrap()
+            .take(50)
+            .collect();
+        let b: Vec<_> = TransactionGenerator::new(&tiny_spec())
+            .unwrap()
+            .take(50)
+            .collect();
         assert_eq!(a, b);
         let mut spec2 = tiny_spec();
         spec2.seed = 100;
-        let c: Vec<_> = TransactionGenerator::new(&spec2).unwrap().take(50).collect();
+        let c: Vec<_> = TransactionGenerator::new(&spec2)
+            .unwrap()
+            .take(50)
+            .collect();
         assert_ne!(a, c);
     }
 

@@ -56,7 +56,10 @@ impl PatternPool {
         // Leaves grouped by tree, for the same-tree locality bias.
         let mut leaves_by_root: FxHashMap<ItemId, Vec<ItemId>> = FxHashMap::default();
         for &leaf in leaves {
-            leaves_by_root.entry(tax.root_of(leaf)).or_default().push(leaf);
+            leaves_by_root
+                .entry(tax.root_of(leaf))
+                .or_default()
+                .push(leaf);
         }
 
         let mut patterns: Vec<Pattern> = Vec::with_capacity(num_patterns);
@@ -83,10 +86,7 @@ impl PatternPool {
             // ([SA95]'s "close in the taxonomy"). Each pick is lifted to
             // an ancestor with geometric probability, so patterns mix
             // hierarchy levels.
-            let mut home_root: Option<ItemId> = items
-                .iter()
-                .next()
-                .map(|&it| tax.root_of(it));
+            let mut home_root: Option<ItemId> = items.iter().next().map(|&it| tax.root_of(it));
             let mut guard = 0;
             while items.len() < size && guard < size * 64 {
                 guard += 1;

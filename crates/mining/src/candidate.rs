@@ -160,7 +160,14 @@ mod tests {
 
     #[test]
     fn output_is_sorted_and_duplicate_free() {
-        let l2 = vec![iset![2, 3], iset![1, 2], iset![1, 3], iset![2, 4], iset![3, 4], iset![1, 4]];
+        let l2 = vec![
+            iset![2, 3],
+            iset![1, 2],
+            iset![1, 3],
+            iset![2, 4],
+            iset![3, 4],
+            iset![1, 4],
+        ];
         let c3 = generate_candidates(&l2);
         assert!(c3.windows(2).all(|w| w[0] < w[1]));
         // {1,2,3} (all subsets large), {1,2,4}, {1,3,4}, {2,3,4} all survive.

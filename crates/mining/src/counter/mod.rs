@@ -178,7 +178,12 @@ mod tests {
 
     #[test]
     fn triple_counting_agrees_between_counters() {
-        let cands = vec![iset![1, 2, 3], iset![1, 2, 4], iset![2, 3, 4], iset![1, 3, 5]];
+        let cands = vec![
+            iset![1, 2, 3],
+            iset![1, 2, 4],
+            iset![2, 3, 4],
+            iset![1, 3, 5],
+        ];
         let t = ids(&[1, 2, 3, 4, 5, 6]);
         let mut results = Vec::new();
         for mut c in counters(3, &cands) {
@@ -227,15 +232,12 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_itemsets(k: usize) -> impl Strategy<Value = Vec<Itemset>> {
-        proptest::collection::btree_set(
-            proptest::collection::btree_set(0u32..40, k..=k),
-            1..25,
-        )
-        .prop_map(|sets| {
-            sets.into_iter()
-                .map(|s| Itemset::from_unsorted(s.into_iter().map(ItemId).collect()))
-                .collect()
-        })
+        proptest::collection::btree_set(proptest::collection::btree_set(0u32..40, k..=k), 1..25)
+            .prop_map(|sets| {
+                sets.into_iter()
+                    .map(|s| Itemset::from_unsorted(s.into_iter().map(ItemId).collect()))
+                    .collect()
+            })
     }
 
     proptest! {

@@ -53,9 +53,9 @@
 pub mod candidate;
 pub mod counter;
 pub mod oracle;
+pub mod parallel;
 pub mod params;
 pub mod persist;
-pub mod parallel;
 pub mod report;
 pub mod rules;
 pub mod sequential;

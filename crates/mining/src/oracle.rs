@@ -31,10 +31,7 @@ pub fn mine_naive(
         .collect();
 
     let count_of = |set: &Itemset| -> u64 {
-        extended
-            .iter()
-            .filter(|t| set.is_contained_in(t))
-            .count() as u64
+        extended.iter().filter(|t| set.is_contained_in(t)).count() as u64
     };
 
     // L1: every item of the universe, by definition of containment.
@@ -62,7 +59,13 @@ pub fn mine_naive(
         // Candidates: every k-subset of the large items whose members are
         // pairwise hierarchy-unrelated and whose (k-1)-subsets are all
         // large. Built naively from the previous pass.
-        let prev: Vec<&Itemset> = passes.last().unwrap().itemsets.iter().map(|(s, _)| s).collect();
+        let prev: Vec<&Itemset> = passes
+            .last()
+            .unwrap()
+            .itemsets
+            .iter()
+            .map(|(s, _)| s)
+            .collect();
         let items: Vec<ItemId> = {
             let mut v: Vec<ItemId> = passes[0]
                 .itemsets
@@ -214,7 +217,11 @@ mod tests {
     fn respects_max_pass() {
         let tax = TaxonomyBuilder::new(4).build().unwrap();
         let txns = vec![ids(&[1, 2, 3]); 5];
-        let out = mine_naive(&txns, &tax, &MiningParams::with_min_support(0.5).max_pass(2));
+        let out = mine_naive(
+            &txns,
+            &tax,
+            &MiningParams::with_min_support(0.5).max_pass(2),
+        );
         assert!(out.large(2).is_some());
         assert!(out.large(3).is_none());
         let full = mine_naive(&txns, &tax, &MiningParams::with_min_support(0.5));

@@ -112,11 +112,7 @@ pub(crate) fn scan_partition(
 
 /// Generates pass-k candidates exactly as the sequential Cumulate does
 /// (identical on every node).
-pub(crate) fn candidates_for_pass(
-    k: usize,
-    prev: &LargePass,
-    tax: &Taxonomy,
-) -> Vec<Itemset> {
+pub(crate) fn candidates_for_pass(k: usize, prev: &LargePass, tax: &Taxonomy) -> Vec<Itemset> {
     if k == 2 {
         let l1: Vec<ItemId> = prev.itemsets.iter().map(|(s, _)| s.items()[0]).collect();
         generate_pairs(&l1, Some(tax))
@@ -221,11 +217,7 @@ pub(crate) fn root_key(items: &[ItemId], tax: &Taxonomy) -> Box<[u32]> {
 /// per-root multiplicity does not exceed that root's `avail` (the number
 /// of distinct transaction items under it — fewer can never support a
 /// candidate, because ancestor-related items never form one).
-pub(crate) fn for_each_root_multiset(
-    roots: &[(u32, usize)],
-    k: usize,
-    f: &mut impl FnMut(&[u32]),
-) {
+pub(crate) fn for_each_root_multiset(roots: &[(u32, usize)], k: usize, f: &mut impl FnMut(&[u32])) {
     fn rec(
         roots: &[(u32, usize)],
         start: usize,
@@ -264,9 +256,9 @@ pub(crate) fn node_pass_loop(
     algorithm: Algorithm,
     mut run_pass: impl FnMut(
         &NodeCtx,
-        usize,                 // k
-        &[Itemset],            // C_k
-        &Pass1,                // thresholds + item counts
+        usize,      // k
+        &[Itemset], // C_k
+        &Pass1,     // thresholds + item counts
     ) -> Result<(Vec<(Itemset, u64)>, usize, usize)>, // (L_k, duplicated, fragments)
 ) -> Result<NodeOutcome> {
     let mut pass_infos = Vec::new();
@@ -339,20 +331,14 @@ pub(crate) fn assemble_report(
 ) -> ParallelReport {
     let num_nodes = cluster.num_nodes;
     let num_passes = run.results[0].pass_infos.len();
-    debug_assert!(run
-        .results
-        .iter()
-        .all(|r| r.pass_infos.len() == num_passes));
+    debug_assert!(run.results.iter().all(|r| r.pass_infos.len() == num_passes));
 
     let mut pass_reports = Vec::with_capacity(num_passes);
     let mut total_modeled = 0.0;
     for p in 0..num_passes {
         let info = &run.results[0].pass_infos[p];
-        let node_deltas: Vec<NodeStatsSnapshot> = run
-            .results
-            .iter()
-            .map(|r| r.pass_infos[p].delta)
-            .collect();
+        let node_deltas: Vec<NodeStatsSnapshot> =
+            run.results.iter().map(|r| r.pass_infos[p].delta).collect();
         let modeled_seconds = cluster.cost.execution_seconds(&node_deltas);
         total_modeled += modeled_seconds;
         pass_reports.push(PassReport {
@@ -451,15 +437,10 @@ mod tests {
         for_each_root_multiset(&roots, 3, &mut |m| got.push(m.to_vec()));
         assert_eq!(
             got,
-            vec![
-                vec![1, 1, 1],
-                vec![1, 1, 2],
-                vec![1, 2, 2],
-                vec![2, 2, 2]
-            ]
-            .into_iter()
-            .filter(|m| m != &vec![2, 2, 2]) // avail(2) = 2
-            .collect::<Vec<_>>()
+            vec![vec![1, 1, 1], vec![1, 1, 2], vec![1, 2, 2], vec![2, 2, 2]]
+                .into_iter()
+                .filter(|m| m != &vec![2, 2, 2]) // avail(2) = 2
+                .collect::<Vec<_>>()
         );
     }
 

@@ -151,11 +151,15 @@ pub fn select_duplicates(
 
     // Greedy helper: try to take `group` (candidate indices) atomically.
     let try_take = |group: &[usize],
-                        taken: &mut FxHashSet<usize>,
-                        duplicated: &mut Vec<Itemset>,
-                        budget: &mut u64|
+                    taken: &mut FxHashSet<usize>,
+                    duplicated: &mut Vec<Itemset>,
+                    budget: &mut u64|
      -> bool {
-        let fresh: Vec<usize> = group.iter().copied().filter(|i| !taken.contains(i)).collect();
+        let fresh: Vec<usize> = group
+            .iter()
+            .copied()
+            .filter(|i| !taken.contains(i))
+            .collect();
         let need = fresh.len() as u64 * entry;
         if need == 0 {
             return true;
@@ -180,6 +184,8 @@ pub fn select_duplicates(
             for (i, c) in candidates.iter().enumerate() {
                 groups.entry(root_key(c.items(), tax)).or_default().push(i);
             }
+            // lint:allow(hash-order): drained into a Vec and sorted just
+            // below with a total-order tie-break (`ka.cmp(kb)`).
             let mut ordered: Vec<(Box<[u32]>, Vec<usize>)> = groups.into_iter().collect();
             ordered.sort_by(|(ka, _), (kb, _)| {
                 let ra: Vec<ItemId> = ka.iter().map(|&r| ItemId(r)).collect();
@@ -310,9 +316,7 @@ mod tests {
 
     fn l1_all(tax: &Taxonomy) -> Vec<bool> {
         let large = [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15];
-        (0..tax.num_items())
-            .map(|i| large.contains(&i))
-            .collect()
+        (0..tax.num_items()).map(|i| large.contains(&i)).collect()
     }
 
     #[test]
@@ -480,7 +484,11 @@ mod tests {
         let tax = paper_forest();
         let cands = figure6_candidates(&tax);
         let counts = counts_with(&tax, &[(8, 900)]);
-        for grain in [DuplicateGrain::Tree, DuplicateGrain::Path, DuplicateGrain::Fine] {
+        for grain in [
+            DuplicateGrain::Tree,
+            DuplicateGrain::Path,
+            DuplicateGrain::Fine,
+        ] {
             let sel = select_duplicates(
                 grain,
                 &cands,

@@ -12,11 +12,11 @@
 
 use crate::candidate::{generate_candidates, generate_pairs};
 use crate::counter::build_counter;
-use crate::params::MiningParams;
 use crate::parallel::common::{
     candidates_bytes, for_each_k_subset, gather_large, scan_partition, tags, BATCH_FLUSH_BYTES,
     POLL_EVERY_TXNS,
 };
+use crate::params::MiningParams;
 use crate::report::{LargePass, MiningOutput, ParallelReport, PassReport};
 use crate::sequential::{extract_large, large_items_from_counts};
 use crate::wire::{for_each_itemset, ItemsetBatch};
@@ -98,7 +98,13 @@ pub fn mine_parallel_flat(
         let global = ctx.all_reduce_u64(&counts)?;
         let l1 = large_items_from_counts(&global, min_support_count);
         let snap = ctx.stats().snapshot();
-        pass_infos.push((1, num_items as usize, 1, l1.itemsets.len(), snap.delta_since(&last_snap)));
+        pass_infos.push((
+            1,
+            num_items as usize,
+            1,
+            l1.itemsets.len(),
+            snap.delta_since(&last_snap),
+        ));
         last_snap = snap;
 
         let mut passes = vec![l1];
@@ -177,7 +183,7 @@ pub fn mine_parallel_flat(
                             Ok(())
                         })?;
                         txn_no += 1;
-                        if txn_no % POLL_EVERY_TXNS == 0 {
+                        if txn_no.is_multiple_of(POLL_EVERY_TXNS) {
                             ex.poll(|env| {
                                 for_each_itemset(&env.payload, k, |s| {
                                     let out = counter.probe(s);
@@ -209,7 +215,13 @@ pub fn mine_parallel_flat(
             };
 
             let snap = ctx.stats().snapshot();
-            pass_infos.push((k, candidates.len(), fragments, large.len(), snap.delta_since(&last_snap)));
+            pass_infos.push((
+                k,
+                candidates.len(),
+                fragments,
+                large.len(),
+                snap.delta_since(&last_snap),
+            ));
             last_snap = snap;
             if large.is_empty() {
                 break;
@@ -299,7 +311,12 @@ mod tests {
         for alg in [FlatAlgorithm::CountDistribution, FlatAlgorithm::Hpa] {
             let rep = mine_parallel_flat(alg, &db, 40, &params, &cluster)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
-            assert_eq!(rep.output.num_large(), expected.num_large(), "{}", alg.name());
+            assert_eq!(
+                rep.output.num_large(),
+                expected.num_large(),
+                "{}",
+                alg.name()
+            );
             for (a, b) in rep.output.all_large().zip(expected.all_large()) {
                 assert_eq!(a, b, "{}", alg.name());
             }
@@ -312,8 +329,8 @@ mod tests {
         let db = PartitionedDatabase::build_in_memory(2, txns.into_iter()).unwrap();
         let params = MiningParams::with_min_support(0.02).max_pass(2);
         let tight = ClusterConfig::new(2, 1024);
-        let rep = mine_parallel_flat(FlatAlgorithm::CountDistribution, &db, 40, &params, &tight)
-            .unwrap();
+        let rep =
+            mine_parallel_flat(FlatAlgorithm::CountDistribution, &db, 40, &params, &tight).unwrap();
         assert!(rep.pass_reports[1].num_fragments > 1);
     }
 
@@ -331,7 +348,11 @@ mod tests {
                 .collect();
             let db = PartitionedDatabase::build_in_memory(3, txns.into_iter()).unwrap();
             let rep = mine_parallel_flat(alg, &db, 40, &params, &cluster).unwrap();
-            rep.pass_reports[1].node_deltas.iter().map(|d| d.bytes_sent).sum()
+            rep.pass_reports[1]
+                .node_deltas
+                .iter()
+                .map(|d| d.bytes_sent)
+                .sum()
         };
         let cd_1 = pass2_bytes(FlatAlgorithm::CountDistribution, 1);
         let cd_2 = pass2_bytes(FlatAlgorithm::CountDistribution, 2);

@@ -22,12 +22,12 @@
 
 use crate::candidate::items_in_candidates;
 use crate::counter::{build_counter, CandidateCounter};
-use crate::params::{Algorithm, MiningParams};
 use crate::parallel::common::{
     assemble_report, candidates_bytes, for_each_root_multiset, gather_large, node_pass_loop,
     root_key, scan_partition, tags, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
 };
 use crate::parallel::duplicate::{select_duplicates, DuplicateGrain, DuplicateSelection};
+use crate::params::{Algorithm, MiningParams};
 use crate::report::ParallelReport;
 use crate::sequential::extract_large;
 use crate::wire::{for_each_item_list, ItemListBatch};
@@ -159,7 +159,9 @@ fn count_combos(
             while i + m < combo.len() && combo[i + m] == r {
                 m += 1;
             }
-            let gi = groups.binary_search_by_key(&r, |(x, _)| *x).expect("root present");
+            let gi = groups
+                .binary_search_by_key(&r, |(x, _)| *x)
+                .expect("root present");
             parts.push((&groups[gi].1, m));
             i += m;
         }
@@ -191,210 +193,218 @@ pub(crate) fn mine(
 ) -> Result<ParallelReport> {
     let run = Cluster::run(cluster, |ctx| {
         let part = db.partition(ctx.node_id());
-        node_pass_loop(ctx, part, tax, params, algorithm, |ctx, k, candidates, p1| {
-            let n = ctx.num_nodes();
-            let me = ctx.node_id();
+        node_pass_loop(
+            ctx,
+            part,
+            tax,
+            params,
+            algorithm,
+            |ctx, k, candidates, p1| {
+                let n = ctx.num_nodes();
+                let me = ctx.node_id();
 
-            // L1 membership mask: defines "large item" for the
-            // reduce-to-lowest-large transformation.
-            let mut l1 = vec![false; tax.num_items() as usize];
-            for (s, _) in &p1.large.itemsets {
-                l1[s.items()[0].index()] = true;
-            }
-
-            // Duplicate selection (identical on every node — inputs are
-            // all globally agreed).
-            let selection = match grain {
-                Some(g) => {
-                    let mut load = vec![0u64; n];
-                    for c in candidates {
-                        load[owner_of_key(&root_key(c.items(), tax), n)] +=
-                            candidates_bytes(k, 1);
-                    }
-                    let max_load = load.iter().copied().max().unwrap_or(0);
-                    let budget = ctx.memory_budget().saturating_sub(max_load);
-                    select_duplicates(
-                        g,
-                        candidates,
-                        tax,
-                        &p1.item_counts,
-                        p1.num_transactions,
-                        &l1,
-                        budget,
-                    )
-                }
-                None => DuplicateSelection::none(candidates),
-            };
-
-            // Ancestor-extension filter over the *full* candidate set.
-            let view = PrunedView::new(tax, items_in_candidates(candidates));
-
-            // My partition of the non-duplicated candidates.
-            let mine: Vec<Itemset> = selection
-                .remaining
-                .iter()
-                .filter(|c| owner_of_key(&root_key(c.items(), tax), n) == me)
-                .cloned()
-                .collect();
-            let mut local_counter = build_counter(params.counter, k, &mine);
-            let mut dup_counter = build_counter(params.counter, k, &selection.duplicated);
-
-            // Root combinations that still have partitioned candidates —
-            // only these cause any shipping — and the subset owned here,
-            // which is all this node ever enumerates.
-            let active: FxHashSet<Box<[u32]>> = selection
-                .remaining
-                .iter()
-                .map(|c| root_key(c.items(), tax))
-                .collect();
-            let owned_active: FxHashSet<Box<[u32]>> =
-                mine.iter().map(|c| root_key(c.items(), tax)).collect();
-            let dup_combos: FxHashSet<Box<[u32]>> = selection
-                .duplicated
-                .iter()
-                .map(|c| root_key(c.items(), tax))
-                .collect();
-            // Receive-path sentinel: C_k^D was already counted by the
-            // sender against its own transaction.
-            let no_dup: FxHashSet<Box<[u32]>> = FxHashSet::default();
-
-            let mut ex = ctx.exchange();
-            let mut txn_no = 0usize;
-            let mut roots_scratch: Vec<(u32, usize)> = Vec::new();
-            let mut owner_roots: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
-            let mut group_scratch: Vec<ItemId> = Vec::new();
-            let mut recv_scratch: Vec<ItemId> = Vec::new();
-            let mut batches: Vec<ItemListBatch> = (0..n).map(|_| ItemListBatch::new()).collect();
-
-            scan_partition(ctx, part, |t| {
-                let reduced = tax.reduce_to_lowest_large(t, |it| l1[it.index()]);
-                ctx.stats().add_cpu(t.len() as u64);
-                if reduced.is_empty() {
-                    return Ok(());
+                // L1 membership mask: defines "large item" for the
+                // reduce-to-lowest-large transformation.
+                let mut l1 = vec![false; tax.num_items() as usize];
+                for (s, _) in &p1.large.itemsets {
+                    l1[s.items()[0].index()] = true;
                 }
 
-                // One combined local counting pass: C_k^D combos (counted
-                // on every node's own data) and this node's own partition
-                // combos, sharing a single ancestor extension.
-                count_combos(
-                    ctx,
-                    tax,
-                    &view,
-                    dup_counter.as_mut(),
-                    &dup_combos,
-                    local_counter.as_mut(),
-                    &owned_active,
-                    &reduced,
-                    k,
-                );
-
-                // Distinct roots present, with the number of reduced items
-                // under each (availability bound for same-root combos).
-                roots_scratch.clear();
-                for &it in &reduced {
-                    let r = tax.root_of(it).raw();
-                    match roots_scratch.iter_mut().find(|(x, _)| *x == r) {
-                        Some((_, c)) => *c += 1,
-                        None => roots_scratch.push((r, 1)),
-                    }
-                }
-                roots_scratch.sort_unstable();
-
-                // Route: every active root k-combination marks its roots
-                // for the owning node.
-                for s in owner_roots.iter_mut() {
-                    s.clear();
-                }
-                for_each_root_multiset(&roots_scratch, k, &mut |combo| {
-                    ctx.stats().add_cpu(1);
-                    if active.contains(combo) {
-                        let owner = owner_of_key(combo, n);
-                        for &r in combo {
-                            owner_roots[owner].insert(r);
+                // Duplicate selection (identical on every node — inputs are
+                // all globally agreed).
+                let selection = match grain {
+                    Some(g) => {
+                        let mut load = vec![0u64; n];
+                        for c in candidates {
+                            load[owner_of_key(&root_key(c.items(), tax), n)] +=
+                                candidates_bytes(k, 1);
                         }
+                        let max_load = load.iter().copied().max().unwrap_or(0);
+                        let budget = ctx.memory_budget().saturating_sub(max_load);
+                        select_duplicates(
+                            g,
+                            candidates,
+                            tax,
+                            &p1.item_counts,
+                            p1.num_transactions,
+                            &l1,
+                            budget,
+                        )
                     }
-                });
+                    None => DuplicateSelection::none(candidates),
+                };
 
-                // Ship sub-transactions to the other owners (this node's
-                // own combinations were counted above).
-                for owner in 0..n {
-                    if owner == me || owner_roots[owner].is_empty() {
-                        continue;
+                // Ancestor-extension filter over the *full* candidate set.
+                let view = PrunedView::new(tax, items_in_candidates(candidates));
+
+                // My partition of the non-duplicated candidates.
+                let mine: Vec<Itemset> = selection
+                    .remaining
+                    .iter()
+                    .filter(|c| owner_of_key(&root_key(c.items(), tax), n) == me)
+                    .cloned()
+                    .collect();
+                let mut local_counter = build_counter(params.counter, k, &mine);
+                let mut dup_counter = build_counter(params.counter, k, &selection.duplicated);
+
+                // Root combinations that still have partitioned candidates —
+                // only these cause any shipping — and the subset owned here,
+                // which is all this node ever enumerates.
+                let active: FxHashSet<Box<[u32]>> = selection
+                    .remaining
+                    .iter()
+                    .map(|c| root_key(c.items(), tax))
+                    .collect();
+                let owned_active: FxHashSet<Box<[u32]>> =
+                    mine.iter().map(|c| root_key(c.items(), tax)).collect();
+                let dup_combos: FxHashSet<Box<[u32]>> = selection
+                    .duplicated
+                    .iter()
+                    .map(|c| root_key(c.items(), tax))
+                    .collect();
+                // Receive-path sentinel: C_k^D was already counted by the
+                // sender against its own transaction.
+                let no_dup: FxHashSet<Box<[u32]>> = FxHashSet::default();
+
+                let mut ex = ctx.exchange();
+                let mut txn_no = 0usize;
+                let mut roots_scratch: Vec<(u32, usize)> = Vec::new();
+                let mut owner_roots: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+                let mut group_scratch: Vec<ItemId> = Vec::new();
+                let mut recv_scratch: Vec<ItemId> = Vec::new();
+                let mut batches: Vec<ItemListBatch> =
+                    (0..n).map(|_| ItemListBatch::new()).collect();
+
+                scan_partition(ctx, part, |t| {
+                    let reduced = tax.reduce_to_lowest_large(t, |it| l1[it.index()]);
+                    ctx.stats().add_cpu(t.len() as u64);
+                    if reduced.is_empty() {
+                        return Ok(());
                     }
-                    group_scratch.clear();
-                    group_scratch.extend(
-                        reduced
-                            .iter()
-                            .copied()
-                            .filter(|&it| owner_roots[owner].contains(&tax.root_of(it).raw())),
-                    );
-                    let batch = &mut batches[owner];
-                    batch.push(&group_scratch);
-                    if batch.byte_len() >= BATCH_FLUSH_BYTES {
-                        ex.send(owner, tags::ITEMS, batch.take())?;
-                    }
-                }
 
-                txn_no += 1;
-                if txn_no.is_multiple_of(POLL_EVERY_TXNS) {
-                    ex.poll(|env| {
-                        for_each_item_list(&env.payload, &mut recv_scratch, |list| {
-                            count_combos(
-                                ctx,
-                                tax,
-                                &view,
-                                dup_counter.as_mut(),
-                                &no_dup,
-                                local_counter.as_mut(),
-                                &owned_active,
-                                list,
-                                k,
-                            );
-                            Ok(())
-                        })
-                    })?;
-                }
-                Ok(())
-            })?;
-
-            for (owner, batch) in batches.iter_mut().enumerate() {
-                if !batch.is_empty() {
-                    ex.send(owner, tags::ITEMS, batch.take())?;
-                }
-            }
-            ex.finish(|env| {
-                for_each_item_list(&env.payload, &mut recv_scratch, |list| {
+                    // One combined local counting pass: C_k^D combos (counted
+                    // on every node's own data) and this node's own partition
+                    // combos, sharing a single ancestor extension.
                     count_combos(
                         ctx,
                         tax,
                         &view,
                         dup_counter.as_mut(),
-                        &no_dup,
+                        &dup_combos,
                         local_counter.as_mut(),
                         &owned_active,
-                        list,
+                        &reduced,
                         k,
                     );
+
+                    // Distinct roots present, with the number of reduced items
+                    // under each (availability bound for same-root combos).
+                    roots_scratch.clear();
+                    for &it in &reduced {
+                        let r = tax.root_of(it).raw();
+                        match roots_scratch.iter_mut().find(|(x, _)| *x == r) {
+                            Some((_, c)) => *c += 1,
+                            None => roots_scratch.push((r, 1)),
+                        }
+                    }
+                    roots_scratch.sort_unstable();
+
+                    // Route: every active root k-combination marks its roots
+                    // for the owning node.
+                    for s in owner_roots.iter_mut() {
+                        s.clear();
+                    }
+                    for_each_root_multiset(&roots_scratch, k, &mut |combo| {
+                        ctx.stats().add_cpu(1);
+                        if active.contains(combo) {
+                            let owner = owner_of_key(combo, n);
+                            for &r in combo {
+                                owner_roots[owner].insert(r);
+                            }
+                        }
+                    });
+
+                    // Ship sub-transactions to the other owners (this node's
+                    // own combinations were counted above).
+                    for owner in 0..n {
+                        if owner == me || owner_roots[owner].is_empty() {
+                            continue;
+                        }
+                        group_scratch.clear();
+                        group_scratch.extend(
+                            reduced
+                                .iter()
+                                .copied()
+                                .filter(|&it| owner_roots[owner].contains(&tax.root_of(it).raw())),
+                        );
+                        let batch = &mut batches[owner];
+                        batch.push(&group_scratch);
+                        if batch.byte_len() >= BATCH_FLUSH_BYTES {
+                            ex.send(owner, tags::ITEMS, batch.take())?;
+                        }
+                    }
+
+                    txn_no += 1;
+                    if txn_no.is_multiple_of(POLL_EVERY_TXNS) {
+                        ex.poll(|env| {
+                            for_each_item_list(&env.payload, &mut recv_scratch, |list| {
+                                count_combos(
+                                    ctx,
+                                    tax,
+                                    &view,
+                                    dup_counter.as_mut(),
+                                    &no_dup,
+                                    local_counter.as_mut(),
+                                    &owned_active,
+                                    list,
+                                    k,
+                                );
+                                Ok(())
+                            })
+                        })?;
+                    }
                     Ok(())
-                })
-            })?;
-            // Quiesce the exchange before coordinator gathers start so no
-            // GATHER message can race into a peer's exchange drain.
-            ctx.barrier()?;
+                })?;
 
-            // Partitioned candidates: local decision + coordinator merge.
-            let local_large = extract_large(local_counter, p1.min_support_count);
-            let mut large = gather_large(ctx, k, local_large)?;
+                for (owner, batch) in batches.iter_mut().enumerate() {
+                    if !batch.is_empty() {
+                        ex.send(owner, tags::ITEMS, batch.take())?;
+                    }
+                }
+                ex.finish(|env| {
+                    for_each_item_list(&env.payload, &mut recv_scratch, |list| {
+                        count_combos(
+                            ctx,
+                            tax,
+                            &view,
+                            dup_counter.as_mut(),
+                            &no_dup,
+                            local_counter.as_mut(),
+                            &owned_active,
+                            list,
+                            k,
+                        );
+                        Ok(())
+                    })
+                })?;
+                // Quiesce the exchange before coordinator gathers start so no
+                // GATHER message can race into a peer's exchange drain.
+                ctx.barrier()?;
 
-            // Duplicated candidates: one all-reduce, decided everywhere.
-            if !selection.duplicated.is_empty() {
-                let global = ctx.all_reduce_u64(dup_counter.counts())?;
-                dup_counter.set_counts(&global);
-                large.extend(extract_large(dup_counter, p1.min_support_count));
-                large.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
-            }
-            Ok((large, selection.duplicated.len(), 1))
-        })
+                // Partitioned candidates: local decision + coordinator merge.
+                let local_large = extract_large(local_counter, p1.min_support_count);
+                let mut large = gather_large(ctx, k, local_large)?;
+
+                // Duplicated candidates: one all-reduce, decided everywhere.
+                if !selection.duplicated.is_empty() {
+                    let global = ctx.all_reduce_u64(dup_counter.counts())?;
+                    dup_counter.set_counts(&global);
+                    large.extend(extract_large(dup_counter, p1.min_support_count));
+                    large.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+                }
+                Ok((large, selection.duplicated.len(), 1))
+            },
+        )
     })?;
     Ok(assemble_report(cluster, run))
 }

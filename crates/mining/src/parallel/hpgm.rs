@@ -11,11 +11,11 @@
 
 use crate::candidate::items_in_candidates;
 use crate::counter::build_counter;
-use crate::params::{Algorithm, MiningParams};
 use crate::parallel::common::{
     assemble_report, for_each_k_subset, gather_large, node_pass_loop, scan_partition, tags,
     BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
 };
+use crate::params::{Algorithm, MiningParams};
 use crate::report::ParallelReport;
 use crate::sequential::extract_large;
 use crate::wire::{for_each_itemset, ItemsetBatch};
@@ -48,81 +48,88 @@ pub(crate) fn mine(
 ) -> Result<ParallelReport> {
     let run = Cluster::run(cluster, |ctx| {
         let part = db.partition(ctx.node_id());
-        node_pass_loop(ctx, part, tax, params, Algorithm::Hpgm, |ctx, k, candidates, p1| {
-            let n = ctx.num_nodes();
-            let me = ctx.node_id();
-            let view = PrunedView::new(tax, items_in_candidates(candidates));
+        node_pass_loop(
+            ctx,
+            part,
+            tax,
+            params,
+            Algorithm::Hpgm,
+            |ctx, k, candidates, p1| {
+                let n = ctx.num_nodes();
+                let me = ctx.node_id();
+                let view = PrunedView::new(tax, items_in_candidates(candidates));
 
-            // C_k^n: candidates whose hash lands on this node.
-            let mine: Vec<Itemset> = candidates
-                .iter()
-                .filter(|c| candidate_owner(c, n) == me)
-                .cloned()
-                .collect();
-            let mut counter = build_counter(params.counter, k, &mine);
+                // C_k^n: candidates whose hash lands on this node.
+                let mine: Vec<Itemset> = candidates
+                    .iter()
+                    .filter(|c| candidate_owner(c, n) == me)
+                    .cloned()
+                    .collect();
+                let mut counter = build_counter(params.counter, k, &mine);
 
-            let mut batches: Vec<ItemsetBatch> = (0..n).map(|_| ItemsetBatch::new(k)).collect();
-            let mut ex = ctx.exchange();
-            let mut scratch = Vec::with_capacity(k);
-            let mut decoded = 0usize;
-            let mut txn_no = 0usize;
+                let mut batches: Vec<ItemsetBatch> = (0..n).map(|_| ItemsetBatch::new(k)).collect();
+                let mut ex = ctx.exchange();
+                let mut scratch = Vec::with_capacity(k);
+                let mut decoded = 0usize;
+                let mut txn_no = 0usize;
 
-            scan_partition(ctx, part, |t| {
-                let extended = view.extend_transaction(tax, t);
-                ctx.stats().add_cpu(extended.len() as u64);
-                for_each_k_subset(&extended, k, &mut scratch, &mut |subset| {
-                    ctx.stats().add_cpu(1);
-                    let owner = owner_of(subset, n);
-                    if owner == me {
-                        let out = counter.probe(subset);
-                        ctx.stats().add_probes(out.hits);
-                    } else {
-                        let batch = &mut batches[owner];
-                        batch.push(subset);
-                        if batch.byte_len() >= BATCH_FLUSH_BYTES {
-                            ex.send(owner, tags::ITEMSETS, batch.take())?;
+                scan_partition(ctx, part, |t| {
+                    let extended = view.extend_transaction(tax, t);
+                    ctx.stats().add_cpu(extended.len() as u64);
+                    for_each_k_subset(&extended, k, &mut scratch, &mut |subset| {
+                        ctx.stats().add_cpu(1);
+                        let owner = owner_of(subset, n);
+                        if owner == me {
+                            let out = counter.probe(subset);
+                            ctx.stats().add_probes(out.hits);
+                        } else {
+                            let batch = &mut batches[owner];
+                            batch.push(subset);
+                            if batch.byte_len() >= BATCH_FLUSH_BYTES {
+                                ex.send(owner, tags::ITEMSETS, batch.take())?;
+                            }
                         }
+                        Ok(())
+                    })?;
+                    txn_no += 1;
+                    if txn_no.is_multiple_of(POLL_EVERY_TXNS) {
+                        ex.poll(|env| {
+                            for_each_itemset(&env.payload, k, |s| {
+                                let out = counter.probe(s);
+                                ctx.stats().add_cpu(1);
+                                ctx.stats().add_probes(out.hits);
+                                decoded += 1;
+                                Ok(())
+                            })
+                        })?;
                     }
                     Ok(())
                 })?;
-                txn_no += 1;
-                if txn_no.is_multiple_of(POLL_EVERY_TXNS) {
-                    ex.poll(|env| {
-                        for_each_itemset(&env.payload, k, |s| {
-                            let out = counter.probe(s);
-                            ctx.stats().add_cpu(1);
-                            ctx.stats().add_probes(out.hits);
-                            decoded += 1;
-                            Ok(())
-                        })
-                    })?;
-                }
-                Ok(())
-            })?;
 
-            for (owner, batch) in batches.iter_mut().enumerate() {
-                if !batch.is_empty() {
-                    ex.send(owner, tags::ITEMSETS, batch.take())?;
+                for (owner, batch) in batches.iter_mut().enumerate() {
+                    if !batch.is_empty() {
+                        ex.send(owner, tags::ITEMSETS, batch.take())?;
+                    }
                 }
-            }
-            ex.finish(|env| {
-                for_each_itemset(&env.payload, k, |s| {
-                    let out = counter.probe(s);
-                    ctx.stats().add_cpu(1);
-                    ctx.stats().add_probes(out.hits);
-                    decoded += 1;
-                    Ok(())
-                })
-            })?;
-            // Quiesce the exchange before coordinator gathers start so no
-            // GATHER message can race into a peer's exchange drain.
-            ctx.barrier()?;
+                ex.finish(|env| {
+                    for_each_itemset(&env.payload, k, |s| {
+                        let out = counter.probe(s);
+                        ctx.stats().add_cpu(1);
+                        ctx.stats().add_probes(out.hits);
+                        decoded += 1;
+                        Ok(())
+                    })
+                })?;
+                // Quiesce the exchange before coordinator gathers start so no
+                // GATHER message can race into a peer's exchange drain.
+                ctx.barrier()?;
 
-            // Each node decides its own candidates, the coordinator merges.
-            let local_large = extract_large(counter, p1.min_support_count);
-            let large = gather_large(ctx, k, local_large)?;
-            Ok((large, 0, 1))
-        })
+                // Each node decides its own candidates, the coordinator merges.
+                let local_large = extract_large(counter, p1.min_support_count);
+                let large = gather_large(ctx, k, local_large)?;
+                Ok((large, 0, 1))
+            },
+        )
     })?;
     Ok(assemble_report(cluster, run))
 }

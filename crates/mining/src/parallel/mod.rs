@@ -25,9 +25,9 @@ pub(crate) mod common;
 pub mod duplicate;
 pub mod flat;
 mod hhpgm;
-pub mod rules;
 mod hpgm;
 mod npgm;
+pub mod rules;
 
 use crate::params::{Algorithm, MiningParams};
 use crate::report::ParallelReport;

@@ -11,10 +11,8 @@
 
 use crate::candidate::items_in_candidates;
 use crate::counter::build_counter;
+use crate::parallel::common::{assemble_report, candidates_bytes, node_pass_loop, scan_partition};
 use crate::params::{Algorithm, MiningParams};
-use crate::parallel::common::{
-    assemble_report, candidates_bytes, node_pass_loop, scan_partition,
-};
 use crate::report::ParallelReport;
 use crate::sequential::extract_large;
 use gar_cluster::{Cluster, ClusterConfig};
@@ -31,35 +29,41 @@ pub(crate) fn mine(
 ) -> Result<ParallelReport> {
     let run = Cluster::run(cluster, |ctx| {
         let part = db.partition(ctx.node_id());
-        node_pass_loop(ctx, part, tax, params, Algorithm::Npgm, |ctx, k, candidates, p1| {
-            let view = PrunedView::new(tax, items_in_candidates(candidates));
+        node_pass_loop(
+            ctx,
+            part,
+            tax,
+            params,
+            Algorithm::Npgm,
+            |ctx, k, candidates, p1| {
+                let view = PrunedView::new(tax, items_in_candidates(candidates));
 
-            // Fragment C_k so each piece fits the node memory budget.
-            let total_bytes = candidates_bytes(k, candidates.len());
-            let num_fragments =
-                (total_bytes.div_ceil(ctx.memory_budget())).max(1) as usize;
-            let frag_len = candidates.len().div_ceil(num_fragments);
+                // Fragment C_k so each piece fits the node memory budget.
+                let total_bytes = candidates_bytes(k, candidates.len());
+                let num_fragments = (total_bytes.div_ceil(ctx.memory_budget())).max(1) as usize;
+                let frag_len = candidates.len().div_ceil(num_fragments);
 
-            let mut large = Vec::new();
-            for fragment in candidates.chunks(frag_len.max(1)) {
-                let mut counter = build_counter(params.counter, k, fragment);
-                scan_partition(ctx, part, |t| {
-                    let extended = view.extend_transaction(tax, t);
-                    ctx.stats().add_cpu(extended.len() as u64);
-                    let out = counter.count_transaction(&extended);
-                    ctx.stats().add_cpu(out.work);
-                    ctx.stats().add_probes(out.hits);
-                    Ok(())
-                })?;
-                // Paper: "Send the sup_cou of C_k^d to the coordinator
-                // node"; the coordinator decides L_k^d and broadcasts.
-                let global = ctx.all_reduce_u64(counter.counts())?;
-                counter.set_counts(&global);
-                large.extend(extract_large(counter, p1.min_support_count));
-            }
-            large.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
-            Ok((large, 0, num_fragments))
-        })
+                let mut large = Vec::new();
+                for fragment in candidates.chunks(frag_len.max(1)) {
+                    let mut counter = build_counter(params.counter, k, fragment);
+                    scan_partition(ctx, part, |t| {
+                        let extended = view.extend_transaction(tax, t);
+                        ctx.stats().add_cpu(extended.len() as u64);
+                        let out = counter.count_transaction(&extended);
+                        ctx.stats().add_cpu(out.work);
+                        ctx.stats().add_probes(out.hits);
+                        Ok(())
+                    })?;
+                    // Paper: "Send the sup_cou of C_k^d to the coordinator
+                    // node"; the coordinator decides L_k^d and broadcasts.
+                    let global = ctx.all_reduce_u64(counter.counts())?;
+                    counter.set_counts(&global);
+                    large.extend(extract_large(counter, p1.min_support_count));
+                }
+                large.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+                Ok((large, 0, num_fragments))
+            },
+        )
     })?;
     Ok(assemble_report(cluster, run))
 }

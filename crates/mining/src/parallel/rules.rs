@@ -98,8 +98,7 @@ mod tests {
             let seq = derive_rules(&out, conf, Some(&tax));
             for nodes in [1usize, 2, 3] {
                 let cluster = ClusterConfig::new(nodes, 1 << 20);
-                let par =
-                    derive_rules_parallel(&out, conf, Some(&tax), &cluster).unwrap();
+                let par = derive_rules_parallel(&out, conf, Some(&tax), &cluster).unwrap();
                 assert_eq!(seq, par, "conf {conf} nodes {nodes}");
             }
         }

@@ -28,15 +28,21 @@ pub fn save_output(output: &MiningOutput, path: impl AsRef<Path>) -> Result<()> 
     w.write_all(MAGIC).map_err(io_err)?;
     w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
     let name = output.algorithm.name().as_bytes();
-    w.write_all(&(name.len() as u32).to_le_bytes()).map_err(io_err)?;
+    w.write_all(&(name.len() as u32).to_le_bytes())
+        .map_err(io_err)?;
     w.write_all(name).map_err(io_err)?;
-    w.write_all(&output.num_transactions.to_le_bytes()).map_err(io_err)?;
-    w.write_all(&output.min_support_count.to_le_bytes()).map_err(io_err)?;
-    w.write_all(&(output.passes.len() as u32).to_le_bytes()).map_err(io_err)?;
+    w.write_all(&output.num_transactions.to_le_bytes())
+        .map_err(io_err)?;
+    w.write_all(&output.min_support_count.to_le_bytes())
+        .map_err(io_err)?;
+    w.write_all(&(output.passes.len() as u32).to_le_bytes())
+        .map_err(io_err)?;
     for pass in &output.passes {
-        w.write_all(&(pass.k as u32).to_le_bytes()).map_err(io_err)?;
+        w.write_all(&(pass.k as u32).to_le_bytes())
+            .map_err(io_err)?;
         let block = wire::encode_counted(pass.k, &pass.itemsets);
-        w.write_all(&(block.len() as u32).to_le_bytes()).map_err(io_err)?;
+        w.write_all(&(block.len() as u32).to_le_bytes())
+            .map_err(io_err)?;
         w.write_all(&block).map_err(io_err)?;
     }
     w.flush().map_err(io_err)
@@ -207,7 +213,10 @@ mod tests {
 
     #[test]
     fn algorithm_names_resolve() {
-        assert_eq!(algorithm_by_name("h-hpgm-fgd").unwrap(), Algorithm::HHpgmFgd);
+        assert_eq!(
+            algorithm_by_name("h-hpgm-fgd").unwrap(),
+            Algorithm::HHpgmFgd
+        );
         assert_eq!(algorithm_by_name("NPGM").unwrap(), Algorithm::Npgm);
         assert_eq!(algorithm_by_name("Cumulate").unwrap(), Algorithm::Cumulate);
         assert!(algorithm_by_name("magic").is_err());

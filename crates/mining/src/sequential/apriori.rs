@@ -102,11 +102,21 @@ mod tests {
         ];
         let db = PartitionedDatabase::build_in_memory(1, txns.into_iter()).unwrap();
         let out = apriori(db.partition(0), 6, &MiningParams::with_min_support(0.5)).unwrap();
-        let l1: Vec<u32> = out.large(1).unwrap().itemsets.iter()
+        let l1: Vec<u32> = out
+            .large(1)
+            .unwrap()
+            .itemsets
+            .iter()
             .map(|(s, _)| s.items()[0].raw())
             .collect();
         assert_eq!(l1, vec![1, 2, 3, 5]);
-        let l2: Vec<Itemset> = out.large(2).unwrap().itemsets.iter().map(|(s, _)| s.clone()).collect();
+        let l2: Vec<Itemset> = out
+            .large(2)
+            .unwrap()
+            .itemsets
+            .iter()
+            .map(|(s, _)| s.clone())
+            .collect();
         assert_eq!(l2, vec![iset![1, 3], iset![2, 3], iset![2, 5], iset![3, 5]]);
         let l3 = &out.large(3).unwrap().itemsets;
         assert_eq!(l3, &vec![(iset![2, 3, 5], 2)]);

@@ -120,12 +120,12 @@ mod tests {
     /// The six transactions of [SA95] Table 1 (by item code above):
     fn sa95_db() -> PartitionedDatabase {
         let txns = vec![
-            ids(&[2]),          // shirt
-            ids(&[3, 7]),       // jacket, hiking boots
-            ids(&[4, 7]),       // ski pants, hiking boots
-            ids(&[6]),          // shoes
-            ids(&[6]),          // shoes
-            ids(&[3]),          // jacket
+            ids(&[2]),    // shirt
+            ids(&[3, 7]), // jacket, hiking boots
+            ids(&[4, 7]), // ski pants, hiking boots
+            ids(&[6]),    // shoes
+            ids(&[6]),    // shoes
+            ids(&[3]),    // jacket
         ];
         PartitionedDatabase::build_in_memory(1, txns.into_iter()).unwrap()
     }
@@ -140,18 +140,23 @@ mod tests {
         let db = sa95_db();
         let out = cumulate(db.partition(0), &tax, &MiningParams::with_min_support(0.3)).unwrap();
 
-        let l1: Vec<u32> = out.large(1).unwrap().itemsets.iter()
+        let l1: Vec<u32> = out
+            .large(1)
+            .unwrap()
+            .itemsets
+            .iter()
             .map(|(s, _)| s.items()[0].raw())
             .collect();
         assert_eq!(l1, vec![0, 1, 3, 5, 6, 7]);
 
-        let l2: Vec<Itemset> = out.large(2).unwrap().itemsets.iter()
+        let l2: Vec<Itemset> = out
+            .large(2)
+            .unwrap()
+            .itemsets
+            .iter()
             .map(|(s, _)| s.clone())
             .collect();
-        assert_eq!(
-            l2,
-            vec![iset![0, 5], iset![0, 7], iset![1, 5], iset![1, 7]]
-        );
+        assert_eq!(l2, vec![iset![0, 5], iset![0, 7], iset![1, 5], iset![1, 7]]);
         // Counts: outerwear ∧ hiking boots in transactions 2 and 3.
         assert_eq!(out.support_of(&ids(&[1, 7])), Some(2));
         assert_eq!(out.support_of(&ids(&[0, 5])), Some(2));
@@ -210,12 +215,22 @@ mod tests {
         let out = cumulate(db.partition(0), &tax, &MiningParams::with_min_support(1.0)).unwrap();
         // Items in every transaction: 3 (jacket), its ancestors 1 and 0,
         // and footwear 5 (7 or 6 in each txn).
-        let l1: Vec<u32> = out.large(1).unwrap().itemsets.iter()
+        let l1: Vec<u32> = out
+            .large(1)
+            .unwrap()
+            .itemsets
+            .iter()
             .map(|(s, _)| s.items()[0].raw())
             .collect();
         assert_eq!(l1, vec![0, 1, 3, 5]);
         // {3,5} holds in all three; {0,3} etc. pruned as related.
-        let l2: Vec<Itemset> = out.large(2).unwrap().itemsets.iter().map(|(s, _)| s.clone()).collect();
+        let l2: Vec<Itemset> = out
+            .large(2)
+            .unwrap()
+            .itemsets
+            .iter()
+            .map(|(s, _)| s.clone())
+            .collect();
         assert_eq!(l2, vec![iset![0, 5], iset![1, 5], iset![3, 5]]);
     }
 
@@ -227,7 +242,10 @@ mod tests {
         let txns: Vec<Vec<ItemId>> = (0..10).map(|_| ids(&[1, 2, 3, 4])).collect();
         let db = PartitionedDatabase::build_in_memory(1, txns.into_iter()).unwrap();
         let out = cumulate(db.partition(0), &tax, &MiningParams::with_min_support(0.9)).unwrap();
-        assert_eq!(out.large(4).unwrap().itemsets, vec![(iset![1, 2, 3, 4], 10)]);
+        assert_eq!(
+            out.large(4).unwrap().itemsets,
+            vec![(iset![1, 2, 3, 4], 10)]
+        );
         assert!(out.large(5).is_none());
     }
 

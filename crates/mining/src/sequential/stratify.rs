@@ -57,11 +57,7 @@ fn is_ancestor_itemset(anc: &Itemset, desc: &Itemset, tax: &Taxonomy) -> bool {
 
 /// The direct parent itemsets of `set` (one member lifted one level),
 /// restricted to itemsets present in `index`.
-fn parent_itemsets_in(
-    set: &Itemset,
-    tax: &Taxonomy,
-    index: &FxHashSet<Itemset>,
-) -> Vec<Itemset> {
+fn parent_itemsets_in(set: &Itemset, tax: &Taxonomy, index: &FxHashSet<Itemset>) -> Vec<Itemset> {
     let mut out = Vec::new();
     for (i, &it) in set.items().iter().enumerate() {
         if let Some(p) = tax.parent(it) {
@@ -256,7 +252,11 @@ mod tests {
                 let params = MiningParams::with_min_support(minsup);
                 let a = cumulate(db.partition(0), &tax, &params).unwrap();
                 let b = stratify(db.partition(0), &tax, &params, batch).unwrap();
-                assert_eq!(a.num_large(), b.num_large(), "batch {batch} minsup {minsup}");
+                assert_eq!(
+                    a.num_large(),
+                    b.num_large(),
+                    "batch {batch} minsup {minsup}"
+                );
                 for (x, y) in a.all_large().zip(b.all_large()) {
                     assert_eq!(x, y);
                 }

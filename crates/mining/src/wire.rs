@@ -34,7 +34,9 @@ pub fn decode_items(payload: &[u8], out: &mut Vec<ItemId>) -> Result<()> {
     out.clear();
     out.reserve(payload.len() / 4);
     for chunk in payload.chunks_exact(4) {
-        out.push(ItemId(u32::from_le_bytes(chunk.try_into().expect("4 bytes"))));
+        out.push(ItemId(u32::from_le_bytes(
+            chunk.try_into().expect("4 bytes"),
+        )));
     }
     Ok(())
 }
@@ -298,7 +300,9 @@ mod tests {
         b.push(&ids(&[1, 2]));
         let payload = b.take();
         let mut scratch = Vec::new();
-        assert!(for_each_item_list(&payload[..payload.len() - 1], &mut scratch, |_| Ok(())).is_err());
+        assert!(
+            for_each_item_list(&payload[..payload.len() - 1], &mut scratch, |_| Ok(())).is_err()
+        );
         assert!(for_each_item_list(&payload[..2], &mut scratch, |_| Ok(())).is_err());
     }
 

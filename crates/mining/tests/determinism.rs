@@ -1,0 +1,94 @@
+//! Byte-level determinism of the mined rule report.
+//!
+//! The `hash-order` rule in `cargo xtask lint` bans hash-map iteration
+//! from feeding report construction; this test is the dynamic half of
+//! that guarantee. A rendered report must be byte-identical between two
+//! same-seed runs (no ambient nondeterminism: thread scheduling, hash
+//! seeds, allocation addresses) and across node counts (the cluster
+//! decomposition must not leak into the output).
+
+use gar_cluster::ClusterConfig;
+use gar_datagen::{DatasetSpec, TransactionGenerator};
+use gar_mining::parallel::mine_parallel;
+use gar_mining::parallel::rules::derive_rules_parallel;
+use gar_mining::{Algorithm, MiningParams};
+use gar_storage::PartitionedDatabase;
+use gar_taxonomy::Taxonomy;
+use gar_types::ItemId;
+use std::fmt::Write as _;
+
+const BIG_MEMORY: u64 = 1 << 30;
+
+fn dataset(seed: u64) -> (Taxonomy, Vec<Vec<ItemId>>) {
+    let spec = DatasetSpec {
+        name: "determinism".into(),
+        num_transactions: 350,
+        avg_transaction_size: 6.0,
+        avg_pattern_size: 3.0,
+        num_patterns: 40,
+        num_items: 200,
+        num_roots: 6,
+        fanout: 4.0,
+        seed,
+    };
+    let mut g = TransactionGenerator::new(&spec).unwrap();
+    let txns: Vec<_> = g.by_ref().collect();
+    (g.into_taxonomy(), txns)
+}
+
+/// One full mining + rule-derivation run, rendered to the same textual
+/// report shape the CLI emits: every large itemset with its support
+/// count, then every rule via its `Display` impl.
+fn rendered_report(alg: Algorithm, seed: u64, num_nodes: usize) -> String {
+    let (tax, txns) = dataset(seed);
+    let db = PartitionedDatabase::build_in_memory(num_nodes, txns.into_iter()).unwrap();
+    let cluster = ClusterConfig::new(num_nodes, BIG_MEMORY);
+    let params = MiningParams::with_min_support(0.05);
+
+    let report = mine_parallel(alg, &db, &tax, &params, &cluster).unwrap();
+    let rules = derive_rules_parallel(&report.output, 0.5, Some(&tax), &cluster).unwrap();
+
+    let mut out = String::new();
+    for pass in &report.output.passes {
+        writeln!(out, "pass k={}", pass.k).unwrap();
+        for (set, count) in &pass.itemsets {
+            writeln!(out, "  {set} x{count}").unwrap();
+        }
+    }
+    writeln!(out, "rules ({})", rules.len()).unwrap();
+    for rule in &rules {
+        writeln!(out, "  {rule}").unwrap();
+    }
+    out
+}
+
+/// Same seed, same node count, run twice → byte-identical reports.
+#[test]
+fn same_seed_reruns_are_byte_identical() {
+    for alg in [Algorithm::Hpgm, Algorithm::HHpgmTgd] {
+        let a = rendered_report(alg, 7, 2);
+        let b = rendered_report(alg, 7, 2);
+        assert!(a.contains("rules ("), "report looks empty:\n{a}");
+        assert_eq!(a, b, "{alg}: two same-seed runs diverged");
+    }
+}
+
+/// The cluster decomposition must not leak into the report: 1, 2 and 4
+/// nodes all produce the same bytes for every parallel algorithm.
+#[test]
+fn node_count_does_not_change_the_report() {
+    for alg in Algorithm::parallel_all() {
+        let one = rendered_report(alg, 11, 1);
+        assert!(
+            one.lines().count() > 10,
+            "{alg}: report suspiciously small:\n{one}"
+        );
+        for nodes in [2, 4] {
+            let many = rendered_report(alg, 11, nodes);
+            assert_eq!(
+                one, many,
+                "{alg}: report differs between 1 and {nodes} nodes"
+            );
+        }
+    }
+}

@@ -30,7 +30,12 @@ fn skewed_workload() -> (gar_taxonomy::Taxonomy, PartitionedDatabase) {
     (tax, db)
 }
 
-fn probe_cv(alg: Algorithm, tax: &gar_taxonomy::Taxonomy, db: &PartitionedDatabase, memory: u64) -> f64 {
+fn probe_cv(
+    alg: Algorithm,
+    tax: &gar_taxonomy::Taxonomy,
+    db: &PartitionedDatabase,
+    memory: u64,
+) -> f64 {
     let params = MiningParams::with_min_support(0.008).max_pass(2);
     let cluster = ClusterConfig::new(8, memory);
     let rep = mine_parallel(alg, db, tax, &params, &cluster).unwrap();

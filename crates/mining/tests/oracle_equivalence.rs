@@ -22,14 +22,11 @@ struct Scenario {
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
-        2u32..5,          // roots
-        12u32..40,        // items
-        1.5f64..5.0,      // fanout
-        0u64..10_000,     // taxonomy seed
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..40, 1..6),
-            4..40,
-        ),
+        2u32..5,      // roots
+        12u32..40,    // items
+        1.5f64..5.0,  // fanout
+        0u64..10_000, // taxonomy seed
+        proptest::collection::vec(proptest::collection::btree_set(0u32..40, 1..6), 4..40),
         2u32..6, // min support as a divisor of |D|
     )
         .prop_map(|(roots, items, fanout, seed, raw_txns, div)| {
@@ -42,10 +39,8 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
             let txns: Vec<Vec<ItemId>> = raw_txns
                 .into_iter()
                 .map(|s| {
-                    let mut v: Vec<ItemId> = s
-                        .into_iter()
-                        .map(|x| ItemId(x % tax.num_items()))
-                        .collect();
+                    let mut v: Vec<ItemId> =
+                        s.into_iter().map(|x| ItemId(x % tax.num_items())).collect();
                     v.sort_unstable();
                     v.dedup();
                     v

@@ -39,13 +39,20 @@ fn assert_same_output(a: &gar_mining::MiningOutput, b: &gar_mining::MiningOutput
         a.passes.len(),
         b.passes.len(),
         "pass count differs: {:?} vs {:?}",
-        a.passes.iter().map(|p| (p.k, p.itemsets.len())).collect::<Vec<_>>(),
-        b.passes.iter().map(|p| (p.k, p.itemsets.len())).collect::<Vec<_>>(),
+        a.passes
+            .iter()
+            .map(|p| (p.k, p.itemsets.len()))
+            .collect::<Vec<_>>(),
+        b.passes
+            .iter()
+            .map(|p| (p.k, p.itemsets.len()))
+            .collect::<Vec<_>>(),
     );
     for (pa, pb) in a.passes.iter().zip(&b.passes) {
         assert_eq!(pa.k, pb.k);
         assert_eq!(
-            pa.itemsets, pb.itemsets,
+            pa.itemsets,
+            pb.itemsets,
             "pass {} differs ({} vs {} itemsets)",
             pa.k,
             pa.itemsets.len(),
@@ -90,7 +97,10 @@ fn single_node_cluster_matches_sequential() {
         let report = mine_parallel(alg, &db, &tax, &params, &cluster).unwrap();
         assert_same_output(&expected, &report.output);
         // One node: nothing to ship.
-        assert_eq!(report.node_totals[0].bytes_sent, 0, "{alg} sent bytes to itself");
+        assert_eq!(
+            report.node_totals[0].bytes_sent, 0,
+            "{alg} sent bytes to itself"
+        );
     }
 }
 
@@ -156,7 +166,11 @@ fn duplication_kicks_in_and_preserves_results() {
     let cluster = ClusterConfig::new(4, BIG_MEMORY);
 
     let plain = mine_parallel(Algorithm::HHpgm, &db, &tax, &params, &cluster).unwrap();
-    for alg in [Algorithm::HHpgmTgd, Algorithm::HHpgmPgd, Algorithm::HHpgmFgd] {
+    for alg in [
+        Algorithm::HHpgmTgd,
+        Algorithm::HHpgmPgd,
+        Algorithm::HHpgmFgd,
+    ] {
         let dup = mine_parallel(alg, &db, &tax, &params, &cluster).unwrap();
         assert_same_output(&plain.output, &dup.output);
         let pass2 = dup.pass(2).unwrap();

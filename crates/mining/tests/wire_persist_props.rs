@@ -17,7 +17,12 @@ fn arb_itemsets(k: usize) -> impl Strategy<Value = Vec<(Itemset, u64)>> {
     )
     .prop_map(|m| {
         m.into_iter()
-            .map(|(s, c)| (Itemset::from_unsorted(s.into_iter().map(ItemId).collect()), c))
+            .map(|(s, c)| {
+                (
+                    Itemset::from_unsorted(s.into_iter().map(ItemId).collect()),
+                    c,
+                )
+            })
             .collect()
     })
 }

@@ -36,7 +36,10 @@ impl PartitionedDatabase {
         }
         let parts = writers
             .into_iter()
-            .map(|w| w.finish().map(|p| Box::new(p) as Box<dyn TransactionSource>))
+            .map(|w| {
+                w.finish()
+                    .map(|p| Box::new(p) as Box<dyn TransactionSource>)
+            })
             .collect::<Result<_>>()?;
         Ok(PartitionedDatabase { parts })
     }
@@ -145,8 +148,6 @@ mod tests {
     #[test]
     fn zero_partitions_rejected() {
         assert!(PartitionedDatabase::build_in_memory(0, std::iter::empty()).is_err());
-        assert!(
-            PartitionedDatabase::build_on_disk("/tmp/never", 0, std::iter::empty()).is_err()
-        );
+        assert!(PartitionedDatabase::build_on_disk("/tmp/never", 0, std::iter::empty()).is_err());
     }
 }

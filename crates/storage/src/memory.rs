@@ -22,9 +22,7 @@ impl MemoryPartition {
             .iter()
             .map(|t| codec::encoded_len(t.len()) as u64)
             .sum();
-        debug_assert!(txns
-            .iter()
-            .all(|t| t.windows(2).all(|w| w[0] < w[1])));
+        debug_assert!(txns.iter().all(|t| t.windows(2).all(|w| w[0] < w[1])));
         MemoryPartition {
             txns,
             bytes,
@@ -56,6 +54,8 @@ impl TransactionSource for MemoryPartition {
     }
 
     fn bytes_read(&self) -> u64 {
+        // relaxed: monotonic I/O tally read for reporting only; scans
+        // and readers are never ordered against each other.
         self.bytes_read.load(Ordering::Relaxed)
     }
 }
@@ -73,6 +73,7 @@ impl TransactionScan for MemScan<'_> {
                 buf.extend_from_slice(t);
                 self.part
                     .bytes_read
+                    // relaxed: monotonic I/O tally; see bytes_read().
                     .fetch_add(codec::encoded_len(t.len()) as u64, Ordering::Relaxed);
                 self.next += 1;
                 Ok(true)

@@ -111,6 +111,8 @@ impl TransactionSource for DiskPartition {
     }
 
     fn bytes_read(&self) -> u64 {
+        // relaxed: monotonic I/O tally read for reporting only; scans
+        // and readers are never ordered against each other.
         self.bytes_read.load(Ordering::Relaxed)
     }
 }
@@ -125,6 +127,7 @@ impl TransactionScan for ScanIter<'_> {
     fn next_into(&mut self, buf: &mut Vec<ItemId>) -> Result<bool> {
         match codec::read_transaction(&mut self.reader, buf)? {
             Some(n) => {
+                // relaxed: monotonic I/O tally; see bytes_read().
                 self.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
                 Ok(true)
             }

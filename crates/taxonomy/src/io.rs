@@ -25,7 +25,8 @@ pub fn save(tax: &Taxonomy, path: impl AsRef<Path>) -> Result<()> {
     let io_err = |e| Error::io(format!("writing taxonomy file {}", path.display()), e);
     w.write_all(MAGIC).map_err(io_err)?;
     w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
-    w.write_all(&tax.num_items().to_le_bytes()).map_err(io_err)?;
+    w.write_all(&tax.num_items().to_le_bytes())
+        .map_err(io_err)?;
     for i in 0..tax.num_items() {
         let code = tax.parent(ItemId(i)).map_or(NO_PARENT, |p| p.raw());
         w.write_all(&code.to_le_bytes()).map_err(io_err)?;

@@ -111,7 +111,11 @@ mod tests {
         assert_eq!(t.num_items(), 3000);
         assert_eq!(t.roots().len(), 30);
         // 3000 items / 30 roots = 100 per tree, fanout 5 => depth ~3.
-        assert!(t.max_depth() >= 2 && t.max_depth() <= 8, "depth {}", t.max_depth());
+        assert!(
+            t.max_depth() >= 2 && t.max_depth() <= 8,
+            "depth {}",
+            t.max_depth()
+        );
     }
 
     #[test]

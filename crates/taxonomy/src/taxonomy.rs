@@ -341,7 +341,10 @@ mod tests {
         let ext = t.extend_transaction(&[ItemId(10), ItemId(12), ItemId(14)]);
         assert_eq!(
             ext,
-            vec![1, 4, 10, 12, 14].into_iter().map(ItemId).collect::<Vec<_>>()
+            vec![1, 4, 10, 12, 14]
+                .into_iter()
+                .map(ItemId)
+                .collect::<Vec<_>>()
         );
     }
 

@@ -32,6 +32,13 @@ pub enum Error {
     /// The coordinator protocol was violated (e.g. a reduce with a
     /// mismatched number of contributions).
     Protocol(String),
+    /// A collective operation was abandoned because a peer failed; the
+    /// node id identifies the *first* poisoner, so a cascade of
+    /// secondary failures still reports its root cause.
+    Poisoned {
+        /// Node that poisoned the run.
+        node: usize,
+    },
 }
 
 impl Error {
@@ -55,6 +62,9 @@ impl fmt::Display for Error {
                 write!(f, "cluster node {node} failed: {reason}")
             }
             Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            Error::Poisoned { node } => {
+                write!(f, "collective poisoned by node {node}: a peer failed")
+            }
         }
     }
 }
@@ -75,15 +85,20 @@ mod tests {
     #[test]
     fn display_formats_are_stable() {
         let e = Error::InvalidTaxonomy("item 3 has two parents".into());
-        assert_eq!(
-            e.to_string(),
-            "invalid taxonomy: item 3 has two parents"
-        );
+        assert_eq!(e.to_string(), "invalid taxonomy: item 3 has two parents");
         let e = Error::NodeFailure {
             node: 7,
             reason: "worker thread panicked".into(),
         };
-        assert_eq!(e.to_string(), "cluster node 7 failed: worker thread panicked");
+        assert_eq!(
+            e.to_string(),
+            "cluster node 7 failed: worker thread panicked"
+        );
+        let e = Error::Poisoned { node: 2 };
+        assert_eq!(
+            e.to_string(),
+            "collective poisoned by node 2: a peer failed"
+        );
     }
 
     #[test]

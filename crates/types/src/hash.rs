@@ -112,10 +112,7 @@ mod tests {
     #[test]
     fn deterministic_across_calls() {
         assert_eq!(fx_hash_u64(42), fx_hash_u64(42));
-        assert_eq!(
-            fx_hash_u32_slice(&[1, 2, 3]),
-            fx_hash_u32_slice(&[1, 2, 3])
-        );
+        assert_eq!(fx_hash_u32_slice(&[1, 2, 3]), fx_hash_u32_slice(&[1, 2, 3]));
     }
 
     #[test]
@@ -129,10 +126,7 @@ mod tests {
 
     #[test]
     fn order_sensitive_for_slices() {
-        assert_ne!(
-            fx_hash_u32_slice(&[1, 2, 3]),
-            fx_hash_u32_slice(&[3, 2, 1])
-        );
+        assert_ne!(fx_hash_u32_slice(&[1, 2, 3]), fx_hash_u32_slice(&[3, 2, 1]));
     }
 
     #[test]

@@ -32,7 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{:<12} {:>9} {:>10} {:>10} {:>12} {:>12} {:>14} {:>10}",
-        "algorithm", "large", "frags", "dup", "avg MB recv", "max/avg probe", "modeled (s)", "wall (ms)"
+        "algorithm",
+        "large",
+        "frags",
+        "dup",
+        "avg MB recv",
+        "max/avg probe",
+        "modeled (s)",
+        "wall (ms)"
     );
 
     let mut baseline: Option<usize> = None;

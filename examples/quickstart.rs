@@ -19,8 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //   footwear(5) ─┬─ shoes(6)
     //                └─ hiking boots(7)
     let names = [
-        "clothes", "outerwear", "shirts", "jackets", "ski pants",
-        "footwear", "shoes", "hiking boots",
+        "clothes",
+        "outerwear",
+        "shirts",
+        "jackets",
+        "ski pants",
+        "footwear",
+        "shoes",
+        "hiking boots",
     ];
     let mut builder = TaxonomyBuilder::new(8);
     for (child, parent) in [(1, 0), (2, 0), (3, 1), (4, 1), (6, 5), (7, 5)] {
@@ -44,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = MiningParams::with_min_support(0.30);
     let output = cumulate(db.partition(0), &taxonomy, &params)?;
 
-    println!("Large itemsets (min support 30% of {} txns):", output.num_transactions);
+    println!(
+        "Large itemsets (min support 30% of {} txns):",
+        output.num_transactions
+    );
     for (itemset, count) in output.all_large() {
         let labels: Vec<&str> = itemset.items().iter().map(|i| names[i.index()]).collect();
         println!("  {{{}}}  sup_cou = {count}", labels.join(", "));

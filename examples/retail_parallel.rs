@@ -19,8 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's R30F5 dataset at 1/50 scale: 64 000 transactions,
     // 600 items under 30 roots with fanout 5.
     let spec = presets::r30f5(7).scaled(0.02);
-    println!("dataset: {} ({} txns, {} items, {} roots, fanout {})",
-        spec.name, spec.num_transactions, spec.num_items, spec.num_roots, spec.fanout);
+    println!(
+        "dataset: {} ({} txns, {} items, {} roots, fanout {})",
+        spec.name, spec.num_transactions, spec.num_items, spec.num_roots, spec.fanout
+    );
 
     let mut generator = TransactionGenerator::new(&spec)?;
     let txns: Vec<_> = generator.by_ref().collect();
@@ -47,21 +49,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = ClusterConfig::new(NODES, 1024 * 1024);
     let report = mine_parallel(Algorithm::HHpgmFgd, &db, &taxonomy, &params, &cluster)?;
 
-    println!("\nlarge itemsets found: {} (parallel) / {} (sequential)",
-        report.output.num_large(), seq.num_large());
-    assert_eq!(report.output.num_large(), seq.num_large(), "parallel must match sequential");
+    println!(
+        "\nlarge itemsets found: {} (parallel) / {} (sequential)",
+        report.output.num_large(),
+        seq.num_large()
+    );
+    assert_eq!(
+        report.output.num_large(),
+        seq.num_large(),
+        "parallel must match sequential"
+    );
 
     println!("sequential wall time : {seq_wall:?}");
-    println!("parallel wall time   : {:?}  ({NODES} worker threads)", report.wall);
-    println!("modeled SP-2 time    : {:.2} s  (critical path over nodes)", report.modeled_seconds);
+    println!(
+        "parallel wall time   : {:?}  ({NODES} worker threads)",
+        report.wall
+    );
+    println!(
+        "modeled SP-2 time    : {:.2} s  (critical path over nodes)",
+        report.modeled_seconds
+    );
 
     println!("\nper-pass breakdown:");
-    println!("{:>4} {:>12} {:>12} {:>10} {:>12} {:>14}",
-        "pass", "candidates", "duplicated", "large", "avg MB recv", "modeled (s)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>10} {:>12} {:>14}",
+        "pass", "candidates", "duplicated", "large", "avg MB recv", "modeled (s)"
+    );
     for p in &report.pass_reports {
-        println!("{:>4} {:>12} {:>12} {:>10} {:>12.3} {:>14.3}",
-            p.k, p.num_candidates, p.num_duplicated, p.num_large,
-            p.avg_mb_received(), p.modeled_seconds);
+        println!(
+            "{:>4} {:>12} {:>12} {:>10} {:>12.3} {:>14.3}",
+            p.k,
+            p.num_candidates,
+            p.num_duplicated,
+            p.num_large,
+            p.avg_mb_received(),
+            p.modeled_seconds
+        );
     }
 
     let rules = derive_rules(&report.output, 0.5, Some(&taxonomy));

@@ -34,7 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let probes = report.pass(2).expect("pass 2").probes_per_node();
         let max = *probes.iter().max().unwrap_or(&1) as f64;
         let skew = skew_summary(&probes);
-        println!("{} (max/avg = {:.2}, cv = {:.2}):", alg.name(), skew.max_over_mean, skew.cv);
+        println!(
+            "{} (max/avg = {:.2}, cv = {:.2}):",
+            alg.name(),
+            skew.max_over_mean,
+            skew.cv
+        );
         for (node, &p) in probes.iter().enumerate() {
             let width = ((p as f64 / max) * 50.0).round() as usize;
             println!("  node {node:>2} | {:<50} {p}", "#".repeat(width));

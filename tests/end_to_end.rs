@@ -103,10 +103,7 @@ fn deterministic_end_to_end() {
         let params = MiningParams::with_min_support(0.02).max_pass(2);
         let cluster = ClusterConfig::new(3, 1 << 22);
         let rep = mine_parallel(Algorithm::HHpgmPgd, &db, &tax, &params, &cluster).unwrap();
-        rep.output
-            .all_large()
-            .cloned()
-            .collect::<Vec<_>>()
+        rep.output.all_large().cloned().collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
 }

@@ -1,0 +1,953 @@
+//! In-repo static analysis: concurrency and determinism rules that the
+//! stock toolchain cannot express. Text-based (line scanning plus a
+//! brace-stack for block context), deliberately simple — the rules are
+//! conventions of *this* codebase, and a false positive costs one
+//! suppression comment, not a type-system fight.
+//!
+//! Rules (all scoped to non-test code under `crates/*/src`):
+//!
+//! * `wait-loop` — every `Condvar::wait` call must sit inside an
+//!   enclosing `while`/`loop` block so the predicate (generation
+//!   counter, poison flag) is re-checked after every wakeup. A bare
+//!   wait is a lost-wakeup/spurious-wakeup bug waiting to happen.
+//! * `cluster-unwrap` — no `.unwrap()` / `.expect(` in `crates/cluster`
+//!   non-test code: a panicking node must poison the collectives (so
+//!   peers fail with `Error::Poisoned`), not abort with a stack trace.
+//! * `relaxed` — every `Ordering::Relaxed` atomic op must carry a
+//!   nearby `// relaxed: <why>` justification comment (within the
+//!   12 preceding lines). Relaxed is correct for independent counters
+//!   read after a join, and wrong almost everywhere else; the comment
+//!   forces the author to say which case this is.
+//! * `hash-order` — in the files that build wire messages or rule
+//!   reports, iterating a `HashMap`/`HashSet` is forbidden: hash
+//!   iteration order varies across runs/platforms and silently breaks
+//!   the byte-identical-report determinism guarantee. Lookups are fine;
+//!   iteration must go through a sorted or insertion-ordered structure
+//!   (or be explicitly suppressed where a deterministic sort follows).
+//!
+//! Suppression: `// lint:allow(<rule>): <reason>` on the offending line
+//! or the line above. The reason is mandatory — the colon is part of
+//! the pattern.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+const RULE_WAIT_LOOP: &str = "wait-loop";
+const RULE_CLUSTER_UNWRAP: &str = "cluster-unwrap";
+const RULE_RELAXED: &str = "relaxed";
+const RULE_HASH_ORDER: &str = "hash-order";
+
+/// How many lines above an `Ordering::Relaxed` site a `relaxed:`
+/// justification comment may sit (covers one comment per short fn).
+const RELAXED_WINDOW: usize = 12;
+
+/// Files whose `HashMap`/`HashSet` iteration feeds wire messages or
+/// rule reports. Paths are workspace-relative; a trailing `/` means the
+/// whole directory.
+const HASH_ORDER_SCOPE: &[&str] = &[
+    "crates/mining/src/wire.rs",
+    "crates/mining/src/report.rs",
+    "crates/mining/src/rules.rs",
+    "crates/mining/src/parallel/",
+    "crates/cluster/src/",
+];
+
+#[derive(Debug)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+pub fn run(root: &Path) -> u8 {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            eprintln!("xtask lint: unreadable file {}", path.display());
+            return 2;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_source(&rel, &src));
+        scanned += 1;
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("xtask lint: {scanned} files clean");
+        0
+    } else {
+        println!(
+            "xtask lint: {} finding(s) in {scanned} files",
+            findings.len()
+        );
+        1
+    }
+}
+
+/// Recursively collects `.rs` files under `crates/*/src` (skipping
+/// `tests/`, benches and build output — rules target library code; the
+/// in-file `#[cfg(test)]` regions are excluded by the block scanner).
+fn collect_rs_files(crates_dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(crates_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs_under(&src, out);
+        }
+    }
+}
+
+fn collect_rs_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints one file. `rel` is the workspace-relative path (used for rule
+/// scoping); `src` is the file contents. Public within the crate so the
+/// unit tests can lint synthetic sources without touching the disk.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    let a = Analysis::of(src);
+    let mut findings = Vec::new();
+
+    for (i, code) in a.code.iter().enumerate() {
+        let line_no = i + 1;
+        if a.in_test[i] {
+            continue;
+        }
+
+        // wait-loop: all crates.
+        if code.contains(".wait(") && !a.wait_in_loop[i] && !a.suppressed(i, RULE_WAIT_LOOP) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: line_no,
+                rule: RULE_WAIT_LOOP,
+                msg: "Condvar::wait outside a while/loop predicate re-check; \
+                      a spurious or early wakeup returns with the condition unmet"
+                    .to_string(),
+            });
+        }
+
+        // cluster-unwrap: crates/cluster only.
+        if rel.starts_with("crates/cluster/")
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !a.suppressed(i, RULE_CLUSTER_UNWRAP)
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: line_no,
+                rule: RULE_CLUSTER_UNWRAP,
+                msg: "unwrap/expect in cluster non-test code; return an Error (and let \
+                      the collectives be poisoned) instead of panicking a node"
+                    .to_string(),
+            });
+        }
+
+        // relaxed: all crates.
+        if code.contains("Ordering::Relaxed")
+            && !a.has_relaxed_justification(i)
+            && !a.suppressed(i, RULE_RELAXED)
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: line_no,
+                rule: RULE_RELAXED,
+                msg: format!(
+                    "Ordering::Relaxed without a `// relaxed: <why>` justification \
+                     within {RELAXED_WINDOW} lines"
+                ),
+            });
+        }
+    }
+
+    if in_hash_order_scope(rel) {
+        findings.extend(hash_order_rule(rel, &a));
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn in_hash_order_scope(rel: &str) -> bool {
+    HASH_ORDER_SCOPE.iter().any(|scope| {
+        if let Some(dir) = scope.strip_suffix('/') {
+            rel.starts_with(dir) && rel.len() > dir.len()
+        } else {
+            rel == *scope
+        }
+    })
+}
+
+/// Declaration-site tracking: collect every identifier declared (or
+/// received as a parameter/field) with a `HashMap`/`HashSet` type in
+/// this file, then flag iteration over any of them in non-test code.
+fn hash_order_rule(rel: &str, a: &Analysis) -> Vec<Finding> {
+    let mut names: Vec<String> = Vec::new();
+    for code in &a.code {
+        if !mentions_hash_type(code) {
+            continue;
+        }
+        if let Some(name) = declared_name(code) {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (i, code) in a.code.iter().enumerate() {
+        if a.in_test[i] || a.suppressed(i, RULE_HASH_ORDER) {
+            continue;
+        }
+        for name in &names {
+            if iterates(code, name) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: RULE_HASH_ORDER,
+                    msg: format!(
+                        "iteration over hash collection `{name}` feeding wire/report \
+                         construction; hash order is nondeterministic — sort first or \
+                         use an ordered structure"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    findings
+}
+
+fn starts_with_hash_type(ty: &str) -> bool {
+    let ty = ty.strip_prefix('&').unwrap_or(ty).trim_start();
+    let ty = ty.strip_prefix("mut ").unwrap_or(ty).trim_start();
+    ["FxHashMap", "FxHashSet", "HashMap", "HashSet"]
+        .iter()
+        .any(|t| ty.starts_with(t) && !is_ident_char(ty[t.len()..].chars().next().unwrap_or('<')))
+}
+
+fn mentions_hash_type(code: &str) -> bool {
+    ["FxHashMap", "FxHashSet", "HashMap", "HashSet"]
+        .iter()
+        .any(|t| contains_token(code, t))
+}
+
+/// Extracts the declared identifier from a line that mentions a hash
+/// type: `let [mut] NAME ...`, or `NAME: [&][mut ]...Hash...` for
+/// parameters and struct fields. Returns None for `use` lines, return
+/// types and other non-declarations.
+fn declared_name(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+        return None;
+    }
+    // `let [mut] NAME` wins when present (covers `let x: T = ..` and
+    // `let x = FxHashMap::default()`), but only when the *top-level*
+    // type is the hash collection — `let v: Vec<FxHashSet<u32>> = ..`
+    // iterates deterministically and must not poison the name.
+    if let Some(pos) = find_token(code, "let") {
+        let rest = code[pos + 3..].trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let name: String = rest.chars().take_while(|c| is_ident_char(*c)).collect();
+        if !name.is_empty() {
+            let after = rest[name.len()..].trim_start();
+            let top_level = if let Some(ann) = after.strip_prefix(':') {
+                // Annotated: check the annotation's outermost type.
+                let ty = ann.split('=').next().unwrap_or(ann).trim();
+                starts_with_hash_type(ty)
+            } else if let Some(rhs) = after.strip_prefix('=') {
+                // Unannotated: `let m = FxHashMap::default()` etc.
+                starts_with_hash_type(rhs.trim_start())
+            } else {
+                false
+            };
+            return top_level.then_some(name);
+        }
+    }
+    // Parameter / field: the identifier before the `:` that precedes the
+    // hash type token.
+    for ty in ["FxHashMap", "FxHashSet", "HashMap", "HashSet"] {
+        let Some(tpos) = find_token(code, ty) else {
+            continue;
+        };
+        let before = code[..tpos].trim_end();
+        // Skip type-path prefixes (`gar_types::FxHashMap<..>`) and
+        // return types (`-> FxHashMap<..>`).
+        if before.ends_with("::") || before.ends_with("->") {
+            return None;
+        }
+        let before = before
+            .strip_suffix("mut")
+            .map(str::trim_end)
+            .unwrap_or(before);
+        let before = before
+            .strip_suffix('&')
+            .map(str::trim_end)
+            .unwrap_or(before);
+        let before = match before.strip_suffix(':') {
+            Some(b) => b.trim_end(),
+            None => return None,
+        };
+        let name: String = before
+            .chars()
+            .rev()
+            .take_while(|c| is_ident_char(*c))
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if !name.is_empty() && !name.chars().next().unwrap().is_ascii_digit() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// Does this line iterate `name`? Either a `for .. in` whose iterable
+/// mentions the identifier, or a direct iterator-adaptor call on it.
+fn iterates(code: &str, name: &str) -> bool {
+    for suffix in [
+        ".iter()",
+        ".iter_mut()",
+        ".into_iter()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain(",
+    ] {
+        let pat = format!("{name}{suffix}");
+        if let Some(pos) = code.find(&pat) {
+            // Reject partial-identifier matches (`sorted_groups.iter()`
+            // must not match name `groups`).
+            let pre_ok = pos == 0 || !is_ident_char(code[..pos].chars().next_back().unwrap());
+            if pre_ok {
+                return true;
+            }
+        }
+    }
+    if let Some(for_pos) = find_token(code, "for") {
+        let after_for = &code[for_pos..];
+        if let Some(in_rel) = find_token(after_for, "in") {
+            let iterable = &after_for[in_rel + 2..];
+            // `for x in map` / `for x in &map` / `for (k, v) in &mut map`
+            if find_token(iterable, name).is_some() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Source analysis: comment stripping + block context.
+// ---------------------------------------------------------------------
+
+struct Analysis {
+    /// Raw lines (suppression and justification comments live here).
+    raw: Vec<String>,
+    /// Comment-stripped lines (all rule matching happens here).
+    code: Vec<String>,
+    /// Line is inside a `#[cfg(test)]`-gated block.
+    in_test: Vec<bool>,
+    /// Every `.wait(` occurrence on the line sits inside a
+    /// `while`/`loop` block (char-accurate; true when no wait present).
+    wait_in_loop: Vec<bool>,
+}
+
+impl Analysis {
+    fn of(src: &str) -> Analysis {
+        let raw: Vec<String> = src.lines().map(str::to_string).collect();
+        let code = strip_comments(&raw);
+
+        // Block scanner: text since the last `;`/`{`/`}` is the pending
+        // "header"; when a `{` opens, the header decides whether the new
+        // block is a loop (token `while`/`loop`) or test-gated
+        // (`#[cfg(test)]` / `#[cfg(all(test` attribute in the header).
+        struct Block {
+            is_loop: bool,
+            is_test: bool,
+        }
+        let mut stack: Vec<Block> = Vec::new();
+        let mut pending = String::new();
+        let mut in_test = Vec::with_capacity(code.len());
+        let mut wait_in_loop = Vec::with_capacity(code.len());
+
+        for line in &code {
+            // Byte offsets of `.wait(` on this line; the loop check is
+            // taken at each occurrence's position so same-line openings
+            // (`while p() { g = cv.wait(g); }`) are seen correctly.
+            let wait_positions: Vec<usize> = {
+                let mut v = Vec::new();
+                let mut from = 0;
+                while let Some(rel) = line[from..].find(".wait(") {
+                    v.push(from + rel);
+                    from += rel + 1;
+                }
+                v
+            };
+            let test_at_start = stack.iter().any(|b| b.is_test);
+            let mut all_waits_looped = true;
+
+            for (pos, ch) in line.char_indices() {
+                if wait_positions.contains(&pos) && !stack.iter().any(|b| b.is_loop) {
+                    all_waits_looped = false;
+                }
+                match ch {
+                    '{' => {
+                        let is_loop = find_token(&pending, "while").is_some()
+                            || find_token(&pending, "loop").is_some();
+                        let is_test =
+                            pending.contains("#[cfg(test)") || pending.contains("#[cfg(all(test");
+                        let parent_test = stack.last().map(|b| b.is_test).unwrap_or(false);
+                        stack.push(Block {
+                            is_loop,
+                            is_test: is_test || parent_test,
+                        });
+                        pending.clear();
+                    }
+                    '}' => {
+                        stack.pop();
+                        pending.clear();
+                    }
+                    ';' => pending.clear(),
+                    c => pending.push(c),
+                }
+            }
+            pending.push(' ');
+            // A line counts as test code if it is inside the region at
+            // either end, so closing-brace lines stay exempt.
+            in_test.push(test_at_start || stack.iter().any(|b| b.is_test));
+            wait_in_loop.push(all_waits_looped);
+        }
+
+        Analysis {
+            raw,
+            code,
+            in_test,
+            wait_in_loop,
+        }
+    }
+
+    /// `// lint:allow(<rule>): reason` on line `i` or anywhere in the
+    /// contiguous comment block directly above it. The trailing colon is
+    /// part of the pattern: a reason is mandatory.
+    fn suppressed(&self, i: usize, rule: &str) -> bool {
+        let pat = format!("lint:allow({rule}):");
+        if self.raw[i].contains(&pat) {
+            return true;
+        }
+        let mut j = i;
+        while j > 0 && self.raw[j - 1].trim_start().starts_with("//") {
+            j -= 1;
+            if self.raw[j].contains(&pat) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A `relaxed:` marker (comment text) on the line or within the
+    /// preceding window.
+    fn has_relaxed_justification(&self, i: usize) -> bool {
+        let lo = i.saturating_sub(RELAXED_WINDOW);
+        self.raw[lo..=i]
+            .iter()
+            .any(|l| l.to_ascii_lowercase().contains("relaxed:"))
+    }
+}
+
+/// Strips `//` line comments and `/* */` block comments (tracking
+/// multi-line block comments), leaving string/char literal contents in
+/// place but protecting `//` and `/*` sequences inside them. Lifetimes
+/// (`'a`) are distinguished from char literals heuristically.
+fn strip_comments(raw: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut in_block_comment = false;
+    for line in raw {
+        let mut code = String::with_capacity(line.len());
+        let bytes: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        let mut in_string = false;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            if in_block_comment {
+                if c == '*' && next == Some('/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if in_string {
+                code.push(c);
+                if c == '\\' {
+                    if let Some(n) = next {
+                        code.push(n);
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    in_string = false;
+                }
+                i += 1;
+                continue;
+            }
+            match c {
+                '"' => {
+                    in_string = true;
+                    code.push(c);
+                    i += 1;
+                }
+                '\'' => {
+                    // Char literal if it closes within a couple of
+                    // characters; otherwise a lifetime.
+                    let is_char =
+                        matches!((next, bytes.get(i + 2)), (Some('\\'), _) | (_, Some('\'')));
+                    if is_char {
+                        // Consume until the closing quote (bounded).
+                        code.push(c);
+                        i += 1;
+                        let mut consumed = 0;
+                        while i < bytes.len() && consumed < 4 {
+                            let cc = bytes[i];
+                            code.push(cc);
+                            i += 1;
+                            consumed += 1;
+                            if cc == '\\' && i < bytes.len() {
+                                code.push(bytes[i]);
+                                i += 1;
+                            } else if cc == '\'' {
+                                break;
+                            }
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                '/' if next == Some('/') => break,
+                '/' if next == Some('*') => {
+                    in_block_comment = true;
+                    i += 2;
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(code);
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Byte position of `token` in `code` as a whole word (not part of a
+/// longer identifier), or None.
+fn find_token(code: &str, token: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(rel) = code[start..].find(token) {
+        let pos = start + rel;
+        let pre_ok = pos == 0 || !is_ident_char(code[..pos].chars().next_back().unwrap());
+        let end = pos + token.len();
+        let post_ok = end >= code.len() || !is_ident_char(code[end..].chars().next().unwrap());
+        if pre_ok && post_ok {
+            return Some(pos);
+        }
+        start = pos + token.len();
+    }
+    None
+}
+
+/// `contains_token` including generic positions (`FxHashMap<K, V>`).
+fn contains_token(code: &str, token: &str) -> bool {
+    find_token(code, token).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ----- wait-loop ---------------------------------------------------
+
+    /// The acceptance-criteria seeded violation: a bare `condvar.wait()`
+    /// outside any generation-checked loop must be flagged.
+    #[test]
+    fn seeded_bare_wait_is_flagged() {
+        let src = "\
+fn broken(cv: &Condvar, m: &Mutex<State>) {
+    let s = m.lock();
+    let _s = cv.wait(s);
+}
+";
+        let f = lint_source("crates/cluster/src/collective.rs", src);
+        assert_eq!(rules(&f), vec![RULE_WAIT_LOOP], "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn wait_in_while_loop_is_clean() {
+        let src = "\
+fn ok(cv: &Condvar, m: &Mutex<State>, my_gen: u64) {
+    let mut s = m.lock();
+    while s.gen == my_gen {
+        s = cv.wait(s);
+    }
+}
+";
+        assert!(lint_source("crates/cluster/src/collective.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wait_in_bare_loop_is_clean() {
+        // `loop { .. break; }` re-checks its predicate via the break
+        // condition; accepted like `while`.
+        let src = "\
+fn ok(cv: &Condvar, m: &Mutex<State>) {
+    let mut s = m.lock();
+    loop {
+        if s.ready { break; }
+        s = cv.wait(s);
+    }
+}
+";
+        assert!(lint_source("crates/cluster/src/sched.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wait_same_line_as_while_is_clean() {
+        let src = "fn ok() { while p() { g = cv.wait(g); } }\n";
+        assert!(lint_source("crates/cluster/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wait_in_for_loop_is_still_flagged() {
+        // A `for` loop runs a fixed iteration count; it does not
+        // re-check the waited-on predicate.
+        let src = "\
+fn broken(cv: &Condvar, m: &Mutex<State>) {
+    for _ in 0..2 {
+        let _s = cv.wait(m.lock());
+    }
+}
+";
+        let f = lint_source("crates/cluster/src/x.rs", src);
+        assert_eq!(rules(&f), vec![RULE_WAIT_LOOP]);
+    }
+
+    #[test]
+    fn bare_wait_in_test_module_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn scenario(cv: &Condvar, m: &Mutex<bool>) {
+        let _g = cv.wait(m.lock());
+    }
+}
+";
+        assert!(lint_source("crates/cluster/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_requires_reason() {
+        let with_reason = "\
+fn shim(cv: &Condvar, g: Guard) {
+    // lint:allow(wait-loop): std passthrough; callers loop
+    let _g = cv.wait(g);
+}
+";
+        assert!(lint_source("crates/cluster/src/sync.rs", with_reason).is_empty());
+
+        let without_reason = "\
+fn shim(cv: &Condvar, g: Guard) {
+    // lint:allow(wait-loop)
+    let _g = cv.wait(g);
+}
+";
+        let f = lint_source("crates/cluster/src/sync.rs", without_reason);
+        assert_eq!(rules(&f), vec![RULE_WAIT_LOOP]);
+    }
+
+    #[test]
+    fn wait_in_comment_or_string_is_ignored() {
+        let src = "\
+fn doc() {
+    // callers must not use cv.wait( outside a loop
+    let s = \"cv.wait(x)\";
+    let _ = s;
+}
+";
+        // The comment is stripped; the string literal mention has no
+        // receiver and `.wait(` *is* present in the literal — the rule
+        // deliberately tolerates this rare false positive, so pin the
+        // current (flagging) behavior for the string case only.
+        let f = lint_source("crates/cluster/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    // ----- cluster-unwrap ----------------------------------------------
+
+    #[test]
+    fn unwrap_in_cluster_non_test_is_flagged() {
+        let src = "fn f() { let x = g().unwrap(); h(x); }\n";
+        let f = lint_source("crates/cluster/src/runner.rs", src);
+        assert_eq!(rules(&f), vec![RULE_CLUSTER_UNWRAP]);
+    }
+
+    #[test]
+    fn expect_in_cluster_non_test_is_flagged() {
+        let src = "fn f() { let x = g().expect(\"boom\"); h(x); }\n";
+        let f = lint_source("crates/cluster/src/runner.rs", src);
+        assert_eq!(rules(&f), vec![RULE_CLUSTER_UNWRAP]);
+    }
+
+    #[test]
+    fn unwrap_outside_cluster_is_not_flagged() {
+        let src = "fn f() { let x = g().unwrap(); h(x); }\n";
+        assert!(lint_source("crates/mining/src/report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let src = "fn f() { let x = m.lock().unwrap_or_else(|e| e.into_inner()); drop(x); }\n";
+        assert!(lint_source("crates/cluster/src/sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cluster_tests_is_exempt() {
+        let src = "\
+#[cfg(all(test, not(gar_loom)))]
+mod tests {
+    #[test]
+    fn t() {
+        run().unwrap();
+    }
+}
+";
+        assert!(lint_source("crates/cluster/src/collective.rs", src).is_empty());
+    }
+
+    // ----- relaxed ------------------------------------------------------
+
+    #[test]
+    fn relaxed_without_justification_is_flagged() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let f = lint_source("crates/cluster/src/stats.rs", src);
+        assert_eq!(rules(&f), vec![RULE_RELAXED]);
+    }
+
+    #[test]
+    fn relaxed_with_nearby_comment_is_clean() {
+        let src = "\
+fn f(c: &AtomicU64) {
+    // relaxed: independent counter, read only after the worker joins
+    c.fetch_add(1, Ordering::Relaxed);
+}
+";
+        assert!(lint_source("crates/cluster/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_comment_covers_a_window_of_sites() {
+        let src = "\
+fn snapshot(&self) -> Stats {
+    // relaxed: all counters are independent and the reader runs after
+    // every writer has been joined, so no inter-counter ordering exists.
+    Stats {
+        a: self.a.load(Ordering::Relaxed),
+        b: self.b.load(Ordering::Relaxed),
+        c: self.c.load(Ordering::Relaxed),
+    }
+}
+";
+        assert!(lint_source("crates/cluster/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_no_comment() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::SeqCst); }\n";
+        assert!(lint_source("crates/cluster/src/stats.rs", src).is_empty());
+    }
+
+    // ----- hash-order ---------------------------------------------------
+
+    #[test]
+    fn hash_map_iteration_in_scope_is_flagged() {
+        let src = "\
+fn encode(support: &FxHashMap<Itemset, u64>, buf: &mut Vec<u8>) {
+    for (k, v) in support {
+        push(buf, k, v);
+    }
+}
+";
+        let f = lint_source("crates/mining/src/wire.rs", src);
+        assert_eq!(rules(&f), vec![RULE_HASH_ORDER]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn hash_map_adaptor_iteration_is_flagged() {
+        for call in [
+            "support.iter()",
+            "support.keys()",
+            "support.values()",
+            "support.drain(..)",
+        ] {
+            let src = format!(
+                "fn f() {{ let support: FxHashMap<u32, u64> = make(); let v: Vec<_> = {call}.collect(); use_it(v); }}\n"
+            );
+            let f = lint_source("crates/mining/src/report.rs", &src);
+            assert_eq!(rules(&f), vec![RULE_HASH_ORDER], "{call}");
+        }
+    }
+
+    #[test]
+    fn hash_map_lookup_is_clean() {
+        let src = "\
+fn f(support: &FxHashMap<Itemset, u64>, key: &Itemset) -> u64 {
+    support.get(key).copied().unwrap_or(0)
+}
+";
+        assert!(lint_source("crates/mining/src/parallel/rules.rs", src).is_empty());
+    }
+
+    #[test]
+    fn similarly_named_vec_is_not_confused_with_the_map() {
+        let src = "\
+fn f() {
+    let groups: FxHashMap<u32, u64> = make();
+    let sorted_groups: Vec<_> = order(&groups);
+    for g in sorted_groups.iter() {
+        use_it(g);
+    }
+}
+";
+        assert!(lint_source("crates/mining/src/parallel/duplicate.rs", src).is_empty());
+    }
+
+    #[test]
+    fn vec_of_hash_sets_iterates_deterministically() {
+        // Iterating the outer Vec is index-ordered; only the inner sets
+        // are hash-ordered, and they are probed, not iterated.
+        let src = "\
+fn f(n: usize) {
+    let mut owner_roots: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+    for s in owner_roots.iter_mut() {
+        s.clear();
+    }
+}
+";
+        assert!(lint_source("crates/mining/src/parallel/hhpgm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_outside_scope_is_not_flagged() {
+        let src = "\
+fn f() {
+    let seen: FxHashSet<u32> = make();
+    for s in &seen {
+        use_it(s);
+    }
+}
+";
+        assert!(lint_source("crates/mining/src/counter/hashmap.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_with_suppression_is_clean() {
+        let src = "\
+fn f() {
+    let mut groups: FxHashMap<u32, Vec<usize>> = make();
+    // lint:allow(hash-order): collected into a Vec and sorted below
+    for (k, v) in groups.drain() {
+        push(k, v);
+    }
+}
+";
+        assert!(lint_source("crates/mining/src/parallel/duplicate.rs", src).is_empty());
+    }
+
+    // ----- analysis internals -------------------------------------------
+
+    #[test]
+    fn block_comments_are_stripped_across_lines() {
+        let src = "\
+fn f() {
+    /* a block comment mentioning cv.wait( spanning
+       multiple lines with Ordering::Relaxed inside */
+    real();
+}
+";
+        assert!(lint_source("crates/cluster/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lifetime_ticks_do_not_derail_the_scanner() {
+        let src = "\
+fn f<'a>(x: &'a FxHashMap<u32, u64>) -> Option<&'a u64> {
+    x.get(&0)
+}
+";
+        assert!(lint_source("crates/mining/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn declared_name_extraction() {
+        assert_eq!(
+            declared_name(
+                "    let mut groups: FxHashMap<Box<[u32]>, Vec<usize>> = FxHashMap::default();"
+            ),
+            Some("groups".to_string())
+        );
+        assert_eq!(
+            declared_name("    index: &FxHashMap<Itemset, usize>,"),
+            Some("index".to_string())
+        );
+        assert_eq!(
+            declared_name("use gar_types::{FxHashMap, FxHashSet};"),
+            None
+        );
+        assert_eq!(declared_name(") -> FxHashMap<Itemset, u64> {"), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! Repo automation, invoked as `cargo xtask <command>` (see
+//! `.cargo/config.toml` for the alias).
+//!
+//! * `lint` — the in-repo static analysis pass (concurrency and
+//!   determinism rules the stock toolchain cannot express; see
+//!   `lint.rs`).
+//! * `loom` — model-checks the cluster collectives by rebuilding them on
+//!   the `gar-modelcheck` virtual primitives (`--cfg gar_loom`).
+//! * `miri` — runs the UB interpreter over the unsafe-bearing crates
+//!   when the `miri` component is installed; degrades to a skip
+//!   otherwise (this build environment has no network to install it).
+//! * `tsan` — ThreadSanitizer over the cluster tests when nightly +
+//!   `rust-src` are available; degrades to a skip otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod lint;
+mod runners;
+
+fn usage() -> &'static str {
+    "usage: cargo xtask <command>\n\
+     \n\
+     commands:\n\
+       lint          run the in-repo static analysis rules\n\
+       loom          model-check the cluster collectives (--cfg gar_loom)\n\
+       miri [--strict]   run miri over unsafe-bearing crates (skip if unavailable)\n\
+       tsan [--strict]   run ThreadSanitizer over cluster tests (skip if unavailable)\n\
+     \n\
+     --strict makes miri/tsan fail instead of skip when the toolchain\n\
+     component is missing."
+}
+
+/// Workspace root: xtask always lives directly under it.
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(PathBuf::from).unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let code = match cmd {
+        "lint" => lint::run(&repo_root()),
+        "loom" => runners::loom(&repo_root(), rest),
+        "miri" => runners::miri(&repo_root(), rest),
+        "tsan" => runners::tsan(&repo_root(), rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            0
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{}", usage());
+            2
+        }
+    };
+    ExitCode::from(code)
+}

@@ -1,0 +1,201 @@
+//! Process-spawning subcommands: loom model checking, miri, tsan.
+//!
+//! miri and tsan require toolchain components this build environment may
+//! not have (there is no network to install them). Both probe first and
+//! skip with an explanation when unavailable; `--strict` turns a skip
+//! into a failure so CI environments that *do* have the components can
+//! enforce them.
+
+use std::path::Path;
+use std::process::Command;
+
+fn strict(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--strict")
+}
+
+fn passthrough(args: &[String]) -> impl Iterator<Item = &String> {
+    args.iter().filter(|a| *a != "--strict")
+}
+
+/// Runs `cmd`, echoing it first; returns the exit code (101 if the
+/// process could not be spawned or was killed by a signal).
+fn run_echoed(cmd: &mut Command) -> u8 {
+    eprintln!("xtask: running {:?}", cmd);
+    match cmd.status() {
+        Ok(st) if st.success() => 0,
+        Ok(st) => st.code().map(|c| c.min(255) as u8).unwrap_or(101),
+        Err(e) => {
+            eprintln!("xtask: failed to spawn {:?}: {e}", cmd.get_program());
+            101
+        }
+    }
+}
+
+/// True if `cmd` runs and exits 0 (output discarded).
+fn probe(mut cmd: Command) -> bool {
+    cmd.stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+/// Model-checks the cluster collectives. Compiles `gar-cluster` with
+/// `--cfg gar_loom`, swapping the std primitives in `cluster/src/sync.rs`
+/// for the `gar-modelcheck` virtual ones, then runs the exhaustive
+/// schedule-enumeration suite. The checker's own unit tests run first so
+/// a broken checker cannot vacuously pass the suite. A separate target
+/// dir keeps the `--cfg` flag from invalidating the main build cache.
+pub fn loom(root: &Path, args: &[String]) -> u8 {
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.is_empty() {
+        rustflags.push(' ');
+    }
+    rustflags.push_str("--cfg gar_loom");
+
+    let code = run_echoed(Command::new("cargo").current_dir(root).args([
+        "test",
+        "-q",
+        "-p",
+        "gar-modelcheck",
+    ]));
+    if code != 0 {
+        eprintln!("xtask loom: the model checker's own tests failed; not running the suite");
+        return code;
+    }
+
+    run_echoed(
+        Command::new("cargo")
+            .current_dir(root)
+            .env("RUSTFLAGS", &rustflags)
+            .args([
+                "test",
+                "-q",
+                "-p",
+                "gar-cluster",
+                "--test",
+                "loom_collectives",
+                "--target-dir",
+                "target/loom",
+            ])
+            .args(passthrough(args)),
+    )
+}
+
+/// Runs miri over the crates that contain `unsafe` (the model checker's
+/// serialized `UnsafeCell` primitives) plus the cluster crate's unit
+/// tests. Skips when the component is missing.
+pub fn miri(root: &Path, args: &[String]) -> u8 {
+    let mut version = Command::new("cargo");
+    version
+        .current_dir(root)
+        .args(["+nightly", "miri", "--version"]);
+    if !probe(version) {
+        let msg = "xtask miri: `cargo +nightly miri` is not available \
+                   (component not installed; this environment has no network). \
+                   Install with `rustup +nightly component add miri` where possible.";
+        if strict(args) {
+            eprintln!("{msg}\nxtask miri: --strict set, failing");
+            return 1;
+        }
+        eprintln!("{msg}\nxtask miri: skipping");
+        return 0;
+    }
+
+    run_echoed(
+        Command::new("cargo")
+            .current_dir(root)
+            .args([
+                "+nightly",
+                "miri",
+                "test",
+                "-p",
+                "gar-modelcheck",
+                "-p",
+                "gar-cluster",
+                "--lib",
+            ])
+            .args(passthrough(args)),
+    )
+}
+
+/// Runs the cluster test suite under ThreadSanitizer. Needs nightly
+/// (`-Z build-std`) and the `rust-src` component; skips when missing.
+pub fn tsan(root: &Path, args: &[String]) -> u8 {
+    let host = host_triple(root);
+    let sysroot_src = nightly_sysroot(root).map(|s| {
+        Path::new(&s)
+            .join("lib")
+            .join("rustlib")
+            .join("src")
+            .join("rust")
+            .join("library")
+    });
+    let available = matches!((&host, &sysroot_src), (Some(_), Some(p)) if p.is_dir());
+    if !available {
+        let msg = "xtask tsan: nightly rust-src (for -Z build-std) is not available \
+                   (this environment has no network). \
+                   Install with `rustup +nightly component add rust-src` where possible.";
+        if strict(args) {
+            eprintln!("{msg}\nxtask tsan: --strict set, failing");
+            return 1;
+        }
+        eprintln!("{msg}\nxtask tsan: skipping");
+        return 0;
+    }
+    let host = host.unwrap();
+
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.is_empty() {
+        rustflags.push(' ');
+    }
+    rustflags.push_str("-Z sanitizer=thread");
+
+    run_echoed(
+        Command::new("cargo")
+            .current_dir(root)
+            .env("RUSTFLAGS", &rustflags)
+            .args([
+                "+nightly",
+                "test",
+                "-Z",
+                "build-std",
+                "--target",
+                &host,
+                "-p",
+                "gar-cluster",
+                "--target-dir",
+                "target/tsan",
+            ])
+            .args(passthrough(args)),
+    )
+}
+
+fn host_triple(root: &Path) -> Option<String> {
+    let out = Command::new("rustc")
+        .current_dir(root)
+        .args(["+nightly", "-vV"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    String::from_utf8(out.stdout)
+        .ok()?
+        .lines()
+        .find_map(|l| l.strip_prefix("host: ").map(str::to_string))
+}
+
+fn nightly_sysroot(root: &Path) -> Option<String> {
+    let out = Command::new("rustc")
+        .current_dir(root)
+        .args(["+nightly", "--print", "sysroot"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    String::from_utf8(out.stdout)
+        .ok()
+        .map(|s| s.trim().to_string())
+}
