@@ -2,14 +2,15 @@
 
 use crate::args::Args;
 use crate::commands::{load_taxonomy, open_partitions, ChainedSource};
-use gar_cluster::ClusterConfig;
-use gar_mining::parallel::mine_parallel;
+use gar_cluster::{ClusterConfig, FaultPlan};
+use gar_mining::parallel::{mine_parallel_with, MineOptions};
 use gar_mining::persist::{algorithm_by_name, save_output};
 use gar_mining::sequential::{apriori, cumulate};
 use gar_mining::{Algorithm, MiningOutput, MiningParams};
 use gar_storage::PartitionedDatabase;
 use gar_types::Result;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<()> {
@@ -51,12 +52,26 @@ pub fn run(args: &Args) -> Result<()> {
                     .collect::<Vec<_>>();
                 PartitionedDatabase::from_parts(boxed)
             };
-            let cluster = ClusterConfig::new(nodes, memory_mb * 1024 * 1024);
-            let report = mine_parallel(parallel_alg, &db, &tax, &params, &cluster)?;
+            let mut cluster = ClusterConfig::new(nodes, memory_mb * 1024 * 1024);
+            if let Some(spec) = args.get("faults") {
+                cluster = cluster.with_faults(FaultPlan::parse(spec)?);
+            }
+            if let Some(ms) = args.get("deadline-ms") {
+                let ms: u64 = ms.parse().map_err(|_| {
+                    gar_types::Error::InvalidConfig(format!("bad --deadline-ms '{ms}'"))
+                })?;
+                cluster = cluster.with_deadline(Duration::from_millis(ms));
+            }
+            let opts = MineOptions {
+                checkpoint_dir: args.get("checkpoint-dir").map(PathBuf::from),
+                resume: args.has_switch("resume"),
+                max_node_failures: args.get_or("max-node-failures", 0)?,
+            };
+            let report = mine_parallel_with(parallel_alg, &db, &tax, &params, &cluster, &opts)?;
             println!(
                 "{} on {} nodes: wall {:?}, modeled SP-2 time {:.2}s",
                 algorithm.name(),
-                nodes,
+                report.num_nodes,
                 report.wall,
                 report.modeled_seconds
             );
@@ -66,13 +81,17 @@ pub fn run(args: &Args) -> Result<()> {
             );
             for p in &report.pass_reports {
                 println!(
-                    "{:>5} {:>12} {:>10} {:>10} {:>12.3}",
+                    "{:>5} {:>12} {:>10} {:>10} {:>12.3}{}",
                     p.k,
                     p.num_candidates,
                     p.num_duplicated,
                     p.num_large,
-                    p.avg_mb_received()
+                    p.avg_mb_received(),
+                    if p.restored { "  (restored)" } else { "" }
                 );
+            }
+            for note in &report.degraded {
+                println!("degraded mode: {note}");
             }
             report.output
         }

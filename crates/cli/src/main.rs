@@ -15,7 +15,22 @@ mod args;
 mod commands;
 
 use args::Args;
-use gar_types::Result;
+use gar_types::{Error, Result};
+
+/// Exit-code mapping: 2 = bad invocation or configuration, 3 = storage
+/// (I/O or corrupt artifact), 4 = cluster-runtime failure (a node died,
+/// hung past its deadline, or broke protocol). Scripts can distinguish
+/// "fix your flags" from "rerun with --resume".
+fn exit_code(e: &Error) -> i32 {
+    match e {
+        Error::InvalidConfig(_) | Error::InvalidTaxonomy(_) => 2,
+        Error::Io { .. } | Error::Corrupt(_) => 3,
+        Error::NodeFailure { .. }
+        | Error::Protocol(_)
+        | Error::Poisoned { .. }
+        | Error::Timeout { .. } => 4,
+    }
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +42,7 @@ fn main() {
         Ok(()) => {}
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code(&e));
         }
     }
 }
@@ -62,11 +77,25 @@ USAGE:
   gar-cli info  --data DIR
   gar-cli mine  --data DIR --min-support F [--algorithm NAME]
                 [--max-pass K] [--memory-mb M] [--out FILE.gout]
+                [--checkpoint-dir DIR] [--resume] [--faults SPEC]
+                [--deadline-ms MS] [--max-node-failures N]
   gar-cli rules --output FILE.gout --min-confidence F
                 [--taxonomy FILE.gtax] [--interest R] [--top N]
 
 ALGORITHMS:
   Cumulate (sequential), NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD,
-  H-HPGM-FGD (default)"
+  H-HPGM-FGD (default)
+
+FAULT TOLERANCE (parallel algorithms):
+  --checkpoint-dir DIR   persist L_k after every pass (crash-safe writes)
+  --resume               restart from the newest intact checkpoint in DIR
+  --faults SPEC          seeded fault injection, e.g.
+                         'seed=42,p-drop=0.01,delay-ms=2,panic@n1p2'
+  --deadline-ms MS       per-wait deadline; a hung node becomes a Timeout
+  --max-node-failures N  re-run over survivors after up to N node deaths
+
+EXIT CODES:
+  0 success · 2 invalid flags/config · 3 I/O or corrupt artifact ·
+  4 cluster failure (node death, timeout, protocol)"
     );
 }

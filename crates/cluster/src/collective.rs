@@ -23,9 +23,10 @@
 //!   exactly once past the value it saw on entry, or the run is
 //!   poisoned — asserted in debug builds.
 
-use crate::sync::{Arc, AtomicUsize, Condvar, Mutex, Ordering};
+use crate::sync::{Arc, AtomicUsize, Condvar, Instant, Mutex, MutexGuard, Ordering};
 use bytes::Bytes;
 use gar_types::{Error, Result};
+use std::time::Duration;
 
 /// Sentinel for "no node has poisoned the run".
 const NOT_POISONED: usize = usize::MAX;
@@ -55,6 +56,8 @@ struct BarrierState {
 /// Shared synchronization core for one cluster run.
 pub struct Collectives {
     num_nodes: usize,
+    /// Deadline for any single collective wait; `None` waits forever.
+    deadline: Option<Duration>,
     /// Id of the first node that poisoned the run, or [`NOT_POISONED`].
     poisoned_by: AtomicUsize,
     reduce: Mutex<ReduceState>,
@@ -66,11 +69,22 @@ pub struct Collectives {
 }
 
 impl Collectives {
-    /// Creates the collectives for `num_nodes` participants.
+    /// Creates the collectives for `num_nodes` participants with no
+    /// deadline (waits forever, like a real interconnect without a
+    /// failure detector).
     pub fn new(num_nodes: usize) -> Collectives {
+        Collectives::with_deadline(num_nodes, None)
+    }
+
+    /// Creates the collectives with a per-wait deadline. A node whose
+    /// wait outlives the deadline poisons the run on its own behalf and
+    /// returns [`Error::Timeout`], so a silently hung peer is detected
+    /// instead of parking the cluster forever.
+    pub fn with_deadline(num_nodes: usize, deadline: Option<Duration>) -> Collectives {
         assert!(num_nodes >= 1);
         Collectives {
             num_nodes,
+            deadline,
             poisoned_by: AtomicUsize::new(NOT_POISONED),
             reduce: Mutex::new(ReduceState::default()),
             reduce_cv: Condvar::new(),
@@ -84,6 +98,60 @@ impl Collectives {
     /// Number of participants.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
+    }
+
+    /// The configured per-wait deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Deadline-aware wait shared by every collective: parks while
+    /// `waiting` holds and nobody has poisoned the run. On deadline
+    /// expiry the predicate and poison state are re-checked *under the
+    /// lock* (a wakeup that raced the timer must win — never lost, never
+    /// double-reported); only a still-stalled wait poisons the run and
+    /// returns [`Error::Timeout`]. If the poison CAS loses to a
+    /// concurrent poisoner, that node's [`Error::Poisoned`] is returned
+    /// instead so a run always reports exactly one root cause.
+    fn wait_collective<'a, T>(
+        &self,
+        node: usize,
+        op: &'static str,
+        cv: &Condvar,
+        mut s: MutexGuard<'a, T>,
+        mut waiting: impl FnMut(&T) -> bool,
+    ) -> Result<MutexGuard<'a, T>> {
+        let Some(limit) = self.deadline else {
+            while waiting(&s) && !self.is_poisoned() {
+                // lint:allow(no-deadline): the no-deadline configuration
+                // of the deadline-aware wrapper itself.
+                s = cv.wait(s);
+            }
+            return Ok(s);
+        };
+        let start = Instant::now();
+        loop {
+            if !waiting(&s) || self.is_poisoned() {
+                return Ok(s);
+            }
+            let remaining = limit.saturating_sub(start.elapsed());
+            let (guard, timed_out) = cv.wait_timeout(s, remaining);
+            s = guard;
+            if timed_out && waiting(&s) && !self.is_poisoned() {
+                // Drop the state lock before poisoning: poison() takes
+                // every collective's lock to close the lost-wakeup
+                // window, so holding ours here would self-deadlock.
+                drop(s);
+                self.poison(node);
+                return match self.poisoned_by.load(Ordering::SeqCst) {
+                    n if n == node => Err(Error::Timeout {
+                        node,
+                        op: op.into(),
+                    }),
+                    n => Err(Error::Poisoned { node: n }),
+                };
+            }
+        }
     }
 
     /// Marks the run failed on behalf of `node` and wakes every waiter.
@@ -114,7 +182,15 @@ impl Collectives {
         self.poisoned_by.load(Ordering::SeqCst) != NOT_POISONED
     }
 
-    fn check_poison(&self) -> Result<()> {
+    /// The node that poisoned the run first, if any did.
+    pub fn poisoned_by(&self) -> Option<usize> {
+        match self.poisoned_by.load(Ordering::SeqCst) {
+            NOT_POISONED => None,
+            node => Some(node),
+        }
+    }
+
+    pub(crate) fn check_poison(&self) -> Result<()> {
         match self.poisoned_by.load(Ordering::SeqCst) {
             NOT_POISONED => Ok(()),
             node => Err(Error::Poisoned { node }),
@@ -157,9 +233,8 @@ impl Collectives {
             self.reduce_cv.notify_all();
             Ok(s.result.clone())
         } else {
-            while s.gen == my_gen && !self.is_poisoned() {
-                s = self.reduce_cv.wait(s);
-            }
+            s =
+                self.wait_collective(node, "all_reduce", &self.reduce_cv, s, |s| s.gen == my_gen)?;
             self.check_poison()?;
             debug_assert_eq!(
                 s.gen,
@@ -207,9 +282,7 @@ impl Collectives {
             self.bcast_cv.notify_all();
             Ok(s.result.clone())
         } else {
-            while s.gen == my_gen && !self.is_poisoned() {
-                s = self.bcast_cv.wait(s);
-            }
+            s = self.wait_collective(node, "broadcast", &self.bcast_cv, s, |s| s.gen == my_gen)?;
             self.check_poison()?;
             debug_assert_eq!(
                 s.gen,
@@ -223,7 +296,6 @@ impl Collectives {
 
     /// Rendezvous of all participants. `node` identifies the caller.
     pub fn barrier(&self, node: usize) -> Result<()> {
-        let _ = node; // reserved for poison attribution on future failure paths
         self.check_poison()?;
         let mut s = self.barrier.lock();
         let my_gen = s.gen;
@@ -240,9 +312,7 @@ impl Collectives {
             debug_assert_eq!(s.gen, my_gen + 1, "barrier generation must be monotonic");
             self.barrier_cv.notify_all();
         } else {
-            while s.gen == my_gen && !self.is_poisoned() {
-                s = self.barrier_cv.wait(s);
-            }
+            s = self.wait_collective(node, "barrier", &self.barrier_cv, s, |s| s.gen == my_gen)?;
             self.check_poison()?;
             debug_assert_eq!(
                 s.gen,
@@ -364,6 +434,47 @@ mod tests {
         c.poison(0);
         let err = c.barrier(1).unwrap_err();
         assert!(matches!(err, Error::Poisoned { node: 2 }), "{err}");
+    }
+
+    #[test]
+    fn deadline_expiry_reports_timeout_and_poisons() {
+        let c = Collectives::with_deadline(2, Some(Duration::from_millis(30)));
+        let start = std::time::Instant::now();
+        // The peer never arrives: the wait must end with Timeout, not hang.
+        let err = c.barrier(0).unwrap_err();
+        assert!(
+            matches!(err, Error::Timeout { node: 0, ref op } if op == "barrier"),
+            "{err}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(c.is_poisoned());
+        // A late peer sees the run poisoned by the timed-out node.
+        let err = c.barrier(1).unwrap_err();
+        assert!(matches!(err, Error::Poisoned { node: 0 }), "{err}");
+    }
+
+    #[test]
+    fn deadline_does_not_fire_on_healthy_runs() {
+        let c = Collectives::with_deadline(3, Some(Duration::from_secs(30)));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|id| {
+                    let c = &c;
+                    s.spawn(move || {
+                        for round in 0..5u64 {
+                            c.barrier(id)?;
+                            let sum = c.all_reduce_u64(id, &[round])?[0];
+                            assert_eq!(sum, 3 * round);
+                        }
+                        Ok::<(), Error>(())
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap().unwrap();
+            }
+        });
+        assert!(!c.is_poisoned());
     }
 
     #[test]

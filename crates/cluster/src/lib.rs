@@ -32,6 +32,8 @@ mod collective;
 #[cfg(not(gar_loom))]
 mod cost;
 #[cfg(not(gar_loom))]
+mod fault;
+#[cfg(not(gar_loom))]
 mod node;
 #[cfg(not(gar_loom))]
 mod runner;
@@ -43,8 +45,10 @@ pub use collective::Collectives;
 #[cfg(not(gar_loom))]
 pub use cost::CostModel;
 #[cfg(not(gar_loom))]
+pub use fault::{FaultOp, FaultPlan, RetryPolicy, ScheduledFault};
+#[cfg(not(gar_loom))]
 pub use node::{Envelope, NodeCtx, CONTROL_TAG_EOS};
 #[cfg(not(gar_loom))]
-pub use runner::{Cluster, ClusterConfig, ClusterRun};
+pub use runner::{Cluster, ClusterConfig, ClusterFailure, ClusterRun, RunOutcome};
 #[cfg(not(gar_loom))]
 pub use stats::{NodeStats, NodeStatsSnapshot};

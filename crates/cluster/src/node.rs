@@ -1,11 +1,24 @@
 //! The per-node execution context: messaging, collectives, ledgers.
+//!
+//! Messaging robustness: every envelope carries a per-(sender, receiver)
+//! sequence number and a payload checksum. The receiver delivers each
+//! sequence number exactly once (injected duplicates are absorbed
+//! silently), reports a sequence gap as a [`Error::NodeFailure`] naming
+//! the lossy sender, and reports a checksum mismatch as
+//! [`Error::Corrupt`] — so of the injectable message faults, duplication
+//! is *tolerated* while loss and corruption are *detected* (see
+//! DESIGN.md §8).
 
 use crate::collective::Collectives;
+use crate::fault::{FaultOp, FaultState};
 use crate::stats::NodeStats;
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender, TryRecvError};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use gar_types::{Error, Result};
+use std::cell::RefCell;
+use std::hash::Hasher;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Reserved message tag marking the end of a node's contribution to the
 /// current exchange phase (the distributed-termination token).
@@ -39,7 +52,27 @@ pub struct Envelope {
     pub tag: u32,
     /// Payload. `Bytes` keeps fan-out sends allocation-free.
     pub payload: Bytes,
+    /// Per-(sender, receiver) sequence number, assigned at send time.
+    /// Lets the receiver absorb duplicates and detect losses.
+    pub seq: u64,
+    /// Checksum over `(from, tag, seq, payload)`, computed before any
+    /// injected corruption so the receiver can detect a damaged payload.
+    pub checksum: u64,
 }
+
+/// Envelope checksum: FxHash over the header fields and payload bytes.
+fn envelope_checksum(from: usize, tag: u32, seq: u64, payload: &[u8]) -> u64 {
+    let mut h = gar_types::FxHasher::default();
+    h.write_usize(from);
+    h.write_u32(tag);
+    h.write_u64(seq);
+    h.write(payload);
+    h.finish()
+}
+
+/// Poll granularity of the deadline-aware blocking receive: short enough
+/// to observe a poisoned run promptly, long enough to stay off the CPU.
+const RECV_POLL_SLICE: Duration = Duration::from_millis(2);
 
 /// Everything one simulated node can do: its identity, its private memory
 /// budget, point-to-point messaging with per-byte accounting, and the
@@ -52,6 +85,14 @@ pub struct NodeCtx {
     inbox: Receiver<Envelope>,
     stats: Arc<Vec<NodeStats>>,
     collectives: Arc<Collectives>,
+    /// Per-destination next outgoing sequence number. `RefCell`: the ctx
+    /// is handed out by shared reference but only ever used from its own
+    /// node's thread.
+    send_seq: RefCell<Vec<u64>>,
+    /// Per-sender next expected incoming sequence number.
+    recv_seq: RefCell<Vec<u64>>,
+    /// Active fault injection, if the run has a [`crate::FaultPlan`].
+    faults: Option<FaultState>,
 }
 
 impl NodeCtx {
@@ -62,7 +103,9 @@ impl NodeCtx {
         inbox: Receiver<Envelope>,
         stats: Arc<Vec<NodeStats>>,
         collectives: Arc<Collectives>,
+        faults: Option<FaultState>,
     ) -> NodeCtx {
+        let n = senders.len();
         NodeCtx {
             node_id,
             memory_budget,
@@ -70,6 +113,9 @@ impl NodeCtx {
             inbox,
             stats,
             collectives,
+            send_seq: RefCell::new(vec![0; n]),
+            recv_seq: RefCell::new(vec![0; n]),
+            faults,
         }
     }
 
@@ -106,49 +152,161 @@ impl NodeCtx {
     /// Sends `payload` to node `to`. Messages to self are delivered but
     /// not charged to the communication ledger (the paper counts only
     /// inter-processor traffic; local work is CPU).
+    ///
+    /// This is the send-side fault boundary: an active [`crate::FaultPlan`]
+    /// may delay, drop, duplicate, or corrupt the message here. Injected
+    /// traffic is charged to `faults_injected`, never to the ledger.
     pub fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<()> {
         let len = payload.len() as u64;
+        let seq = {
+            let mut seqs = self.send_seq.borrow_mut();
+            let seq = seqs[to];
+            seqs[to] += 1;
+            seq
+        };
+        let checksum = envelope_checksum(self.node_id, tag, seq, &payload);
+        let mut duplicate = false;
+        let mut payload = payload;
+        if let Some(f) = &self.faults {
+            let effects = f.on_send();
+            let injected = effects.fault_count();
+            if injected > 0 {
+                self.stats[self.node_id].record_faults(injected);
+            }
+            if let Some(d) = effects.delay {
+                std::thread::sleep(d);
+            }
+            if effects.drop {
+                // The sequence number was consumed, so the receiver will
+                // observe the hole (as a gap, or as a timeout if this
+                // was the last message it was waiting for).
+                return Ok(());
+            }
+            if effects.corrupt {
+                // Flip a payload byte *after* the checksum was computed.
+                let mut v = payload.to_vec();
+                match v.len() {
+                    0 => v.push(0xFF),
+                    n => v[n / 2] ^= 0xFF,
+                }
+                payload = Bytes::from(v);
+            }
+            duplicate = effects.duplicate;
+        }
         let env = Envelope {
             from: self.node_id,
             tag,
             payload,
+            seq,
+            checksum,
         };
-        self.senders[to].send(env).map_err(|_| Error::NodeFailure {
-            node: to,
-            reason: "inbox disconnected".into(),
-        })?;
+        let copies = if duplicate { 2 } else { 1 };
+        for _ in 0..copies {
+            self.senders[to]
+                .send(env.clone())
+                .map_err(|_| Error::NodeFailure {
+                    node: to,
+                    reason: "inbox disconnected".into(),
+                })?;
+        }
         if to != self.node_id {
             self.stats[self.node_id].record_send(len);
         }
         Ok(())
     }
 
-    /// Blocking receive. Charges the receive ledger for remote messages.
-    pub fn recv(&self) -> Result<Envelope> {
-        let env = self.inbox.recv().map_err(|_| Error::NodeFailure {
-            node: self.node_id,
-            reason: "all senders disconnected".into(),
-        })?;
+    /// Receive-side admission: absorbs duplicates (returns `None`),
+    /// rejects gaps and corruption, charges the ledger for admitted
+    /// remote messages.
+    fn admit(&self, env: Envelope) -> Result<Option<Envelope>> {
+        let expected = self.recv_seq.borrow()[env.from];
+        if env.seq < expected {
+            // Already delivered: an injected duplicate. Absorb it.
+            return Ok(None);
+        }
+        if env.seq > expected {
+            return Err(Error::NodeFailure {
+                node: env.from,
+                reason: format!(
+                    "message loss detected: expected seq {expected} from node {}, got seq {}",
+                    env.from, env.seq
+                ),
+            });
+        }
+        self.recv_seq.borrow_mut()[env.from] = expected + 1;
+        if envelope_checksum(env.from, env.tag, env.seq, &env.payload) != env.checksum {
+            return Err(Error::Corrupt(format!(
+                "message from node {} failed checksum (tag {}, seq {})",
+                env.from, env.tag, env.seq
+            )));
+        }
         if env.from != self.node_id {
             self.stats[self.node_id].record_recv(env.payload.len() as u64);
         }
-        Ok(env)
+        Ok(Some(env))
+    }
+
+    /// Blocking receive. Charges the receive ledger for remote messages.
+    ///
+    /// The wait is deadline-aware: it polls in short slices so a
+    /// poisoned run is observed promptly (instead of parking on a peer
+    /// that will never send), and if the cluster was configured with a
+    /// deadline, a wait that outlives it poisons the run and returns
+    /// [`Error::Timeout`].
+    pub fn recv(&self) -> Result<Envelope> {
+        let start = Instant::now();
+        loop {
+            if let Some(env) = self.try_admit_blocking()? {
+                return Ok(env);
+            }
+            if let Some(limit) = self.collectives.deadline() {
+                if start.elapsed() >= limit {
+                    self.collectives.poison(self.node_id);
+                    return Err(Error::Timeout {
+                        node: self.node_id,
+                        op: "recv".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// One bounded wait slice of [`NodeCtx::recv`]: returns an admitted
+    /// envelope, or `None` if the slice elapsed (or only duplicates
+    /// arrived). Errors on poison, disconnect, gap, or corruption.
+    fn try_admit_blocking(&self) -> Result<Option<Envelope>> {
+        if self.collectives.is_poisoned() {
+            // Surfaces the root cause instead of waiting on a dead peer.
+            return self.collectives.check_poison().map(|()| None);
+        }
+        match self.inbox.recv_timeout(RECV_POLL_SLICE) {
+            Ok(env) => self.admit(env),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(Error::NodeFailure {
+                node: self.node_id,
+                reason: "all senders disconnected".into(),
+            }),
+        }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<Option<Envelope>> {
-        match self.inbox.try_recv() {
-            Ok(env) => {
-                if env.from != self.node_id {
-                    self.stats[self.node_id].record_recv(env.payload.len() as u64);
+        loop {
+            match self.inbox.try_recv() {
+                Ok(env) => {
+                    if let Some(env) = self.admit(env)? {
+                        return Ok(Some(env));
+                    }
+                    // Absorbed duplicate: keep draining.
                 }
-                Ok(Some(env))
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => {
+                    return Err(Error::NodeFailure {
+                        node: self.node_id,
+                        reason: "all senders disconnected".into(),
+                    })
+                }
             }
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(Error::NodeFailure {
-                node: self.node_id,
-                reason: "all senders disconnected".into(),
-            }),
         }
     }
 
@@ -206,6 +364,45 @@ impl NodeCtx {
     /// unless a peer poisoned first).
     pub fn poison(&self) {
         self.collectives.poison(self.node_id);
+    }
+
+    /// Announces the start of mining pass `k`. This is the pass-boundary
+    /// fault point: a scheduled `panic@` fault panics here (modeling a
+    /// node crash), and a scheduled `hang@` fault sleeps for the plan's
+    /// hang duration (modeling an unresponsive node, which peers detect
+    /// via their deadline).
+    pub fn set_pass(&self, k: usize) {
+        let Some(f) = &self.faults else { return };
+        f.set_pass(k);
+        match f.on_pass_start() {
+            Some(FaultOp::Panic) => {
+                self.stats[self.node_id].record_faults(1);
+                panic!("injected panic: node {} pass {k}", self.node_id);
+            }
+            Some(FaultOp::Hang) => {
+                self.stats[self.node_id].record_faults(1);
+                std::thread::sleep(f.hang_duration());
+            }
+            _ => {}
+        }
+    }
+
+    /// The partition-scan fault boundary: returns an injected retryable
+    /// I/O error if the active plan fires a scan fault at this point.
+    /// Mining code calls this when *opening* a partition scan (before any
+    /// transaction is consumed), so a retry never double-counts.
+    pub fn inject_scan_fault(&self) -> Result<()> {
+        let Some(f) = &self.faults else {
+            return Ok(());
+        };
+        if f.on_scan() {
+            self.stats[self.node_id].record_faults(1);
+            return Err(Error::io(
+                format!("injected scan fault on node {}", self.node_id),
+                std::io::Error::other("fault injection"),
+            ));
+        }
+        Ok(())
     }
 
     /// Starts an all-to-all data-exchange phase (see [`Exchange`]).

@@ -2,6 +2,7 @@
 
 use crate::collective::Collectives;
 use crate::cost::CostModel;
+use crate::fault::FaultPlan;
 use crate::node::{Envelope, NodeCtx};
 use crate::stats::{NodeStats, NodeStatsSnapshot};
 use crossbeam::channel::unbounded;
@@ -19,17 +20,37 @@ pub struct ClusterConfig {
     pub memory_per_node: u64,
     /// Price list for the modeled execution time.
     pub cost: CostModel,
+    /// Deterministic fault injection for this run, if any.
+    pub faults: Option<FaultPlan>,
+    /// Deadline on every blocking collective wait and `recv`: a node
+    /// stuck longer than this poisons the run with [`Error::Timeout`]
+    /// instead of deadlocking on a hung peer. `None` waits forever.
+    pub deadline: Option<Duration>,
 }
 
 impl ClusterConfig {
     /// A cluster of `num_nodes` with a given per-node memory budget and
-    /// the default SP-2 cost model.
+    /// the default SP-2 cost model (no faults, no deadline).
     pub fn new(num_nodes: usize, memory_per_node: u64) -> ClusterConfig {
         ClusterConfig {
             num_nodes,
             memory_per_node,
             cost: CostModel::default(),
+            faults: None,
+            deadline: None,
         }
+    }
+
+    /// Attaches a fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> ClusterConfig {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a deadline for blocking waits.
+    pub fn with_deadline(mut self, deadline: Duration) -> ClusterConfig {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Validates the configuration.
@@ -79,6 +100,70 @@ impl<T> ClusterRun<T> {
     }
 }
 
+/// Postmortem of a failed cluster run: **every** node's outcome (not
+/// just the first error), the per-node counter snapshots at the moment
+/// of death, and the poison attribution — the raw material for degraded
+/// -mode recovery and for the runner's root-cause error.
+#[derive(Debug)]
+pub struct ClusterFailure<T> {
+    /// Per-node outcomes, indexed by node id. Nodes that completed
+    /// before the failure carry `Ok`; nodes killed by a peer's failure
+    /// carry [`Error::Poisoned`]; the culprit carries its own error.
+    pub outcomes: Vec<Result<T>>,
+    /// Per-node counters at the end of the run (including
+    /// `faults_injected`).
+    pub stats: Vec<NodeStatsSnapshot>,
+    /// The node that poisoned the collectives first, if any did.
+    pub poisoned_by: Option<usize>,
+    /// Real elapsed time until the run unwound.
+    pub wall: Duration,
+}
+
+impl<T> ClusterFailure<T> {
+    /// The node whose *own* failure started the cascade: the first
+    /// poisoner if its outcome is a non-propagated error, else the
+    /// first node reporting a non-[`Error::Poisoned`] error.
+    pub fn root_cause_node(&self) -> Option<usize> {
+        let own_error = |node: usize| {
+            matches!(
+                self.outcomes.get(node),
+                Some(Err(e)) if !matches!(e, Error::Poisoned { .. })
+            )
+        };
+        self.poisoned_by
+            .filter(|&p| own_error(p))
+            .or_else(|| (0..self.outcomes.len()).find(|&node| own_error(node)))
+    }
+
+    /// Consumes the report, returning the root-cause error (falling back
+    /// to the first error of any kind).
+    pub fn into_root_cause(mut self) -> Error {
+        let node = self
+            .root_cause_node()
+            .or_else(|| (0..self.outcomes.len()).find(|&i| self.outcomes[i].is_err()));
+        match node {
+            Some(i) => match std::mem::replace(
+                &mut self.outcomes[i],
+                Err(Error::Protocol("outcome taken".into())),
+            ) {
+                Err(e) => e,
+                Ok(_) => unreachable!("root cause node has an error outcome"),
+            },
+            None => Error::Protocol("cluster run failed with no error outcome".into()),
+        }
+    }
+}
+
+/// Outcome of [`Cluster::run_report`]: success with results, or a full
+/// postmortem.
+#[derive(Debug)]
+pub enum RunOutcome<T> {
+    /// Every node returned `Ok`.
+    Completed(ClusterRun<T>),
+    /// At least one node failed; here is everything we know.
+    Failed(ClusterFailure<T>),
+}
+
 /// The simulated shared-nothing machine.
 pub struct Cluster;
 
@@ -87,7 +172,26 @@ impl Cluster {
     /// through counted channels and shared collectives. Returns when every
     /// node completes; a panicking or erroring node poisons the
     /// collectives so its peers fail fast rather than deadlock.
+    ///
+    /// On failure the error is the **root cause**: the failing node's own
+    /// error, not the [`Error::Poisoned`] its peers observed. Callers that
+    /// need the full postmortem use [`Cluster::run_report`].
     pub fn run<T, F>(config: &ClusterConfig, node_fn: F) -> Result<ClusterRun<T>>
+    where
+        T: Send,
+        F: Fn(&mut NodeCtx) -> Result<T> + Send + Sync,
+    {
+        match Cluster::run_report(config, node_fn)? {
+            RunOutcome::Completed(run) => Ok(run),
+            RunOutcome::Failed(failure) => Err(failure.into_root_cause()),
+        }
+    }
+
+    /// Like [`Cluster::run`], but a failed run returns the structured
+    /// [`ClusterFailure`] (every node's outcome and stats) instead of
+    /// collapsing to a single error. The outer `Result` only reports
+    /// configuration errors.
+    pub fn run_report<T, F>(config: &ClusterConfig, node_fn: F) -> Result<RunOutcome<T>>
     where
         T: Send,
         F: Fn(&mut NodeCtx) -> Result<T> + Send + Sync,
@@ -95,7 +199,7 @@ impl Cluster {
         config.validate()?;
         let n = config.num_nodes;
         let stats: Arc<Vec<NodeStats>> = Arc::new((0..n).map(|_| NodeStats::default()).collect());
-        let collectives = Arc::new(Collectives::new(n));
+        let collectives = Arc::new(Collectives::with_deadline(n, config.deadline));
 
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -122,6 +226,7 @@ impl Cluster {
                         inbox,
                         stats,
                         Arc::clone(&collectives),
+                        config.faults.as_ref().map(|p| p.node_state(node_id)),
                     );
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         node_fn(&mut ctx)
@@ -161,33 +266,46 @@ impl Cluster {
         drop(senders);
         let wall = started.elapsed();
 
-        let mut results = Vec::with_capacity(n);
-        for (node_id, out) in outcomes.into_iter().enumerate() {
-            // Filled by the scope join loop above for every node; a hole
-            // would mean the join loop itself was skipped, which the
-            // error path reports rather than crashing the caller.
-            let Some(outcome) = out else {
-                return Err(Error::NodeFailure {
-                    node: node_id,
-                    reason: "node produced no outcome".into(),
-                });
-            };
-            results.push(outcome?);
-        }
+        let outcomes: Vec<Result<T>> = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(node_id, out)| {
+                // Filled by the scope join loop above for every node; a
+                // hole would mean the join loop itself was skipped, which
+                // the postmortem reports rather than crashing the caller.
+                out.unwrap_or_else(|| {
+                    Err(Error::NodeFailure {
+                        node: node_id,
+                        reason: "node produced no outcome".into(),
+                    })
+                })
+            })
+            .collect();
         let snapshots: Vec<NodeStatsSnapshot> = stats.iter().map(NodeStats::snapshot).collect();
+
+        if outcomes.iter().any(Result::is_err) {
+            return Ok(RunOutcome::Failed(ClusterFailure {
+                outcomes,
+                stats: snapshots,
+                poisoned_by: collectives.poisoned_by(),
+                wall,
+            }));
+        }
+        let results = outcomes.into_iter().map(Result::unwrap).collect();
         let modeled_seconds = config.cost.execution_seconds(&snapshots);
-        Ok(ClusterRun {
+        Ok(RunOutcome::Completed(ClusterRun {
             results,
             stats: snapshots,
             wall,
             modeled_seconds,
-        })
+        }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultOp;
     use bytes::Bytes;
 
     fn cfg(n: usize) -> ClusterConfig {
@@ -310,10 +428,156 @@ mod tests {
             Ok(())
         })
         .unwrap_err();
-        // Node 0's outcome is reported first: it was poisoned by node 1,
-        // and the error names the culprit.
+        // The run reports the *root cause* — node 1's own error — not the
+        // Error::Poisoned its peers observed.
         assert!(
-            err.to_string().contains("injected") || err.to_string().contains("poisoned by node 1"),
+            matches!(err, Error::Protocol(ref m) if m == "injected failure"),
+            "expected node 1's own error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn failure_postmortem_reports_every_node() {
+        let outcome = Cluster::run_report(&cfg(3), |ctx| {
+            if ctx.node_id() == 1 {
+                return Err(Error::Protocol("injected failure".into()));
+            }
+            ctx.barrier()?;
+            Ok(ctx.node_id())
+        })
+        .unwrap();
+        let RunOutcome::Failed(failure) = outcome else {
+            panic!("expected a failed run");
+        };
+        assert_eq!(failure.outcomes.len(), 3);
+        assert_eq!(failure.stats.len(), 3);
+        assert_eq!(failure.poisoned_by, Some(1));
+        assert_eq!(failure.root_cause_node(), Some(1));
+        assert!(matches!(failure.outcomes[1], Err(Error::Protocol(_))));
+        for peer in [0, 2] {
+            assert!(
+                matches!(failure.outcomes[peer], Err(Error::Poisoned { node: 1 })),
+                "peer {peer}: {:?}",
+                failure.outcomes[peer]
+            );
+        }
+        assert!(matches!(failure.into_root_cause(), Error::Protocol(_)));
+    }
+
+    #[test]
+    fn duplicated_and_delayed_messages_are_tolerated() {
+        let plan = FaultPlan {
+            p_dup: 1.0,
+            p_delay: 1.0,
+            delay: Duration::from_millis(1),
+            ..FaultPlan::with_seed(3)
+        };
+        let run = Cluster::run(&cfg(2).with_faults(plan), |ctx| {
+            let to = (ctx.node_id() + 1) % 2;
+            ctx.send(to, 7, Bytes::from_static(b"hello"))?;
+            let env = ctx.recv()?;
+            assert_eq!(env.payload.as_ref(), b"hello");
+            // The duplicate copy is absorbed, not delivered twice.
+            assert!(ctx.try_recv()?.is_none());
+            Ok(())
+        })
+        .unwrap();
+        for s in &run.stats {
+            assert!(s.faults_injected >= 2, "dup + delay should be counted");
+            assert_eq!(s.messages_received, 1, "ledger charges one delivery");
+        }
+    }
+
+    #[test]
+    fn dropped_message_is_detected_as_loss() {
+        // Node 0's first send is dropped; its second arrives with a
+        // sequence gap, which the receiver reports against the sender.
+        let plan = FaultPlan::with_seed(0).schedule(0, 0, FaultOp::Drop);
+        let err = Cluster::run(&cfg(2).with_faults(plan), |ctx| {
+            if ctx.node_id() == 0 {
+                ctx.send(1, 1, Bytes::from_static(b"first"))?;
+                ctx.send(1, 1, Bytes::from_static(b"second"))?;
+                Ok(())
+            } else {
+                ctx.recv()?;
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, Error::NodeFailure { node: 0, ref reason } if reason.contains("loss")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupted_message_is_detected_by_checksum() {
+        let plan = FaultPlan::with_seed(0).schedule(0, 0, FaultOp::Corrupt);
+        let err = Cluster::run(&cfg(2).with_faults(plan), |ctx| {
+            if ctx.node_id() == 0 {
+                ctx.send(1, 1, Bytes::from_static(b"payload"))?;
+            } else {
+                ctx.recv()?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn recv_deadline_detects_a_silent_peer() {
+        let started = Instant::now();
+        let err = Cluster::run(&cfg(2).with_deadline(Duration::from_millis(100)), |ctx| {
+            if ctx.node_id() == 1 {
+                // Node 0 never sends: without a deadline this would hang.
+                ctx.recv()?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, Error::Timeout { node: 1, ref op } if op == "recv"),
+            "{err}"
+        );
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn hung_node_is_detected_by_peer_deadline() {
+        let plan = FaultPlan {
+            hang: Duration::from_millis(400),
+            ..FaultPlan::with_seed(0)
+        }
+        .schedule(0, 2, FaultOp::Hang);
+        let config = cfg(2)
+            .with_faults(plan)
+            .with_deadline(Duration::from_millis(80));
+        let started = Instant::now();
+        let err = Cluster::run(&config, |ctx| {
+            ctx.set_pass(2); // node 0 hangs here
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, Error::Timeout { node: 1, ref op } if op == "barrier"),
+            "{err}"
+        );
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn scheduled_panic_yields_node_failure_root_cause() {
+        let plan = FaultPlan::with_seed(0).schedule(1, 1, FaultOp::Panic);
+        let err = Cluster::run(&cfg(3).with_faults(plan), |ctx| {
+            ctx.set_pass(1);
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, Error::NodeFailure { node: 1, ref reason } if reason.contains("injected panic")),
             "{err}"
         );
     }

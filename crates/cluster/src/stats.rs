@@ -24,6 +24,10 @@ pub struct NodeStats {
     pub io_bytes: AtomicU64,
     /// Full passes over the local partition (NPGM fragments re-scan).
     pub scan_passes: AtomicU64,
+    /// Faults injected on this node by the active [`crate::FaultPlan`]
+    /// (drops, duplicates, corruptions, delays, scan errors, panics,
+    /// hangs).
+    pub faults_injected: AtomicU64,
 }
 
 impl NodeStats {
@@ -42,6 +46,7 @@ impl NodeStats {
             cpu_ticks: self.cpu_ticks.load(Ordering::Relaxed),
             io_bytes: self.io_bytes.load(Ordering::Relaxed),
             scan_passes: self.scan_passes.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 
@@ -91,6 +96,13 @@ impl NodeStats {
         // relaxed: independent monotonic counter; aggregated via snapshot()
         self.scan_passes.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Records `n` injected faults.
+    #[inline]
+    pub fn record_faults(&self, n: u64) {
+        // relaxed: independent monotonic counter; aggregated via snapshot()
+        self.faults_injected.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 /// A frozen copy of one node's counters.
@@ -112,6 +124,8 @@ pub struct NodeStatsSnapshot {
     pub io_bytes: u64,
     /// See [`NodeStats::scan_passes`].
     pub scan_passes: u64,
+    /// See [`NodeStats::faults_injected`].
+    pub faults_injected: u64,
 }
 
 impl NodeStatsSnapshot {
@@ -127,6 +141,7 @@ impl NodeStatsSnapshot {
             cpu_ticks: self.cpu_ticks - earlier.cpu_ticks,
             io_bytes: self.io_bytes - earlier.io_bytes,
             scan_passes: self.scan_passes - earlier.scan_passes,
+            faults_injected: self.faults_injected - earlier.faults_injected,
         }
     }
 }
@@ -197,6 +212,7 @@ mod tests {
         s.add_cpu(3);
         s.record_io(4096);
         s.record_scan_pass();
+        s.record_faults(2);
         let snap = s.snapshot();
         assert_eq!(snap.messages_sent, 2);
         assert_eq!(snap.bytes_sent, 150);
@@ -206,6 +222,7 @@ mod tests {
         assert_eq!(snap.cpu_ticks, 3);
         assert_eq!(snap.io_bytes, 4096);
         assert_eq!(snap.scan_passes, 1);
+        assert_eq!(snap.faults_injected, 2);
     }
 
     #[test]

@@ -50,13 +50,31 @@ mod backend {
         pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
             // lint:allow(wait-loop): raw std passthrough — the predicate
             // re-check loop lives at every call site (collective.rs).
+            // lint:allow(no-deadline): this *is* the primitive the
+            // deadline-aware wrapper (Collectives::wait_while) builds on.
             self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Waits with a deadline; the bool reports expiry.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            timeout: std::time::Duration,
+        ) -> (MutexGuard<'a, T>, bool) {
+            let (guard, result) = self
+                .0
+                .wait_timeout(guard, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            (guard, result.timed_out())
         }
 
         pub fn notify_all(&self) {
             self.0.notify_all();
         }
     }
+
+    /// Monotonic clock for deadline accounting.
+    pub use std::time::Instant;
 }
 
 #[cfg(gar_loom)]
@@ -64,9 +82,25 @@ mod backend {
     pub use gar_modelcheck::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     pub use gar_modelcheck::sync::{Condvar, Mutex, MutexGuard};
     pub use std::sync::Arc;
+
+    /// Virtual time stands still under the model checker: deadlines
+    /// never expire by clock — expiry is a nondeterministic scheduler
+    /// branch inside the model `Condvar::wait_timeout` instead.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Instant;
+
+    impl Instant {
+        pub fn now() -> Instant {
+            Instant
+        }
+
+        pub fn elapsed(&self) -> std::time::Duration {
+            std::time::Duration::ZERO
+        }
+    }
 }
 
-pub(crate) use backend::{Arc, AtomicUsize, Condvar, Mutex, Ordering};
+pub(crate) use backend::{Arc, AtomicUsize, Condvar, Instant, Mutex, Ordering};
 
 // These are part of the shim surface even where collective.rs currently
 // names guards through inference and tracks poison state in an

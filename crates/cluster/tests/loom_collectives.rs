@@ -196,6 +196,82 @@ fn poison_races_broadcast_wait() {
 }
 
 #[test]
+fn deadline_expiry_races_poison_single_root_cause() {
+    // A deadline expiring while another node is poisoning the run: the
+    // waiter must report exactly one root cause — its own Timeout if its
+    // poison CAS won, the foreign Poisoned{1} if it lost — and never
+    // hang. Under the model the timer branch is explored at every park,
+    // so both orders of the CAS race are covered. (Preemption-bounded:
+    // every re-park re-offers the timer choice, so the unbounded
+    // frontier does not terminate.)
+    model_with(bounded(2), || {
+        let c = Arc::new(Collectives::with_deadline(
+            2,
+            Some(std::time::Duration::from_millis(10)),
+        ));
+        let poisoner = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.poison(1))
+        };
+        let err = c.barrier(0).unwrap_err();
+        match err {
+            Error::Timeout { node: 0, ref op } => {
+                assert_eq!(op, "barrier");
+                assert_eq!(
+                    c.poisoned_by(),
+                    Some(0),
+                    "a reported Timeout means this node's poison CAS won"
+                );
+            }
+            Error::Poisoned { node: 1 } => {}
+            e => panic!("unexpected error: {e}"),
+        }
+        poisoner.join().unwrap();
+        assert!(c.is_poisoned());
+    });
+}
+
+#[test]
+fn deadline_expiry_races_normal_completion() {
+    // A deadline expiring while the barrier is legitimately completing:
+    // a wakeup that raced the timer must win (the waiter re-checks the
+    // generation under the lock — a timeout may never eat a completed
+    // round), and if the timer does win, exactly one node reports
+    // Timeout and every other error names that same culprit.
+    model_with(bounded(3), || {
+        let c = Arc::new(Collectives::with_deadline(
+            2,
+            Some(std::time::Duration::from_millis(10)),
+        ));
+        let peer = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.barrier(1))
+        };
+        let mine = c.barrier(0);
+        let theirs = peer.join().unwrap();
+        if mine.is_ok() && theirs.is_ok() {
+            assert!(!c.is_poisoned(), "healthy completion must not poison");
+        } else {
+            let culprit = c.poisoned_by().expect("an error implies poison");
+            for (me, r) in [(0usize, &mine), (1usize, &theirs)] {
+                match r {
+                    Ok(()) => {}
+                    Err(Error::Timeout { node, op }) => {
+                        assert_eq!((*node, op.as_str()), (me, "barrier"));
+                        assert_eq!(
+                            culprit, me,
+                            "timeout double-reported against a foreign poison"
+                        );
+                    }
+                    Err(Error::Poisoned { node }) => assert_eq!(*node, culprit),
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+    });
+}
+
+#[test]
 fn poison_vs_completing_barrier() {
     // Poison racing a barrier that *can* complete: each node must either
     // pass the barrier or observe Poisoned{node: 2} — never hang, never

@@ -1,0 +1,434 @@
+//! Pass-level checkpointing of a parallel mining run.
+//!
+//! After every completed pass the coordinator persists the global `L_k`
+//! chain plus the pass metadata the final report needs, so `mine
+//! --resume` (and degraded-mode recovery after a node failure) restarts
+//! from the last complete pass instead of from scratch.
+//!
+//! Format (little-endian, style of [`crate::persist`]): magic `GCKP`,
+//! `u32` version, algorithm name (`u32` length + UTF-8), `u64`
+//! transaction count, `u64` minimum-support count, the global item
+//! counts (`u32` length + `u64`s), `u32` pass count, then per pass a
+//! `u32 k`, three `u64` metadata fields (candidates / duplicated /
+//! fragments) and a length-prefixed [`crate::wire::encode_counted`]
+//! block. The whole payload is sealed by a trailing FxHash **checksum**;
+//! writes go through a temp file + rename, and the previous checkpoint
+//! is rotated to `.prev` — so a crash mid-write can never leave the only
+//! copy torn, and a torn copy is detected, not mis-resumed.
+
+use crate::params::Algorithm;
+use crate::persist::algorithm_by_name;
+use crate::wire;
+use gar_types::{Error, Itemset, Result};
+use std::hash::Hasher;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const MAGIC: &[u8; 4] = b"GCKP";
+const VERSION: u32 = 1;
+
+/// One completed pass as recorded in a checkpoint: the global `L_k` and
+/// the metadata the per-pass report needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPass {
+    /// Pass number (`k` = itemset size).
+    pub k: usize,
+    /// `|C_k|` generated in this pass.
+    pub num_candidates: usize,
+    /// `|C_k^D|` duplicated to every node (TGD/PGD/FGD).
+    pub num_duplicated: usize,
+    /// NPGM fragment count.
+    pub num_fragments: usize,
+    /// The global `L_k` with support counts.
+    pub itemsets: Vec<(Itemset, u64)>,
+}
+
+/// Everything needed to restart mining after pass `k`: the thresholds
+/// and item counts of pass 1 plus every completed `L_k` chain link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Algorithm that produced this checkpoint (resume refuses a
+    /// mismatch rather than silently mixing algorithms).
+    pub algorithm: Algorithm,
+    /// Global transaction count (pass 1's all-reduce).
+    pub num_transactions: u64,
+    /// Absolute minimum support count.
+    pub min_support_count: u64,
+    /// Global per-item support counts (the duplicate-selection
+    /// heuristics price candidates with these in later passes).
+    pub item_counts: Vec<u64>,
+    /// Completed passes, `k = 1..`, consecutive.
+    pub passes: Vec<CheckpointPass>,
+}
+
+impl Checkpoint {
+    /// The pass after which mining resumes (the last completed one).
+    pub fn last_pass(&self) -> usize {
+        self.passes.last().map_or(0, |p| p.k)
+    }
+}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = gar_types::FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Serializes a checkpoint (checksum included).
+fn encode(cp: &Checkpoint) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    let name = cp.algorithm.name().as_bytes();
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&cp.num_transactions.to_le_bytes());
+    out.extend_from_slice(&cp.min_support_count.to_le_bytes());
+    out.extend_from_slice(&(cp.item_counts.len() as u32).to_le_bytes());
+    for &c in &cp.item_counts {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out.extend_from_slice(&(cp.passes.len() as u32).to_le_bytes());
+    for pass in &cp.passes {
+        out.extend_from_slice(&(pass.k as u32).to_le_bytes());
+        out.extend_from_slice(&(pass.num_candidates as u64).to_le_bytes());
+        out.extend_from_slice(&(pass.num_duplicated as u64).to_le_bytes());
+        out.extend_from_slice(&(pass.num_fragments as u64).to_le_bytes());
+        let block = wire::encode_counted(pass.k, &pass.itemsets);
+        out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+        out.extend_from_slice(&block);
+    }
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Bounded cursor over a checkpoint body; every short read is a clean
+/// [`Error::Corrupt`], never a panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(Error::Corrupt("checkpoint truncated".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Decodes a checkpoint, verifying the checksum and every structural
+/// invariant. All damage surfaces as [`Error::Corrupt`].
+fn decode(bytes: &[u8]) -> Result<Checkpoint> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(Error::Corrupt("checkpoint too short".into()));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    if checksum(body) != stored {
+        return Err(Error::Corrupt("checkpoint checksum mismatch".into()));
+    }
+    let mut c = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    if c.take(4)? != MAGIC {
+        return Err(Error::Corrupt("not a checkpoint file (bad magic)".into()));
+    }
+    if c.u32()? != VERSION {
+        return Err(Error::Corrupt("unsupported checkpoint version".into()));
+    }
+    let name_len = c.u32()? as usize;
+    if name_len > 64 {
+        return Err(Error::Corrupt("implausible algorithm name length".into()));
+    }
+    let name = std::str::from_utf8(c.take(name_len)?)
+        .map_err(|_| Error::Corrupt("algorithm name is not UTF-8".into()))?;
+    let algorithm = algorithm_by_name(name)
+        .map_err(|_| Error::Corrupt(format!("unknown algorithm '{name}'")))?;
+    let num_transactions = c.u64()?;
+    let min_support_count = c.u64()?;
+    let num_items = c.u32()? as usize;
+    if num_items > 1 << 26 {
+        return Err(Error::Corrupt("implausible item-count length".into()));
+    }
+    let mut item_counts = Vec::with_capacity(num_items);
+    for _ in 0..num_items {
+        item_counts.push(c.u64()?);
+    }
+    let num_passes = c.u32()? as usize;
+    if num_passes > 64 {
+        return Err(Error::Corrupt("implausible pass count".into()));
+    }
+    let mut passes = Vec::with_capacity(num_passes);
+    for i in 0..num_passes {
+        let k = c.u32()? as usize;
+        if k != i + 1 {
+            return Err(Error::Corrupt(format!(
+                "checkpoint passes are not consecutive (slot {i} holds pass {k})"
+            )));
+        }
+        let num_candidates = c.u64()? as usize;
+        let num_duplicated = c.u64()? as usize;
+        let num_fragments = c.u64()? as usize;
+        let block_len = c.u32()? as usize;
+        let itemsets = wire::decode_counted(c.take(block_len)?)?;
+        if itemsets.iter().any(|(s, _)| s.len() != k) {
+            return Err(Error::Corrupt(format!("pass {k} holds non-{k}-itemsets")));
+        }
+        passes.push(CheckpointPass {
+            k,
+            num_candidates,
+            num_duplicated,
+            num_fragments,
+            itemsets,
+        });
+    }
+    if c.pos != body.len() {
+        return Err(Error::Corrupt("checkpoint has trailing garbage".into()));
+    }
+    Ok(Checkpoint {
+        algorithm,
+        num_transactions,
+        min_support_count,
+        item_counts,
+        passes,
+    })
+}
+
+/// The checkpoint file inside `dir`.
+pub fn checkpoint_path(dir: impl AsRef<Path>) -> PathBuf {
+    dir.as_ref().join("mining.ckpt")
+}
+
+/// Path of the rotated previous checkpoint.
+fn prev_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(".prev");
+    PathBuf::from(s)
+}
+
+/// Writes `cp` to `path` atomically: temp file, rotate the old file to
+/// `.prev`, rename into place.
+pub fn save_checkpoint(cp: &Checkpoint, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, encode(cp))
+        .map_err(|e| Error::io(format!("writing checkpoint {}", tmp.display()), e))?;
+    if path.exists() {
+        std::fs::rename(path, prev_path(path))
+            .map_err(|e| Error::io(format!("rotating checkpoint {}", path.display()), e))?;
+    }
+    std::fs::rename(&tmp, path)
+        .map_err(|e| Error::io(format!("publishing checkpoint {}", path.display()), e))
+}
+
+/// Reads and validates the checkpoint at `path`.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)
+        .map_err(|e| Error::io(format!("reading checkpoint {}", path.display()), e))?;
+    decode(&bytes)
+}
+
+/// Loads the newest intact checkpoint in `dir`: the current file if it
+/// verifies, else the rotated `.prev`, else `None` (cold start). A
+/// corrupt or truncated file is *never* resumed from.
+pub fn load_latest(dir: impl AsRef<Path>) -> Option<Checkpoint> {
+    let main = checkpoint_path(dir);
+    load_checkpoint(&main)
+        .ok()
+        .or_else(|| load_checkpoint(prev_path(&main)).ok())
+}
+
+/// Where completed passes are recorded during a run: always in memory
+/// (so in-process recovery can restart from the last pass even without a
+/// checkpoint directory), and on disk when a directory is configured.
+/// Shared by reference with every node thread; only the coordinator
+/// writes.
+pub struct CheckpointSink {
+    mem: Mutex<Option<Checkpoint>>,
+    dir: Option<PathBuf>,
+}
+
+impl CheckpointSink {
+    /// A sink writing to `dir` (created if missing), or memory-only.
+    pub fn new(dir: Option<PathBuf>) -> Result<CheckpointSink> {
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d)
+                .map_err(|e| Error::io(format!("creating checkpoint dir {}", d.display()), e))?;
+        }
+        Ok(CheckpointSink {
+            mem: Mutex::new(None),
+            dir,
+        })
+    }
+
+    /// Seeds the in-memory copy (used when resuming from disk, so a
+    /// later in-process recovery still has the restored state).
+    pub fn seed(&self, cp: Checkpoint) {
+        *self.mem.lock().unwrap() = Some(cp);
+    }
+
+    /// Records a checkpoint (memory always, disk if configured).
+    pub fn store(&self, cp: Checkpoint) -> Result<()> {
+        if let Some(dir) = &self.dir {
+            save_checkpoint(&cp, checkpoint_path(dir))?;
+        }
+        *self.mem.lock().unwrap() = Some(cp);
+        Ok(())
+    }
+
+    /// The most recent checkpoint recorded in this process.
+    pub fn latest(&self) -> Option<Checkpoint> {
+        self.mem.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_types::iset;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            algorithm: Algorithm::HHpgm,
+            num_transactions: 500,
+            min_support_count: 25,
+            item_counts: vec![100, 80, 60, 40, 20],
+            passes: vec![
+                CheckpointPass {
+                    k: 1,
+                    num_candidates: 5,
+                    num_duplicated: 0,
+                    num_fragments: 1,
+                    itemsets: vec![(iset![0], 100), (iset![1], 80)],
+                },
+                CheckpointPass {
+                    k: 2,
+                    num_candidates: 4,
+                    num_duplicated: 1,
+                    num_fragments: 1,
+                    itemsets: vec![(iset![0, 1], 30)],
+                },
+            ],
+        }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gar-ckpt-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip() {
+        let cp = sample();
+        assert_eq!(decode(&encode(&cp)).unwrap(), cp);
+        assert_eq!(cp.last_pass(), 2);
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_corrupt_error() {
+        // Cutting the file at *any* length — through the header, the item
+        // counts, a pass block, or the checksum — must yield Corrupt.
+        let bytes = encode(&sample());
+        for len in 0..bytes.len() {
+            let err = decode(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, Error::Corrupt(_)),
+                "truncation at {len}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        // The trailing checksum seals the whole payload: flipping any one
+        // byte (including the checksum itself) must be detected.
+        let bytes = encode(&sample());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            let err = decode(&bad).unwrap_err();
+            assert!(matches!(err, Error::Corrupt(_)), "flip at {i}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn non_consecutive_passes_rejected() {
+        let mut cp = sample();
+        cp.passes[1].k = 3;
+        cp.passes[1].itemsets = vec![(iset![0, 1, 2], 26)];
+        let err = decode(&encode(&cp)).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn save_load_and_rotation() {
+        let dir = tmpdir("rotate");
+        let path = checkpoint_path(&dir);
+        let mut cp = sample();
+        cp.passes.truncate(1);
+        save_checkpoint(&cp, &path).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap(), cp);
+
+        let full = sample();
+        save_checkpoint(&full, &path).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap(), full);
+        // The one-pass checkpoint rotated to .prev.
+        assert_eq!(load_checkpoint(prev_path(&path)).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_latest_falls_back_to_prev_then_cold_start() {
+        let dir = tmpdir("fallback");
+        let path = checkpoint_path(&dir);
+        let cp = sample();
+        save_checkpoint(&cp, &path).unwrap();
+        save_checkpoint(&cp, &path).unwrap(); // .prev now also intact
+
+        // Corrupt the current file: resume must fall back to .prev.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_latest(&dir).unwrap(), cp);
+
+        // Corrupt .prev too: cold start, never a panic or a mis-resume.
+        std::fs::write(prev_path(&path), b"GCKPgarbage").unwrap();
+        assert!(load_latest(&dir).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sink_records_in_memory_and_on_disk() {
+        let dir = tmpdir("sink");
+        let sink = CheckpointSink::new(Some(dir.clone())).unwrap();
+        assert!(sink.latest().is_none());
+        let cp = sample();
+        sink.store(cp.clone()).unwrap();
+        assert_eq!(sink.latest().unwrap(), cp);
+        assert_eq!(load_latest(&dir).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).ok();
+
+        let memory_only = CheckpointSink::new(None).unwrap();
+        memory_only.store(cp.clone()).unwrap();
+        assert_eq!(memory_only.latest().unwrap(), cp);
+    }
+}

@@ -51,6 +51,7 @@
 //! ```
 
 pub mod candidate;
+pub mod checkpoint;
 pub mod counter;
 pub mod oracle;
 pub mod parallel;

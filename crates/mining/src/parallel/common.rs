@@ -2,12 +2,13 @@
 //! subset enumeration, the coordinator gather, and report assembly.
 
 use crate::candidate::{generate_candidates, generate_pairs};
+use crate::checkpoint::{Checkpoint, CheckpointPass, CheckpointSink};
 use crate::counter::candidate_entry_bytes;
 use crate::params::{Algorithm, MiningParams};
 use crate::report::{LargePass, MiningOutput, ParallelReport, PassReport};
 use crate::sequential::large_items_from_counts;
 use crate::wire;
-use gar_cluster::{ClusterConfig, ClusterRun, NodeCtx, NodeStatsSnapshot};
+use gar_cluster::{ClusterConfig, ClusterRun, NodeCtx, NodeStatsSnapshot, RetryPolicy};
 use gar_storage::TransactionSource;
 use gar_taxonomy::Taxonomy;
 use gar_types::{Error, ItemId, Itemset, Result};
@@ -40,8 +41,27 @@ pub(crate) struct NodePassInfo {
     pub num_duplicated: usize,
     pub num_fragments: usize,
     pub num_large: usize,
+    /// `true` when this pass was replayed from a checkpoint instead of
+    /// computed (its `delta` is zero: no work was redone).
+    pub restored: bool,
     pub delta: NodeStatsSnapshot,
 }
+
+/// How the pass loop interacts with checkpoints: where to resume from
+/// (if anywhere) and where the coordinator records completed passes.
+pub(crate) struct PassPersistence<'a> {
+    /// A verified checkpoint to restart from; its passes are replayed
+    /// without rescanning.
+    pub resume_from: Option<&'a Checkpoint>,
+    /// Completed-pass sink, written by the coordinator only.
+    pub sink: Option<&'a CheckpointSink>,
+}
+
+/// Run with no checkpointing at all (the default path).
+pub(crate) const NO_PERSIST: PassPersistence<'static> = PassPersistence {
+    resume_from: None,
+    sink: None,
+};
 
 /// What each node thread returns to the report assembler.
 pub(crate) struct NodeOutcome {
@@ -99,7 +119,12 @@ pub(crate) fn scan_partition(
     mut f: impl FnMut(&[ItemId]) -> Result<()>,
 ) -> Result<()> {
     let before = part.bytes_read();
-    let mut scan = part.scan()?;
+    // Opening the scan is where injected (and real) storage errors
+    // surface; retrying the *open* can never double-count transactions.
+    let mut scan = RetryPolicy::default().run(|| {
+        ctx.inject_scan_fault()?;
+        part.scan()
+    })?;
     let mut buf = Vec::new();
     while scan.next_into(&mut buf)? {
         f(&buf)?;
@@ -245,15 +270,60 @@ pub(crate) fn for_each_root_multiset(roots: &[(u32, usize)], k: usize, f: &mut i
     rec(roots, 0, k, &mut scratch, f);
 }
 
+/// Coordinator-side checkpoint write after a completed pass: packages the
+/// pass-1 state plus every `L_k` so far. Non-coordinators and runs
+/// without a sink are no-ops.
+fn store_checkpoint(
+    ctx: &NodeCtx,
+    persist: &PassPersistence<'_>,
+    algorithm: Algorithm,
+    p1: &Pass1,
+    passes: &[LargePass],
+    pass_infos: &[NodePassInfo],
+) -> Result<()> {
+    let Some(sink) = persist.sink else {
+        return Ok(());
+    };
+    if !ctx.is_coordinator() {
+        return Ok(());
+    }
+    let cp_passes = passes
+        .iter()
+        .map(|lp| {
+            let info = pass_infos
+                .iter()
+                .find(|i| i.k == lp.k)
+                .expect("pass info for every completed pass");
+            CheckpointPass {
+                k: lp.k,
+                num_candidates: info.num_candidates,
+                num_duplicated: info.num_duplicated,
+                num_fragments: info.num_fragments,
+                itemsets: lp.itemsets.clone(),
+            }
+        })
+        .collect();
+    sink.store(Checkpoint {
+        algorithm,
+        num_transactions: p1.num_transactions,
+        min_support_count: p1.min_support_count,
+        item_counts: p1.item_counts.clone(),
+        passes: cp_passes,
+    })
+}
+
 /// Drives the common pass loop on one node. `run_pass` implements the
 /// algorithm-specific pass k ≥ 2 and returns the global `L_k` plus its
-/// bookkeeping.
+/// bookkeeping. With `persist.resume_from` set, completed passes are
+/// replayed from the checkpoint (zero-delta, `restored` flagged) and
+/// mining restarts at the first unfinished pass.
 pub(crate) fn node_pass_loop(
     ctx: &NodeCtx,
     part: &dyn TransactionSource,
     tax: &Taxonomy,
     params: &MiningParams,
     algorithm: Algorithm,
+    persist: &PassPersistence<'_>,
     mut run_pass: impl FnMut(
         &NodeCtx,
         usize,      // k
@@ -261,23 +331,59 @@ pub(crate) fn node_pass_loop(
         &Pass1,     // thresholds + item counts
     ) -> Result<(Vec<(Itemset, u64)>, usize, usize)>, // (L_k, duplicated, fragments)
 ) -> Result<NodeOutcome> {
-    let mut pass_infos = Vec::new();
+    let resume = persist.resume_from.filter(|cp| !cp.passes.is_empty());
+    let (p1, mut passes, mut pass_infos, mut k) = if let Some(cp) = resume {
+        // Replay the checkpointed passes without touching the disk: the
+        // restored entries carry zero deltas so the report shows no work
+        // was redone.
+        let p1 = Pass1 {
+            num_transactions: cp.num_transactions,
+            min_support_count: cp.min_support_count,
+            item_counts: cp.item_counts.clone(),
+            large: LargePass {
+                k: 1,
+                itemsets: cp.passes[0].itemsets.clone(),
+            },
+        };
+        let mut pass_infos = Vec::with_capacity(cp.passes.len());
+        let mut passes = Vec::with_capacity(cp.passes.len());
+        for p in &cp.passes {
+            pass_infos.push(NodePassInfo {
+                k: p.k,
+                num_candidates: p.num_candidates,
+                num_duplicated: p.num_duplicated,
+                num_fragments: p.num_fragments,
+                num_large: p.itemsets.len(),
+                restored: true,
+                delta: NodeStatsSnapshot::default(),
+            });
+            passes.push(LargePass {
+                k: p.k,
+                itemsets: p.itemsets.clone(),
+            });
+        }
+        (p1, passes, pass_infos, cp.last_pass() + 1)
+    } else {
+        let mut pass_infos = Vec::new();
+        let last_snap = ctx.stats().snapshot();
+        ctx.set_pass(1);
+        let p1 = pass1(ctx, part, tax, params)?;
+        let snap = ctx.stats().snapshot();
+        pass_infos.push(NodePassInfo {
+            k: 1,
+            num_candidates: tax.num_items() as usize,
+            num_duplicated: 0,
+            num_fragments: 1,
+            num_large: p1.large.itemsets.len(),
+            restored: false,
+            delta: snap.delta_since(&last_snap),
+        });
+        let passes = vec![p1.large.clone()];
+        store_checkpoint(ctx, persist, algorithm, &p1, &passes, &pass_infos)?;
+        (p1, passes, pass_infos, 2)
+    };
+
     let mut last_snap = ctx.stats().snapshot();
-
-    let p1 = pass1(ctx, part, tax, params)?;
-    let snap = ctx.stats().snapshot();
-    pass_infos.push(NodePassInfo {
-        k: 1,
-        num_candidates: tax.num_items() as usize,
-        num_duplicated: 0,
-        num_fragments: 1,
-        num_large: p1.large.itemsets.len(),
-        delta: snap.delta_since(&last_snap),
-    });
-    last_snap = snap;
-
-    let mut passes = vec![p1.large.clone()];
-    let mut k = 2;
     loop {
         if passes.last().is_none_or(|p| p.itemsets.is_empty()) {
             break;
@@ -291,6 +397,7 @@ pub(crate) fn node_pass_loop(
         if candidates.is_empty() {
             break;
         }
+        ctx.set_pass(k);
         ctx.stats().add_cpu(candidates.len() as u64);
 
         let (large, num_duplicated, num_fragments) = run_pass(ctx, k, &candidates, &p1)?;
@@ -301,6 +408,7 @@ pub(crate) fn node_pass_loop(
             num_duplicated,
             num_fragments,
             num_large: large.len(),
+            restored: false,
             delta: snap.delta_since(&last_snap),
         });
         last_snap = snap;
@@ -309,6 +417,7 @@ pub(crate) fn node_pass_loop(
             break;
         }
         passes.push(LargePass { k, itemsets: large });
+        store_checkpoint(ctx, persist, algorithm, &p1, &passes, &pass_infos)?;
         k += 1;
     }
 
@@ -347,6 +456,7 @@ pub(crate) fn assemble_report(
             num_duplicated: info.num_duplicated,
             num_fragments: info.num_fragments,
             num_large: info.num_large,
+            restored: info.restored,
             node_deltas,
             modeled_seconds,
         });
@@ -360,6 +470,7 @@ pub(crate) fn assemble_report(
         wall: run.wall,
         modeled_seconds: total_modeled,
         node_totals: run.stats,
+        degraded: Vec::new(),
     }
 }
 

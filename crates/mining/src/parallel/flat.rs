@@ -258,6 +258,7 @@ pub fn mine_parallel_flat(
             num_duplicated: 0,
             num_fragments: fragments,
             num_large: large,
+            restored: false,
             node_deltas,
             modeled_seconds,
         });
@@ -270,6 +271,7 @@ pub fn mine_parallel_flat(
         wall: run.wall,
         modeled_seconds: total_modeled,
         node_totals: run.stats,
+        degraded: Vec::new(),
     })
 }
 

@@ -24,7 +24,7 @@ use crate::candidate::items_in_candidates;
 use crate::counter::{build_counter, CandidateCounter};
 use crate::parallel::common::{
     assemble_report, candidates_bytes, for_each_root_multiset, gather_large, node_pass_loop,
-    root_key, scan_partition, tags, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
+    root_key, scan_partition, tags, PassPersistence, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
 };
 use crate::parallel::duplicate::{select_duplicates, DuplicateGrain, DuplicateSelection};
 use crate::params::{Algorithm, MiningParams};
@@ -32,7 +32,7 @@ use crate::report::ParallelReport;
 use crate::sequential::extract_large;
 use crate::wire::{for_each_item_list, ItemListBatch};
 use gar_cluster::{Cluster, ClusterConfig, NodeCtx};
-use gar_storage::PartitionedDatabase;
+use gar_storage::TransactionSource;
 use gar_taxonomy::{PrunedView, Taxonomy};
 use gar_types::{FxHashSet, ItemId, Itemset, Result};
 use std::hash::Hasher;
@@ -182,23 +182,27 @@ fn count_combos(
     ctx.stats().add_probes(hits);
 }
 
-/// Runs H-HPGM (grain `None`) or one of the duplication variants.
+/// Runs H-HPGM (grain `None`) or one of the duplication variants over
+/// the per-node sources (`sources[n]` is node `n`'s partition — possibly
+/// a recovery composite).
 pub(crate) fn mine(
     algorithm: Algorithm,
     grain: Option<DuplicateGrain>,
-    db: &PartitionedDatabase,
+    sources: &[&dyn TransactionSource],
     tax: &Taxonomy,
     params: &MiningParams,
     cluster: &ClusterConfig,
+    persist: &PassPersistence<'_>,
 ) -> Result<ParallelReport> {
     let run = Cluster::run(cluster, |ctx| {
-        let part = db.partition(ctx.node_id());
+        let part = sources[ctx.node_id()];
         node_pass_loop(
             ctx,
             part,
             tax,
             params,
             algorithm,
+            persist,
             |ctx, k, candidates, p1| {
                 let n = ctx.num_nodes();
                 let me = ctx.node_id();

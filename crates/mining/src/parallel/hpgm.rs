@@ -13,14 +13,14 @@ use crate::candidate::items_in_candidates;
 use crate::counter::build_counter;
 use crate::parallel::common::{
     assemble_report, for_each_k_subset, gather_large, node_pass_loop, scan_partition, tags,
-    BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
+    PassPersistence, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
 };
 use crate::params::{Algorithm, MiningParams};
 use crate::report::ParallelReport;
 use crate::sequential::extract_large;
 use crate::wire::{for_each_itemset, ItemsetBatch};
 use gar_cluster::{Cluster, ClusterConfig};
-use gar_storage::PartitionedDatabase;
+use gar_storage::TransactionSource;
 use gar_taxonomy::{PrunedView, Taxonomy};
 use gar_types::{ItemId, Itemset, Result};
 
@@ -39,21 +39,24 @@ fn candidate_owner(c: &Itemset, num_nodes: usize) -> usize {
     owner_of(c.items(), num_nodes)
 }
 
-/// Runs HPGM over the database.
+/// Runs HPGM over the per-node sources (`sources[n]` is node `n`'s
+/// partition — possibly a recovery composite).
 pub(crate) fn mine(
-    db: &PartitionedDatabase,
+    sources: &[&dyn TransactionSource],
     tax: &Taxonomy,
     params: &MiningParams,
     cluster: &ClusterConfig,
+    persist: &PassPersistence<'_>,
 ) -> Result<ParallelReport> {
     let run = Cluster::run(cluster, |ctx| {
-        let part = db.partition(ctx.node_id());
+        let part = sources[ctx.node_id()];
         node_pass_loop(
             ctx,
             part,
             tax,
             params,
             Algorithm::Hpgm,
+            persist,
             |ctx, k, candidates, p1| {
                 let n = ctx.num_nodes();
                 let me = ctx.node_id();

@@ -29,15 +29,61 @@ mod hpgm;
 mod npgm;
 pub mod rules;
 
+use crate::checkpoint::{self, Checkpoint, CheckpointSink};
+use crate::parallel::common::{PassPersistence, NO_PERSIST};
 use crate::params::{Algorithm, MiningParams};
 use crate::report::ParallelReport;
 use gar_cluster::ClusterConfig;
-use gar_storage::PartitionedDatabase;
+use gar_storage::{MultiSource, PartitionedDatabase, TransactionSource};
 use gar_taxonomy::Taxonomy;
 use gar_types::{Error, Result};
+use std::path::PathBuf;
 
 pub use duplicate::{select_duplicates, DuplicateGrain, DuplicateSelection};
 pub use flat::{mine_parallel_flat, FlatAlgorithm};
+
+/// Fault-tolerance knobs for [`mine_parallel_with`]. The default is the
+/// historical behavior: no checkpointing, no resume, fail on the first
+/// node failure.
+#[derive(Debug, Clone, Default)]
+pub struct MineOptions {
+    /// Directory for pass-level checkpoints; `None` keeps them in memory
+    /// only (still enough for in-process degraded-mode recovery).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Restart from the newest intact checkpoint in `checkpoint_dir`
+    /// (cold start if there is none).
+    pub resume: bool,
+    /// How many node failures to tolerate by re-running over the
+    /// survivors (each failed node's partitions are redistributed and
+    /// replayed). `0` propagates the first failure.
+    pub max_node_failures: usize,
+}
+
+/// Dispatches to the algorithm implementation over explicit per-node
+/// sources.
+fn dispatch(
+    algorithm: Algorithm,
+    sources: &[&dyn TransactionSource],
+    tax: &Taxonomy,
+    params: &MiningParams,
+    cluster: &ClusterConfig,
+    persist: &PassPersistence<'_>,
+) -> Result<ParallelReport> {
+    let grain = match algorithm {
+        Algorithm::Apriori | Algorithm::Cumulate => {
+            return Err(Error::InvalidConfig(format!(
+                "{algorithm} is a sequential algorithm; use gar_mining::sequential"
+            )))
+        }
+        Algorithm::Npgm => return npgm::mine(sources, tax, params, cluster, persist),
+        Algorithm::Hpgm => return hpgm::mine(sources, tax, params, cluster, persist),
+        Algorithm::HHpgm => None,
+        Algorithm::HHpgmTgd => Some(DuplicateGrain::Tree),
+        Algorithm::HHpgmPgd => Some(DuplicateGrain::Path),
+        Algorithm::HHpgmFgd => Some(DuplicateGrain::Fine),
+    };
+    hhpgm::mine(algorithm, grain, sources, tax, params, cluster, persist)
+}
 
 /// Runs `algorithm` over `db` (one partition per node) with hierarchy
 /// `tax` on a simulated cluster of `cluster.num_nodes` nodes.
@@ -54,6 +100,13 @@ pub fn mine_parallel(
 ) -> Result<ParallelReport> {
     params.validate()?;
     cluster.validate()?;
+    check_partitions(db, cluster)?;
+    let sources: Vec<&dyn TransactionSource> =
+        (0..db.num_partitions()).map(|i| db.partition(i)).collect();
+    dispatch(algorithm, &sources, tax, params, cluster, &NO_PERSIST)
+}
+
+fn check_partitions(db: &PartitionedDatabase, cluster: &ClusterConfig) -> Result<()> {
     if db.num_partitions() != cluster.num_nodes {
         return Err(Error::InvalidConfig(format!(
             "database has {} partitions but the cluster has {} nodes",
@@ -61,18 +114,103 @@ pub fn mine_parallel(
             cluster.num_nodes
         )));
     }
-    let grain = match algorithm {
-        Algorithm::Apriori | Algorithm::Cumulate => {
-            return Err(Error::InvalidConfig(format!(
-                "{algorithm} is a sequential algorithm; use gar_mining::sequential"
-            )))
-        }
-        Algorithm::Npgm => return npgm::mine(db, tax, params, cluster),
-        Algorithm::Hpgm => return hpgm::mine(db, tax, params, cluster),
-        Algorithm::HHpgm => None,
-        Algorithm::HHpgmTgd => Some(DuplicateGrain::Tree),
-        Algorithm::HHpgmPgd => Some(DuplicateGrain::Path),
-        Algorithm::HHpgmFgd => Some(DuplicateGrain::Fine),
+    Ok(())
+}
+
+/// [`mine_parallel`] with the fault-tolerant runtime: pass-level
+/// checkpointing, `--resume`, and degraded-mode recovery.
+///
+/// On a tolerated node failure the failed node's partitions are
+/// redistributed round-robin over the survivors (each survivor scans its
+/// own partitions plus the adopted ones back-to-back via
+/// [`MultiSource`]), completed passes are restored from the latest
+/// checkpoint, and the pass loop re-runs on the smaller cluster. Global
+/// support counts do not depend on how transactions are partitioned, so
+/// the mined output is identical to the fault-free run; the report's
+/// `degraded` notes record what happened.
+pub fn mine_parallel_with(
+    algorithm: Algorithm,
+    db: &PartitionedDatabase,
+    tax: &Taxonomy,
+    params: &MiningParams,
+    cluster: &ClusterConfig,
+    opts: &MineOptions,
+) -> Result<ParallelReport> {
+    params.validate()?;
+    cluster.validate()?;
+    check_partitions(db, cluster)?;
+    if matches!(algorithm, Algorithm::Apriori | Algorithm::Cumulate) {
+        return Err(Error::InvalidConfig(format!(
+            "{algorithm} is a sequential algorithm; use gar_mining::sequential"
+        )));
+    }
+
+    let want_sink = opts.checkpoint_dir.is_some() || opts.max_node_failures > 0;
+    let sink = if want_sink {
+        Some(CheckpointSink::new(opts.checkpoint_dir.clone())?)
+    } else {
+        None
     };
-    hhpgm::mine(algorithm, grain, db, tax, params, cluster)
+
+    let mut restore: Option<Checkpoint> = None;
+    if opts.resume {
+        if let Some(dir) = &opts.checkpoint_dir {
+            if let Some(cp) = checkpoint::load_latest(dir) {
+                if cp.algorithm != algorithm {
+                    return Err(Error::InvalidConfig(format!(
+                        "checkpoint was written by {} but {algorithm} was requested",
+                        cp.algorithm
+                    )));
+                }
+                if let Some(s) = &sink {
+                    s.seed(cp.clone());
+                }
+                restore = Some(cp);
+            }
+        }
+    }
+
+    // `slots[s]` holds the original partition indices node `s` scans in
+    // the current attempt; a failed node's slot is dissolved into the
+    // survivors' slots.
+    let mut slots: Vec<Vec<usize>> = (0..cluster.num_nodes).map(|i| vec![i]).collect();
+    let mut degraded: Vec<String> = Vec::new();
+    let mut failures = 0usize;
+    loop {
+        let mut attempt = cluster.clone();
+        attempt.num_nodes = slots.len();
+        let multis: Vec<MultiSource<'_>> = slots
+            .iter()
+            .map(|parts| MultiSource::new(parts.iter().map(|&i| db.partition(i)).collect()))
+            .collect();
+        let sources: Vec<&dyn TransactionSource> =
+            multis.iter().map(|m| m as &dyn TransactionSource).collect();
+        let persist = PassPersistence {
+            resume_from: restore.as_ref(),
+            sink: sink.as_ref(),
+        };
+        match dispatch(algorithm, &sources, tax, params, &attempt, &persist) {
+            Ok(mut report) => {
+                report.degraded = degraded;
+                return Ok(report);
+            }
+            Err(Error::NodeFailure { node, reason })
+                if failures < opts.max_node_failures && slots.len() > 1 && node < slots.len() =>
+            {
+                failures += 1;
+                let orphaned = slots.remove(node);
+                let survivors = slots.len();
+                for (j, part) in orphaned.iter().enumerate() {
+                    slots[j % survivors].push(*part);
+                }
+                restore = sink.as_ref().and_then(|s| s.latest());
+                let from_pass = restore.as_ref().map_or(0, Checkpoint::last_pass);
+                degraded.push(format!(
+                    "node {node} failed ({reason}); redistributed partitions {orphaned:?} \
+                     across {survivors} survivors and resumed after pass {from_pass}"
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }

@@ -11,30 +11,35 @@
 
 use crate::candidate::items_in_candidates;
 use crate::counter::build_counter;
-use crate::parallel::common::{assemble_report, candidates_bytes, node_pass_loop, scan_partition};
+use crate::parallel::common::{
+    assemble_report, candidates_bytes, node_pass_loop, scan_partition, PassPersistence,
+};
 use crate::params::{Algorithm, MiningParams};
 use crate::report::ParallelReport;
 use crate::sequential::extract_large;
 use gar_cluster::{Cluster, ClusterConfig};
-use gar_storage::PartitionedDatabase;
+use gar_storage::TransactionSource;
 use gar_taxonomy::{PrunedView, Taxonomy};
 use gar_types::Result;
 
-/// Runs NPGM over the database.
+/// Runs NPGM over the per-node sources (`sources[n]` is node `n`'s
+/// partition — possibly a recovery composite).
 pub(crate) fn mine(
-    db: &PartitionedDatabase,
+    sources: &[&dyn TransactionSource],
     tax: &Taxonomy,
     params: &MiningParams,
     cluster: &ClusterConfig,
+    persist: &PassPersistence<'_>,
 ) -> Result<ParallelReport> {
     let run = Cluster::run(cluster, |ctx| {
-        let part = db.partition(ctx.node_id());
+        let part = sources[ctx.node_id()];
         node_pass_loop(
             ctx,
             part,
             tax,
             params,
             Algorithm::Npgm,
+            persist,
             |ctx, k, candidates, p1| {
                 let view = PrunedView::new(tax, items_in_candidates(candidates));
 

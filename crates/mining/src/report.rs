@@ -75,6 +75,10 @@ pub struct PassReport {
     pub num_fragments: usize,
     /// `|L_k|`.
     pub num_large: usize,
+    /// `true` when this pass was replayed from a checkpoint (`mine
+    /// --resume` or degraded-mode recovery) instead of computed; its
+    /// `node_deltas` are zero.
+    pub restored: bool,
     /// Per-node counter deltas for this pass alone.
     pub node_deltas: Vec<NodeStatsSnapshot>,
     /// Cost-model execution time of this pass (critical path).
@@ -113,6 +117,10 @@ pub struct ParallelReport {
     pub modeled_seconds: f64,
     /// Whole-run per-node counters.
     pub node_totals: Vec<NodeStatsSnapshot>,
+    /// Degraded-mode notes: one human-readable entry per node failure the
+    /// run recovered from (empty for a clean run). The mined `output` is
+    /// identical either way — only the execution story differs.
+    pub degraded: Vec<String>,
 }
 
 impl ParallelReport {
@@ -185,6 +193,7 @@ mod tests {
             num_duplicated: 0,
             num_fragments: 1,
             num_large: 4,
+            restored: false,
             node_deltas: vec![mk(2 * 1024 * 1024, 5), mk(4 * 1024 * 1024, 15)],
             modeled_seconds: 0.0,
         };
@@ -207,12 +216,14 @@ mod tests {
                 num_duplicated: 0,
                 num_fragments: 1,
                 num_large: 2,
+                restored: false,
                 node_deltas: vec![delta],
                 modeled_seconds: 0.0,
             }],
             wall: Duration::ZERO,
             modeled_seconds: 0.0,
             node_totals: vec![delta],
+            degraded: Vec::new(),
         };
         rep.reprice(&CostModel::default());
         assert!(rep.modeled_seconds > 0.0);

@@ -167,6 +167,13 @@ struct ExecState {
     os_handles: Vec<std::thread::JoinHandle<()>>,
     /// Per-thread list of joiner thread ids to wake on finish.
     joiners: Vec<Vec<usize>>,
+    /// Per-thread flag: blocked in a *timed* wait, so if the whole
+    /// system stops making progress the scheduler may wake it with a
+    /// timeout instead of declaring deadlock.
+    timed: Vec<bool>,
+    /// Per-thread flag set when the deadlock path woke a timed waiter;
+    /// its wait returns `timed_out = true`.
+    rescued: Vec<bool>,
 }
 
 struct Execution {
@@ -205,6 +212,8 @@ impl Execution {
                 failure: None,
                 os_handles: Vec::new(),
                 joiners: vec![Vec::new()],
+                timed: vec![false],
+                rescued: vec![false],
             }),
             cv: OsCondvar::new(),
             max_steps: config.max_steps,
@@ -338,24 +347,74 @@ fn block_current(exec: &Arc<Execution>, mut st: OsGuard<'_, ExecState>, me: usiz
     match exec.pick_next(&mut st, me) {
         Some(_) => exec.cv.notify_all(),
         None => {
-            let snapshot: Vec<String> = st
-                .statuses
-                .iter()
-                .enumerate()
-                .map(|(t, s)| format!("t{t}:{s:?}"))
-                .collect();
-            exec.fail(
-                &mut st,
-                format!(
-                    "deadlock: no runnable thread (lost wakeup?) — {}",
-                    snapshot.join(" ")
-                ),
-            );
-            drop(st);
-            panic::panic_any(ExecAbort);
+            // Nobody can run. In real time a stalled system makes every
+            // pending timeout expire, so timed waiters are woken with
+            // `timed_out = true` rather than reported as a deadlock.
+            if rescue_timed_waiters(&mut st) {
+                exec.pick_next(&mut st, me);
+                exec.cv.notify_all();
+            } else {
+                let snapshot: Vec<String> = st
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .map(|(t, s)| format!("t{t}:{s:?}"))
+                    .collect();
+                exec.fail(
+                    &mut st,
+                    format!(
+                        "deadlock: no runnable thread (lost wakeup?) — {}",
+                        snapshot.join(" ")
+                    ),
+                );
+                drop(st);
+                panic::panic_any(ExecAbort);
+            }
         }
     }
     wait_for_turn(exec, st, me);
+}
+
+/// Wakes every thread parked in a timed wait, marking it rescued (its
+/// wait returns with `timed_out = true`). Returns whether any thread
+/// was woken. Called only when no thread is runnable.
+fn rescue_timed_waiters(st: &mut ExecState) -> bool {
+    let mut woke = false;
+    for t in 0..st.statuses.len() {
+        if st.statuses[t] == Status::Blocked && st.timed[t] {
+            st.statuses[t] = Status::Runnable;
+            st.timed[t] = false;
+            st.rescued[t] = true;
+            woke = true;
+        }
+    }
+    woke
+}
+
+/// Nondeterministic choice point: returns a value in `0..options`,
+/// exploring every branch across schedules. Models events whose timing
+/// is outside the program, such as timer expiry. Does not switch
+/// threads.
+pub fn choice(options: usize) -> usize {
+    assert!(options > 0, "choice() needs at least one option");
+    let (exec, me) = current_context();
+    let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+    check_abort(&st);
+    let depth = st.trace.len();
+    let index = if depth < st.replay.len() {
+        st.replay[depth].min(options - 1)
+    } else {
+        0
+    };
+    if trace_enabled() {
+        eprintln!("[mc] d{depth} t{me} choice({options}) -> {index}");
+    }
+    st.trace.push(Decision {
+        index,
+        options,
+        chosen: me,
+    });
+    index
 }
 
 fn wait_for_turn(exec: &Arc<Execution>, mut st: OsGuard<'_, ExecState>, me: usize) {
@@ -400,19 +459,23 @@ fn finish_thread(
     if st.failure.is_none() && !st.statuses.iter().all(|s| *s == Status::Finished) {
         // Hand control to someone else; detect deadlock if nobody can run.
         if exec.pick_next(&mut st, me).is_none() {
-            let snapshot: Vec<String> = st
-                .statuses
-                .iter()
-                .enumerate()
-                .map(|(t, s)| format!("t{t}:{s:?}"))
-                .collect();
-            exec.fail(
-                &mut st,
-                format!(
-                    "deadlock after thread {me} finished: no runnable thread — {}",
-                    snapshot.join(" ")
-                ),
-            );
+            if rescue_timed_waiters(&mut st) {
+                exec.pick_next(&mut st, me);
+            } else {
+                let snapshot: Vec<String> = st
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .map(|(t, s)| format!("t{t}:{s:?}"))
+                    .collect();
+                exec.fail(
+                    &mut st,
+                    format!(
+                        "deadlock after thread {me} finished: no runnable thread — {}",
+                        snapshot.join(" ")
+                    ),
+                );
+            }
         }
     }
     exec.cv.notify_all();
@@ -591,6 +654,75 @@ mod tests {
             bounded < full,
             "bound {bounded} should cut schedules below {full}"
         );
+    }
+
+    #[test]
+    fn choice_explores_every_branch() {
+        let seen = StdArc::new(std::sync::Mutex::new(std::collections::HashSet::new()));
+        let sink = StdArc::clone(&seen);
+        model(move || {
+            let v = choice(3);
+            sink.lock().unwrap().insert(v);
+        });
+        assert_eq!(seen.lock().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn timed_wait_is_rescued_instead_of_deadlocking() {
+        // Nobody ever notifies: an untimed wait here would be a deadlock
+        // (see `detects_lost_wakeup`), but a timed wait must return with
+        // `timed_out = true` on every schedule.
+        model(|| {
+            let pair = StdArc::new((Mutex::new(false), Condvar::new()));
+            let (m, cv) = &*pair;
+            let g = m.lock();
+            let (g, timed_out) = cv.wait_timeout(g, std::time::Duration::from_millis(1));
+            assert!(timed_out, "wait with no notifier must report expiry");
+            drop(g);
+        });
+    }
+
+    #[test]
+    fn timed_wait_races_notify_without_losing_either() {
+        // A notifier sets the flag; the timer may expire first. Every
+        // schedule must end with the flag observed or a reported
+        // timeout — never a deadlock, never a wait that returns with
+        // neither.
+        let saw_timeout = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+        let saw_flag = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+        let (t_flag, f_flag) = (StdArc::clone(&saw_timeout), StdArc::clone(&saw_flag));
+        model(move || {
+            let pair = StdArc::new((Mutex::new(false), Condvar::new()));
+            let t = {
+                let pair = StdArc::clone(&pair);
+                thread::spawn(move || {
+                    let (m, cv) = &*pair;
+                    *m.lock() = true;
+                    cv.notify_all();
+                })
+            };
+            let (m, cv) = &*pair;
+            let mut ready = m.lock();
+            let mut timed_out = false;
+            while !*ready && !timed_out {
+                let (g, expired) = cv.wait_timeout(ready, std::time::Duration::from_millis(1));
+                ready = g;
+                timed_out = expired;
+            }
+            assert!(*ready || timed_out);
+            if timed_out {
+                t_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+            if *ready {
+                f_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+            drop(ready);
+            t.join().unwrap();
+        });
+        // Both outcomes must be reachable, or the model is not actually
+        // exploring the race.
+        assert!(saw_timeout.load(std::sync::atomic::Ordering::SeqCst));
+        assert!(saw_flag.load(std::sync::atomic::Ordering::SeqCst));
     }
 
     #[test]

@@ -179,6 +179,69 @@ impl Condvar {
         MutexGuard { mutex }
     }
 
+    /// Like [`Condvar::wait`], but the wait may also end because the
+    /// deadline expired; the second tuple element reports expiry. The
+    /// timer is external to the program, so expiry is modeled as a
+    /// nondeterministic branch: either the deadline fires before any
+    /// notification, or the thread parks as a *timed* waiter that the
+    /// scheduler may wake with `timed_out = true` when the whole system
+    /// stops making progress (instead of declaring deadlock). As with
+    /// the real primitive, a timeout may race a notification — callers
+    /// must re-check their predicate either way.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        crate::trace_op("condvar.wait_timeout enter");
+        schedule_point();
+        let mutex = guard.mutex;
+        // Manual release, as in `wait`: skip the guard's Drop.
+        std::mem::forget(guard);
+        if crate::choice(2) == 1 {
+            // The deadline fires before this thread is ever notified:
+            // release the mutex, let others run, re-acquire, report
+            // expiry.
+            crate::trace_op("condvar.wait_timeout expires");
+            mutex.unlock();
+            schedule_point();
+            mutex.acquire_after_yield();
+            return (MutexGuard { mutex }, true);
+        }
+        let timed_out;
+        {
+            let (exec, me) = current_context();
+            let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+            crate::check_abort(&st);
+            // SAFETY: serialized by the scheduler; see module header.
+            let ms = unsafe { &mut *mutex.state.get() };
+            debug_assert!(ms.locked, "Condvar::wait_timeout with unlocked mutex");
+            ms.locked = false;
+            while let Some(t) = ms.waiters.pop_front() {
+                st.statuses[t] = Status::Runnable;
+            }
+            // SAFETY: serialized by the scheduler; see module header.
+            let cw = unsafe { &mut *self.waiters.get() };
+            cw.push_back(me);
+            st.statuses[me] = Status::Blocked;
+            st.timed[me] = true;
+            block_current(&exec, st, me);
+            let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+            crate::check_abort(&st);
+            st.timed[me] = false;
+            timed_out = std::mem::replace(&mut st.rescued[me], false);
+            if timed_out {
+                // A rescued thread is still queued on the condvar; a
+                // later notify must not double-wake it.
+                // SAFETY: serialized by the scheduler; see module header.
+                let cw = unsafe { &mut *self.waiters.get() };
+                cw.retain(|t| *t != me);
+            }
+        }
+        mutex.acquire_after_yield();
+        (MutexGuard { mutex }, timed_out)
+    }
+
     /// Wakes one waiter (FIFO).
     pub fn notify_one(&self) {
         schedule_point();
@@ -188,6 +251,7 @@ impl Condvar {
         let cw = unsafe { &mut *self.waiters.get() };
         if let Some(t) = cw.pop_front() {
             st.statuses[t] = Status::Runnable;
+            st.timed[t] = false;
             exec.cv.notify_all();
         }
     }
@@ -203,6 +267,7 @@ impl Condvar {
         let mut woke = false;
         while let Some(t) = cw.pop_front() {
             st.statuses[t] = Status::Runnable;
+            st.timed[t] = false;
             woke = true;
         }
         if woke {

@@ -33,6 +33,8 @@ where
         id = st.statuses.len();
         st.statuses.push(Status::Runnable);
         st.joiners.push(Vec::new());
+        st.timed.push(false);
+        st.rescued.push(false);
     }
     let child_exec = Arc::clone(&exec);
     let child_slot = Arc::clone(&slot);

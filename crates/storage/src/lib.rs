@@ -20,10 +20,12 @@
 pub mod codec;
 mod database;
 mod memory;
+mod multi;
 mod partition;
 
 pub use database::PartitionedDatabase;
 pub use memory::MemoryPartition;
+pub use multi::MultiSource;
 pub use partition::{DiskPartition, PartitionWriter, ScanIter};
 
 use gar_types::{ItemId, Result};

@@ -39,6 +39,15 @@ pub enum Error {
         /// Node that poisoned the run.
         node: usize,
     },
+    /// A node exceeded its deadline waiting on a collective or a
+    /// message, indicating a hung or unresponsive peer.
+    Timeout {
+        /// Node that observed the expired deadline (the victim, not
+        /// necessarily the hung peer).
+        node: usize,
+        /// The operation that was waited on (`"barrier"`, `"recv"`, ...).
+        op: String,
+    },
 }
 
 impl Error {
@@ -48,6 +57,16 @@ impl Error {
             context: context.into(),
             source,
         }
+    }
+
+    /// Whether an operation that failed with this error may be retried.
+    ///
+    /// Transient faults — I/O hiccups and expired deadlines — are
+    /// retryable; everything else (corruption, configuration problems,
+    /// protocol violations, node failures) is a fatal property of the
+    /// run and retrying would only repeat it.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Io { .. } | Error::Timeout { .. })
     }
 }
 
@@ -64,6 +83,9 @@ impl fmt::Display for Error {
             Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             Error::Poisoned { node } => {
                 write!(f, "collective poisoned by node {node}: a peer failed")
+            }
+            Error::Timeout { node, op } => {
+                write!(f, "cluster node {node} timed out waiting for {op}")
             }
         }
     }
@@ -99,6 +121,36 @@ mod tests {
             e.to_string(),
             "collective poisoned by node 2: a peer failed"
         );
+        let e = Error::Timeout {
+            node: 4,
+            op: "barrier".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "cluster node 4 timed out waiting for barrier"
+        );
+    }
+
+    #[test]
+    fn retryable_classification() {
+        let io = Error::io("probe", std::io::Error::other("flaky"));
+        assert!(io.is_retryable());
+        assert!(Error::Timeout {
+            node: 0,
+            op: "recv".into()
+        }
+        .is_retryable());
+
+        assert!(!Error::Corrupt("bad checksum".into()).is_retryable());
+        assert!(!Error::InvalidConfig("zero nodes".into()).is_retryable());
+        assert!(!Error::InvalidTaxonomy("cycle".into()).is_retryable());
+        assert!(!Error::Protocol("mismatched reduce".into()).is_retryable());
+        assert!(!Error::Poisoned { node: 1 }.is_retryable());
+        assert!(!Error::NodeFailure {
+            node: 1,
+            reason: "panicked".into()
+        }
+        .is_retryable());
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //!   the byte-identical-report determinism guarantee. Lookups are fine;
 //!   iteration must go through a sorted or insertion-ordered structure
 //!   (or be explicitly suppressed where a deterministic sort follows).
+//! * `no-deadline` — every blocking receive/wait in `crates/cluster`
+//!   non-test code must go through a deadline-aware API so a hung peer
+//!   surfaces as `Error::Timeout` instead of a hang: `.recv()` is
+//!   forbidden except on the `ctx` receiver (`NodeCtx::recv` is the
+//!   deadline-aware wrapper — poll-sliced, poison-checked, deadlined),
+//!   and a bare Condvar `.wait(` is forbidden (use `wait_timeout` or
+//!   route through `wait_collective`). The `_timeout`/`_deadline`
+//!   variants never match.
 //!
 //! Suppression: `// lint:allow(<rule>): <reason>` on the offending line
 //! or the line above. The reason is mandatory — the colon is part of
@@ -36,6 +44,7 @@ const RULE_WAIT_LOOP: &str = "wait-loop";
 const RULE_CLUSTER_UNWRAP: &str = "cluster-unwrap";
 const RULE_RELAXED: &str = "relaxed";
 const RULE_HASH_ORDER: &str = "hash-order";
+const RULE_NO_DEADLINE: &str = "no-deadline";
 
 /// How many lines above an `Ordering::Relaxed` site a `relaxed:`
 /// justification comment may sit (covers one comment per short fn).
@@ -175,6 +184,22 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
             });
         }
 
+        // no-deadline: crates/cluster only.
+        if rel.starts_with("crates/cluster/") && !a.suppressed(i, RULE_NO_DEADLINE) {
+            if let Some(what) = blocking_call_without_deadline(code) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: line_no,
+                    rule: RULE_NO_DEADLINE,
+                    msg: format!(
+                        "blocking `{what}` without a deadline in cluster non-test code; \
+                         use the deadline-aware API (NodeCtx::recv / recv_timeout / \
+                         wait_timeout) so a hung peer surfaces as Error::Timeout"
+                    ),
+                });
+            }
+        }
+
         // relaxed: all crates.
         if code.contains("Ordering::Relaxed")
             && !a.has_relaxed_justification(i)
@@ -248,6 +273,40 @@ fn hash_order_rule(rel: &str, a: &Analysis) -> Vec<Finding> {
         }
     }
     findings
+}
+
+/// Returns the offending call (`.recv()` or `.wait(`) when the line
+/// contains a blocking receive/wait with no deadline path. `.recv()` is
+/// allowed on the `ctx` receiver by convention: `NodeCtx::recv` *is* the
+/// deadline-aware wrapper (it polls `recv_timeout` in poison-checked
+/// slices). The `_timeout`/`_deadline` variants never match — the
+/// patterns require the opening paren right after the bare name.
+fn blocking_call_without_deadline(code: &str) -> Option<&'static str> {
+    if code.contains(".wait(") {
+        return Some(".wait(");
+    }
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(".recv()") {
+        let pos = from + rel;
+        if receiver_ident(&code[..pos]) != "ctx" {
+            return Some(".recv()");
+        }
+        from = pos + ".recv()".len();
+    }
+    None
+}
+
+/// The identifier segment immediately preceding a method call:
+/// `self.ctx` → "ctx", `rx` → "rx", `self.inbox` → "inbox".
+fn receiver_ident(before: &str) -> &str {
+    let start = before
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident_char(*c))
+        .last()
+        .map(|(i, _)| i)
+        .unwrap_or(before.len());
+    &before[start..]
 }
 
 fn starts_with_hash_type(ty: &str) -> bool {
@@ -621,7 +680,9 @@ fn broken(cv: &Condvar, m: &Mutex<State>) {
 }
 ";
         let f = lint_source("crates/cluster/src/collective.rs", src);
-        assert_eq!(rules(&f), vec![RULE_WAIT_LOOP], "{f:?}");
+        // In the cluster crate a bare wait violates both the predicate
+        // re-check rule and the deadline rule.
+        assert_eq!(rules(&f), vec![RULE_WAIT_LOOP, RULE_NO_DEADLINE], "{f:?}");
         assert_eq!(f[0].line, 3);
     }
 
@@ -631,6 +692,7 @@ fn broken(cv: &Condvar, m: &Mutex<State>) {
 fn ok(cv: &Condvar, m: &Mutex<State>, my_gen: u64) {
     let mut s = m.lock();
     while s.gen == my_gen {
+        // lint:allow(no-deadline): fixture pins only the wait-loop rule
         s = cv.wait(s);
     }
 }
@@ -647,6 +709,7 @@ fn ok(cv: &Condvar, m: &Mutex<State>) {
     let mut s = m.lock();
     loop {
         if s.ready { break; }
+        // lint:allow(no-deadline): fixture pins only the wait-loop rule
         s = cv.wait(s);
     }
 }
@@ -656,7 +719,10 @@ fn ok(cv: &Condvar, m: &Mutex<State>) {
 
     #[test]
     fn wait_same_line_as_while_is_clean() {
-        let src = "fn ok() { while p() { g = cv.wait(g); } }\n";
+        let src = "\
+// lint:allow(no-deadline): fixture pins only the wait-loop rule
+fn ok() { while p() { g = cv.wait(g); } }
+";
         assert!(lint_source("crates/cluster/src/x.rs", src).is_empty());
     }
 
@@ -667,6 +733,7 @@ fn ok(cv: &Condvar, m: &Mutex<State>) {
         let src = "\
 fn broken(cv: &Condvar, m: &Mutex<State>) {
     for _ in 0..2 {
+        // lint:allow(no-deadline): fixture pins only the wait-loop rule
         let _s = cv.wait(m.lock());
     }
 }
@@ -693,6 +760,7 @@ mod tests {
         let with_reason = "\
 fn shim(cv: &Condvar, g: Guard) {
     // lint:allow(wait-loop): std passthrough; callers loop
+    // lint:allow(no-deadline): raw primitive the deadline wrapper uses
     let _g = cv.wait(g);
 }
 ";
@@ -701,6 +769,7 @@ fn shim(cv: &Condvar, g: Guard) {
         let without_reason = "\
 fn shim(cv: &Condvar, g: Guard) {
     // lint:allow(wait-loop)
+    // lint:allow(no-deadline): raw primitive the deadline wrapper uses
     let _g = cv.wait(g);
 }
 ";
@@ -721,7 +790,7 @@ fn doc() {
         // receiver and `.wait(` *is* present in the literal — the rule
         // deliberately tolerates this rare false positive, so pin the
         // current (flagging) behavior for the string case only.
-        let f = lint_source("crates/cluster/src/x.rs", src);
+        let f = lint_source("crates/mining/src/x.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 3);
     }
@@ -766,6 +835,82 @@ mod tests {
 }
 ";
         assert!(lint_source("crates/cluster/src/collective.rs", src).is_empty());
+    }
+
+    // ----- no-deadline --------------------------------------------------
+
+    #[test]
+    fn raw_channel_recv_in_cluster_is_flagged() {
+        let src = "fn pump(rx: &Receiver<Envelope>) { let env = rx.recv(); use_it(env); }\n";
+        let f = lint_source("crates/cluster/src/runner.rs", src);
+        assert_eq!(rules(&f), vec![RULE_NO_DEADLINE]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn field_recv_in_cluster_is_flagged() {
+        // `self.inbox.recv()` bypasses the deadline-aware NodeCtx::recv.
+        let src = "fn pump(&self) { let env = self.inbox.recv(); use_it(env); }\n";
+        let f = lint_source("crates/cluster/src/node.rs", src);
+        assert_eq!(rules(&f), vec![RULE_NO_DEADLINE]);
+    }
+
+    #[test]
+    fn ctx_recv_is_the_deadline_aware_api_and_clean() {
+        // NodeCtx::recv *is* the deadline-aware wrapper; both the local
+        // binding and the field form are accepted.
+        for src in [
+            "fn f(ctx: &NodeCtx) { let env = ctx.recv()?; use_it(env); }\n",
+            "fn f(&self) { let env = self.ctx.recv()?; use_it(env); }\n",
+        ] {
+            assert!(
+                lint_source("crates/cluster/src/runner.rs", src).is_empty(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn recv_timeout_and_wait_timeout_are_clean() {
+        let src = "\
+fn poll(&self) {
+    let a = self.inbox.recv_timeout(SLICE);
+    let (g, expired) = cv.wait_timeout(s, remaining);
+    use_it(a, g, expired);
+}
+";
+        assert!(lint_source("crates/cluster/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn recv_outside_cluster_is_not_flagged() {
+        let src = "fn f(rx: &Receiver<u64>) { let v = rx.recv(); use_it(v); }\n";
+        assert!(lint_source("crates/mining/src/parallel/common.rs", src).is_empty());
+    }
+
+    #[test]
+    fn recv_in_cluster_tests_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(rx: &Receiver<u64>) {
+        let _ = rx.recv();
+    }
+}
+";
+        assert!(lint_source("crates/cluster/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_deadline_suppression_with_reason_is_honored() {
+        let src = "\
+fn drain(rx: &Receiver<u64>) {
+    // lint:allow(no-deadline): drain after every sender has exited
+    let v = rx.recv();
+    use_it(v);
+}
+";
+        assert!(lint_source("crates/cluster/src/runner.rs", src).is_empty());
     }
 
     // ----- relaxed ------------------------------------------------------

@@ -6,6 +6,8 @@
 //!   `lint.rs`).
 //! * `loom` — model-checks the cluster collectives by rebuilding them on
 //!   the `gar-modelcheck` virtual primitives (`--cfg gar_loom`).
+//! * `chaos` — seeded fault-injection soak over the mining runtime
+//!   (tolerated schedules must leave the output byte-identical).
 //! * `miri` — runs the UB interpreter over the unsafe-bearing crates
 //!   when the `miri` component is installed; degrades to a skip
 //!   otherwise (this build environment has no network to install it).
@@ -24,6 +26,7 @@ fn usage() -> &'static str {
      commands:\n\
        lint          run the in-repo static analysis rules\n\
        loom          model-check the cluster collectives (--cfg gar_loom)\n\
+       chaos         seeded fault-injection soak (GAR_CHAOS_ITERS scales it)\n\
        miri [--strict]   run miri over unsafe-bearing crates (skip if unavailable)\n\
        tsan [--strict]   run ThreadSanitizer over cluster tests (skip if unavailable)\n\
      \n\
@@ -49,6 +52,7 @@ fn main() -> ExitCode {
     let code = match cmd {
         "lint" => lint::run(&repo_root()),
         "loom" => runners::loom(&repo_root(), rest),
+        "chaos" => runners::chaos(&repo_root(), rest),
         "miri" => runners::miri(&repo_root(), rest),
         "tsan" => runners::tsan(&repo_root(), rest),
         "help" | "--help" | "-h" => {
