@@ -13,8 +13,8 @@ use gar_bench::{banner, print_table, write_csv, Env, Workload};
 use gar_datagen::presets;
 use gar_mining::sequential::{apriori, cumulate};
 use gar_mining::MiningParams;
+use gar_obs::Stopwatch;
 use gar_storage::PartitionedDatabase;
-use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = Env::load(0.005);
@@ -35,10 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for pct in [2.0f64, 1.0, 0.5] {
         let params = MiningParams::with_min_support(pct / 100.0).max_pass(2);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let flat = apriori(part, workload.taxonomy.num_items(), &params)?;
         let flat_ms = t0.elapsed().as_millis();
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let gen = cumulate(part, &workload.taxonomy, &params)?;
         let gen_ms = t1.elapsed().as_millis();
         rows.push(vec![

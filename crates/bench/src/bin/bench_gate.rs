@@ -1,0 +1,344 @@
+//! The perf-regression bench gate (`cargo xtask bench`).
+//!
+//! Runs a pinned smoke matrix — R30F5 at scale 0.01, minimum support
+//! 1.0%, pass 2 only: sequential Cumulate plus NPGM / HPGM / H-HPGM /
+//! H-HPGM-FGD at 4 and 8 nodes — and writes the results as
+//! `BENCH_PR3.json`. The gated quantity is the *modeled* SP-2 execution
+//! time (`ParallelReport::modeled_seconds`, a pure function of the
+//! deterministic per-node ledgers), not wall time, so the gate is
+//! machine-independent and byte-reproducible; wall time is printed for
+//! context only. Cumulate, which has no cluster ledger, is gated on its
+//! (deterministic) large-itemset count.
+//!
+//! Modes:
+//!
+//! * default — run the matrix and (re)write the baseline file;
+//! * `--check` — run the matrix, write the fresh results next to the
+//!   baseline (`BENCH_PR3.fresh.json`), and fail (exit 1) if any entry
+//!   drifts from the committed baseline by more than `--tolerance`
+//!   (relative, default 0.15), if an entry is missing, or if the
+//!   Figure 14 ordering (H-HPGM-FGD ≤ H-HPGM ≤ HPGM at 8 nodes) breaks.
+//!
+//! Optional artifacts: `--metrics-out FILE` / `--trace-out FILE` rerun
+//! one instrumented configuration (H-HPGM-FGD at 8 nodes) with the
+//! observability layer enabled and dump its counters and chrome-trace
+//! spans.
+//!
+//! Run: `cargo xtask bench [--check] [--tolerance F] [--out FILE]`
+
+use gar_bench::{banner, Env, Workload};
+use gar_cluster::ClusterConfig;
+use gar_datagen::presets;
+use gar_mining::parallel::mine_parallel;
+use gar_mining::sequential::cumulate;
+use gar_mining::{Algorithm, MiningParams, ParallelReport};
+use gar_obs::json::{parse, Value};
+use gar_obs::{Obs, Stopwatch};
+use gar_storage::PartitionedDatabase;
+
+/// Schema tag of the bench baseline file.
+const SCHEMA: &str = "gar-bench-v1";
+/// The committed baseline this PR's gate compares against.
+const BASELINE: &str = "BENCH_PR3.json";
+/// Minimum support of the smoke matrix, in percent.
+const MINSUP_PCT: f64 = 1.0;
+/// The parallel algorithms of the matrix.
+const ALGS: [Algorithm; 4] = [
+    Algorithm::Npgm,
+    Algorithm::Hpgm,
+    Algorithm::HHpgm,
+    Algorithm::HHpgmFgd,
+];
+/// Node counts of the matrix.
+const NODE_COUNTS: [usize; 2] = [4, 8];
+
+/// One gated measurement.
+struct Entry {
+    /// `"<algorithm>@<nodes>"`, the stable lookup key.
+    key: String,
+    /// What `value` measures (`modeled_seconds` or `num_large`).
+    metric: &'static str,
+    value: f64,
+    /// Informational wall time, never gated.
+    wall_seconds: f64,
+}
+
+fn main() {
+    std::process::exit(run_main());
+}
+
+fn run_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.15);
+    let out_path = flag_value(&args, "--out")
+        .map(str::to_string)
+        .unwrap_or_else(|| {
+            if check {
+                "BENCH_PR3.fresh.json".to_string()
+            } else {
+                BASELINE.to_string()
+            }
+        });
+
+    let env = Env::load(0.01);
+    banner("bench gate: pinned smoke matrix (R30F5, pass 2)", &env);
+
+    let (entries, workload, db8) = match run_matrix(&env) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench gate: matrix run failed: {e}");
+            return 1;
+        }
+    };
+
+    let rendered = render(&env, &entries);
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("bench gate: cannot write {out_path}: {e}");
+        return 1;
+    }
+    println!("\n  [written {out_path}]");
+
+    // Optional instrumented artifacts: one observed H-HPGM-FGD @ 8 run.
+    let metrics_out = flag_value(&args, "--metrics-out");
+    let trace_out = flag_value(&args, "--trace-out");
+    if metrics_out.is_some() || trace_out.is_some() {
+        let obs = Obs::enabled();
+        if let Err(e) = run_one(Algorithm::HHpgmFgd, &workload, &db8, 8, &env, Some(&obs)) {
+            eprintln!("bench gate: instrumented run failed: {e}");
+            return 1;
+        }
+        if let Some(path) = metrics_out {
+            if let Err(e) = std::fs::write(path, obs.metrics().to_json()) {
+                eprintln!("bench gate: cannot write {path}: {e}");
+                return 1;
+            }
+            println!("  [written {path}]");
+        }
+        if let Some(path) = trace_out {
+            if let Err(e) = std::fs::write(path, obs.chrome_trace_json()) {
+                eprintln!("bench gate: cannot write {path}: {e}");
+                return 1;
+            }
+            println!("  [written {path}]");
+        }
+    }
+
+    // The Figure 14 golden shape always holds at 8 nodes, gate or not:
+    // hierarchy-aware placement beats hash scatter, and duplication can
+    // only shed communication.
+    if let Err(msg) = golden_shape(&entries) {
+        eprintln!("bench gate: golden-shape violation: {msg}");
+        return 1;
+    }
+    println!("  golden shape ok: H-HPGM-FGD <= H-HPGM <= HPGM at 8 nodes");
+
+    if !check {
+        return 0;
+    }
+    match check_against_baseline(&entries, tolerance) {
+        Ok(()) => {
+            println!(
+                "  gate ok: all entries within {:.0}% of {BASELINE}",
+                tolerance * 100.0
+            );
+            0
+        }
+        Err(msg) => {
+            eprintln!("bench gate: {msg}");
+            1
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Runs the full matrix. Returns the entries plus the workload and the
+/// 8-node database so the instrumented artifact run can reuse them.
+fn run_matrix(env: &Env) -> Result<(Vec<Entry>, Workload, PartitionedDatabase), String> {
+    let spec = presets::r30f5(env.seed);
+    let workload = Workload::generate(&spec, env).map_err(|e| e.to_string())?;
+    let minsup = MINSUP_PCT / 100.0;
+    let mut entries = Vec::new();
+
+    // Sequential reference: Cumulate over the unpartitioned data.
+    {
+        let db1 = workload.partition(1).map_err(|e| e.to_string())?;
+        let params = MiningParams::with_min_support(minsup).max_pass(2);
+        let sw = Stopwatch::start();
+        let output =
+            cumulate(db1.partition(0), &workload.taxonomy, &params).map_err(|e| e.to_string())?;
+        let wall = sw.elapsed().as_secs_f64();
+        println!(
+            "  Cumulate@1: {} large itemsets ({wall:.2}s wall)",
+            output.num_large()
+        );
+        entries.push(Entry {
+            key: "Cumulate@1".to_string(),
+            metric: "num_large",
+            value: output.num_large() as f64,
+            wall_seconds: wall,
+        });
+    }
+
+    let mut db8 = None;
+    for nodes in NODE_COUNTS {
+        let db = workload.partition(nodes).map_err(|e| e.to_string())?;
+        for alg in ALGS {
+            let sw = Stopwatch::start();
+            let rep = run_one(alg, &workload, &db, nodes, env, None)?;
+            let wall = sw.elapsed().as_secs_f64();
+            let modeled = rep
+                .pass_reports
+                .iter()
+                .find(|p| p.k == 2)
+                .map(|p| p.modeled_seconds)
+                .ok_or_else(|| format!("{} @ {nodes}: no pass 2 in report", alg.name()))?;
+            println!(
+                "  {}@{nodes}: modeled {modeled:.4}s ({wall:.2}s wall)",
+                alg.name()
+            );
+            entries.push(Entry {
+                key: format!("{}@{nodes}", alg.name()),
+                metric: "modeled_seconds",
+                value: modeled,
+                wall_seconds: wall,
+            });
+        }
+        if nodes == 8 {
+            db8 = Some(db);
+        }
+    }
+    Ok((entries, workload, db8.expect("8-node matrix ran")))
+}
+
+/// One parallel run of the matrix; `obs` enables instrumentation.
+fn run_one(
+    alg: Algorithm,
+    workload: &Workload,
+    db: &PartitionedDatabase,
+    nodes: usize,
+    _env: &Env,
+    obs: Option<&Obs>,
+) -> Result<ParallelReport, String> {
+    let minsup = MINSUP_PCT / 100.0;
+    // Headroom 3.0 puts the matrix in the paper's duplication regime
+    // (`M < |C_2| < N*M` with free space on every node): FGD has room
+    // to duplicate, so the Figure 14 ordering is observable.
+    let memory = workload.memory_with_headroom(minsup, nodes, 3.0);
+    let mut params = MiningParams::with_min_support(minsup);
+    params.max_pass = Some(2);
+    let mut cluster = ClusterConfig::new(nodes, memory);
+    if let Some(obs) = obs {
+        cluster = cluster.with_obs(obs.clone());
+    }
+    mine_parallel(alg, db, &workload.taxonomy, &params, &cluster)
+        .map_err(|e| format!("{} @ {nodes} nodes: {e}", alg.name()))
+}
+
+/// Renders the baseline JSON through the gar-obs codec (deterministic
+/// key order, shortest-round-trip floats).
+fn render(env: &Env, entries: &[Entry]) -> String {
+    let entry_objs: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            Value::Obj(vec![
+                ("key".to_string(), Value::Str(e.key.clone())),
+                ("metric".to_string(), Value::Str(e.metric.to_string())),
+                ("value".to_string(), Value::Num(e.value)),
+                ("wall_seconds".to_string(), Value::Num(e.wall_seconds)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+        ("dataset".to_string(), Value::Str("R30F5".to_string())),
+        ("scale".to_string(), Value::Num(env.scale)),
+        ("seed".to_string(), Value::Num(env.seed as f64)),
+        ("minsup_pct".to_string(), Value::Num(MINSUP_PCT)),
+        ("entries".to_string(), Value::Arr(entry_objs)),
+    ])
+    .render()
+}
+
+/// Figure 14 ordering at 8 nodes. Modeled times are deterministic, so
+/// the comparison is exact (no slack).
+fn golden_shape(entries: &[Entry]) -> Result<(), String> {
+    let get = |key: &str| -> Result<f64, String> {
+        entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| e.value)
+            .ok_or_else(|| format!("entry {key} missing"))
+    };
+    let fgd = get("H-HPGM-FGD@8")?;
+    let hhpgm = get("H-HPGM@8")?;
+    let hpgm = get("HPGM@8")?;
+    if fgd <= hhpgm && hhpgm <= hpgm {
+        Ok(())
+    } else {
+        Err(format!(
+            "expected H-HPGM-FGD ({fgd:.4}) <= H-HPGM ({hhpgm:.4}) <= HPGM ({hpgm:.4})"
+        ))
+    }
+}
+
+/// Compares fresh entries against the committed baseline.
+fn check_against_baseline(entries: &[Entry], tolerance: f64) -> Result<(), String> {
+    let src = std::fs::read_to_string(BASELINE).map_err(|e| {
+        format!("cannot read {BASELINE}: {e} (run `cargo xtask bench` to create it)")
+    })?;
+    let doc = parse(&src).map_err(|e| format!("{BASELINE}: {e}"))?;
+    if doc.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        return Err(format!("{BASELINE}: not a {SCHEMA} file"));
+    }
+    let base_entries = doc
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{BASELINE}: no entries array"))?;
+    let baseline_of = |key: &str| -> Option<f64> {
+        base_entries.iter().find_map(|e| {
+            (e.get("key").and_then(Value::as_str) == Some(key))
+                .then(|| e.get("value").and_then(Value::as_f64))
+                .flatten()
+        })
+    };
+
+    let mut failures = Vec::new();
+    for e in entries {
+        let Some(base) = baseline_of(&e.key) else {
+            failures.push(format!("{}: missing from baseline", e.key));
+            continue;
+        };
+        let denom = base.abs().max(1e-9);
+        let drift = (e.value - base) / denom;
+        if drift.abs() > tolerance {
+            failures.push(format!(
+                "{}: {} drifted {:+.1}% (baseline {:.4}, fresh {:.4}, tolerance {:.0}%)",
+                e.key,
+                e.metric,
+                drift * 100.0,
+                base,
+                e.value,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} entr{} out of tolerance:\n  {}",
+            failures.len(),
+            if failures.len() == 1 { "y" } else { "ies" },
+            failures.join("\n  ")
+        ))
+    }
+}

@@ -7,6 +7,7 @@ use gar_mining::parallel::{mine_parallel_with, MineOptions};
 use gar_mining::persist::{algorithm_by_name, save_output};
 use gar_mining::sequential::{apriori, cumulate};
 use gar_mining::{Algorithm, MiningOutput, MiningParams};
+use gar_obs::{Obs, Stopwatch};
 use gar_storage::PartitionedDatabase;
 use gar_types::Result;
 use std::path::{Path, PathBuf};
@@ -30,7 +31,17 @@ pub fn run(args: &Args) -> Result<()> {
 
     let parts = open_partitions(dir)?;
     let tax = load_taxonomy(dir)?;
-    let started = std::time::Instant::now();
+    let started = Stopwatch::start();
+
+    // Observability is opt-in: enabling it costs a little bookkeeping per
+    // message/pass, so only pay when an output path asks for it.
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    let obs = if metrics_out.is_some() || trace_out.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
 
     let output: MiningOutput = match algorithm {
         Algorithm::Cumulate => {
@@ -52,7 +63,8 @@ pub fn run(args: &Args) -> Result<()> {
                     .collect::<Vec<_>>();
                 PartitionedDatabase::from_parts(boxed)
             };
-            let mut cluster = ClusterConfig::new(nodes, memory_mb * 1024 * 1024);
+            let mut cluster =
+                ClusterConfig::new(nodes, memory_mb * 1024 * 1024).with_obs(obs.clone());
             if let Some(spec) = args.get("faults") {
                 cluster = cluster.with_faults(FaultPlan::parse(spec)?);
             }
@@ -106,6 +118,21 @@ pub fn run(args: &Args) -> Result<()> {
         min_support * 100.0,
         output.min_support_count
     );
+
+    if let Some(path) = metrics_out {
+        std::fs::write(path, obs.metrics().to_json()).map_err(|e| gar_types::Error::Io {
+            context: format!("writing metrics to {path}"),
+            source: e,
+        })?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, obs.chrome_trace_json()).map_err(|e| gar_types::Error::Io {
+            context: format!("writing trace to {path}"),
+            source: e,
+        })?;
+        println!("wrote {path} (load in chrome://tracing or ui.perfetto.dev)");
+    }
 
     if let Some(out_path) = args.get("out") {
         save_output(&output, out_path)?;

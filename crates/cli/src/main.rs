@@ -79,6 +79,7 @@ USAGE:
                 [--max-pass K] [--memory-mb M] [--out FILE.gout]
                 [--checkpoint-dir DIR] [--resume] [--faults SPEC]
                 [--deadline-ms MS] [--max-node-failures N]
+                [--metrics-out FILE.json] [--trace-out FILE.json]
   gar-cli rules --output FILE.gout --min-confidence F
                 [--taxonomy FILE.gtax] [--interest R] [--top N]
 
@@ -93,6 +94,10 @@ FAULT TOLERANCE (parallel algorithms):
                          'seed=42,p-drop=0.01,delay-ms=2,panic@n1p2'
   --deadline-ms MS       per-wait deadline; a hung node becomes a Timeout
   --max-node-failures N  re-run over survivors after up to N node deaths
+
+OBSERVABILITY (parallel algorithms):
+  --metrics-out FILE     write per-pass counters/histograms as JSON
+  --trace-out FILE       write chrome://tracing spans (one lane per node)
 
 EXIT CODES:
   0 success · 2 invalid flags/config · 3 I/O or corrupt artifact ·

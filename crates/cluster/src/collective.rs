@@ -129,6 +129,9 @@ impl Collectives {
             }
             return Ok(s);
         };
+        // lint:allow(no-instant): this is `crate::sync::Instant`, which
+        // `--cfg gar_loom` swaps for the model checker's virtual clock;
+        // routing it through gar-obs would break schedule enumeration.
         let start = Instant::now();
         loop {
             if !waiting(&s) || self.is_poisoned() {

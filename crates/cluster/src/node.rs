@@ -14,11 +14,12 @@ use crate::fault::{FaultOp, FaultState};
 use crate::stats::NodeStats;
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use gar_obs::{Obs, Stopwatch};
 use gar_types::{Error, Result};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::hash::Hasher;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Reserved message tag marking the end of a node's contribution to the
 /// current exchange phase (the distributed-termination token).
@@ -93,9 +94,16 @@ pub struct NodeCtx {
     recv_seq: RefCell<Vec<u64>>,
     /// Active fault injection, if the run has a [`crate::FaultPlan`].
     faults: Option<FaultState>,
+    /// Observability sink (disabled by default; shared with the run's
+    /// [`crate::ClusterConfig`]).
+    obs: Obs,
+    /// The pass most recently announced via [`NodeCtx::set_pass`]; labels
+    /// this node's metrics and spans.
+    pass: Cell<u64>,
 }
 
 impl NodeCtx {
+    #[allow(clippy::too_many_arguments)] // crate-internal, called once by the runner
     pub(crate) fn new(
         node_id: usize,
         memory_budget: u64,
@@ -104,6 +112,7 @@ impl NodeCtx {
         stats: Arc<Vec<NodeStats>>,
         collectives: Arc<Collectives>,
         faults: Option<FaultState>,
+        obs: Obs,
     ) -> NodeCtx {
         let n = senders.len();
         NodeCtx {
@@ -116,6 +125,8 @@ impl NodeCtx {
             send_seq: RefCell::new(vec![0; n]),
             recv_seq: RefCell::new(vec![0; n]),
             faults,
+            obs,
+            pass: Cell::new(0),
         }
     }
 
@@ -149,6 +160,25 @@ impl NodeCtx {
         &self.stats[self.node_id]
     }
 
+    /// The run's observability sink.
+    #[inline]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The pass most recently announced via [`NodeCtx::set_pass`]
+    /// (0 before the first announcement).
+    #[inline]
+    pub fn current_pass(&self) -> u64 {
+        self.pass.get()
+    }
+
+    /// Opens an observability span for `phase` on this node, labeled
+    /// with the current pass. Inert when observability is disabled.
+    pub fn span(&self, phase: &'static str) -> gar_obs::Span {
+        self.obs.span(self.node_id as u64, self.pass.get(), phase)
+    }
+
     /// Sends `payload` to node `to`. Messages to self are delivered but
     /// not charged to the communication ledger (the paper counts only
     /// inter-processor traffic; local work is CPU).
@@ -172,6 +202,19 @@ impl NodeCtx {
             let injected = effects.fault_count();
             if injected > 0 {
                 self.stats[self.node_id].record_faults(injected);
+                let labels = [("node", self.node_id as u64), ("pass", self.pass.get())];
+                if effects.delay.is_some() {
+                    self.obs.add("fault.delay", &labels, 1);
+                }
+                if effects.drop {
+                    self.obs.add("fault.drop", &labels, 1);
+                }
+                if effects.corrupt {
+                    self.obs.add("fault.corrupt", &labels, 1);
+                }
+                if effects.duplicate {
+                    self.obs.add("fault.duplicate", &labels, 1);
+                }
             }
             if let Some(d) = effects.delay {
                 std::thread::sleep(d);
@@ -211,6 +254,14 @@ impl NodeCtx {
         }
         if to != self.node_id {
             self.stats[self.node_id].record_send(len);
+            let link = [("node", self.node_id as u64), ("peer", to as u64)];
+            self.obs.add("cluster.messages_sent", &link, 1);
+            self.obs.add("cluster.bytes_sent", &link, len);
+            self.obs.observe(
+                "cluster.message_bytes",
+                &[("node", self.node_id as u64)],
+                len,
+            );
         }
         Ok(())
     }
@@ -242,6 +293,10 @@ impl NodeCtx {
         }
         if env.from != self.node_id {
             self.stats[self.node_id].record_recv(env.payload.len() as u64);
+            let link = [("node", self.node_id as u64), ("peer", env.from as u64)];
+            self.obs.add("cluster.messages_received", &link, 1);
+            self.obs
+                .add("cluster.bytes_received", &link, env.payload.len() as u64);
         }
         Ok(Some(env))
     }
@@ -254,7 +309,7 @@ impl NodeCtx {
     /// deadline, a wait that outlives it poisons the run and returns
     /// [`Error::Timeout`].
     pub fn recv(&self) -> Result<Envelope> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         loop {
             if let Some(env) = self.try_admit_blocking()? {
                 return Ok(env);
@@ -312,6 +367,8 @@ impl NodeCtx {
 
     /// Rendezvous of all nodes (uncharged control traffic).
     pub fn barrier(&self) -> Result<()> {
+        self.obs
+            .add("collective.barrier", &[("node", self.node_id as u64)], 1);
         self.collectives.barrier(self.node_id)
     }
 
@@ -339,6 +396,13 @@ impl NodeCtx {
         for _ in 0..recvs {
             self.stats[self.node_id].record_recv(bytes);
         }
+        let me = [("node", self.node_id as u64)];
+        self.obs.add("collective.all_reduce", &me, 1);
+        self.obs.add("collective.messages_sent", &me, sends);
+        self.obs.add("collective.bytes_sent", &me, bytes * sends);
+        self.obs.add("collective.messages_received", &me, recvs);
+        self.obs
+            .add("collective.bytes_received", &me, bytes * recvs);
         self.collectives.all_reduce_u64(self.node_id, contribution)
     }
 
@@ -348,13 +412,21 @@ impl NodeCtx {
         let is_root = data.is_some();
         let root_send = data.as_ref().map(|d| d.len() as u64);
         let out = self.collectives.broadcast(self.node_id, data)?;
+        let me = [("node", self.node_id as u64)];
+        self.obs.add("collective.broadcast", &me, 1);
         if is_root {
             let bytes = root_send.unwrap_or(0);
             for _ in 0..self.num_nodes() - 1 {
                 self.stats[self.node_id].record_send(bytes);
             }
+            let fanout = self.num_nodes() as u64 - 1;
+            self.obs.add("collective.messages_sent", &me, fanout);
+            self.obs.add("collective.bytes_sent", &me, bytes * fanout);
         } else {
             self.stats[self.node_id].record_recv(out.len() as u64);
+            self.obs.add("collective.messages_received", &me, 1);
+            self.obs
+                .add("collective.bytes_received", &me, out.len() as u64);
         }
         Ok(out)
     }
@@ -372,15 +444,19 @@ impl NodeCtx {
     /// hang duration (modeling an unresponsive node, which peers detect
     /// via their deadline).
     pub fn set_pass(&self, k: usize) {
+        self.pass.set(k as u64);
         let Some(f) = &self.faults else { return };
         f.set_pass(k);
+        let labels = [("node", self.node_id as u64), ("pass", k as u64)];
         match f.on_pass_start() {
             Some(FaultOp::Panic) => {
                 self.stats[self.node_id].record_faults(1);
+                self.obs.add("fault.panic", &labels, 1);
                 panic!("injected panic: node {} pass {k}", self.node_id);
             }
             Some(FaultOp::Hang) => {
                 self.stats[self.node_id].record_faults(1);
+                self.obs.add("fault.hang", &labels, 1);
                 std::thread::sleep(f.hang_duration());
             }
             _ => {}
@@ -397,6 +473,11 @@ impl NodeCtx {
         };
         if f.on_scan() {
             self.stats[self.node_id].record_faults(1);
+            self.obs.add(
+                "fault.scan_error",
+                &[("node", self.node_id as u64), ("pass", self.pass.get())],
+                1,
+            );
             return Err(Error::io(
                 format!("injected scan fault on node {}", self.node_id),
                 std::io::Error::other("fault injection"),

@@ -6,9 +6,10 @@ use crate::fault::FaultPlan;
 use crate::node::{Envelope, NodeCtx};
 use crate::stats::{NodeStats, NodeStatsSnapshot};
 use crossbeam::channel::unbounded;
+use gar_obs::{Obs, Stopwatch};
 use gar_types::{Error, Result};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Shape of the simulated machine.
 #[derive(Debug, Clone)]
@@ -26,6 +27,10 @@ pub struct ClusterConfig {
     /// stuck longer than this poisons the run with [`Error::Timeout`]
     /// instead of deadlocking on a hung peer. `None` waits forever.
     pub deadline: Option<Duration>,
+    /// Observability sink for the run. Disabled by default; when enabled
+    /// every node records per-link traffic, collective ops, fault
+    /// injections, and phase spans into it.
+    pub obs: Obs,
 }
 
 impl ClusterConfig {
@@ -38,12 +43,19 @@ impl ClusterConfig {
             cost: CostModel::default(),
             faults: None,
             deadline: None,
+            obs: Obs::disabled(),
         }
     }
 
     /// Attaches a fault-injection plan.
     pub fn with_faults(mut self, plan: FaultPlan) -> ClusterConfig {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches an observability sink.
+    pub fn with_obs(mut self, obs: Obs) -> ClusterConfig {
+        self.obs = obs;
         self
     }
 
@@ -209,7 +221,7 @@ impl Cluster {
             receivers.push(rx);
         }
 
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let mut outcomes: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -227,6 +239,7 @@ impl Cluster {
                         stats,
                         Arc::clone(&collectives),
                         config.faults.as_ref().map(|p| p.node_state(node_id)),
+                        config.obs.clone(),
                     );
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         node_fn(&mut ctx)
@@ -307,6 +320,7 @@ mod tests {
     use super::*;
     use crate::fault::FaultOp;
     use bytes::Bytes;
+    use std::time::Instant;
 
     fn cfg(n: usize) -> ClusterConfig {
         ClusterConfig::new(n, 1 << 20)

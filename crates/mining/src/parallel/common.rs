@@ -4,7 +4,7 @@
 use crate::candidate::{generate_candidates, generate_pairs};
 use crate::checkpoint::{Checkpoint, CheckpointPass, CheckpointSink};
 use crate::counter::candidate_entry_bytes;
-use crate::params::{Algorithm, MiningParams};
+use crate::params::{Algorithm, CounterKind, MiningParams};
 use crate::report::{LargePass, MiningOutput, ParallelReport, PassReport};
 use crate::sequential::large_items_from_counts;
 use crate::wire;
@@ -100,6 +100,7 @@ pub(crate) fn pass1(
         }
         Ok(())
     })?;
+    let _count = ctx.span("count");
     let global = ctx.all_reduce_u64(&counts)?;
     let large = large_items_from_counts(&global, min_support_count);
     Ok(Pass1 {
@@ -118,6 +119,7 @@ pub(crate) fn scan_partition(
     part: &dyn TransactionSource,
     mut f: impl FnMut(&[ItemId]) -> Result<()>,
 ) -> Result<()> {
+    let _scan = ctx.span("scan");
     let before = part.bytes_read();
     // Opening the scan is where injected (and real) storage errors
     // surface; retrying the *open* can never double-count transactions.
@@ -126,12 +128,21 @@ pub(crate) fn scan_partition(
         part.scan()
     })?;
     let mut buf = Vec::new();
+    let mut transactions = 0u64;
     while scan.next_into(&mut buf)? {
+        transactions += 1;
         f(&buf)?;
     }
     drop(scan);
     ctx.stats().record_io(part.bytes_read() - before);
     ctx.stats().record_scan_pass();
+    let obs = ctx.obs();
+    if obs.is_enabled() {
+        let labels = [("node", ctx.node_id() as u64), ("pass", ctx.current_pass())];
+        obs.add("scan.passes", &labels, 1);
+        obs.add("scan.transactions", &labels, transactions);
+        obs.add("scan.bytes", &labels, part.bytes_read() - before);
+    }
     Ok(())
 }
 
@@ -161,6 +172,7 @@ pub(crate) fn gather_large(
     k: usize,
     local: Vec<(Itemset, u64)>,
 ) -> Result<Vec<(Itemset, u64)>> {
+    let _gather = ctx.span("gather");
     if ctx.is_coordinator() {
         let mut all = local;
         for _ in 0..ctx.num_nodes() - 1 {
@@ -270,6 +282,55 @@ pub(crate) fn for_each_root_multiset(roots: &[(u32, usize)], k: usize, f: &mut i
     rec(roots, 0, k, &mut scratch, f);
 }
 
+/// Metric names for candidate-counter probe accounting, split by the
+/// backing structure so hashmap and hashtree runs are comparable
+/// (Figure 15's per-node probe series).
+pub(crate) fn counter_probe_metrics(kind: CounterKind) -> (&'static str, &'static str) {
+    match kind {
+        CounterKind::HashMap => ("counter.hashmap.probes", "counter.hashmap.hits"),
+        CounterKind::HashTree => ("counter.hashtree.probes", "counter.hashtree.hits"),
+    }
+}
+
+/// Records one pass's bookkeeping and ledger deltas into the run's
+/// observability sink. Shared by the hierarchical pass loop and the flat
+/// baselines so `metrics.json` has one schema.
+pub(crate) fn record_pass_obs(ctx: &NodeCtx, info: &NodePassInfo) {
+    let obs = ctx.obs();
+    if !obs.is_enabled() {
+        return;
+    }
+    let labels = [("node", ctx.node_id() as u64), ("pass", info.k as u64)];
+    obs.add("pass.candidates", &labels, info.num_candidates as u64);
+    obs.add("pass.duplicated", &labels, info.num_duplicated as u64);
+    obs.add("pass.fragments", &labels, info.num_fragments as u64);
+    obs.add("pass.large", &labels, info.num_large as u64);
+    if info.restored {
+        obs.add("pass.restored", &labels, 1);
+    }
+    let d = &info.delta;
+    obs.add("pass.messages_sent", &labels, d.messages_sent);
+    obs.add("pass.bytes_sent", &labels, d.bytes_sent);
+    obs.add("pass.messages_received", &labels, d.messages_received);
+    obs.add("pass.bytes_received", &labels, d.bytes_received);
+    obs.add("pass.hash_probes", &labels, d.hash_probes);
+    obs.add("pass.cpu_ticks", &labels, d.cpu_ticks);
+    obs.add("pass.io_bytes", &labels, d.io_bytes);
+    // Workload-distribution histogram (the paper's Figure 16): one
+    // observation per node per pass, keyed by pass only, so the spread
+    // across nodes is the distribution.
+    obs.observe(
+        "pass.node_bytes_received",
+        &[("pass", info.k as u64)],
+        d.bytes_received,
+    );
+    obs.observe(
+        "pass.node_cpu_ticks",
+        &[("pass", info.k as u64)],
+        d.cpu_ticks,
+    );
+}
+
 /// Coordinator-side checkpoint write after a completed pass: packages the
 /// pass-1 state plus every `L_k` so far. Non-coordinators and runs
 /// without a sink are no-ops.
@@ -287,6 +348,12 @@ fn store_checkpoint(
     if !ctx.is_coordinator() {
         return Ok(());
     }
+    let _checkpoint = ctx.span("checkpoint");
+    ctx.obs().add(
+        "checkpoint.stored",
+        &[("node", ctx.node_id() as u64), ("pass", ctx.current_pass())],
+        1,
+    );
     let cp_passes = passes
         .iter()
         .map(|lp| {
@@ -357,6 +424,7 @@ pub(crate) fn node_pass_loop(
                 restored: true,
                 delta: NodeStatsSnapshot::default(),
             });
+            record_pass_obs(ctx, pass_infos.last().expect("restored pass info"));
             passes.push(LargePass {
                 k: p.k,
                 itemsets: p.itemsets.clone(),
@@ -367,7 +435,10 @@ pub(crate) fn node_pass_loop(
         let mut pass_infos = Vec::new();
         let last_snap = ctx.stats().snapshot();
         ctx.set_pass(1);
-        let p1 = pass1(ctx, part, tax, params)?;
+        let p1 = {
+            let _pass = ctx.span("pass");
+            pass1(ctx, part, tax, params)?
+        };
         let snap = ctx.stats().snapshot();
         pass_infos.push(NodePassInfo {
             k: 1,
@@ -378,6 +449,7 @@ pub(crate) fn node_pass_loop(
             restored: false,
             delta: snap.delta_since(&last_snap),
         });
+        record_pass_obs(ctx, pass_infos.last().expect("pass 1 info"));
         let passes = vec![p1.large.clone()];
         store_checkpoint(ctx, persist, algorithm, &p1, &passes, &pass_infos)?;
         (p1, passes, pass_infos, 2)
@@ -400,7 +472,10 @@ pub(crate) fn node_pass_loop(
         ctx.set_pass(k);
         ctx.stats().add_cpu(candidates.len() as u64);
 
-        let (large, num_duplicated, num_fragments) = run_pass(ctx, k, &candidates, &p1)?;
+        let (large, num_duplicated, num_fragments) = {
+            let _pass = ctx.span("pass");
+            run_pass(ctx, k, &candidates, &p1)?
+        };
         let snap = ctx.stats().snapshot();
         pass_infos.push(NodePassInfo {
             k,
@@ -411,6 +486,7 @@ pub(crate) fn node_pass_loop(
             restored: false,
             delta: snap.delta_since(&last_snap),
         });
+        record_pass_obs(ctx, pass_infos.last().expect("pass info"));
         last_snap = snap;
 
         if large.is_empty() {

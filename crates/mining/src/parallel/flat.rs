@@ -13,8 +13,8 @@
 use crate::candidate::{generate_candidates, generate_pairs};
 use crate::counter::build_counter;
 use crate::parallel::common::{
-    candidates_bytes, for_each_k_subset, gather_large, scan_partition, tags, BATCH_FLUSH_BYTES,
-    POLL_EVERY_TXNS,
+    candidates_bytes, counter_probe_metrics, for_each_k_subset, gather_large, record_pass_obs,
+    scan_partition, tags, NodePassInfo, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
 };
 use crate::params::MiningParams;
 use crate::report::{LargePass, MiningOutput, ParallelReport, PassReport};
@@ -60,6 +60,27 @@ struct NodeOutcome {
     output: MiningOutput,
 }
 
+/// Adapts the flat loop's tuple bookkeeping to the shared
+/// [`record_pass_obs`] schema so `metrics.json` looks the same for CD/HPA
+/// as for the hierarchical algorithms.
+fn record_flat_pass_obs(
+    ctx: &gar_cluster::NodeCtx,
+    &(k, cands, fragments, large, delta): &(usize, usize, usize, usize, NodeStatsSnapshot),
+) {
+    record_pass_obs(
+        ctx,
+        &NodePassInfo {
+            k,
+            num_candidates: cands,
+            num_duplicated: 0,
+            num_fragments: fragments,
+            num_large: large,
+            restored: false,
+            delta,
+        },
+    );
+}
+
 /// Runs a flat parallel algorithm over `db` (items `0..num_items`, no
 /// taxonomy).
 pub fn mine_parallel_flat(
@@ -85,18 +106,24 @@ pub fn mine_parallel_flat(
         let mut last_snap = ctx.stats().snapshot();
 
         // Pass 1: dense item counts, all-reduced.
-        let num_transactions = ctx.all_reduce_u64(&[part.num_transactions() as u64])?[0];
-        let min_support_count = params.min_support_count(num_transactions);
-        let mut counts = vec![0u64; num_items as usize];
-        scan_partition(ctx, part, |t| {
-            ctx.stats().add_cpu(t.len() as u64);
-            for it in t {
-                counts[it.index()] += 1;
-            }
-            Ok(())
-        })?;
-        let global = ctx.all_reduce_u64(&counts)?;
-        let l1 = large_items_from_counts(&global, min_support_count);
+        ctx.set_pass(1);
+        let (num_transactions, min_support_count, l1) = {
+            let _pass = ctx.span("pass");
+            let num_transactions = ctx.all_reduce_u64(&[part.num_transactions() as u64])?[0];
+            let min_support_count = params.min_support_count(num_transactions);
+            let mut counts = vec![0u64; num_items as usize];
+            scan_partition(ctx, part, |t| {
+                ctx.stats().add_cpu(t.len() as u64);
+                for it in t {
+                    counts[it.index()] += 1;
+                }
+                Ok(())
+            })?;
+            let _count = ctx.span("count");
+            let global = ctx.all_reduce_u64(&counts)?;
+            let l1 = large_items_from_counts(&global, min_support_count);
+            (num_transactions, min_support_count, l1)
+        };
         let snap = ctx.stats().snapshot();
         pass_infos.push((
             1,
@@ -106,6 +133,7 @@ pub fn mine_parallel_flat(
             snap.delta_since(&last_snap),
         ));
         last_snap = snap;
+        record_flat_pass_obs(ctx, pass_infos.last().expect("pass 1 info"));
 
         let mut passes = vec![l1];
         let mut k = 2;
@@ -130,6 +158,9 @@ pub fn mine_parallel_flat(
                 break;
             }
             ctx.stats().add_cpu(candidates.len() as u64);
+            ctx.set_pass(k);
+            let _pass = ctx.span("pass");
+            let (mut probes, mut hits) = (0u64, 0u64);
 
             let (large, fragments) = match algorithm {
                 FlatAlgorithm::CountDistribution => {
@@ -143,8 +174,11 @@ pub fn mine_parallel_flat(
                             let out = counter.count_transaction(t);
                             ctx.stats().add_cpu(out.work);
                             ctx.stats().add_probes(out.hits);
+                            probes += out.work;
+                            hits += out.hits;
                             Ok(())
                         })?;
+                        let _count = ctx.span("count");
                         let global = ctx.all_reduce_u64(counter.counts())?;
                         counter.set_counts(&global);
                         large.extend(extract_large(counter, min_support_count));
@@ -173,6 +207,8 @@ pub fn mine_parallel_flat(
                             if owner == me {
                                 let out = counter.probe(subset);
                                 ctx.stats().add_probes(out.hits);
+                                probes += out.work.max(1);
+                                hits += out.hits;
                             } else {
                                 let batch = &mut batches[owner];
                                 batch.push(subset);
@@ -189,30 +225,43 @@ pub fn mine_parallel_flat(
                                     let out = counter.probe(s);
                                     ctx.stats().add_cpu(1);
                                     ctx.stats().add_probes(out.hits);
+                                    probes += out.work.max(1);
+                                    hits += out.hits;
                                     Ok(())
                                 })
                             })?;
                         }
                         Ok(())
                     })?;
-                    for (owner, batch) in batches.iter_mut().enumerate() {
-                        if !batch.is_empty() {
-                            ex.send(owner, tags::ITEMSETS, batch.take())?;
+                    {
+                        let _exchange = ctx.span("exchange");
+                        for (owner, batch) in batches.iter_mut().enumerate() {
+                            if !batch.is_empty() {
+                                ex.send(owner, tags::ITEMSETS, batch.take())?;
+                            }
                         }
+                        ex.finish(|env| {
+                            for_each_itemset(&env.payload, k, |s| {
+                                let out = counter.probe(s);
+                                ctx.stats().add_cpu(1);
+                                ctx.stats().add_probes(out.hits);
+                                probes += out.work.max(1);
+                                hits += out.hits;
+                                Ok(())
+                            })
+                        })?;
+                        ctx.barrier()?;
                     }
-                    ex.finish(|env| {
-                        for_each_itemset(&env.payload, k, |s| {
-                            let out = counter.probe(s);
-                            ctx.stats().add_cpu(1);
-                            ctx.stats().add_probes(out.hits);
-                            Ok(())
-                        })
-                    })?;
-                    ctx.barrier()?;
+                    let _count = ctx.span("count");
                     let local_large = extract_large(counter, min_support_count);
                     (gather_large(ctx, k, local_large)?, 1)
                 }
             };
+
+            let (pname, hname) = counter_probe_metrics(params.counter);
+            let labels = [("node", ctx.node_id() as u64), ("pass", k as u64)];
+            ctx.obs().add(pname, &labels, probes);
+            ctx.obs().add(hname, &labels, hits);
 
             let snap = ctx.stats().snapshot();
             pass_infos.push((
@@ -223,6 +272,7 @@ pub fn mine_parallel_flat(
                 snap.delta_since(&last_snap),
             ));
             last_snap = snap;
+            record_flat_pass_obs(ctx, pass_infos.last().expect("pass info"));
             if large.is_empty() {
                 break;
             }

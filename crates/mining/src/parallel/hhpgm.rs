@@ -23,8 +23,9 @@
 use crate::candidate::items_in_candidates;
 use crate::counter::{build_counter, CandidateCounter};
 use crate::parallel::common::{
-    assemble_report, candidates_bytes, for_each_root_multiset, gather_large, node_pass_loop,
-    root_key, scan_partition, tags, PassPersistence, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
+    assemble_report, candidates_bytes, counter_probe_metrics, for_each_root_multiset, gather_large,
+    node_pass_loop, root_key, scan_partition, tags, PassPersistence, BATCH_FLUSH_BYTES,
+    POLL_EVERY_TXNS,
 };
 use crate::parallel::duplicate::{select_duplicates, DuplicateGrain, DuplicateSelection};
 use crate::params::{Algorithm, MiningParams};
@@ -108,6 +109,10 @@ fn enumerate_combo_subsets(
 /// exactly once per combination ("generate k-itemset from the received
 /// items and increment the sup_cou for the itemset and all its ancestor
 /// candidates").
+///
+/// Returns `(work, hits)` — the probe tallies already charged to the
+/// ledger — so the caller can aggregate them per pass for the
+/// observability counters.
 #[allow(clippy::too_many_arguments)]
 fn count_combos(
     ctx: &NodeCtx,
@@ -119,9 +124,9 @@ fn count_combos(
     owned_active: &FxHashSet<Box<[u32]>>,
     items: &[ItemId],
     k: usize,
-) {
+) -> (u64, u64) {
     if (owned_active.is_empty() && dup_combos.is_empty()) || items.is_empty() {
-        return;
+        return (0, 0);
     }
     let ext = view.extend_transaction(tax, items);
     ctx.stats().add_cpu(ext.len() as u64);
@@ -180,6 +185,7 @@ fn count_combos(
     });
     ctx.stats().add_cpu(work);
     ctx.stats().add_probes(hits);
+    (work, hits)
 }
 
 /// Runs H-HPGM (grain `None`) or one of the duplication variants over
@@ -272,6 +278,7 @@ pub(crate) fn mine(
 
                 let mut ex = ctx.exchange();
                 let mut txn_no = 0usize;
+                let (mut probes, mut hits) = (0u64, 0u64);
                 let mut roots_scratch: Vec<(u32, usize)> = Vec::new();
                 let mut owner_roots: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
                 let mut group_scratch: Vec<ItemId> = Vec::new();
@@ -289,7 +296,7 @@ pub(crate) fn mine(
                     // One combined local counting pass: C_k^D combos (counted
                     // on every node's own data) and this node's own partition
                     // combos, sharing a single ancestor extension.
-                    count_combos(
+                    let (w, h) = count_combos(
                         ctx,
                         tax,
                         &view,
@@ -300,6 +307,8 @@ pub(crate) fn mine(
                         &reduced,
                         k,
                     );
+                    probes += w;
+                    hits += h;
 
                     // Distinct roots present, with the number of reduced items
                     // under each (availability bound for same-root combos).
@@ -352,7 +361,7 @@ pub(crate) fn mine(
                     if txn_no.is_multiple_of(POLL_EVERY_TXNS) {
                         ex.poll(|env| {
                             for_each_item_list(&env.payload, &mut recv_scratch, |list| {
-                                count_combos(
+                                let (w, h) = count_combos(
                                     ctx,
                                     tax,
                                     &view,
@@ -363,6 +372,8 @@ pub(crate) fn mine(
                                     list,
                                     k,
                                 );
+                                probes += w;
+                                hits += h;
                                 Ok(())
                             })
                         })?;
@@ -370,31 +381,43 @@ pub(crate) fn mine(
                     Ok(())
                 })?;
 
-                for (owner, batch) in batches.iter_mut().enumerate() {
-                    if !batch.is_empty() {
-                        ex.send(owner, tags::ITEMS, batch.take())?;
+                {
+                    let _exchange = ctx.span("exchange");
+                    for (owner, batch) in batches.iter_mut().enumerate() {
+                        if !batch.is_empty() {
+                            ex.send(owner, tags::ITEMS, batch.take())?;
+                        }
                     }
+                    ex.finish(|env| {
+                        for_each_item_list(&env.payload, &mut recv_scratch, |list| {
+                            let (w, h) = count_combos(
+                                ctx,
+                                tax,
+                                &view,
+                                dup_counter.as_mut(),
+                                &no_dup,
+                                local_counter.as_mut(),
+                                &owned_active,
+                                list,
+                                k,
+                            );
+                            probes += w;
+                            hits += h;
+                            Ok(())
+                        })
+                    })?;
+                    // Quiesce the exchange before coordinator gathers start
+                    // so no GATHER message can race into a peer's exchange
+                    // drain.
+                    ctx.barrier()?;
                 }
-                ex.finish(|env| {
-                    for_each_item_list(&env.payload, &mut recv_scratch, |list| {
-                        count_combos(
-                            ctx,
-                            tax,
-                            &view,
-                            dup_counter.as_mut(),
-                            &no_dup,
-                            local_counter.as_mut(),
-                            &owned_active,
-                            list,
-                            k,
-                        );
-                        Ok(())
-                    })
-                })?;
-                // Quiesce the exchange before coordinator gathers start so no
-                // GATHER message can race into a peer's exchange drain.
-                ctx.barrier()?;
 
+                let (pname, hname) = counter_probe_metrics(params.counter);
+                let labels = [("node", me as u64), ("pass", k as u64)];
+                ctx.obs().add(pname, &labels, probes);
+                ctx.obs().add(hname, &labels, hits);
+
+                let _count = ctx.span("count");
                 // Partitioned candidates: local decision + coordinator merge.
                 let local_large = extract_large(local_counter, p1.min_support_count);
                 let mut large = gather_large(ctx, k, local_large)?;

@@ -12,8 +12,8 @@
 use crate::candidate::items_in_candidates;
 use crate::counter::build_counter;
 use crate::parallel::common::{
-    assemble_report, for_each_k_subset, gather_large, node_pass_loop, scan_partition, tags,
-    PassPersistence, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
+    assemble_report, counter_probe_metrics, for_each_k_subset, gather_large, node_pass_loop,
+    scan_partition, tags, PassPersistence, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
 };
 use crate::params::{Algorithm, MiningParams};
 use crate::report::ParallelReport;
@@ -75,6 +75,7 @@ pub(crate) fn mine(
                 let mut scratch = Vec::with_capacity(k);
                 let mut decoded = 0usize;
                 let mut txn_no = 0usize;
+                let (mut probes, mut hits) = (0u64, 0u64);
 
                 scan_partition(ctx, part, |t| {
                     let extended = view.extend_transaction(tax, t);
@@ -85,6 +86,8 @@ pub(crate) fn mine(
                         if owner == me {
                             let out = counter.probe(subset);
                             ctx.stats().add_probes(out.hits);
+                            probes += out.work.max(1);
+                            hits += out.hits;
                         } else {
                             let batch = &mut batches[owner];
                             batch.push(subset);
@@ -101,6 +104,8 @@ pub(crate) fn mine(
                                 let out = counter.probe(s);
                                 ctx.stats().add_cpu(1);
                                 ctx.stats().add_probes(out.hits);
+                                probes += out.work.max(1);
+                                hits += out.hits;
                                 decoded += 1;
                                 Ok(())
                             })
@@ -109,25 +114,37 @@ pub(crate) fn mine(
                     Ok(())
                 })?;
 
-                for (owner, batch) in batches.iter_mut().enumerate() {
-                    if !batch.is_empty() {
-                        ex.send(owner, tags::ITEMSETS, batch.take())?;
+                {
+                    let _exchange = ctx.span("exchange");
+                    for (owner, batch) in batches.iter_mut().enumerate() {
+                        if !batch.is_empty() {
+                            ex.send(owner, tags::ITEMSETS, batch.take())?;
+                        }
                     }
+                    ex.finish(|env| {
+                        for_each_itemset(&env.payload, k, |s| {
+                            let out = counter.probe(s);
+                            ctx.stats().add_cpu(1);
+                            ctx.stats().add_probes(out.hits);
+                            probes += out.work.max(1);
+                            hits += out.hits;
+                            decoded += 1;
+                            Ok(())
+                        })
+                    })?;
+                    // Quiesce the exchange before coordinator gathers start
+                    // so no GATHER message can race into a peer's exchange
+                    // drain.
+                    ctx.barrier()?;
                 }
-                ex.finish(|env| {
-                    for_each_itemset(&env.payload, k, |s| {
-                        let out = counter.probe(s);
-                        ctx.stats().add_cpu(1);
-                        ctx.stats().add_probes(out.hits);
-                        decoded += 1;
-                        Ok(())
-                    })
-                })?;
-                // Quiesce the exchange before coordinator gathers start so no
-                // GATHER message can race into a peer's exchange drain.
-                ctx.barrier()?;
+
+                let (pname, hname) = counter_probe_metrics(params.counter);
+                let labels = [("node", me as u64), ("pass", k as u64)];
+                ctx.obs().add(pname, &labels, probes);
+                ctx.obs().add(hname, &labels, hits);
 
                 // Each node decides its own candidates, the coordinator merges.
+                let _count = ctx.span("count");
                 let local_large = extract_large(counter, p1.min_support_count);
                 let large = gather_large(ctx, k, local_large)?;
                 Ok((large, 0, 1))

@@ -12,7 +12,8 @@
 use crate::candidate::items_in_candidates;
 use crate::counter::build_counter;
 use crate::parallel::common::{
-    assemble_report, candidates_bytes, node_pass_loop, scan_partition, PassPersistence,
+    assemble_report, candidates_bytes, counter_probe_metrics, node_pass_loop, scan_partition,
+    PassPersistence,
 };
 use crate::params::{Algorithm, MiningParams};
 use crate::report::ParallelReport;
@@ -49,6 +50,7 @@ pub(crate) fn mine(
                 let frag_len = candidates.len().div_ceil(num_fragments);
 
                 let mut large = Vec::new();
+                let (mut probes, mut hits) = (0u64, 0u64);
                 for fragment in candidates.chunks(frag_len.max(1)) {
                     let mut counter = build_counter(params.counter, k, fragment);
                     scan_partition(ctx, part, |t| {
@@ -57,15 +59,22 @@ pub(crate) fn mine(
                         let out = counter.count_transaction(&extended);
                         ctx.stats().add_cpu(out.work);
                         ctx.stats().add_probes(out.hits);
+                        probes += out.work;
+                        hits += out.hits;
                         Ok(())
                     })?;
                     // Paper: "Send the sup_cou of C_k^d to the coordinator
                     // node"; the coordinator decides L_k^d and broadcasts.
+                    let _count = ctx.span("count");
                     let global = ctx.all_reduce_u64(counter.counts())?;
                     counter.set_counts(&global);
                     large.extend(extract_large(counter, p1.min_support_count));
                 }
                 large.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+                let (pname, hname) = counter_probe_metrics(params.counter);
+                let labels = [("node", ctx.node_id() as u64), ("pass", k as u64)];
+                ctx.obs().add(pname, &labels, probes);
+                ctx.obs().add(hname, &labels, hits);
                 Ok((large, 0, num_fragments))
             },
         )

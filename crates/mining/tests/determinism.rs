@@ -12,6 +12,7 @@ use gar_datagen::{DatasetSpec, TransactionGenerator};
 use gar_mining::parallel::mine_parallel;
 use gar_mining::parallel::rules::derive_rules_parallel;
 use gar_mining::{Algorithm, MiningParams};
+use gar_obs::{MetricsSnapshot, Obs};
 use gar_storage::PartitionedDatabase;
 use gar_taxonomy::Taxonomy;
 use gar_types::ItemId;
@@ -62,6 +63,18 @@ fn rendered_report(alg: Algorithm, seed: u64, num_nodes: usize) -> String {
     out
 }
 
+/// One instrumented run, rendered to the exact bytes `gar-cli mine
+/// --metrics-out` would write.
+fn rendered_metrics(alg: Algorithm, seed: u64, num_nodes: usize) -> String {
+    let (tax, txns) = dataset(seed);
+    let db = PartitionedDatabase::build_in_memory(num_nodes, txns.into_iter()).unwrap();
+    let obs = Obs::enabled();
+    let cluster = ClusterConfig::new(num_nodes, BIG_MEMORY).with_obs(obs.clone());
+    let params = MiningParams::with_min_support(0.05);
+    mine_parallel(alg, &db, &tax, &params, &cluster).unwrap();
+    obs.metrics().to_json()
+}
+
 /// Same seed, same node count, run twice → byte-identical reports.
 #[test]
 fn same_seed_reruns_are_byte_identical() {
@@ -70,6 +83,25 @@ fn same_seed_reruns_are_byte_identical() {
         let b = rendered_report(alg, 7, 2);
         assert!(a.contains("rules ("), "report looks empty:\n{a}");
         assert_eq!(a, b, "{alg}: two same-seed runs diverged");
+    }
+}
+
+/// `metrics.json` carries counters and histograms only — no
+/// timestamps — so two same-seed instrumented runs must also be
+/// byte-identical. (The chrome trace is wall-clock and excluded.)
+#[test]
+fn same_seed_metrics_are_byte_identical() {
+    for alg in [Algorithm::Hpgm, Algorithm::HHpgmFgd] {
+        let a = rendered_metrics(alg, 7, 2);
+        let b = rendered_metrics(alg, 7, 2);
+        assert!(
+            a.contains("cluster.bytes_sent{"),
+            "{alg}: metrics look empty:\n{a}"
+        );
+        assert_eq!(a, b, "{alg}: two same-seed runs' metrics diverged");
+        // And the bytes survive the codec round trip.
+        let snap = MetricsSnapshot::from_json(&a).unwrap();
+        assert_eq!(snap.to_json(), a, "{alg}: metrics round trip");
     }
 }
 

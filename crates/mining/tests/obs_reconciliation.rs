@@ -1,0 +1,181 @@
+//! Reconciliation between the observability layer and the cluster's
+//! `NodeStats` ledgers.
+//!
+//! The obs counters are charged at the same sites as the ledgers, so a
+//! full `mine_parallel` run must satisfy, for every algorithm and node
+//! count:
+//!
+//! * **link conservation** — what node `a` records as sent to `b` is
+//!   exactly what `b` records as received from `a`;
+//! * **ledger agreement** — each node's ledger totals equal the sum of
+//!   its per-link `cluster.*` counters plus its synthetic `collective.*`
+//!   charges (all-reduce / broadcast traffic is modeled, not routed
+//!   through `send`, and the obs layer mirrors that split);
+//! * **I/O agreement** — `scan.bytes` / `scan.passes` sum to the
+//!   ledger's `io_bytes` / `scan_passes`;
+//! * **pass agreement** — `pass.candidates` / `pass.large` match the
+//!   assembled report on every node, and the per-pass large counts tie
+//!   back to what the sequential Cumulate oracle mines from the same
+//!   data.
+
+use gar_cluster::ClusterConfig;
+use gar_datagen::{DatasetSpec, TransactionGenerator};
+use gar_mining::parallel::mine_parallel;
+use gar_mining::sequential::cumulate;
+use gar_mining::{Algorithm, MiningParams, ParallelReport};
+use gar_obs::{MetricsSnapshot, Obs};
+use gar_storage::PartitionedDatabase;
+use gar_taxonomy::Taxonomy;
+use gar_types::ItemId;
+
+const BIG_MEMORY: u64 = 1 << 30;
+const MINSUP: f64 = 0.05;
+
+fn dataset(seed: u64) -> (Taxonomy, Vec<Vec<ItemId>>) {
+    let spec = DatasetSpec {
+        name: "obs-reconcile".into(),
+        num_transactions: 350,
+        avg_transaction_size: 6.0,
+        avg_pattern_size: 3.0,
+        num_patterns: 40,
+        num_items: 200,
+        num_roots: 6,
+        fanout: 4.0,
+        seed,
+    };
+    let mut g = TransactionGenerator::new(&spec).unwrap();
+    let txns: Vec<_> = g.by_ref().collect();
+    (g.into_taxonomy(), txns)
+}
+
+fn run_observed(alg: Algorithm, seed: u64, nodes: usize) -> (ParallelReport, MetricsSnapshot) {
+    let (tax, txns) = dataset(seed);
+    let db = PartitionedDatabase::build_in_memory(nodes, txns.into_iter()).unwrap();
+    let obs = Obs::enabled();
+    let cluster = ClusterConfig::new(nodes, BIG_MEMORY).with_obs(obs.clone());
+    let params = MiningParams::with_min_support(MINSUP);
+    let report = mine_parallel(alg, &db, &tax, &params, &cluster)
+        .unwrap_or_else(|e| panic!("{alg} @ {nodes} nodes failed: {e}"));
+    (report, obs.metrics())
+}
+
+/// What the sequential oracle mines from the same transactions.
+fn cumulate_pass_larges(seed: u64) -> Vec<(usize, usize)> {
+    let (tax, txns) = dataset(seed);
+    let db = PartitionedDatabase::build_in_memory(1, txns.into_iter()).unwrap();
+    let params = MiningParams::with_min_support(MINSUP);
+    let output = cumulate(db.partition(0), &tax, &params).unwrap();
+    output
+        .passes
+        .iter()
+        .map(|p| (p.k, p.itemsets.len()))
+        .collect()
+}
+
+#[test]
+fn metrics_reconcile_with_node_stats_for_every_algorithm() {
+    let oracle = cumulate_pass_larges(13);
+    assert!(oracle.len() >= 2, "oracle mined too little: {oracle:?}");
+
+    for alg in Algorithm::parallel_all() {
+        for nodes in [1usize, 4, 8] {
+            let (report, m) = run_observed(alg, 13, nodes);
+            let ctxt = format!("{alg} @ {nodes} nodes");
+
+            // Link conservation: sent(a -> b) == received(b <- a).
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    for what in ["messages", "bytes"] {
+                        let sent = m.counter(&format!("cluster.{what}_sent{{node={a},peer={b}}}"));
+                        let recv =
+                            m.counter(&format!("cluster.{what}_received{{node={b},peer={a}}}"));
+                        assert_eq!(sent, recv, "{ctxt}: {what} {a}->{b} not conserved");
+                    }
+                }
+            }
+
+            // Ledger agreement: per-node totals = link sums + collective
+            // charges, for all four directions/quantities.
+            for n in 0..nodes {
+                let ledger = &report.node_totals[n];
+                for (what, total) in [
+                    ("messages_sent", ledger.messages_sent),
+                    ("bytes_sent", ledger.bytes_sent),
+                    ("messages_received", ledger.messages_received),
+                    ("bytes_received", ledger.bytes_received),
+                ] {
+                    let links = m.sum_prefix(&format!("cluster.{what}{{node={n},peer="));
+                    let coll = m.counter(&format!("collective.{what}{{node={n}}}"));
+                    assert_eq!(
+                        links + coll,
+                        total,
+                        "{ctxt}: node {n} {what}: links {links} + collective {coll} != ledger {total}"
+                    );
+                }
+
+                // I/O agreement (sum over passes; the key prefix stops at
+                // `pass=` so `node=1` cannot match `node=10`).
+                let scan_bytes = m.sum_prefix(&format!("scan.bytes{{node={n},pass="));
+                assert_eq!(scan_bytes, ledger.io_bytes, "{ctxt}: node {n} io_bytes");
+                let scan_passes = m.sum_prefix(&format!("scan.passes{{node={n},pass="));
+                assert_eq!(
+                    scan_passes, ledger.scan_passes,
+                    "{ctxt}: node {n} scan_passes"
+                );
+            }
+
+            // Pass agreement: the report's per-pass candidate and large
+            // counts are what every node recorded.
+            for p in &report.pass_reports {
+                for n in 0..nodes {
+                    let cands = m.counter(&format!("pass.candidates{{node={n},pass={}}}", p.k));
+                    assert_eq!(
+                        cands, p.num_candidates as u64,
+                        "{ctxt}: pass {} candidates on node {n}",
+                        p.k
+                    );
+                    let large = m.counter(&format!("pass.large{{node={n},pass={}}}", p.k));
+                    assert_eq!(
+                        large, p.num_large as u64,
+                        "{ctxt}: pass {} large on node {n}",
+                        p.k
+                    );
+                }
+            }
+
+            // Oracle agreement: the observed large counts are the
+            // sequential Cumulate's, pass for pass.
+            for &(k, expected) in &oracle {
+                let large = m.counter(&format!("pass.large{{node=0,pass={k}}}"));
+                assert_eq!(
+                    large, expected as u64,
+                    "{ctxt}: pass {k} vs Cumulate oracle"
+                );
+            }
+
+            // The counter-structure probe tallies must be live (the
+            // default counter is one of the two kinds).
+            let probes =
+                m.sum_prefix("counter.hashmap.probes{") + m.sum_prefix("counter.hashtree.probes{");
+            assert!(probes > 0, "{ctxt}: no counter probes recorded");
+        }
+    }
+}
+
+/// A disabled handle must record nothing — the zero-overhead contract.
+#[test]
+fn disabled_obs_records_nothing() {
+    let (tax, txns) = dataset(13);
+    let db = PartitionedDatabase::build_in_memory(4, txns.into_iter()).unwrap();
+    let obs = Obs::disabled();
+    let cluster = ClusterConfig::new(4, BIG_MEMORY).with_obs(obs.clone());
+    let params = MiningParams::with_min_support(MINSUP);
+    mine_parallel(Algorithm::HHpgmFgd, &db, &tax, &params, &cluster).unwrap();
+    let m = obs.metrics();
+    assert!(m.counters.is_empty());
+    assert!(m.histograms.is_empty());
+    assert_eq!(
+        obs.chrome_trace_json(),
+        r#"{"traceEvents":[],"displayTimeUnit":"ms"}"#
+    );
+}

@@ -32,6 +32,11 @@
 //!   and a bare Condvar `.wait(` is forbidden (use `wait_timeout` or
 //!   route through `wait_collective`). The `_timeout`/`_deadline`
 //!   variants never match.
+//! * `no-instant` — `Instant::now()` is forbidden outside `crates/obs`:
+//!   all wall-clock reads go through `gar_obs::Stopwatch` (or an obs
+//!   span) so timing stays observable and the no-timestamp guarantee of
+//!   `metrics.json` (byte-identical reruns) cannot be eroded by ad-hoc
+//!   clock reads leaking into reports.
 //!
 //! Suppression: `// lint:allow(<rule>): <reason>` on the offending line
 //! or the line above. The reason is mandatory — the colon is part of
@@ -45,6 +50,7 @@ const RULE_CLUSTER_UNWRAP: &str = "cluster-unwrap";
 const RULE_RELAXED: &str = "relaxed";
 const RULE_HASH_ORDER: &str = "hash-order";
 const RULE_NO_DEADLINE: &str = "no-deadline";
+const RULE_NO_INSTANT: &str = "no-instant";
 
 /// How many lines above an `Ordering::Relaxed` site a `relaxed:`
 /// justification comment may sit (covers one comment per short fn).
@@ -198,6 +204,23 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
                     ),
                 });
             }
+        }
+
+        // no-instant: everywhere except the observability crate, which
+        // owns the clock (Stopwatch, span timers, the trace epoch).
+        if !rel.starts_with("crates/obs/")
+            && code.contains("Instant::now()")
+            && !a.suppressed(i, RULE_NO_INSTANT)
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: line_no,
+                rule: RULE_NO_INSTANT,
+                msg: "raw Instant::now() outside crates/obs; time through \
+                      gar_obs::Stopwatch (or a span) so wall-clock reads stay \
+                      observable and out of deterministic artifacts"
+                    .to_string(),
+            });
         }
 
         // relaxed: all crates.
@@ -911,6 +934,56 @@ fn drain(rx: &Receiver<u64>) {
 }
 ";
         assert!(lint_source("crates/cluster/src/runner.rs", src).is_empty());
+    }
+
+    // ----- no-instant ---------------------------------------------------
+
+    #[test]
+    fn instant_now_outside_obs_is_flagged() {
+        for src in [
+            "fn f() { let t = Instant::now(); use_it(t); }\n",
+            "fn f() { let t = std::time::Instant::now(); use_it(t); }\n",
+        ] {
+            let f = lint_source("crates/mining/src/report.rs", src);
+            assert_eq!(rules(&f), vec![RULE_NO_INSTANT], "{src}");
+        }
+    }
+
+    #[test]
+    fn instant_now_inside_obs_is_the_sanctioned_clock() {
+        let src = "fn f() { let t = Instant::now(); use_it(t); }\n";
+        assert!(lint_source("crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stopwatch_usage_is_clean() {
+        let src = "fn f() { let t = Stopwatch::start(); use_it(t.elapsed()); }\n";
+        assert!(lint_source("crates/cli/src/commands/mine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_now_in_tests_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let _t = Instant::now();
+    }
+}
+";
+        assert!(lint_source("crates/cluster/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_now_suppression_with_reason_is_honored() {
+        let src = "\
+fn f() {
+    // lint:allow(no-instant): virtual clock shim under --cfg gar_loom
+    let t = Instant::now();
+    use_it(t);
+}
+";
+        assert!(lint_source("crates/cluster/src/collective.rs", src).is_empty());
     }
 
     // ----- relaxed ------------------------------------------------------

@@ -8,6 +8,10 @@
 //!   the `gar-modelcheck` virtual primitives (`--cfg gar_loom`).
 //! * `chaos` — seeded fault-injection soak over the mining runtime
 //!   (tolerated schedules must leave the output byte-identical).
+//! * `bench` — the perf-regression gate: runs the pinned smoke matrix
+//!   (see `crates/bench/src/bin/bench_gate.rs`) and, with `--check`,
+//!   compares modeled execution times against the committed
+//!   `BENCH_PR3.json` baseline.
 //! * `miri` — runs the UB interpreter over the unsafe-bearing crates
 //!   when the `miri` component is installed; degrades to a skip
 //!   otherwise (this build environment has no network to install it).
@@ -27,6 +31,9 @@ fn usage() -> &'static str {
        lint          run the in-repo static analysis rules\n\
        loom          model-check the cluster collectives (--cfg gar_loom)\n\
        chaos         seeded fault-injection soak (GAR_CHAOS_ITERS scales it)\n\
+       bench [--check] [--tolerance F] [--out FILE]\n\
+                     run the pinned smoke matrix; --check gates against\n\
+                     the committed BENCH_PR3.json baseline\n\
        miri [--strict]   run miri over unsafe-bearing crates (skip if unavailable)\n\
        tsan [--strict]   run ThreadSanitizer over cluster tests (skip if unavailable)\n\
      \n\
@@ -53,6 +60,7 @@ fn main() -> ExitCode {
         "lint" => lint::run(&repo_root()),
         "loom" => runners::loom(&repo_root(), rest),
         "chaos" => runners::chaos(&repo_root(), rest),
+        "bench" => runners::bench(&repo_root(), rest),
         "miri" => runners::miri(&repo_root(), rest),
         "tsan" => runners::tsan(&repo_root(), rest),
         "help" | "--help" | "-h" => {

@@ -108,6 +108,29 @@ pub fn chaos(root: &Path, args: &[String]) -> u8 {
     )
 }
 
+/// Runs the perf-regression bench gate: builds and runs the
+/// `bench_gate` binary from `gar-bench` in release mode, passing every
+/// argument through (`--check`, `--tolerance F`, `--out FILE`). The
+/// binary owns the smoke matrix and the baseline comparison; xtask just
+/// gives it a stable entry point (`cargo xtask bench [--check]`).
+pub fn bench(root: &Path, args: &[String]) -> u8 {
+    run_echoed(
+        Command::new("cargo")
+            .current_dir(root)
+            .args([
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "gar-bench",
+                "--bin",
+                "bench_gate",
+                "--",
+            ])
+            .args(args.iter()),
+    )
+}
+
 /// Runs miri over the crates that contain `unsafe` (the model checker's
 /// serialized `UnsafeCell` primitives) plus the cluster crate's unit
 /// tests. Skips when the component is missing.
