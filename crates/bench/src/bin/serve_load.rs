@@ -1,0 +1,168 @@
+//! `serve_load` — a deterministic closed-loop load generator for
+//! `gar-cli serve`.
+//!
+//! Baskets are drawn with a seeded SplitMix64 from the *antecedent
+//! universe* of the rule store (items that can actually trigger rules),
+//! so the same `--seed` always produces the same query stream. One
+//! request is in flight at a time (closed loop); per-query latency is
+//! measured client-side and summarized as p50/p99 and QPS.
+//!
+//! The `--transcript` file is the concatenation of every raw response
+//! payload, length-prefixed. Server answers are deterministic and carry
+//! no timestamps, so two runs with the same seed against the same store
+//! must produce byte-identical transcripts — the smoke harness asserts
+//! exactly that.
+//!
+//! ```text
+//! serve_load --addr 127.0.0.1:7878 --rules rules.grul --queries 200 \
+//!            --seed 42 --transcript t.bin --summary-out s.json
+//! ```
+
+use gar_cluster::RetryPolicy;
+use gar_obs::json::Value;
+use gar_obs::Stopwatch;
+use gar_serve::{Client, RuleStore};
+use gar_types::{Error, ItemId, Result};
+use std::time::Duration;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Minimal `--key value` flag access over `std::env::args`.
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        let long = format!("--{key}");
+        let mut it = self.0.iter();
+        while let Some(tok) = it.next() {
+            if *tok == long {
+                return it.next().map(String::as_str);
+            }
+            if let Some(v) = tok.strip_prefix(&format!("{long}=")) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.0.iter().any(|t| t == &format!("--{key}"))
+    }
+
+    fn require(&self, key: &str) -> Result<&str> {
+        self.get(key)
+            .ok_or_else(|| Error::InvalidConfig(format!("missing --{key}")))
+    }
+
+    fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| Error::InvalidConfig(format!("bad --{key} '{v}'"))),
+        }
+    }
+}
+
+/// SplitMix64 — the workspace's seeded generator of choice for small
+/// deterministic streams (same recurrence as `gar-datagen`).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn run() -> Result<()> {
+    let flags = Flags(std::env::args().skip(1).collect());
+    let addr = flags.require("addr")?;
+    let rules_path = flags.require("rules")?;
+    let queries: usize = flags.get_or("queries", 200)?;
+    let seed: u64 = flags.get_or("seed", 42)?;
+    let top_k: u32 = flags.get_or("top-k", 5)?;
+    let basket_len: usize = flags.get_or("basket", 3)?;
+    let shards_label: u64 = flags.get_or("shards-label", 0)?;
+    let deadline = Duration::from_millis(flags.get_or("deadline-ms", 5000)?);
+
+    let universe = RuleStore::load(rules_path)?.antecedent_items();
+    if universe.is_empty() {
+        return Err(Error::InvalidConfig(format!(
+            "{rules_path} holds no rules; nothing to query"
+        )));
+    }
+
+    let mut rng = SplitMix64(seed);
+    let baskets: Vec<Vec<ItemId>> = (0..queries)
+        .map(|_| {
+            // Distinct items per basket (a transaction is a set).
+            let mut b = Vec::new();
+            while b.len() < basket_len.min(universe.len()) {
+                let item = universe[rng.below(universe.len() as u64) as usize];
+                if !b.contains(&item) {
+                    b.push(item);
+                }
+            }
+            b
+        })
+        .collect();
+
+    let mut client = Client::connect(addr, Some(deadline), &RetryPolicy::default())?;
+    let mut transcript: Vec<u8> = Vec::new();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(queries);
+    let wall = Stopwatch::start();
+    for basket in &baskets {
+        let clock = Stopwatch::start();
+        let payload = client.query_raw(basket, top_k)?;
+        latencies_us.push(clock.elapsed().as_micros() as u64);
+        transcript.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        transcript.extend_from_slice(&payload);
+    }
+    let elapsed = wall.elapsed();
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        let idx = ((latencies_us.len() - 1) as f64 * p / 100.0).round() as usize;
+        latencies_us[idx]
+    };
+    let (p50, p99) = (pct(50.0), pct(99.0));
+    let qps = queries as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!("{queries} queries in {elapsed:?}: p50 {p50} us, p99 {p99} us, {qps:.0} qps");
+
+    if let Some(path) = flags.get("transcript") {
+        std::fs::write(path, &transcript)
+            .map_err(|e| Error::io(format!("writing transcript to {path}"), e))?;
+        println!("wrote {path} ({} bytes)", transcript.len());
+    }
+    if let Some(path) = flags.get("summary-out") {
+        let summary = Value::Obj(vec![
+            ("shards".into(), Value::Num(shards_label as f64)),
+            ("queries".into(), Value::Num(queries as f64)),
+            ("p50_us".into(), Value::Num(p50 as f64)),
+            ("p99_us".into(), Value::Num(p99 as f64)),
+            ("qps".into(), Value::Num(qps.round())),
+        ]);
+        std::fs::write(path, summary.render())
+            .map_err(|e| Error::io(format!("writing summary to {path}"), e))?;
+        println!("wrote {path}");
+    }
+
+    if flags.has("shutdown") {
+        client.shutdown()?;
+        println!("server at {addr} acknowledged shutdown");
+    }
+    Ok(())
+}

@@ -3,7 +3,9 @@
 pub mod gen;
 pub mod info;
 pub mod mine;
+pub mod query;
 pub mod rules;
+pub mod serve;
 
 use gar_storage::{DiskPartition, TransactionSource};
 use gar_taxonomy::Taxonomy;

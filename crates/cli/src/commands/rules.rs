@@ -1,9 +1,11 @@
-//! `gar-cli rules` — derive association rules from a saved mining output.
+//! `gar-cli rules` — derive association rules from a saved mining output,
+//! optionally persisting them as a servable `GRUL` rule store.
 
 use crate::args::Args;
 use gar_mining::persist::load_output;
 use gar_mining::rules::{derive_rules, prune_uninteresting};
-use gar_taxonomy::Taxonomy;
+use gar_serve::RuleStore;
+use gar_taxonomy::{Taxonomy, TaxonomyBuilder};
 use gar_types::Result;
 
 /// Runs the subcommand.
@@ -51,5 +53,37 @@ pub fn run(args: &Args) -> Result<()> {
             rules.len() - top
         );
     }
+
+    if let Some(out_path) = args.get("out") {
+        // The store embeds a hierarchy so the server can extend baskets.
+        // Without --taxonomy, embed a flat one wide enough for every
+        // item the rules mention (queries then match literally).
+        let store_tax = match taxonomy {
+            Some(t) => t,
+            None => flat_taxonomy_over(&rules)?,
+        };
+        let store = RuleStore::new(rules, store_tax, output.num_transactions);
+        store.save(out_path)?;
+        println!(
+            "wrote {out_path} ({} rules, canonical order)",
+            store.rules.len()
+        );
+    }
     Ok(())
+}
+
+/// A hierarchy with no edges, covering every item the rules mention.
+fn flat_taxonomy_over(rules: &[gar_mining::rules::Rule]) -> Result<Taxonomy> {
+    let max_item = rules
+        .iter()
+        .flat_map(|r| {
+            r.antecedent
+                .items()
+                .iter()
+                .chain(r.consequent.items())
+                .map(|&i| i.raw())
+        })
+        .max()
+        .unwrap_or(0);
+    TaxonomyBuilder::new(max_item + 1).build()
 }

@@ -1,0 +1,62 @@
+//! `gar-cli serve` — load a `GRUL` rule store and answer basket queries
+//! over TCP until a shutdown frame arrives.
+
+use crate::args::Args;
+use gar_obs::Obs;
+use gar_serve::{serve, RuleStore, ServerConfig};
+use gar_types::Result;
+use std::io::Write;
+use std::time::Duration;
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<()> {
+    let rules_path = args.require("rules")?;
+    let port: u16 = args.get_or("port", 0)?;
+    let shards: usize = args.get_or("shards", 1)?;
+    let deadline_ms: u64 = args.get_or("deadline-ms", 5000)?;
+    if shards == 0 {
+        return Err(gar_types::Error::InvalidConfig(
+            "--shards must be at least 1".into(),
+        ));
+    }
+
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    let obs = if metrics_out.is_some() || trace_out.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+
+    let store = RuleStore::load(rules_path)?;
+    let num_rules = store.rules.len();
+    let cfg = ServerConfig {
+        shards,
+        deadline: Duration::from_millis(deadline_ms),
+    };
+    let server = serve(&format!("127.0.0.1:{port}"), store, cfg, obs.clone())?;
+    // Scripts (and the smoke harness) parse this line for the bound
+    // address, so flush it before blocking.
+    println!(
+        "serving {num_rules} rules on {} ({shards} shards)",
+        server.local_addr()
+    );
+    std::io::stdout()
+        .flush()
+        .map_err(|e| gar_types::Error::io("flushing stdout", e))?;
+
+    // lint:allow(wait-loop): Server::wait is a thread join, not a Condvar
+    server.wait()?;
+
+    if let Some(path) = metrics_out {
+        std::fs::write(path, obs.metrics().to_json())
+            .map_err(|e| gar_types::Error::io(format!("writing metrics to {path}"), e))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, obs.chrome_trace_json())
+            .map_err(|e| gar_types::Error::io(format!("writing trace to {path}"), e))?;
+        println!("wrote {path} (load in chrome://tracing or ui.perfetto.dev)");
+    }
+    Ok(())
+}

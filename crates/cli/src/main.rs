@@ -54,6 +54,8 @@ fn run(argv: Vec<String>) -> Result<()> {
         Some("info") => commands::info::run(&args),
         Some("mine") => commands::mine::run(&args),
         Some("rules") => commands::rules::run(&args),
+        Some("serve") => commands::serve::run(&args),
+        Some("query") => commands::query::run(&args),
         Some(other) => {
             print_usage();
             Err(gar_types::Error::InvalidConfig(format!(
@@ -82,6 +84,12 @@ USAGE:
                 [--metrics-out FILE.json] [--trace-out FILE.json]
   gar-cli rules --output FILE.gout --min-confidence F
                 [--taxonomy FILE.gtax] [--interest R] [--top N]
+                [--out FILE.grul]
+  gar-cli serve --rules FILE.grul [--port N] [--shards N]
+                [--deadline-ms MS] [--metrics-out FILE.json]
+                [--trace-out FILE.json]
+  gar-cli query --addr HOST:PORT (--basket \"1,2,3\" | --shutdown)
+                [--top K] [--deadline-ms MS]
 
 ALGORITHMS:
   Cumulate (sequential), NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD,
@@ -95,9 +103,16 @@ FAULT TOLERANCE (parallel algorithms):
   --deadline-ms MS       per-wait deadline; a hung node becomes a Timeout
   --max-node-failures N  re-run over survivors after up to N node deaths
 
-OBSERVABILITY (parallel algorithms):
+OBSERVABILITY (parallel algorithms and serve):
   --metrics-out FILE     write per-pass counters/histograms as JSON
   --trace-out FILE       write chrome://tracing spans (one lane per node)
+
+SERVING:
+  rules --out FILE       persist the derived rules (canonical order,
+                         embedded taxonomy) as a servable .grul store
+  serve                  answer basket queries over TCP; port 0 picks an
+                         ephemeral port (printed on the first line)
+  query                  send one basket; --shutdown stops the server
 
 EXIT CODES:
   0 success · 2 invalid flags/config · 3 I/O or corrupt artifact ·

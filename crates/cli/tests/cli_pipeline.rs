@@ -1,8 +1,9 @@
-//! End-to-end tests of the `gar-cli` binary: gen → info → mine → rules,
-//! exercising the real executable via `CARGO_BIN_EXE`.
+//! End-to-end tests of the `gar-cli` binary: gen → info → mine → rules
+//! (→ serve → query), exercising the real executable via `CARGO_BIN_EXE`.
 
+use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
-use std::process::Command;
+use std::process::{Command, Stdio};
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_gar-cli"))
@@ -83,6 +84,171 @@ fn full_pipeline() {
     ]));
     assert!(out.contains("rules at confidence"), "{out}");
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// mine → rules --out → serve → query, over a real ephemeral port.
+#[test]
+fn serve_and_query_round_trip() {
+    let dir = tmp_dir("serve");
+    let data = dir.join("data");
+    let gout = dir.join("large.gout");
+    let grul = dir.join("rules.grul");
+
+    run_ok(bin().args([
+        "gen",
+        "--out",
+        data.to_str().unwrap(),
+        "--preset",
+        "R30F10",
+        "--scale",
+        "0.001",
+        "--partitions",
+        "2",
+        "--seed",
+        "9",
+    ]));
+    run_ok(bin().args([
+        "mine",
+        "--data",
+        data.to_str().unwrap(),
+        "--min-support",
+        "0.02",
+        "--max-pass",
+        "2",
+        "--out",
+        gout.to_str().unwrap(),
+    ]));
+    let out = run_ok(bin().args([
+        "rules",
+        "--output",
+        gout.to_str().unwrap(),
+        "--taxonomy",
+        data.join("taxonomy.gtax").to_str().unwrap(),
+        "--min-confidence",
+        "0.3",
+        "--out",
+        grul.to_str().unwrap(),
+    ]));
+    assert!(out.contains("canonical order"), "{out}");
+    assert!(grul.exists());
+
+    // Start the server on an ephemeral port and parse the bound
+    // address from its first stdout line.
+    let mut server = bin()
+        .args([
+            "serve",
+            "--rules",
+            grul.to_str().unwrap(),
+            "--port",
+            "0",
+            "--shards",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut first_line = String::new();
+    BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    assert!(first_line.contains("serving"), "{first_line}");
+    let addr = first_line
+        .split_whitespace()
+        .find(|tok| tok.contains(':'))
+        .expect("address in listening line")
+        .to_string();
+
+    let out = run_ok(bin().args(["query", "--addr", &addr, "--basket", "1,2,3", "--top", "5"]));
+    assert!(
+        out.contains("score") || out.contains("no recommendations"),
+        "{out}"
+    );
+    let out = run_ok(bin().args(["query", "--addr", &addr, "--shutdown"]));
+    assert!(out.contains("acknowledged shutdown"), "{out}");
+    assert!(server.wait().unwrap().success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `rules` subcommand classifies failures like `mine` does:
+/// exit 2 for bad flags, 3 for a missing or corrupt artifact.
+#[test]
+fn rules_exit_codes_match_mine() {
+    // Missing a required flag → 2.
+    let out = bin().args(["rules"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--output"));
+
+    // Nonexistent mining output → 3 (I/O).
+    let out = bin()
+        .args([
+            "rules",
+            "--output",
+            "/nonexistent.gout",
+            "--min-confidence",
+            "0.5",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+
+    // Corrupt mining output → 3.
+    let dir = tmp_dir("rules-exit");
+    let bad = dir.join("bad.gout");
+    std::fs::write(&bad, b"not a mining output").unwrap();
+    let out = bin()
+        .args([
+            "rules",
+            "--output",
+            bad.to_str().unwrap(),
+            "--min-confidence",
+            "0.5",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+
+    // An unparseable flag value is a configuration error → 2 (checked
+    // before any artifact I/O, so the corrupt file does not mask it).
+    let out = bin()
+        .args([
+            "rules",
+            "--output",
+            bad.to_str().unwrap(),
+            "--min-confidence",
+            "abc",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Serving a missing or corrupt rule store fails with exit 3; a bad
+/// shard count with exit 2.
+#[test]
+fn serve_exit_codes() {
+    let out = bin()
+        .args(["serve", "--rules", "/nonexistent.grul"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+
+    let dir = tmp_dir("serve-exit");
+    let bad = dir.join("bad.grul");
+    std::fs::write(&bad, b"GRULgarbage").unwrap();
+    let out = bin()
+        .args(["serve", "--rules", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+
+    let out = bin()
+        .args(["serve", "--rules", bad.to_str().unwrap(), "--shards", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -123,6 +123,21 @@ pub(crate) fn sort_rules(rules: &mut [Rule]) {
     });
 }
 
+/// Canonical *storage* order: sorted by `(antecedent, consequent)` item
+/// ids, exact duplicates removed. Unlike [`sort_rules`] (a presentation
+/// order keyed on floating-point confidence), this order depends only on
+/// the item ids, so the same rule set serializes to the same bytes no
+/// matter which algorithm or node count produced it — the invariant the
+/// persisted rule store's determinism guarantee rests on.
+pub fn canonicalize_rules(rules: &mut Vec<Rule>) {
+    rules.sort_by(|a, b| {
+        a.antecedent
+            .cmp(&b.antecedent)
+            .then_with(|| a.consequent.cmp(&b.consequent))
+    });
+    rules.dedup_by(|a, b| a.antecedent == b.antecedent && a.consequent == b.consequent);
+}
+
 /// Derives every rule meeting `min_confidence` from the mined large
 /// itemsets. With a taxonomy, rules whose consequent holds an ancestor of
 /// an antecedent item are dropped as redundant.
@@ -343,6 +358,47 @@ mod tests {
         assert!(rules
             .iter()
             .any(|r| r.antecedent == iset![0] && r.consequent == iset![1]));
+    }
+
+    #[test]
+    fn canonicalize_sorts_by_items_and_dedups() {
+        let mk = |a: Itemset, c: Itemset, conf: f64| Rule {
+            antecedent: a,
+            consequent: c,
+            support_count: 2,
+            support: 0.5,
+            confidence: conf,
+        };
+        let mut rules = vec![
+            mk(iset![3], iset![7], 0.9),
+            mk(iset![1], iset![7], 0.5),
+            mk(iset![3], iset![7], 0.9), // duplicate
+            mk(iset![1], iset![4], 0.7),
+        ];
+        canonicalize_rules(&mut rules);
+        let keys: Vec<_> = rules
+            .iter()
+            .map(|r| (r.antecedent.clone(), r.consequent.clone()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (iset![1], iset![4]),
+                (iset![1], iset![7]),
+                (iset![3], iset![7]),
+            ]
+        );
+    }
+
+    #[test]
+    fn canonical_order_is_independent_of_input_order() {
+        let (tax, out) = sa95();
+        let mut a = derive_rules(&out, 0.0, Some(&tax));
+        let mut b = a.clone();
+        b.reverse();
+        canonicalize_rules(&mut a);
+        canonicalize_rules(&mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! The blocking query client.
+//!
+//! Connects with `gar-cluster`'s [`RetryPolicy`] (the server may still
+//! be binding when a fresh pipeline reaches the query step), speaks the
+//! framed protocol, and optionally bounds every read/write with a
+//! socket deadline that surfaces as the workspace's retryable
+//! [`Error::Timeout`]. For embedders that hold the rule store in
+//! process, `Catalog::query` answers without a socket — this client is
+//! the remote twin of that call.
+
+use crate::engine::Recommendation;
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response,
+};
+use gar_cluster::RetryPolicy;
+use gar_types::{Error, ItemId, Result};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A connected client; one request in flight at a time.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`, retrying transient failures per `retry`.
+    /// `deadline`, when set, bounds every subsequent read and write.
+    pub fn connect(addr: &str, deadline: Option<Duration>, retry: &RetryPolicy) -> Result<Client> {
+        let stream = retry.run(|| {
+            TcpStream::connect(addr).map_err(|e| Error::io(format!("connecting to {addr}"), e))
+        })?;
+        stream
+            .set_read_timeout(deadline)
+            .and_then(|()| stream.set_write_timeout(deadline))
+            .map_err(|e| Error::io("setting socket deadline", e))?;
+        // Requests are a few small writes; Nagle + delayed ACK would
+        // add ~40 ms to every round trip.
+        drop(stream.set_nodelay(true));
+        Ok(Client { stream })
+    }
+
+    /// Sends one query and decodes the recommendations.
+    pub fn query(&mut self, basket: &[ItemId], top_k: u32) -> Result<Vec<Recommendation>> {
+        let payload = self.query_raw(basket, top_k)?;
+        match decode_response(&payload)? {
+            Response::Results(recs) => Ok(recs),
+            Response::Error(msg) => Err(Error::Protocol(format!("server error: {msg}"))),
+            Response::ShutdownAck => {
+                Err(Error::Protocol("unexpected shutdown-ack to a query".into()))
+            }
+        }
+    }
+
+    /// Sends one query and returns the raw response payload bytes.
+    /// Deterministic server answers make these byte-comparable across
+    /// runs — the load generator's transcript is built from them.
+    pub fn query_raw(&mut self, basket: &[ItemId], top_k: u32) -> Result<Vec<u8>> {
+        let req = Request::Query {
+            basket: basket.to_vec(),
+            top_k,
+        };
+        write_frame(&mut self.stream, &encode_request(&req))?;
+        self.read_response_payload()
+    }
+
+    /// Asks the server to stop; returns once the ack arrives.
+    pub fn shutdown(mut self) -> Result<()> {
+        write_frame(&mut self.stream, &encode_request(&Request::Shutdown))?;
+        let payload = self.read_response_payload()?;
+        match decode_response(&payload)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(Error::Protocol(format!(
+                "expected shutdown-ack, got {other:?}"
+            ))),
+        }
+    }
+
+    fn read_response_payload(&mut self) -> Result<Vec<u8>> {
+        match read_frame(&mut self.stream)? {
+            Some(p) => Ok(p),
+            None => Err(Error::Protocol(
+                "server closed the connection mid-request".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Basket scoring: from a transaction-shaped query to top-k consequents.
+//!
+//! A rule *matches* a basket when its antecedent is contained in the
+//! basket's extended transaction (the basket plus all ancestors — the
+//! paper's `t'`), and its consequent is **not** already contained there
+//! (a recommendation for something the basket already implies is
+//! useless). Matches are ranked by `confidence × support`.
+//!
+//! Two serve-time redundancy filters follow, both at the merge step so
+//! the answer is identical for every shard count:
+//!
+//! * **Consequent dedup** — of several matched rules with the same
+//!   consequent, only the best-scoring survives (the query asks for
+//!   top-k *consequents*, not top-k rules).
+//! * **Ancestor suppression** — the paper's interest measure, applied
+//!   to answers: a match whose consequent merely *generalizes* another
+//!   match's consequent (same size, item-wise ancestor-or-equal) is
+//!   dropped when the specialization scores at least as high, because
+//!   "⇒ outerwear" adds nothing over "⇒ hiking boots".
+//!
+//! Rules are sharded by the FxHash of their itemset's sorted root-id
+//! key — exactly the placement of the H-HPGM family. The root key is
+//! invariant under item generalization, so a rule and all its ancestor
+//! rules land on the same shard: the hierarchy locality the miner
+//! exploits transfers to the serving tier unchanged.
+
+use crate::index::RuleIndex;
+use crate::store::RuleStore;
+use gar_mining::rules::Rule;
+use gar_taxonomy::Taxonomy;
+use gar_types::{fx_hash_u32_slice, ItemId, Itemset};
+
+/// One answer entry: a consequent worth recommending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The recommended itemset.
+    pub consequent: Itemset,
+    /// Absolute support of the winning rule.
+    pub support_count: u64,
+    /// Confidence of the winning rule.
+    pub confidence: f64,
+    /// Ranking score: `confidence × support-fraction`.
+    pub score: f64,
+}
+
+/// A matched rule with its precomputed score (shard-local result).
+#[derive(Debug, Clone)]
+pub struct Match {
+    /// The matching rule.
+    pub rule: Rule,
+    /// `confidence × support-fraction`.
+    pub score: f64,
+}
+
+/// The shard of an itemset: FxHash of its sorted root-id key (with
+/// multiplicity), modulo the shard count — H-HPGM's `owner_of_key`
+/// transplanted to serving.
+pub fn shard_of(items: &[ItemId], tax: &Taxonomy, num_shards: usize) -> usize {
+    let mut roots: Vec<u32> = items.iter().map(|&i| tax.root_of(i).raw()).collect();
+    roots.sort_unstable();
+    (fx_hash_u32_slice(&roots) % num_shards.max(1) as u64) as usize
+}
+
+/// One shard: a slice of the rule set plus its inverted index.
+#[derive(Debug)]
+struct Shard {
+    rules: Vec<Rule>,
+    index: RuleIndex,
+}
+
+/// A loaded, sharded, indexed rule set — the in-process query engine
+/// the TCP server (and embedders) answer from.
+#[derive(Debug)]
+pub struct Catalog {
+    taxonomy: Taxonomy,
+    num_transactions: u64,
+    shards: Vec<Shard>,
+}
+
+impl Catalog {
+    /// Shards and indexes `store` for serving. `num_shards` is clamped
+    /// to at least 1.
+    pub fn new(store: RuleStore, num_shards: usize) -> Catalog {
+        let num_shards = num_shards.max(1);
+        let tax = store.taxonomy;
+        let mut buckets: Vec<Vec<Rule>> = (0..num_shards).map(|_| Vec::new()).collect();
+        for rule in store.rules {
+            let s = shard_of(rule.itemset().items(), &tax, num_shards);
+            buckets[s].push(rule);
+        }
+        let shards = buckets
+            .into_iter()
+            .map(|rules| {
+                let index = RuleIndex::build(&rules, &tax);
+                Shard { rules, index }
+            })
+            .collect();
+        Catalog {
+            taxonomy: tax,
+            num_transactions: store.num_transactions,
+            shards,
+        }
+    }
+
+    /// The hierarchy queries are interpreted under.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total rules across shards.
+    pub fn num_rules(&self) -> usize {
+        self.shards.iter().map(|s| s.rules.len()).sum()
+    }
+
+    /// Transactions behind the stored supports.
+    pub fn num_transactions(&self) -> u64 {
+        self.num_transactions
+    }
+
+    /// The extended transaction of a basket: items plus all ancestors,
+    /// sorted and deduplicated. Items outside the taxonomy are dropped
+    /// (a live query may mention products the store predates).
+    pub fn extend_basket(&self, basket: &[ItemId]) -> Vec<ItemId> {
+        let known: Vec<ItemId> = basket
+            .iter()
+            .copied()
+            .filter(|it| it.raw() < self.taxonomy.num_items())
+            .collect();
+        self.taxonomy.extend_transaction(&known)
+    }
+
+    /// The matches of one shard for a query. `basket` drives the index
+    /// lookup (ancestor closure is pre-folded into the postings);
+    /// `extended` drives the containment tests.
+    pub fn shard_matches(
+        &self,
+        shard: usize,
+        basket: &[ItemId],
+        extended: &[ItemId],
+    ) -> Vec<Match> {
+        let s = &self.shards[shard];
+        let mut out = Vec::new();
+        for ri in s.index.candidates(basket) {
+            let rule = &s.rules[ri as usize];
+            if rule.antecedent.is_contained_in(extended)
+                && !rule.consequent.is_contained_in(extended)
+            {
+                out.push(Match {
+                    score: rule.confidence * rule.support,
+                    rule: rule.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Merges shard-local matches into the final top-k answer:
+    /// deterministic total order, consequent dedup, ancestor
+    /// suppression, truncation — in that order, so the result does not
+    /// depend on shard count or arrival order.
+    pub fn merge(&self, mut matches: Vec<Match>, top_k: usize) -> Vec<Recommendation> {
+        // Total order: score desc, support desc, then the rule key. The
+        // key is unique (stores are canonical), so ties cannot reorder.
+        matches.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.rule.support_count.cmp(&a.rule.support_count))
+                .then_with(|| a.rule.antecedent.cmp(&b.rule.antecedent))
+                .then_with(|| a.rule.consequent.cmp(&b.rule.consequent))
+        });
+        // Consequent dedup: the first (best) rule per consequent wins.
+        let mut best: Vec<Match> = Vec::new();
+        for m in matches {
+            if !best.iter().any(|b| b.rule.consequent == m.rule.consequent) {
+                best.push(m);
+            }
+        }
+        // Ancestor suppression: drop a match whose consequent is a
+        // generalization of a better-or-equal match's consequent.
+        let kept: Vec<&Match> = best
+            .iter()
+            .filter(|gen| {
+                !best.iter().any(|spec| {
+                    spec.score >= gen.score
+                        && self.specializes(&spec.rule.consequent, &gen.rule.consequent)
+                })
+            })
+            .collect();
+        kept.into_iter()
+            .take(top_k)
+            .map(|m| Recommendation {
+                consequent: m.rule.consequent.clone(),
+                support_count: m.rule.support_count,
+                confidence: m.rule.confidence,
+                score: m.score,
+            })
+            .collect()
+    }
+
+    /// True when `spec` is a proper item-wise specialization of `gen`:
+    /// same size, different sets, every `gen` item covered by an
+    /// equal-or-descendant `spec` item and vice versa.
+    fn specializes(&self, spec: &Itemset, gen: &Itemset) -> bool {
+        if spec.len() != gen.len() || spec == gen {
+            return false;
+        }
+        let covers = |g: ItemId, s: ItemId| g == s || self.taxonomy.is_ancestor(g, s);
+        gen.items()
+            .iter()
+            .all(|&g| spec.items().iter().any(|&s| covers(g, s)))
+            && spec
+                .items()
+                .iter()
+                .all(|&s| gen.items().iter().any(|&g| covers(g, s)))
+    }
+
+    /// The full in-process query path: extend, match every shard,
+    /// merge. This is what the TCP server parallelizes over its worker
+    /// pool; answers are identical by construction.
+    pub fn query(&self, basket: &[ItemId], top_k: usize) -> Vec<Recommendation> {
+        let extended = self.extend_basket(basket);
+        let mut all = Vec::new();
+        for s in 0..self.shards.len() {
+            all.extend(self.shard_matches(s, basket, &extended));
+        }
+        self.merge(all, top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{rule, sa95_taxonomy};
+    use gar_types::iset;
+
+    fn catalog(rules: Vec<Rule>, num_shards: usize) -> Catalog {
+        Catalog::new(RuleStore::new(rules, sa95_taxonomy(), 6), num_shards)
+    }
+
+    #[test]
+    fn ancestor_match_through_extension() {
+        // [SA95]: "outerwear ⇒ hiking boots". A basket holding only
+        // jackets(3) must trigger it via the ancestor outerwear(1).
+        let cat = catalog(vec![rule(iset![1], iset![7], 2, 2.0 / 3.0)], 1);
+        let recs = cat.query(&[ItemId(3)], 5);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].consequent, iset![7]);
+        assert_eq!(recs[0].support_count, 2);
+    }
+
+    #[test]
+    fn satisfied_consequent_is_not_recommended() {
+        let cat = catalog(vec![rule(iset![1], iset![7], 2, 2.0 / 3.0)], 1);
+        // The basket already holds boots(7): nothing to recommend.
+        assert!(cat.query(&[ItemId(3), ItemId(7)], 5).is_empty());
+        // Even holding the *ancestor* footwear(5) satisfies {7}? No —
+        // extension only adds ancestors, so a held ancestor does not
+        // imply the descendant. The rule still fires.
+        assert_eq!(cat.query(&[ItemId(3), ItemId(5)], 5).len(), 1);
+    }
+
+    #[test]
+    fn generalization_is_suppressed_when_specialization_scores_higher() {
+        // Same antecedent, consequents boots(7) and its ancestor
+        // footwear(5); the specific rule scores >= the general one, so
+        // only "⇒ boots" survives.
+        let cat = catalog(
+            vec![
+                rule(iset![1], iset![7], 2, 2.0 / 3.0),
+                rule(iset![1], iset![5], 2, 2.0 / 3.0),
+            ],
+            1,
+        );
+        let recs = cat.query(&[ItemId(3)], 5);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].consequent, iset![7]);
+    }
+
+    #[test]
+    fn generalization_survives_when_it_scores_strictly_higher() {
+        // "⇒ footwear" with higher support than "⇒ boots": the general
+        // rule carries real extra information, keep both.
+        let cat = catalog(
+            vec![
+                rule(iset![1], iset![7], 2, 2.0 / 3.0),
+                rule(iset![1], iset![5], 3, 1.0),
+            ],
+            1,
+        );
+        let recs = cat.query(&[ItemId(3)], 5);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].consequent, iset![5]);
+        assert_eq!(recs[1].consequent, iset![7]);
+    }
+
+    #[test]
+    fn consequents_are_deduplicated_keeping_the_best_rule() {
+        let cat = catalog(
+            vec![
+                rule(iset![1], iset![7], 2, 2.0 / 3.0),
+                rule(iset![4], iset![7], 3, 1.0),
+            ],
+            1,
+        );
+        let recs = cat.query(&[ItemId(3), ItemId(4)], 5);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].confidence, 1.0);
+        assert_eq!(recs[0].support_count, 3);
+    }
+
+    #[test]
+    fn top_k_truncates_after_suppression() {
+        let cat = catalog(
+            vec![
+                rule(iset![1], iset![6], 1, 0.4),
+                rule(iset![1], iset![7], 2, 2.0 / 3.0),
+                rule(iset![3], iset![2], 3, 0.9),
+            ],
+            1,
+        );
+        let recs = cat.query(&[ItemId(3)], 2);
+        assert_eq!(recs.len(), 2);
+        // Best two by score: {2} (0.9*0.5) then {7} (0.667*0.333).
+        assert_eq!(recs[0].consequent, iset![2]);
+        assert_eq!(recs[1].consequent, iset![7]);
+    }
+
+    #[test]
+    fn answers_identical_across_shard_counts() {
+        let rules = vec![
+            rule(iset![1], iset![7], 2, 2.0 / 3.0),
+            rule(iset![3], iset![2], 3, 0.9),
+            rule(iset![7], iset![1], 2, 1.0),
+            rule(iset![2], iset![6], 1, 0.4),
+            rule(iset![4], iset![7], 1, 0.5),
+        ];
+        let baskets: Vec<Vec<ItemId>> = vec![
+            vec![ItemId(3)],
+            vec![ItemId(7)],
+            vec![ItemId(2), ItemId(4)],
+            vec![ItemId(3), ItemId(6)],
+        ];
+        let reference = catalog(rules.clone(), 1);
+        for shards in [2, 3, 4, 7] {
+            let cat = catalog(rules.clone(), shards);
+            assert_eq!(cat.num_rules(), 5);
+            for basket in &baskets {
+                assert_eq!(
+                    cat.query(basket, 10),
+                    reference.query(basket, 10),
+                    "shards={shards} basket={basket:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_is_root_hash_invariant_under_generalization() {
+        let tax = sa95_taxonomy();
+        for n in [1usize, 2, 4, 8] {
+            // jackets(3) and its ancestor outerwear(1) share root
+            // clothes(0): same shard, every shard count.
+            assert_eq!(
+                shard_of(&[ItemId(3)], &tax, n),
+                shard_of(&[ItemId(1)], &tax, n)
+            );
+            assert_eq!(
+                shard_of(&[ItemId(3), ItemId(7)], &tax, n),
+                shard_of(&[ItemId(1), ItemId(5)], &tax, n)
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_basket_items_are_ignored() {
+        let cat = catalog(vec![rule(iset![1], iset![7], 2, 2.0 / 3.0)], 2);
+        assert_eq!(cat.query(&[ItemId(3), ItemId(500)], 5).len(), 1);
+        assert!(cat.query(&[ItemId(500)], 5).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Taxonomy-aware inverted index over a rule set.
+//!
+//! The postings list of item `i` holds every rule whose antecedent or
+//! consequent contains `i` **or any ancestor of `i`** — i.e. the rules a
+//! basket containing `i` could possibly trigger under the paper's
+//! extended-transaction semantics. The ancestor closure is folded in
+//! *once at build time* by walking each item's `gar-taxonomy` ancestor
+//! path (O(path length) per item), so a query looks up its raw basket
+//! items directly; no per-query set union over the hierarchy is needed.
+
+use gar_mining::rules::Rule;
+use gar_taxonomy::Taxonomy;
+use gar_types::ItemId;
+
+/// Immutable item → rule-id postings (rule ids index the slice the
+/// index was built from; lists are sorted ascending).
+#[derive(Debug, Clone)]
+pub struct RuleIndex {
+    postings: Vec<Vec<u32>>,
+}
+
+impl RuleIndex {
+    /// Builds the ancestor-closed index for `rules` under `tax`.
+    pub fn build(rules: &[Rule], tax: &Taxonomy) -> RuleIndex {
+        let n = tax.num_items() as usize;
+        // Exact postings first: item -> rules literally containing it.
+        let mut exact: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (ri, rule) in rules.iter().enumerate() {
+            for &it in rule
+                .antecedent
+                .items()
+                .iter()
+                .chain(rule.consequent.items())
+            {
+                exact[it.index()].push(ri as u32);
+            }
+        }
+        // Then fold each item's ancestor path in: postings[i] is the
+        // sorted union of exact[a] over a ∈ {i} ∪ ancestors(i).
+        let mut postings = Vec::with_capacity(n);
+        for i in 0..n {
+            let item = ItemId(i as u32);
+            let mut merged = exact[i].clone();
+            for &anc in tax.ancestors(item) {
+                merged.extend_from_slice(&exact[anc.index()]);
+            }
+            merged.sort_unstable();
+            merged.dedup();
+            postings.push(merged);
+        }
+        RuleIndex { postings }
+    }
+
+    /// The rules triggerable by `item` (through itself or an ancestor).
+    pub fn postings(&self, item: ItemId) -> &[u32] {
+        self.postings
+            .get(item.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Sorted distinct candidate rule ids for a raw (unextended) basket.
+    /// Items outside the taxonomy contribute nothing.
+    pub fn candidates(&self, basket: &[ItemId]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for &it in basket {
+            out.extend_from_slice(self.postings(it));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{rule as fixture_rule, sa95_taxonomy};
+    use gar_types::{iset, Itemset};
+
+    fn rule(a: Itemset, c: Itemset) -> Rule {
+        fixture_rule(a, c, 2, 0.5)
+    }
+
+    #[test]
+    fn postings_include_ancestor_hits() {
+        let tax = sa95_taxonomy();
+        // rule 0 mentions outerwear(1); rule 1 mentions boots(7).
+        let rules = vec![rule(iset![1], iset![7]), rule(iset![7], iset![1])];
+        let idx = RuleIndex::build(&rules, &tax);
+        // jackets(3) is a descendant of outerwear(1): both rules hit
+        // (rule 0 via antecedent 1, rule 1 via consequent 1).
+        assert_eq!(idx.postings(ItemId(3)), &[0, 1]);
+        // shirts(2) shares only the root clothes(0), never mentioned.
+        assert!(idx.postings(ItemId(2)).is_empty());
+        // boots(7) hits both rules directly.
+        assert_eq!(idx.postings(ItemId(7)), &[0, 1]);
+    }
+
+    #[test]
+    fn candidates_union_is_sorted_distinct() {
+        let tax = sa95_taxonomy();
+        let rules = vec![
+            rule(iset![1], iset![7]),
+            rule(iset![2], iset![6]),
+            rule(iset![7], iset![1]),
+        ];
+        let idx = RuleIndex::build(&rules, &tax);
+        let c = idx.candidates(&[ItemId(3), ItemId(7), ItemId(3)]);
+        assert_eq!(c, vec![0, 2]);
+        // An out-of-range item is ignored, not a panic.
+        assert!(idx.candidates(&[ItemId(99)]).is_empty());
+    }
+}

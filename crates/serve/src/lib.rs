@@ -1,0 +1,59 @@
+//! `gar-serve` — the serving layer: everything between a mined rule set
+//! and a production query answer.
+//!
+//! * [`store`] — the persisted `GRUL` rule store (canonical order,
+//!   embedded taxonomy, trailing checksum, atomic writes).
+//! * [`index`] — a taxonomy-aware inverted index: item → rules whose
+//!   antecedent/consequent contain the item *or any ancestor*.
+//! * [`engine`] — basket scoring: top-k consequents by
+//!   confidence×support with serve-time ancestor-redundancy
+//!   suppression, sharded by the same root-item hash as H-HPGM.
+//! * [`protocol`] — the length-prefixed, checksummed wire protocol
+//!   (every frame read goes through [`protocol::MAX_FRAME_BYTES`]).
+//! * [`server`] — the sharded concurrent TCP server (worker pool,
+//!   per-shard observability, deadline-bounded shard collection).
+//! * [`client`] — the blocking client (connect retries via
+//!   `gar-cluster`'s `RetryPolicy`, optional read deadline), plus the
+//!   in-process path [`engine::Catalog::query`] for embedders.
+
+pub mod client;
+pub mod engine;
+pub mod index;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use engine::{Catalog, Recommendation};
+pub use server::{serve, Server, ServerConfig};
+pub use store::RuleStore;
+
+/// Shared fixtures for the unit tests of this crate.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use gar_mining::rules::Rule;
+    use gar_taxonomy::{Taxonomy, TaxonomyBuilder};
+    use gar_types::Itemset;
+
+    /// The [SA95] example hierarchy:
+    /// clothes(0) -> outerwear(1) -> {jackets(3), ski pants(4)};
+    /// clothes(0) -> shirts(2); footwear(5) -> {shoes(6), boots(7)}.
+    pub fn sa95_taxonomy() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new(8);
+        for (c, p) in [(1, 0), (2, 0), (3, 1), (4, 1), (6, 5), (7, 5)] {
+            b.edge(c, p).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// A rule over a 6-transaction database.
+    pub fn rule(a: Itemset, c: Itemset, sup: u64, conf: f64) -> Rule {
+        Rule {
+            antecedent: a,
+            consequent: c,
+            support_count: sup,
+            support: sup as f64 / 6.0,
+            confidence: conf,
+        }
+    }
+}

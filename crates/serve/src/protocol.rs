@@ -1,0 +1,475 @@
+//! The serving wire protocol: tiny, length-prefixed, checksummed.
+//!
+//! A **frame** is `u32 payload-length | payload | u64 FxHash checksum`
+//! (little-endian, checksum over the payload bytes). The length is
+//! validated against [`MAX_FRAME_BYTES`] *before* any allocation, on
+//! both the read and the write path — an adversarial or corrupt length
+//! field can neither balloon memory nor panic. Every frame read in this
+//! crate goes through [`read_frame`]; the `no-raw-net` lint enforces it.
+//!
+//! The **payload** is a tag byte plus a body:
+//!
+//! | tag  | message                                              |
+//! |------|------------------------------------------------------|
+//! | 0x01 | `Query` — `u32 top_k`, `u32 n`, `n × u32` item ids   |
+//! | 0x02 | `Results` — `u32 n`, then per recommendation the     |
+//! |      | consequent (`u32 m`, `m × u32`), `u64` support,      |
+//! |      | `f64` confidence bits, `f64` score bits              |
+//! | 0x03 | `Error` — `u32` length + UTF-8 message               |
+//! | 0x04 | `Shutdown` (no body)                                 |
+//! | 0x05 | `ShutdownAck` (no body)                              |
+//!
+//! Malformed payloads are [`Error::Protocol`]; a failed frame checksum
+//! or a mid-frame disconnect is [`Error::Corrupt`]; an expired socket
+//! deadline is [`Error::Timeout`] (retryable, like every other deadline
+//! in the workspace). Encoding is deterministic: the same message
+//! always produces the same bytes, which is what makes load-generator
+//! transcripts byte-comparable across runs.
+
+use crate::engine::Recommendation;
+use gar_types::{Error, ItemId, Itemset, Result};
+use std::hash::Hasher;
+use std::io::{Read, Write};
+
+/// Hard upper bound on a frame payload. Reads reject bigger length
+/// fields before allocating; writes refuse to emit them.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Upper bounds on list lengths inside payloads (stricter than what
+/// would merely fit in a frame, so garbage fails early and clearly).
+const MAX_BASKET_LEN: usize = 1 << 16;
+const MAX_RESULTS: usize = 1 << 16;
+
+const TAG_QUERY: u8 = 0x01;
+const TAG_RESULTS: u8 = 0x02;
+const TAG_ERROR: u8 = 0x03;
+const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_SHUTDOWN_ACK: u8 = 0x05;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Score a basket, return the best `top_k` consequents.
+    Query {
+        /// Raw (unextended) item ids; any order, duplicates allowed.
+        basket: Vec<ItemId>,
+        /// Maximum number of recommendations wanted.
+        top_k: u32,
+    },
+    /// Ask the server to drain and exit (acknowledged, then honored).
+    Shutdown,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The scored recommendations, best first.
+    Results(Vec<Recommendation>),
+    /// The query failed; the connection stays protocol-consistent.
+    Error(String),
+    /// Shutdown accepted; the server exits after this frame.
+    ShutdownAck,
+}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = gar_types::FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Writes one frame. Refuses payloads above [`MAX_FRAME_BYTES`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(Error::Protocol(format!(
+            "refusing to send a {}-byte frame (max {MAX_FRAME_BYTES})",
+            payload.len()
+        )));
+    }
+    let io = |e| Error::io("writing frame", e);
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .map_err(io)?;
+    w.write_all(payload).map_err(io)?;
+    w.write_all(&checksum(payload).to_le_bytes()).map_err(io)?;
+    w.flush().map_err(io)
+}
+
+/// Reads one frame; `Ok(None)` on clean end-of-stream at a frame
+/// boundary. The sole frame reader of the crate: the length field is
+/// checked against [`MAX_FRAME_BYTES`] before the payload buffer is
+/// allocated, and the trailing checksum is verified before the payload
+/// is returned.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(Error::Corrupt("frame truncated mid-header".into())),
+            Ok(n) => got += n,
+            Err(e) => return Err(map_read_err(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte maximum"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_fully(r, &mut payload)?;
+    let mut tail = [0u8; 8];
+    read_fully(r, &mut tail)?;
+    if checksum(&payload) != u64::from_le_bytes(tail) {
+        return Err(Error::Corrupt("frame checksum mismatch".into()));
+    }
+    Ok(Some(payload))
+}
+
+fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Err(Error::Corrupt("frame truncated".into())),
+            Ok(n) => got += n,
+            Err(e) => return Err(map_read_err(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Socket-deadline expiries become the workspace's retryable
+/// [`Error::Timeout`]; everything else stays an I/O error.
+fn map_read_err(e: std::io::Error) -> Error {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Error::Timeout {
+            node: 0,
+            op: "read-frame".into(),
+        },
+        std::io::ErrorKind::Interrupted => Error::Timeout {
+            node: 0,
+            op: "read-frame".into(),
+        },
+        _ => Error::io("reading frame", e),
+    }
+}
+
+fn push_items(out: &mut Vec<u8>, items: &[ItemId]) {
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for &it in items {
+        out.extend_from_slice(&it.raw().to_le_bytes());
+    }
+}
+
+/// Encodes a request payload (tag + body; framing is separate).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Query { basket, top_k } => {
+            out.push(TAG_QUERY);
+            out.extend_from_slice(&top_k.to_le_bytes());
+            push_items(&mut out, basket);
+        }
+        Request::Shutdown => out.push(TAG_SHUTDOWN),
+    }
+    out
+}
+
+/// Encodes a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Results(recs) => {
+            out.push(TAG_RESULTS);
+            out.extend_from_slice(&(recs.len() as u32).to_le_bytes());
+            for rec in recs {
+                push_items(&mut out, rec.consequent.items());
+                out.extend_from_slice(&rec.support_count.to_le_bytes());
+                out.extend_from_slice(&rec.confidence.to_bits().to_le_bytes());
+                out.extend_from_slice(&rec.score.to_bits().to_le_bytes());
+            }
+        }
+        Response::Error(msg) => {
+            out.push(TAG_ERROR);
+            out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+            out.extend_from_slice(msg.as_bytes());
+        }
+        Response::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+    }
+    out
+}
+
+/// Bounded payload cursor; short reads are protocol errors (the frame
+/// checksum already passed, so damage here means a malformed sender).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(Error::Protocol("payload truncated".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn items(&mut self, max: usize, what: &str) -> Result<Vec<ItemId>> {
+        let len = self.u32()? as usize;
+        if len > max {
+            return Err(Error::Protocol(format!(
+                "implausible {what} length {len} (max {max})"
+            )));
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(ItemId(self.u32()?));
+        }
+        Ok(items)
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(Error::Protocol("payload has trailing garbage".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let req = match c.u8()? {
+        TAG_QUERY => {
+            let top_k = c.u32()?;
+            if top_k as usize > MAX_RESULTS {
+                return Err(Error::Protocol(format!(
+                    "implausible top_k {top_k} (max {MAX_RESULTS})"
+                )));
+            }
+            let basket = c.items(MAX_BASKET_LEN, "basket")?;
+            Request::Query { basket, top_k }
+        }
+        TAG_SHUTDOWN => Request::Shutdown,
+        tag => return Err(Error::Protocol(format!("unknown request tag {tag:#04x}"))),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let resp = match c.u8()? {
+        TAG_RESULTS => {
+            let n = c.u32()? as usize;
+            if n > MAX_RESULTS {
+                return Err(Error::Protocol(format!(
+                    "implausible result count {n} (max {MAX_RESULTS})"
+                )));
+            }
+            let mut recs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let items = c.items(MAX_BASKET_LEN, "consequent")?;
+                if items.is_empty() || items.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(Error::Protocol("consequent items not ascending".into()));
+                }
+                let support_count = c.u64()?;
+                let confidence = f64::from_bits(c.u64()?);
+                let score = f64::from_bits(c.u64()?);
+                if !confidence.is_finite() || !score.is_finite() {
+                    return Err(Error::Protocol("non-finite recommendation score".into()));
+                }
+                recs.push(Recommendation {
+                    consequent: Itemset::from_sorted(items),
+                    support_count,
+                    confidence,
+                    score,
+                });
+            }
+            Response::Results(recs)
+        }
+        TAG_ERROR => {
+            let len = c.u32()? as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(Error::Protocol("implausible error length".into()));
+            }
+            let msg = std::str::from_utf8(c.take(len)?)
+                .map_err(|_| Error::Protocol("error message is not UTF-8".into()))?;
+            Response::Error(msg.to_string())
+        }
+        TAG_SHUTDOWN_ACK => Response::ShutdownAck,
+        tag => return Err(Error::Protocol(format!("unknown response tag {tag:#04x}"))),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_types::iset;
+
+    fn sample_response() -> Response {
+        Response::Results(vec![
+            Recommendation {
+                consequent: iset![7],
+                support_count: 2,
+                confidence: 2.0 / 3.0,
+                score: 2.0 / 9.0,
+            },
+            Recommendation {
+                consequent: iset![2, 5],
+                support_count: 1,
+                confidence: 0.5,
+                score: 1.0 / 12.0,
+            },
+        ])
+    }
+
+    #[test]
+    fn request_round_trips() {
+        for req in [
+            Request::Query {
+                basket: vec![ItemId(3), ItemId(9), ItemId(3)],
+                top_k: 5,
+            },
+            Request::Query {
+                basket: vec![],
+                top_k: 0,
+            },
+            Request::Shutdown,
+        ] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for resp in [
+            sample_response(),
+            Response::Results(vec![]),
+            Response::Error("deadline exceeded".into()),
+            Response::ShutdownAck,
+        ] {
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_through_a_stream() {
+        let payload = encode_request(&Request::Shutdown);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), Some(payload));
+        // Clean EOF at the frame boundary.
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversize_length_field_is_rejected_before_allocation() {
+        // A header claiming a 1 GiB payload followed by nothing: the
+        // reader must fail on the length check, not try to allocate.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(&err, Error::Protocol(m) if m.contains("exceeds")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn oversize_payload_is_refused_on_write() {
+        let big = vec![0u8; MAX_FRAME_BYTES + 1];
+        let err = write_frame(&mut Vec::new(), &big).unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    fn every_frame_truncation_is_a_clean_error() {
+        let payload = encode_response(&sample_response());
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &payload).unwrap();
+        // len 0 is a clean EOF (None); every other cut must error.
+        for len in 1..frame.len() {
+            let got = read_frame(&mut std::io::Cursor::new(&frame[..len]));
+            let err = got.expect_err(&format!("truncation at {len} decoded"));
+            assert!(
+                matches!(err, Error::Corrupt(_) | Error::Protocol(_)),
+                "truncation at {len}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_frame_byte_flip_is_detected() {
+        let payload = encode_request(&Request::Query {
+            basket: vec![ItemId(1), ItemId(2), ItemId(3)],
+            top_k: 4,
+        });
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &payload).unwrap();
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0xFF;
+            match read_frame(&mut std::io::Cursor::new(&bad)) {
+                // A header flip may shrink the claimed length so a
+                // checksum-valid prefix cannot result; a payload or
+                // checksum flip must fail the checksum; a length flip
+                // upward must truncate or exceed the cap. Never Ok.
+                Err(Error::Corrupt(_)) | Err(Error::Protocol(_)) => {}
+                other => panic!("flip at {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_are_protocol_errors_never_panics() {
+        for payload in [
+            &[][..],
+            &[0xFF][..],
+            &[TAG_QUERY][..],
+            &[TAG_QUERY, 1, 0, 0, 0][..],
+            &[TAG_RESULTS, 0xFF, 0xFF, 0xFF, 0xFF][..],
+            &[TAG_ERROR, 10, 0, 0, 0, b'h', b'i'][..],
+            &[TAG_SHUTDOWN, 0][..], // trailing garbage
+        ] {
+            let req = decode_request(payload);
+            let resp = decode_response(payload);
+            assert!(req.is_err() || resp.is_err(), "{payload:?}");
+            for e in [req.err(), resp.err()].into_iter().flatten() {
+                assert!(matches!(e, Error::Protocol(_)), "{payload:?}: {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn implausible_basket_length_is_rejected() {
+        let mut payload = vec![TAG_QUERY];
+        payload.extend_from_slice(&5u32.to_le_bytes());
+        payload.extend_from_slice(&(MAX_BASKET_LEN as u32 + 1).to_le_bytes());
+        let err = decode_request(&payload).unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err:?}");
+    }
+}

@@ -1,0 +1,335 @@
+//! The sharded concurrent query server.
+//!
+//! Topology: one blocking accept loop, one detached handler thread per
+//! connection, and one long-lived worker thread per shard. A handler
+//! parses a query, extends the basket once, fans the job out to every
+//! shard worker over an `mpsc` channel, and collects the shard-local
+//! match lists under the configured deadline before merging them into
+//! the final answer — the serving-tier mirror of H-HPGM's
+//! scatter/gather pass structure.
+//!
+//! Observability: each shard worker opens a `query` span per job (lane
+//! = shard id) and feeds per-shard counters (`serve.queries`,
+//! `serve.hits`, `serve.misses`) and the `serve.shard_us` latency
+//! histogram; handlers record request-level `serve.requests`,
+//! `serve.latency_us`, `serve.errors`, and `serve.deadline_exceeded`.
+//!
+//! Shutdown: a `Shutdown` frame (or [`Server::shutdown`]) flips the
+//! shared `running` flag and nudges the accept loop with a throwaway
+//! self-connection; handlers poll the flag every ~100 ms via their
+//! socket read deadline, and shard workers exit once the last job
+//! sender is gone. [`Server::wait`] joins everything.
+
+use crate::engine::{Catalog, Match};
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response,
+};
+use crate::store::RuleStore;
+use gar_obs::{Obs, Stopwatch};
+use gar_types::{Error, ItemId, Result};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often a connection handler re-checks the shutdown flag while
+/// blocked waiting for the next request frame.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of rule shards (and shard worker threads); clamped ≥ 1.
+    pub shards: usize,
+    /// Deadline for collecting all shard answers to one query.
+    pub deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            shards: 1,
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One unit of shard work: a parsed query plus the reply channel.
+struct Job {
+    basket: Arc<Vec<ItemId>>,
+    extended: Arc<Vec<ItemId>>,
+    reply: Sender<Vec<Match>>,
+}
+
+/// A running server; dropping it does *not* stop the threads — call
+/// [`Server::shutdown`] then [`Server::wait`] (or send a `Shutdown`
+/// frame) for an orderly exit.
+pub struct Server {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    obs: Obs,
+}
+
+impl Server {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The observability handle the server records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Requests an orderly stop: flips the flag and unblocks the accept
+    /// loop with a throwaway connection.
+    pub fn shutdown(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        // Best-effort nudge; if it fails the accept loop is already gone.
+        drop(TcpStream::connect(self.addr));
+    }
+
+    /// Blocks until the accept loop and every shard worker have exited.
+    pub fn wait(mut self) -> Result<()> {
+        if let Some(h) = self.accept.take() {
+            h.join().map_err(|_| Error::NodeFailure {
+                node: 0,
+                reason: "server accept thread panicked".into(),
+            })?;
+        }
+        for (shard, h) in self.workers.drain(..).enumerate() {
+            h.join().map_err(|_| Error::NodeFailure {
+                node: shard,
+                reason: "shard worker panicked".into(),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), shards and
+/// indexes `store` per `cfg`, and starts serving in the background.
+pub fn serve(addr: &str, store: RuleStore, cfg: ServerConfig, obs: Obs) -> Result<Server> {
+    let listener = TcpListener::bind(addr).map_err(|e| Error::io(format!("binding {addr}"), e))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| Error::io("reading bound address", e))?;
+    let catalog = Arc::new(Catalog::new(store, cfg.shards));
+    let running = Arc::new(AtomicBool::new(true));
+
+    let mut senders = Vec::with_capacity(catalog.num_shards());
+    let mut workers = Vec::with_capacity(catalog.num_shards());
+    for shard in 0..catalog.num_shards() {
+        let (tx, rx) = mpsc::channel::<Job>();
+        senders.push(tx);
+        let catalog = Arc::clone(&catalog);
+        let obs = obs.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("gar-serve-shard-{shard}"))
+                .spawn(move || shard_worker(shard, &catalog, &rx, &obs))
+                .map_err(|e| Error::io("spawning shard worker", e))?,
+        );
+    }
+
+    let accept = {
+        let running = Arc::clone(&running);
+        let catalog = Arc::clone(&catalog);
+        let obs = obs.clone();
+        std::thread::Builder::new()
+            .name("gar-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &running, &catalog, &senders, cfg, &obs))
+            .map_err(|e| Error::io("spawning accept thread", e))?
+    };
+
+    Ok(Server {
+        addr: local,
+        running,
+        accept: Some(accept),
+        workers,
+        obs,
+    })
+}
+
+/// A shard worker: drains jobs until the last sender drops, scoring
+/// each query against its own slice of the rule set.
+fn shard_worker(shard: usize, catalog: &Catalog, rx: &Receiver<Job>, obs: &Obs) {
+    let labels = [("shard", shard as u64)];
+    while let Ok(job) = rx.recv() {
+        let _span = obs.span(shard as u64, 0, "query");
+        let clock = Stopwatch::start();
+        let matches = catalog.shard_matches(shard, &job.basket, &job.extended);
+        obs.observe(
+            "serve.shard_us",
+            &labels,
+            clock.elapsed().as_micros() as u64,
+        );
+        obs.add("serve.queries", &labels, 1);
+        if matches.is_empty() {
+            obs.add("serve.misses", &labels, 1);
+        } else {
+            obs.add("serve.hits", &labels, 1);
+        }
+        // A receiver gone mid-collect just means the handler gave up
+        // (deadline) or disconnected; the next job is unaffected.
+        drop(job.reply.send(matches));
+    }
+}
+
+/// The accept loop. Owns the primary clone of every shard sender, so
+/// workers cannot outlive it by more than the open connections.
+fn accept_loop(
+    listener: &TcpListener,
+    running: &Arc<AtomicBool>,
+    catalog: &Arc<Catalog>,
+    senders: &[Sender<Job>],
+    cfg: ServerConfig,
+    obs: &Obs,
+) {
+    while running.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if !running.load(Ordering::SeqCst) {
+            break; // The shutdown nudge itself.
+        }
+        let running = Arc::clone(running);
+        let catalog = Arc::clone(catalog);
+        let senders = senders.to_vec();
+        let obs = obs.clone();
+        // Detached: the handler exits on EOF, on a fatal frame error,
+        // or within one poll interval of the flag flipping.
+        drop(
+            std::thread::Builder::new()
+                .name("gar-serve-conn".into())
+                .spawn(move || handle_connection(stream, &running, &catalog, &senders, cfg, &obs)),
+        );
+    }
+}
+
+/// One connection: a loop of request frames until EOF, a fatal framing
+/// error, or shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    running: &AtomicBool,
+    catalog: &Catalog,
+    senders: &[Sender<Job>],
+    cfg: ServerConfig,
+    obs: &Obs,
+) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
+        || stream.set_write_timeout(Some(cfg.deadline)).is_err()
+    {
+        return;
+    }
+    // A response is a few small writes (header, payload, checksum);
+    // letting Nagle batch them against delayed ACKs costs ~40 ms per
+    // round trip on loopback.
+    drop(stream.set_nodelay(true));
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF
+            Err(Error::Timeout { .. }) => {
+                if running.load(Ordering::SeqCst) {
+                    continue; // idle poll tick
+                }
+                return;
+            }
+            Err(_) => {
+                // Oversize length, bad checksum, mid-frame EOF: the
+                // stream is no longer frame-aligned. Best-effort error
+                // frame, then drop the connection.
+                obs.add("serve.errors", &[], 1);
+                let resp = encode_response(&Response::Error("malformed frame".into()));
+                drop(write_frame(&mut stream, &resp));
+                return;
+            }
+        };
+        let request = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame was well-formed (checksum passed), so the
+                // stream is still aligned: report and keep serving.
+                obs.add("serve.errors", &[], 1);
+                let resp = encode_response(&Response::Error(e.to_string()));
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        match request {
+            Request::Query { basket, top_k } => {
+                let clock = Stopwatch::start();
+                obs.add("serve.requests", &[], 1);
+                let response = match run_query(catalog, senders, cfg.deadline, basket, obs) {
+                    Ok(matches) => Response::Results(catalog.merge(matches, top_k as usize)),
+                    Err(e) => {
+                        obs.add("serve.errors", &[], 1);
+                        Response::Error(e.to_string())
+                    }
+                };
+                obs.observe("serve.latency_us", &[], clock.elapsed().as_micros() as u64);
+                if write_frame(&mut stream, &encode_response(&response)).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                let ack = encode_response(&Response::ShutdownAck);
+                drop(write_frame(&mut stream, &ack));
+                running.store(false, Ordering::SeqCst);
+                if let Ok(addr) = stream.local_addr() {
+                    drop(TcpStream::connect(addr)); // nudge the accept loop
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Fans one query out to every shard and collects the answers under
+/// `deadline`. A missed deadline is the workspace's retryable
+/// [`Error::Timeout`], exactly like a hung peer in the mining cluster.
+fn run_query(
+    catalog: &Catalog,
+    senders: &[Sender<Job>],
+    deadline: Duration,
+    basket: Vec<ItemId>,
+    obs: &Obs,
+) -> Result<Vec<Match>> {
+    let basket = Arc::new(basket);
+    let extended = Arc::new(catalog.extend_basket(&basket));
+    let (reply_tx, reply_rx) = mpsc::channel();
+    for tx in senders {
+        let job = Job {
+            basket: Arc::clone(&basket),
+            extended: Arc::clone(&extended),
+            reply: reply_tx.clone(),
+        };
+        tx.send(job).map_err(|_| Error::NodeFailure {
+            node: 0,
+            reason: "shard worker exited".into(),
+        })?;
+    }
+    drop(reply_tx);
+    let mut matches = Vec::new();
+    for _ in 0..senders.len() {
+        match reply_rx.recv_timeout(deadline) {
+            Ok(mut m) => matches.append(&mut m),
+            Err(_) => {
+                obs.add("serve.deadline_exceeded", &[], 1);
+                return Err(Error::Timeout {
+                    node: 0,
+                    op: "shard-collect".into(),
+                });
+            }
+        }
+    }
+    Ok(matches)
+}

@@ -1,0 +1,168 @@
+//! End-to-end serving over real loopback TCP: a known hierarchy, a
+//! running sharded server, and a client — answers must match the
+//! in-process engine exactly, taxonomy-ancestor matches included, and
+//! a hostile frame must not take the server down.
+
+use gar_cluster::RetryPolicy;
+use gar_mining::rules::Rule;
+use gar_obs::Obs;
+use gar_serve::{serve, Catalog, Client, RuleStore, ServerConfig};
+use gar_taxonomy::{Taxonomy, TaxonomyBuilder};
+use gar_types::{iset, ItemId, Itemset};
+use std::io::Write as _;
+use std::time::Duration;
+
+/// The [SA95] hierarchy: clothes(0) → outerwear(1) → {jackets(3),
+/// ski pants(4)}; clothes(0) → shirts(2); footwear(5) → {shoes(6),
+/// boots(7)}.
+fn sa95_taxonomy() -> Taxonomy {
+    let mut b = TaxonomyBuilder::new(8);
+    for (c, p) in [(1, 0), (2, 0), (3, 1), (4, 1), (6, 5), (7, 5)] {
+        b.edge(c, p).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn rule(a: Itemset, c: Itemset, sup: u64, conf: f64) -> Rule {
+    Rule {
+        antecedent: a,
+        consequent: c,
+        support_count: sup,
+        support: sup as f64 / 6.0,
+        confidence: conf,
+    }
+}
+
+fn fixture_rules() -> Vec<Rule> {
+    vec![
+        // The paper's flagship example: outerwear ⇒ hiking boots.
+        rule(iset![1], iset![7], 2, 2.0 / 3.0),
+        rule(iset![3], iset![2], 3, 0.9),
+        rule(iset![7], iset![1], 2, 1.0),
+        rule(iset![2], iset![6], 1, 0.4),
+        rule(iset![4], iset![7], 1, 0.5),
+    ]
+}
+
+fn fixture_store() -> RuleStore {
+    RuleStore::new(fixture_rules(), sa95_taxonomy(), 6)
+}
+
+fn start(shards: usize, obs: Obs) -> gar_serve::Server {
+    let cfg = ServerConfig {
+        shards,
+        deadline: Duration::from_secs(5),
+    };
+    serve("127.0.0.1:0", fixture_store(), cfg, obs).unwrap()
+}
+
+fn connect(server: &gar_serve::Server) -> Client {
+    Client::connect(
+        &server.local_addr().to_string(),
+        Some(Duration::from_secs(5)),
+        &RetryPolicy::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn served_answers_match_the_in_process_engine() {
+    let server = start(2, Obs::disabled());
+    let reference = Catalog::new(fixture_store(), 1);
+    let mut client = connect(&server);
+    let baskets: Vec<Vec<ItemId>> = vec![
+        vec![ItemId(3)],
+        vec![ItemId(7)],
+        vec![ItemId(2), ItemId(4)],
+        vec![ItemId(3), ItemId(6)],
+        vec![ItemId(0)], // an interior category, no rule mentions it
+    ];
+    for basket in &baskets {
+        assert_eq!(
+            client.query(basket, 10).unwrap(),
+            reference.query(basket, 10),
+            "basket {basket:?}"
+        );
+    }
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn ancestor_match_is_served_over_the_wire() {
+    let server = start(1, Obs::disabled());
+    let mut client = connect(&server);
+    // jackets(3) alone: "outerwear ⇒ hiking boots" fires through the
+    // ancestor, so boots(7) must appear among the recommendations.
+    let recs = client.query(&[ItemId(3)], 10).unwrap();
+    assert!(
+        recs.iter().any(|r| r.consequent == iset![7]),
+        "no ancestor-driven recommendation in {recs:?}"
+    );
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn per_shard_metrics_are_recorded() {
+    let obs = Obs::enabled();
+    let server = start(2, obs.clone());
+    let mut client = connect(&server);
+    for basket in [vec![ItemId(3)], vec![ItemId(7)], vec![ItemId(2)]] {
+        client.query(&basket, 5).unwrap();
+    }
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+    let snap = obs.metrics();
+    for shard in 0..2 {
+        let key = format!("serve.queries{{shard={shard}}}");
+        assert_eq!(snap.counters.get(&key), Some(&3), "missing {key}: {snap:?}");
+    }
+    assert_eq!(snap.counters.get("serve.requests"), Some(&3));
+    assert!(snap.histograms.contains_key("serve.latency_us"));
+    assert!(snap.histograms.contains_key("serve.shard_us{shard=0}"));
+    // The trace has one `query` span lane per shard.
+    let trace = obs.chrome_trace_json();
+    assert!(trace.contains("\"query\""), "{trace}");
+}
+
+#[test]
+fn oversize_frame_gets_an_error_and_the_server_survives() {
+    let server = start(1, Obs::disabled());
+    // A raw socket claiming a 1 GiB frame: the server must refuse it
+    // (error frame, connection dropped) without crashing or allocating.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+    raw.write_all(&[0u8; 32]).unwrap();
+    let resp = gar_serve::protocol::read_frame(&mut raw).unwrap();
+    let decoded = gar_serve::protocol::decode_response(&resp.unwrap()).unwrap();
+    assert!(
+        matches!(decoded, gar_serve::protocol::Response::Error(_)),
+        "{decoded:?}"
+    );
+    drop(raw);
+
+    // Garbage that fails the frame checksum is refused the same way.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&8u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0xAB; 16]).unwrap();
+    let resp = gar_serve::protocol::read_frame(&mut raw).unwrap();
+    assert!(resp.is_some());
+    drop(raw);
+
+    // The server is still alive and correct afterwards.
+    let mut client = connect(&server);
+    assert!(!client.query(&[ItemId(3)], 5).unwrap().is_empty());
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn shutdown_via_server_handle_unblocks_wait() {
+    let server = start(3, Obs::disabled());
+    let mut client = connect(&server);
+    client.query(&[ItemId(3)], 5).unwrap();
+    drop(client);
+    server.shutdown();
+    server.wait().unwrap();
+}

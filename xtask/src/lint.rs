@@ -37,6 +37,14 @@
 //!   span) so timing stays observable and the no-timestamp guarantee of
 //!   `metrics.json` (byte-identical reruns) cannot be eroded by ad-hoc
 //!   clock reads leaking into reports.
+//! * `no-raw-net` — `std::net` sockets (`TcpListener`, `TcpStream`,
+//!   `UdpSocket`) are forbidden outside `crates/serve`: all network I/O
+//!   belongs to the serving crate, where every frame read funnels
+//!   through `protocol::read_frame` and its `MAX_FRAME_BYTES` guard.
+//!   Inside `crates/serve`, bulk stream reads (`.read(`, `.read_exact(`,
+//!   `.read_to_end(`) are forbidden outside `protocol.rs` for the same
+//!   reason — a handler reading a socket directly would bypass the
+//!   length check that makes oversize frames unexploitable.
 //!
 //! Suppression: `// lint:allow(<rule>): <reason>` on the offending line
 //! or the line above. The reason is mandatory — the colon is part of
@@ -51,6 +59,11 @@ const RULE_RELAXED: &str = "relaxed";
 const RULE_HASH_ORDER: &str = "hash-order";
 const RULE_NO_DEADLINE: &str = "no-deadline";
 const RULE_NO_INSTANT: &str = "no-instant";
+const RULE_NO_RAW_NET: &str = "no-raw-net";
+
+/// The one file allowed to read raw bytes off a stream: the frame codec
+/// whose length guard (`MAX_FRAME_BYTES`) every read passes through.
+const FRAME_CODEC_FILE: &str = "crates/serve/src/protocol.rs";
 
 /// How many lines above an `Ordering::Relaxed` site a `relaxed:`
 /// justification comment may sit (covers one comment per short fn).
@@ -237,6 +250,38 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
                      within {RELAXED_WINDOW} lines"
                 ),
             });
+        }
+
+        // no-raw-net: sockets belong to crates/serve; within it, raw
+        // stream reads belong to the frame codec.
+        if !a.suppressed(i, RULE_NO_RAW_NET) {
+            if !rel.starts_with("crates/serve/") {
+                if let Some(what) = raw_net_token(code) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: RULE_NO_RAW_NET,
+                        msg: format!(
+                            "raw `{what}` outside crates/serve; network I/O lives in the \
+                             serving crate so every frame passes the MAX_FRAME_BYTES guard \
+                             in gar_serve::protocol"
+                        ),
+                    });
+                }
+            } else if rel != FRAME_CODEC_FILE {
+                if let Some(what) = raw_stream_read(code) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: RULE_NO_RAW_NET,
+                        msg: format!(
+                            "raw `{what}` outside {FRAME_CODEC_FILE}; read frames through \
+                             protocol::read_frame so the length is checked against \
+                             MAX_FRAME_BYTES before any allocation"
+                        ),
+                    });
+                }
+            }
         }
     }
 
@@ -682,6 +727,28 @@ fn contains_token(code: &str, token: &str) -> bool {
     find_token(code, token).is_some()
 }
 
+/// The socket vocabulary banned outside `crates/serve`. `std::net` is a
+/// path fragment rather than an identifier, so a plain substring match
+/// is the right test for it.
+fn raw_net_token(code: &str) -> Option<&'static str> {
+    if code.contains("std::net") {
+        return Some("std::net");
+    }
+    ["TcpListener", "TcpStream", "UdpSocket"]
+        .into_iter()
+        .find(|t| contains_token(code, t))
+}
+
+/// Bulk stream reads banned inside `crates/serve` outside the frame
+/// codec. Method-call syntax only: free functions like `std::fs::read`
+/// have `::` (not `.`) before the name and stay legal.
+fn raw_stream_read(code: &str) -> Option<&'static str> {
+    [".read_exact(", ".read_to_end(", ".read("]
+        .into_iter()
+        .find(|t| code.contains(t))
+        .map(|t| t.trim_start_matches('.').trim_end_matches('('))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -984,6 +1051,82 @@ fn f() {
 }
 ";
         assert!(lint_source("crates/cluster/src/collective.rs", src).is_empty());
+    }
+
+    // ----- no-raw-net ---------------------------------------------------
+
+    #[test]
+    fn raw_sockets_outside_serve_are_flagged() {
+        for src in [
+            "use std::net::TcpStream;\n",
+            "fn f(addr: &str) { let s = TcpStream::connect(addr); use_it(s); }\n",
+            "fn f() { let l = TcpListener::bind(\"127.0.0.1:0\"); use_it(l); }\n",
+            "fn f() { let u = UdpSocket::bind(\"127.0.0.1:0\"); use_it(u); }\n",
+        ] {
+            let f = lint_source("crates/mining/src/parallel/hhpgm.rs", src);
+            assert_eq!(rules(&f), vec![RULE_NO_RAW_NET], "{src}");
+        }
+    }
+
+    #[test]
+    fn sockets_inside_serve_are_the_sanctioned_transport() {
+        let src = "\
+use std::net::{TcpListener, TcpStream};
+fn f(l: &TcpListener) {
+    let s = l.accept();
+    use_it(s);
+}
+";
+        assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_stream_reads_inside_serve_are_flagged_outside_the_codec() {
+        for src in [
+            "fn f(s: &mut TcpStream) { s.read_exact(&mut [0u8; 4]).ok(); }\n",
+            "fn f(s: &mut TcpStream) { let mut v = vec![]; s.read_to_end(&mut v).ok(); }\n",
+            "fn f(s: &mut TcpStream) { let mut b = [0u8; 64]; s.read(&mut b).ok(); }\n",
+        ] {
+            let f = lint_source("crates/serve/src/client.rs", src);
+            assert_eq!(rules(&f), vec![RULE_NO_RAW_NET], "{src}");
+        }
+    }
+
+    #[test]
+    fn the_frame_codec_itself_may_read_raw_bytes() {
+        let src = "fn f(r: &mut impl Read, b: &mut [u8]) { r.read(b).ok(); }\n";
+        assert!(lint_source("crates/serve/src/protocol.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fs_read_free_function_is_not_a_stream_read() {
+        let src = "fn f(p: &Path) { let b = std::fs::read(p); use_it(b); }\n";
+        assert!(lint_source("crates/serve/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_net_in_tests_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let _s = TcpStream::connect(\"127.0.0.1:1\");
+    }
+}
+";
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_net_suppression_with_reason_is_honored() {
+        let src = "\
+fn f() {
+    // lint:allow(no-raw-net): doc example rendered, never compiled
+    let s = TcpStream::connect(\"127.0.0.1:1\");
+    use_it(s);
+}
+";
+        assert!(lint_source("crates/cli/src/commands/serve.rs", src).is_empty());
     }
 
     // ----- relaxed ------------------------------------------------------

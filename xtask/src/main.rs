@@ -12,6 +12,11 @@
 //!   (see `crates/bench/src/bin/bench_gate.rs`) and, with `--check`,
 //!   compares modeled execution times against the committed
 //!   `BENCH_PR3.json` baseline.
+//! * `serve-smoke` — the serving-layer smoke: mine a tiny dataset,
+//!   persist the rule store, serve it at 1 and 4 shards, drive it with
+//!   the seeded `serve_load` generator, and assert byte-identical
+//!   response transcripts plus per-shard metrics (see
+//!   `crates/bench/src/bin/serve_load.rs`).
 //! * `miri` — runs the UB interpreter over the unsafe-bearing crates
 //!   when the `miri` component is installed; degrades to a skip
 //!   otherwise (this build environment has no network to install it).
@@ -34,6 +39,9 @@ fn usage() -> &'static str {
        bench [--check] [--tolerance F] [--out FILE]\n\
                      run the pinned smoke matrix; --check gates against\n\
                      the committed BENCH_PR3.json baseline\n\
+       serve-smoke [--out FILE]\n\
+                     mine → persist → serve → load-test; asserts deterministic\n\
+                     transcripts and writes a gar-serve-bench-v1 baseline\n\
        miri [--strict]   run miri over unsafe-bearing crates (skip if unavailable)\n\
        tsan [--strict]   run ThreadSanitizer over cluster tests (skip if unavailable)\n\
      \n\
@@ -61,6 +69,7 @@ fn main() -> ExitCode {
         "loom" => runners::loom(&repo_root(), rest),
         "chaos" => runners::chaos(&repo_root(), rest),
         "bench" => runners::bench(&repo_root(), rest),
+        "serve-smoke" => runners::serve_smoke(&repo_root(), rest),
         "miri" => runners::miri(&repo_root(), rest),
         "tsan" => runners::tsan(&repo_root(), rest),
         "help" | "--help" | "-h" => {
