@@ -1,0 +1,396 @@
+//! A name-based, per-workspace call graph.
+//!
+//! Resolution is by simple name: a call site `foo(..)` / `x.foo(..)` /
+//! `T::foo(..)` creates an edge to *every* function named `foo` in the
+//! scanned set. That over-approximates (several `encode` functions
+//! merge into one node-set) — which is the conservative direction for
+//! reachability rules — except for a stop-list of ubiquitous names
+//! (`new`, `push`, `len`, ...) that would otherwise connect everything
+//! to everything through `Vec`/`HashMap`-shaped methods and drown the
+//! graph in noise. Rules that need precision anchor on distinctive
+//! names (sink and entry functions are chosen accordingly).
+
+use crate::source::SourceFile;
+use std::collections::{HashMap, HashSet};
+
+/// The workspace crate-dependency DAG, used to prune name-resolution:
+/// a call site in crate A can only resolve to functions in A itself or
+/// in crates A (transitively) depends on. Without this, any `fn run`
+/// anywhere makes every caller of a `run(..)` "reach" it, across crates
+/// that are not even linked together.
+#[derive(Default)]
+pub struct CrateDeps {
+    /// crate dir name → transitive dependency dir names (self excluded).
+    map: HashMap<String, HashSet<String>>,
+}
+
+impl CrateDeps {
+    /// Records one crate's manifest. Dependencies are recognized as
+    /// lines starting with an in-workspace package name (`gar-<dir>`),
+    /// which is all the precision the edge filter needs.
+    pub fn add_manifest(&mut self, crate_dir: &str, manifest: &str) {
+        let entry = self.map.entry(crate_dir.to_string()).or_default();
+        for line in manifest.lines() {
+            let t = line.trim();
+            if let Some(rest) = t.strip_prefix("gar-") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-')
+                    .collect();
+                if !name.is_empty() && name != "compat" {
+                    entry.insert(name);
+                }
+            }
+        }
+    }
+
+    /// Transitively closes the recorded edges; call once after all
+    /// manifests are added.
+    pub fn close(&mut self) {
+        let keys: Vec<String> = self.map.keys().cloned().collect();
+        for k in &keys {
+            let mut seen: HashSet<String> = HashSet::new();
+            let mut queue: Vec<String> = self.map[k].iter().cloned().collect();
+            while let Some(d) = queue.pop() {
+                if seen.insert(d.clone()) {
+                    if let Some(next) = self.map.get(&d) {
+                        queue.extend(next.iter().cloned());
+                    }
+                }
+            }
+            self.map.insert(k.clone(), seen);
+        }
+    }
+
+    /// May code in `from_crate` call into `to_crate`? Crates without a
+    /// recorded manifest (in-memory test fixtures) are permissive.
+    fn allows(&self, from_crate: &str, to_crate: &str) -> bool {
+        if from_crate == to_crate {
+            return true;
+        }
+        match self.map.get(from_crate) {
+            Some(deps) => deps.contains(to_crate),
+            None => true,
+        }
+    }
+}
+
+/// The crate directory name a workspace-relative path belongs to
+/// (`crates/serve/src/lib.rs` → `serve`); other layouts get `""`.
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+/// Names too generic to resolve: they are idiomatic std-container or
+/// constructor methods, so an edge through them says nothing about the
+/// callee we actually care about.
+const UBIQUITOUS: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "drop",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "take",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "clear",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "items",
+    "raw",
+    "read",
+    "write",
+    "flush",
+    "lock",
+    "send",
+    "recv",
+    "wait",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "to_string",
+    "to_vec",
+    "from",
+    "into",
+    "extend",
+    "extend_from_slice",
+    "unwrap",
+    "expect",
+    "map",
+    "and_then",
+    "ok",
+    "err",
+    "min",
+    "max",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "index",
+    "deref",
+    "deref_mut",
+    "finish",
+    "count",
+    "sum",
+    "collect",
+    "clamp",
+    "abs",
+    "keys",
+    "values",
+    "drain",
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "dedup",
+    "retain",
+    "resize",
+    "reserve",
+    "with_capacity",
+    "join",
+    "split",
+    "trim",
+    "parse",
+    "start",
+    "stop",
+    "elapsed",
+    "add",
+    "observe",
+    "span",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+];
+
+/// A node in the call graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Workspace-relative file the function is defined in.
+    pub file: String,
+    /// Simple name.
+    pub name: String,
+    /// 1-based line of the definition's opening header.
+    pub start_line: usize,
+    /// Defined inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+pub struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    /// Outgoing edges, by node index.
+    edges: Vec<Vec<usize>>,
+    /// Reverse edges, by node index.
+    redges: Vec<Vec<usize>>,
+    /// node index by (file, fn start line) for lookups from findings.
+    by_site: HashMap<(String, usize), usize>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every function of every file. Test-region
+    /// functions are included as nodes but never grown through (a test
+    /// calling a sink must not taint the sink's other callers... and a
+    /// panic in a test harness is fine), so edges from test fns are
+    /// dropped.
+    pub fn build(files: &[SourceFile], deps: &CrateDeps) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_site = HashMap::new();
+        for sf in files {
+            for f in &sf.fns {
+                let idx = nodes.len();
+                nodes.push(FnNode {
+                    file: sf.rel.clone(),
+                    name: f.name.clone(),
+                    start_line: f.start_line,
+                    in_test: f.in_test,
+                });
+                by_name.entry(f.name.as_str()).or_default().push(idx);
+                by_site.insert((sf.rel.clone(), f.start_line), idx);
+            }
+        }
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut redges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut idx = 0;
+        for sf in files {
+            for f in &sf.fns {
+                if !f.in_test {
+                    for call in &f.calls {
+                        if UBIQUITOUS.contains(&call.as_str()) {
+                            continue;
+                        }
+                        if let Some(targets) = by_name.get(call.as_str()) {
+                            for &t in targets {
+                                if t != idx
+                                    && deps.allows(crate_of(&sf.rel), crate_of(&nodes[t].file))
+                                    && !edges[idx].contains(&t)
+                                {
+                                    edges[idx].push(t);
+                                    redges[t].push(idx);
+                                }
+                            }
+                        }
+                    }
+                }
+                idx += 1;
+            }
+        }
+        CallGraph {
+            nodes,
+            edges,
+            redges,
+            by_site,
+        }
+    }
+
+    /// The node index for the function starting at `(file, line)`.
+    pub fn node_at(&self, file: &str, start_line: usize) -> Option<usize> {
+        self.by_site.get(&(file.to_string(), start_line)).copied()
+    }
+
+    /// Forward closure: every node reachable (by call edges) from the
+    /// seed set, mapped to the *seed name* that first reached it — the
+    /// witness reported in findings. Seeds map to themselves.
+    pub fn reachable_from(&self, seeds: &[usize]) -> HashMap<usize, String> {
+        self.closure(seeds, &self.edges)
+    }
+
+    /// Reverse closure: every node from which some seed is reachable,
+    /// mapped to the seed name it reaches. Seeds map to themselves.
+    pub fn reaching(&self, seeds: &[usize]) -> HashMap<usize, String> {
+        self.closure(seeds, &self.redges)
+    }
+
+    fn closure(&self, seeds: &[usize], edges: &[Vec<usize>]) -> HashMap<usize, String> {
+        let mut out: HashMap<usize, String> = HashMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        for &s in seeds {
+            if seen.insert(s) {
+                out.insert(s, self.nodes[s].name.clone());
+                queue.push(s);
+            }
+        }
+        while let Some(n) = queue.pop() {
+            let witness = out[&n].clone();
+            for &m in &edges[n] {
+                if seen.insert(m) {
+                    out.insert(m, witness.clone());
+                    queue.push(m);
+                }
+            }
+        }
+        out
+    }
+
+    /// Node indices satisfying a predicate — the usual way seed sets
+    /// (sinks, entry points) are selected.
+    pub fn select(&self, pred: impl Fn(&FnNode) -> bool) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| pred(n))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn graph(files: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let parsed: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(rel, src))
+            .collect();
+        let g = CallGraph::build(&parsed, &CrateDeps::default());
+        (parsed, g)
+    }
+
+    #[test]
+    fn cross_file_reachability() {
+        let (_, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn top() { middle(); }\nfn middle() { encode_payload(1); }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn encode_payload(x: u32) -> u32 { x }\n",
+            ),
+        ]);
+        let sinks = g.select(|n| n.name == "encode_payload");
+        assert_eq!(sinks.len(), 1);
+        let reaching = g.reaching(&sinks);
+        let names: Vec<&str> = reaching.keys().map(|&i| g.nodes[i].name.as_str()).collect();
+        assert!(
+            names.contains(&"top") && names.contains(&"middle"),
+            "{names:?}"
+        );
+        // The witness names the sink that makes the function tainted.
+        let top = g.select(|n| n.name == "top")[0];
+        assert_eq!(reaching[&top], "encode_payload");
+    }
+
+    #[test]
+    fn ubiquitous_names_do_not_create_edges() {
+        let (_, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn caller(v: &mut Vec<u32>) { v.push(1); }\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn push(x: u32) {}\n"),
+        ]);
+        let sinks = g.select(|n| n.name == "push");
+        let reaching = g.reaching(&sinks);
+        let caller = g.select(|n| n.name == "caller")[0];
+        assert!(!reaching.contains_key(&caller));
+    }
+
+    #[test]
+    fn test_fns_do_not_propagate() {
+        let (_, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "\
+fn sink_fn() {}
+
+#[cfg(test)]
+mod tests {
+    fn harness() {
+        sink_fn();
+    }
+}
+",
+        )]);
+        let sinks = g.select(|n| n.name == "sink_fn");
+        let reaching = g.reaching(&sinks);
+        let harness = g.select(|n| n.name == "harness")[0];
+        assert!(!reaching.contains_key(&harness));
+    }
+
+    #[test]
+    fn forward_closure_names_the_entry() {
+        let (_, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn handle_conn() { helper_a(); }\nfn helper_a() { helper_b(); }\nfn helper_b() {}\n",
+        )]);
+        let entries = g.select(|n| n.name == "handle_conn");
+        let reach = g.reachable_from(&entries);
+        let b = g.select(|n| n.name == "helper_b")[0];
+        assert_eq!(reach[&b], "handle_conn");
+    }
+}

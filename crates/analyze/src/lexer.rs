@@ -1,0 +1,581 @@
+//! A hand-rolled Rust lexer — just enough of the language to make
+//! pattern-based rules sound: raw strings (`r#".."#`, any hash depth),
+//! byte strings, char literals vs lifetimes, nested block comments, and
+//! doc comments are all recognized, so nothing inside a literal or a
+//! comment can ever match a rule pattern.
+//!
+//! The lexer produces two views of a file:
+//!
+//! * a flat [`Token`] stream (kind + text + 1-based start line), used by
+//!   tests and anything that wants exact token boundaries;
+//! * **sanitized code lines** — the source with comments replaced by a
+//!   single space, string literals collapsed to `""`, and char literals
+//!   collapsed to `' '`, everything else (including whitespace and
+//!   braces) byte-for-byte intact. Line numbers are preserved exactly:
+//!   sanitized line `i` corresponds to raw line `i`, with multi-line
+//!   tokens contributing empty continuation lines. All line-oriented
+//!   rule matching happens on this view.
+
+/// What a token is. Literal *contents* are deliberately opaque — rules
+/// must never see inside them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (also raw identifiers, `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// String literal: `".."`, `b".."`.
+    Str,
+    /// Raw string literal: `r".."`, `r#".."#`, `br#".."#`.
+    RawStr,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Numeric literal (integers, floats, any suffix).
+    Num,
+    /// Any single punctuation character.
+    Punct,
+    /// `// ..` (non-doc).
+    LineComment,
+    /// `/* .. */`, possibly nested (non-doc).
+    BlockComment,
+    /// `/// ..`, `//! ..`, `/** .. */`, `/*! .. */`.
+    DocComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The exact source text of the token (comments and literals keep
+    /// their full spelling here; only the sanitized view blanks them).
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: usize,
+}
+
+/// The result of lexing one file.
+#[derive(Debug)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// Sanitized code lines, parallel to the raw lines of the file.
+    pub code_lines: Vec<String>,
+}
+
+pub fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    tokens: Vec<Token>,
+    code_lines: Vec<String>,
+    cur: String,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one raw char *inside a literal or comment* (not emitted
+    /// to the sanitized view), keeping line accounting straight.
+    fn eat_opaque(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.i += 1;
+        if c == '\n' {
+            self.newline();
+        }
+        Some(c)
+    }
+
+    fn newline(&mut self) {
+        self.line += 1;
+        self.code_lines.push(std::mem::take(&mut self.cur));
+    }
+
+    fn push_token(&mut self, kind: TokenKind, start: usize, start_line: usize) {
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.tokens.push(Token {
+            kind,
+            text,
+            line: start_line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        let kind = if text.starts_with("///") || text.starts_with("//!") {
+            TokenKind::DocComment
+        } else {
+            TokenKind::LineComment
+        };
+        self.tokens.push(Token {
+            kind,
+            text,
+            line: start_line,
+        });
+        self.cur.push(' ');
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        // Placeholder goes on the *start* line; newlines inside the
+        // comment flush `cur` as they are consumed.
+        self.cur.push(' ');
+        self.i += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (Some(_), _) => {
+                    self.eat_opaque();
+                }
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        let kind =
+            if (text.starts_with("/**") && !text.starts_with("/**/")) || text.starts_with("/*!") {
+                TokenKind::DocComment
+            } else {
+                TokenKind::BlockComment
+            };
+        self.tokens.push(Token {
+            kind,
+            text,
+            line: start_line,
+        });
+    }
+
+    /// A `"`-delimited string body (the opening quote is already known);
+    /// handles escapes, including escaped quotes and multi-line strings.
+    fn string_body(&mut self) {
+        self.i += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None => break, // unterminated; tolerate
+                Some('\\') => {
+                    self.eat_opaque();
+                    self.eat_opaque();
+                }
+                Some('"') => {
+                    self.i += 1;
+                    break;
+                }
+                Some(_) => {
+                    self.eat_opaque();
+                }
+            }
+        }
+    }
+
+    /// A raw string starting at the current `r` (or after `b`): consumes
+    /// `r#*"` .. `"#*` with a matching hash count.
+    fn raw_string_body(&mut self) {
+        self.i += 1; // `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        debug_assert_eq!(self.peek(0), Some('"'));
+        self.i += 1;
+        loop {
+            match self.peek(0) {
+                None => break, // unterminated; tolerate
+                Some('"') => {
+                    // A close candidate: `"` followed by `hashes` hashes.
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if self.peek(1 + k) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        self.i += 1 + hashes;
+                        break;
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    self.eat_opaque();
+                }
+            }
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.i += 1; // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                self.i += 1;
+                if self.peek(0) == Some('u') {
+                    // `'\u{..}'`
+                    while self.peek(0).is_some_and(|c| c != '}') {
+                        self.i += 1;
+                    }
+                    self.i += 1; // `}`
+                } else {
+                    self.i += 1; // the escaped char
+                }
+            }
+            Some(_) => self.i += 1,
+            None => {}
+        }
+        if self.peek(0) == Some('\'') {
+            self.i += 1;
+        }
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.i += 1;
+                self.newline();
+                continue;
+            }
+            if c.is_whitespace() {
+                self.cur.push(c);
+                self.i += 1;
+                continue;
+            }
+            let start = self.i;
+            let start_line = self.line;
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    // Placeholder first: a multi-line literal flushes
+                    // `cur` at each newline it swallows, so the blank
+                    // stand-in must already be on the start line.
+                    self.cur.push_str("\"\"");
+                    self.string_body();
+                    self.push_token(TokenKind::Str, start, start_line);
+                }
+                'r' | 'b' if self.is_string_prefix() => {
+                    let is_char = c == 'b' && self.peek(1) == Some('\'');
+                    self.cur.push_str(if is_char { "' '" } else { "\"\"" });
+                    let kind = self.prefixed_literal();
+                    self.push_token(kind, start, start_line);
+                }
+                c if is_ident_start(c) => {
+                    while self.peek(0).is_some_and(is_ident_char) {
+                        self.i += 1;
+                    }
+                    self.push_token(TokenKind::Ident, start, start_line);
+                    let text: String = self.chars[start..self.i].iter().collect();
+                    self.cur.push_str(&text);
+                }
+                c if c.is_ascii_digit() => {
+                    while self.peek(0).is_some_and(is_ident_char)
+                        || (self.peek(0) == Some('.')
+                            && self.peek(1).is_some_and(|c| c.is_ascii_digit()))
+                    {
+                        self.i += 1;
+                    }
+                    self.push_token(TokenKind::Num, start, start_line);
+                    let text: String = self.chars[start..self.i].iter().collect();
+                    self.cur.push_str(&text);
+                }
+                '\'' => {
+                    // Lifetime when followed by an identifier that is not
+                    // immediately closed by a quote (`'a` vs `'a'`).
+                    let is_lifetime =
+                        self.peek(1).is_some_and(is_ident_start) && self.peek(2) != Some('\'');
+                    if is_lifetime {
+                        self.i += 1;
+                        while self.peek(0).is_some_and(is_ident_char) {
+                            self.i += 1;
+                        }
+                        self.push_token(TokenKind::Lifetime, start, start_line);
+                        let text: String = self.chars[start..self.i].iter().collect();
+                        self.cur.push_str(&text);
+                    } else {
+                        self.char_literal();
+                        self.push_token(TokenKind::Char, start, start_line);
+                        self.cur.push_str("' '");
+                    }
+                }
+                c => {
+                    self.i += 1;
+                    self.push_token(TokenKind::Punct, start, start_line);
+                    self.cur.push(c);
+                }
+            }
+        }
+        self.code_lines.push(self.cur);
+        Lexed {
+            tokens: self.tokens,
+            code_lines: self.code_lines,
+        }
+    }
+
+    /// At an `r` or `b`: does a string/char literal (rather than a plain
+    /// identifier like `radius` or a raw identifier `r#type`) start here?
+    fn is_string_prefix(&self) -> bool {
+        match self.peek(0) {
+            Some('r') => {
+                // `r"`, `r#..#"` (raw string) — but `r#ident` is a raw
+                // identifier, so the char after the hashes must be `"`.
+                // `r"`, `r#..#"` (raw string); `r#ident` has an ident
+                // char, not `"`, after its hashes.
+                let mut k = 1;
+                while self.peek(k) == Some('#') {
+                    k += 1;
+                }
+                self.peek(k) == Some('"')
+            }
+            Some('b') => match self.peek(1) {
+                Some('"') | Some('\'') => true,
+                Some('r') => {
+                    let mut k = 2;
+                    while self.peek(k) == Some('#') {
+                        k += 1;
+                    }
+                    self.peek(k) == Some('"')
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Consumes a `r`/`b`-prefixed literal; returns its kind.
+    fn prefixed_literal(&mut self) -> TokenKind {
+        match (self.peek(0), self.peek(1)) {
+            (Some('r'), _) => {
+                self.raw_string_body();
+                TokenKind::RawStr
+            }
+            (Some('b'), Some('\'')) => {
+                self.i += 1; // `b`
+                self.char_literal();
+                TokenKind::Char
+            }
+            (Some('b'), Some('"')) => {
+                self.i += 1; // `b`
+                self.string_body();
+                TokenKind::Str
+            }
+            (Some('b'), Some('r')) => {
+                self.i += 1; // `b`
+                self.raw_string_body();
+                TokenKind::RawStr
+            }
+            _ => unreachable!("is_string_prefix guarantees a literal"),
+        }
+    }
+}
+
+/// Lexes one file into tokens plus sanitized code lines.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        tokens: Vec::new(),
+        code_lines: Vec::new(),
+        cur: String::new(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    fn sanitized(src: &str) -> Vec<String> {
+        lex(src).code_lines
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            kinds("fn foo(x: u32) {}"),
+            vec![
+                TokenKind::Ident, // fn
+                TokenKind::Ident, // foo
+                TokenKind::Punct, // (
+                TokenKind::Ident, // x
+                TokenKind::Punct, // :
+                TokenKind::Ident, // u32
+                TokenKind::Punct, // )
+                TokenKind::Punct, // {
+                TokenKind::Punct, // }
+            ]
+        );
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = sanitized(r#"let s = "cv.wait(x) /* not a comment */";"#);
+        assert_eq!(lines, vec![r#"let s = "";"#.to_string()]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let lines = sanitized(r###"let s = r#"quote " and .unwrap() inside"#; done();"###);
+        assert_eq!(lines, vec![r#"let s = ""; done();"#.to_string()]);
+        // Hash depth 2, with a `"#` inside that must not close it.
+        let src = "let s = r##\"has \"# inside\"##; f();";
+        assert_eq!(sanitized(src), vec!["let s = \"\"; f();".to_string()]);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let toks = lex("let r#type = 1;").tokens;
+        assert_eq!(toks[1].kind, TokenKind::Ident);
+        // `r` then `#` then `type`: lexed as ident `r`, punct `#`,
+        // ident `type` — adequate for our rules (never a string).
+        assert!(toks.iter().all(|t| t.kind != TokenKind::RawStr));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_numbers() {
+        let src = "let s = \"line one\nline two\";\nlet t = 3;";
+        let lines = sanitized(src);
+        assert_eq!(
+            lines,
+            vec![
+                "let s = \"\"".to_string(),
+                ";".to_string(),
+                "let t = 3;".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a(); /* outer /* inner */ still comment */ b();";
+        assert_eq!(sanitized(src), vec!["a();   b();".to_string()]);
+    }
+
+    #[test]
+    fn multiline_block_comment_keeps_line_numbers() {
+        let src = "a();\n/* one\n   two */\nb();";
+        assert_eq!(
+            sanitized(src),
+            vec![
+                "a();".to_string(),
+                " ".to_string(),
+                "".to_string(),
+                "b();".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a".to_string(), "'a".to_string()]);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for src in ["'\\n'", "'\\''", "'\\\\'", "'\\u{1F600}'", "b'x'"] {
+            let toks = lex(&format!("let c = {src};")).tokens;
+            assert!(
+                toks.iter().any(|t| t.kind == TokenKind::Char),
+                "{src}: {toks:?}"
+            );
+            // The trailing `;` must survive (the literal must not
+            // swallow it).
+            assert_eq!(toks.last().unwrap().text, ";", "{src}");
+        }
+    }
+
+    #[test]
+    fn static_lifetime() {
+        let toks = lex("const S: &'static str = \"x\";").tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        assert_eq!(
+            kinds(
+                "/// doc\n//! inner\n// plain\n/** block doc */\n/*! inner block */\n/* plain */"
+            ),
+            vec![
+                TokenKind::DocComment,
+                TokenKind::DocComment,
+                TokenKind::LineComment,
+                TokenKind::DocComment,
+                TokenKind::DocComment,
+                TokenKind::BlockComment,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comment_contents_never_reach_code_lines() {
+        let lines = sanitized("real(); // cv.wait( and Ordering::Relaxed here");
+        assert_eq!(lines, vec!["real();  ".to_string()]);
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        assert_eq!(
+            sanitized(r#"let b = b"payload .unwrap()"; f();"#),
+            vec![r#"let b = ""; f();"#.to_string()]
+        );
+    }
+
+    #[test]
+    fn float_range_is_not_swallowed() {
+        // `0..n` must lex as num, punct, punct, ident — not a float.
+        let toks = lex("for i in 0..n {}").tokens;
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0") && texts.contains(&"n"), "{texts:?}");
+    }
+
+    #[test]
+    fn token_lines_are_one_based_and_accurate() {
+        let toks = lex("a\n\nb /* c\nd */ e").tokens;
+        let at: Vec<(String, usize)> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text.clone(), t.line))
+            .collect();
+        assert_eq!(
+            at,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 3),
+                ("e".to_string(), 4)
+            ]
+        );
+    }
+}

@@ -1,0 +1,4 @@
+pub fn f(r: Result<u32, ()>) -> u32 {
+    // lint:allow(cluster-unwrap): fixture — infallible by construction
+    r.unwrap()
+}

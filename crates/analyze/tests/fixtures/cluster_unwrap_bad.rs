@@ -1,0 +1,3 @@
+pub fn f(r: Result<u32, ()>) -> u32 {
+    r.unwrap()
+}

@@ -1,0 +1,8 @@
+use std::collections::HashMap;
+pub fn encode_counts(counts: &HashMap<u32, u64>, out: &mut Vec<u8>) {
+    // lint:allow(det-taint): fixture — order folded through a commutative sum
+    for (k, v) in counts.iter() {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}

@@ -1,0 +1,6 @@
+use std::sync::Mutex;
+pub fn publish(m: &Mutex<u64>, tx: &std::sync::mpsc::Sender<u64>) {
+    let guard = m.lock().unwrap();
+    let v = *guard + 1;
+    tx.send(v).ok();
+}

@@ -1,0 +1,4 @@
+pub fn pump(rx: &std::sync::mpsc::Receiver<u32>) -> u32 {
+    // lint:allow(no-deadline): fixture — bounded by the caller's deadline
+    rx.recv().unwrap_or(0)
+}

@@ -1,0 +1,3 @@
+pub fn pump(rx: &std::sync::mpsc::Receiver<u32>) -> u32 {
+    rx.recv().unwrap_or(0)
+}

@@ -1,0 +1,5 @@
+pub fn now_marker() -> u128 {
+    // lint:allow(no-instant): fixture — not on a deterministic path
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis()
+}

@@ -1,0 +1,4 @@
+pub fn open() {
+    // lint:allow(no-raw-net): fixture — test-harness socket
+    let _ = std::net::TcpListener::bind("127.0.0.1:0");
+}

@@ -1,0 +1,3 @@
+pub fn open() {
+    let _ = std::net::TcpListener::bind("127.0.0.1:0");
+}

@@ -1,0 +1,8 @@
+pub fn handle_connection(input: Option<u32>) -> u32 {
+    // lint:allow(panic-path): fixture — input validated by the framing layer
+    let v = input.unwrap();
+    let arr = [1u32, 2, 3];
+    // lint:allow(panic-path): fixture — v is bounds-checked above
+    let x = arr[v as usize];
+    v + x
+}

@@ -1,0 +1,6 @@
+pub fn handle_connection(input: Option<u32>) -> u32 {
+    let v = input.unwrap();
+    let arr = [1u32, 2, 3];
+    let x = arr[v as usize];
+    v + x
+}

@@ -1,0 +1,11 @@
+//! Fixture: rule patterns inside literals and comments must never fire.
+// cv.wait(guard) and rx.recv() inside a line comment
+// Ordering::Relaxed and Instant::now() in a comment too
+pub fn doc_strings() -> (&'static str, &'static str, &'static str) {
+    let a = "cv.wait(g) while nothing loops";
+    let b = "x.recv() plus Ordering::Relaxed and Instant::now()";
+    let c = r#"std::net::TcpListener and x.unwrap() and .expect("boom")"#;
+    let _block = 1; /* .wait( in a block comment
+        spanning lines with .recv() and unsafe code */
+    (a, b, c)
+}

@@ -1,0 +1,3 @@
+pub struct Wrapper(pub *const u8);
+// lint:allow(unsafe-audit): fixture — suppression instead of SAFETY
+unsafe impl Send for Wrapper {}

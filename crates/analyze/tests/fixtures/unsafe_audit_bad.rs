@@ -1,0 +1,2 @@
+pub struct Wrapper(pub *const u8);
+unsafe impl Send for Wrapper {}

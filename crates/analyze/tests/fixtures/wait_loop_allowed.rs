@@ -1,0 +1,5 @@
+fn block(cv: &std::sync::Condvar, m: &std::sync::Mutex<bool>) {
+    let g = m.lock().unwrap();
+    // lint:allow(wait-loop): fixture — single wakeup is the protocol here
+    let _g = cv.wait(g).unwrap();
+}

@@ -1,0 +1,4 @@
+fn block(cv: &std::sync::Condvar, m: &std::sync::Mutex<bool>) {
+    let g = m.lock().unwrap();
+    let _g = cv.wait(g).unwrap();
+}

@@ -157,6 +157,9 @@ impl NodeCtx {
     /// This node's live counters.
     #[inline]
     pub fn stats(&self) -> &NodeStats {
+        // lint:allow(panic-path): node_id < num_nodes by construction
+        // (Cluster::run builds one ctx per stats slot); every other
+        // stats access funnels through this accessor.
         &self.stats[self.node_id]
     }
 
@@ -190,8 +193,12 @@ impl NodeCtx {
         let len = payload.len() as u64;
         let seq = {
             let mut seqs = self.send_seq.borrow_mut();
-            let seq = seqs[to];
-            seqs[to] += 1;
+            let slot = seqs.get_mut(to).ok_or_else(|| Error::NodeFailure {
+                node: to,
+                reason: format!("send to unknown peer {to}"),
+            })?;
+            let seq = *slot;
+            *slot += 1;
             seq
         };
         let checksum = envelope_checksum(self.node_id, tag, seq, &payload);
@@ -201,7 +208,7 @@ impl NodeCtx {
             let effects = f.on_send();
             let injected = effects.fault_count();
             if injected > 0 {
-                self.stats[self.node_id].record_faults(injected);
+                self.stats().record_faults(injected);
                 let labels = [("node", self.node_id as u64), ("pass", self.pass.get())];
                 if effects.delay.is_some() {
                     self.obs.add("fault.delay", &labels, 1);
@@ -230,6 +237,8 @@ impl NodeCtx {
                 let mut v = payload.to_vec();
                 match v.len() {
                     0 => v.push(0xFF),
+                    // lint:allow(panic-path): n is v.len() of this
+                    // non-empty arm, so n / 2 is always in bounds.
                     n => v[n / 2] ^= 0xFF,
                 }
                 payload = Bytes::from(v);
@@ -244,16 +253,18 @@ impl NodeCtx {
             checksum,
         };
         let copies = if duplicate { 2 } else { 1 };
+        let sender = self.senders.get(to).ok_or_else(|| Error::NodeFailure {
+            node: to,
+            reason: format!("send to unknown peer {to}"),
+        })?;
         for _ in 0..copies {
-            self.senders[to]
-                .send(env.clone())
-                .map_err(|_| Error::NodeFailure {
-                    node: to,
-                    reason: "inbox disconnected".into(),
-                })?;
+            sender.send(env.clone()).map_err(|_| Error::NodeFailure {
+                node: to,
+                reason: "inbox disconnected".into(),
+            })?;
         }
         if to != self.node_id {
-            self.stats[self.node_id].record_send(len);
+            self.stats().record_send(len);
             let link = [("node", self.node_id as u64), ("peer", to as u64)];
             self.obs.add("cluster.messages_sent", &link, 1);
             self.obs.add("cluster.bytes_sent", &link, len);
@@ -270,7 +281,15 @@ impl NodeCtx {
     /// rejects gaps and corruption, charges the ledger for admitted
     /// remote messages.
     fn admit(&self, env: Envelope) -> Result<Option<Envelope>> {
-        let expected = self.recv_seq.borrow()[env.from];
+        let expected = self
+            .recv_seq
+            .borrow()
+            .get(env.from)
+            .copied()
+            .ok_or_else(|| Error::NodeFailure {
+                node: env.from,
+                reason: format!("message from unknown peer {}", env.from),
+            })?;
         if env.seq < expected {
             // Already delivered: an injected duplicate. Absorb it.
             return Ok(None);
@@ -284,7 +303,9 @@ impl NodeCtx {
                 ),
             });
         }
-        self.recv_seq.borrow_mut()[env.from] = expected + 1;
+        if let Some(slot) = self.recv_seq.borrow_mut().get_mut(env.from) {
+            *slot = expected + 1;
+        }
         if envelope_checksum(env.from, env.tag, env.seq, &env.payload) != env.checksum {
             return Err(Error::Corrupt(format!(
                 "message from node {} failed checksum (tag {}, seq {})",
@@ -292,7 +313,7 @@ impl NodeCtx {
             )));
         }
         if env.from != self.node_id {
-            self.stats[self.node_id].record_recv(env.payload.len() as u64);
+            self.stats().record_recv(env.payload.len() as u64);
             let link = [("node", self.node_id as u64), ("peer", env.from as u64)];
             self.obs.add("cluster.messages_received", &link, 1);
             self.obs
@@ -391,10 +412,10 @@ impl NodeCtx {
         let sends = has_parent + children;
         let recvs = children + has_parent;
         for _ in 0..sends {
-            self.stats[self.node_id].record_send(bytes);
+            self.stats().record_send(bytes);
         }
         for _ in 0..recvs {
-            self.stats[self.node_id].record_recv(bytes);
+            self.stats().record_recv(bytes);
         }
         let me = [("node", self.node_id as u64)];
         self.obs.add("collective.all_reduce", &me, 1);
@@ -417,13 +438,13 @@ impl NodeCtx {
         if is_root {
             let bytes = root_send.unwrap_or(0);
             for _ in 0..self.num_nodes() - 1 {
-                self.stats[self.node_id].record_send(bytes);
+                self.stats().record_send(bytes);
             }
             let fanout = self.num_nodes() as u64 - 1;
             self.obs.add("collective.messages_sent", &me, fanout);
             self.obs.add("collective.bytes_sent", &me, bytes * fanout);
         } else {
-            self.stats[self.node_id].record_recv(out.len() as u64);
+            self.stats().record_recv(out.len() as u64);
             self.obs.add("collective.messages_received", &me, 1);
             self.obs
                 .add("collective.bytes_received", &me, out.len() as u64);
@@ -450,12 +471,15 @@ impl NodeCtx {
         let labels = [("node", self.node_id as u64), ("pass", k as u64)];
         match f.on_pass_start() {
             Some(FaultOp::Panic) => {
-                self.stats[self.node_id].record_faults(1);
+                self.stats().record_faults(1);
                 self.obs.add("fault.panic", &labels, 1);
+                // lint:allow(panic-path): this panic *is* the injected
+                // fault — the runtime's panic recovery path is exactly
+                // what the chaos suite exercises here.
                 panic!("injected panic: node {} pass {k}", self.node_id);
             }
             Some(FaultOp::Hang) => {
-                self.stats[self.node_id].record_faults(1);
+                self.stats().record_faults(1);
                 self.obs.add("fault.hang", &labels, 1);
                 std::thread::sleep(f.hang_duration());
             }
@@ -472,7 +496,7 @@ impl NodeCtx {
             return Ok(());
         };
         if f.on_scan() {
-            self.stats[self.node_id].record_faults(1);
+            self.stats().record_faults(1);
             self.obs.add(
                 "fault.scan_error",
                 &[("node", self.node_id as u64), ("pass", self.pass.get())],

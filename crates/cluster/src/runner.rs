@@ -152,15 +152,14 @@ impl<T> ClusterFailure<T> {
     pub fn into_root_cause(mut self) -> Error {
         let node = self
             .root_cause_node()
-            .or_else(|| (0..self.outcomes.len()).find(|&i| self.outcomes[i].is_err()));
-        match node {
-            Some(i) => match std::mem::replace(
-                &mut self.outcomes[i],
-                Err(Error::Protocol("outcome taken".into())),
-            ) {
-                Err(e) => e,
-                Ok(_) => unreachable!("root cause node has an error outcome"),
-            },
+            .or_else(|| self.outcomes.iter().position(|o| o.is_err()));
+        let slot = node.and_then(|i| self.outcomes.get_mut(i));
+        match slot.map(|s| std::mem::replace(s, Err(Error::Protocol("outcome taken".into())))) {
+            Some(Err(e)) => e,
+            // root_cause_node only returns error slots, so this arm is
+            // an internal inconsistency — surfaced as an error, not a
+            // panic, since this runs on the postmortem path.
+            Some(Ok(_)) => Error::Protocol("root cause node had an ok outcome".into()),
             None => Error::Protocol("cluster run failed with no error outcome".into()),
         }
     }
@@ -266,8 +265,8 @@ impl Cluster {
                     }
                 }));
             }
-            for (node_id, h) in handles.into_iter().enumerate() {
-                outcomes[node_id] = Some(h.join().unwrap_or_else(|_| {
+            for (node_id, (slot, h)) in outcomes.iter_mut().zip(handles).enumerate() {
+                *slot = Some(h.join().unwrap_or_else(|_| {
                     Err(Error::NodeFailure {
                         node: node_id,
                         reason: "worker thread died".into(),

@@ -121,11 +121,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| Error::Corrupt("checkpoint u32 field malformed".into()))?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| Error::Corrupt("checkpoint u64 field malformed".into()))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 }
 
@@ -136,7 +144,10 @@ fn decode(bytes: &[u8]) -> Result<Checkpoint> {
         return Err(Error::Corrupt("checkpoint too short".into()));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let tail: [u8; 8] = tail
+        .try_into()
+        .map_err(|_| Error::Corrupt("checkpoint checksum tail malformed".into()))?;
+    let stored = u64::from_le_bytes(tail);
     if checksum(body) != stored {
         return Err(Error::Corrupt("checkpoint checksum mismatch".into()));
     }
@@ -281,7 +292,10 @@ impl CheckpointSink {
     /// Seeds the in-memory copy (used when resuming from disk, so a
     /// later in-process recovery still has the restored state).
     pub fn seed(&self, cp: Checkpoint) {
-        *self.mem.lock().unwrap() = Some(cp);
+        *self
+            .mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cp);
     }
 
     /// Records a checkpoint (memory always, disk if configured).
@@ -289,13 +303,19 @@ impl CheckpointSink {
         if let Some(dir) = &self.dir {
             save_checkpoint(&cp, checkpoint_path(dir))?;
         }
-        *self.mem.lock().unwrap() = Some(cp);
+        *self
+            .mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cp);
         Ok(())
     }
 
     /// The most recent checkpoint recorded in this process.
     pub fn latest(&self) -> Option<Checkpoint> {
-        self.mem.lock().unwrap().clone()
+        self.mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 }
 

@@ -184,7 +184,7 @@ pub fn select_duplicates(
             for (i, c) in candidates.iter().enumerate() {
                 groups.entry(root_key(c.items(), tax)).or_default().push(i);
             }
-            // lint:allow(hash-order): drained into a Vec and sorted just
+            // lint:allow(det-taint): drained into a Vec and sorted just
             // below with a total-order tie-break (`ka.cmp(kb)`).
             let mut ordered: Vec<(Box<[u32]>, Vec<usize>)> = groups.into_iter().collect();
             ordered.sort_by(|(ka, _), (kb, _)| {

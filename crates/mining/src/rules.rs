@@ -149,7 +149,7 @@ pub fn derive_rules(
     assert!((0.0..=1.0).contains(&min_confidence));
     let support = output.support_map();
     let mut rules = Vec::new();
-    // lint:allow(hash-order): each itemset derives its rules
+    // lint:allow(det-taint): each itemset derives its rules
     // independently and `sort_rules` imposes a total order on the
     // combined output, so visit order cannot leak into the report.
     for (x, &sup_x) in support.iter().filter(|(s, _)| s.len() >= 2) {
@@ -234,7 +234,7 @@ pub fn prune_uninteresting(
             let expected = anc_sup as f64 * ratio;
             // Only prune against ancestor rules that were themselves
             // derived (same antecedent/consequent shape, generalized).
-            // lint:allow(hash-order): existence check — `any` over an
+            // lint:allow(det-taint): existence check — `any` over an
             // order-independent pure predicate.
             let anc_rule_exists = rule_index.keys().any(|(a, c)| {
                 a.union(c) == anc_x

@@ -196,6 +196,10 @@ fn current_context() -> (Arc<Execution>, usize) {
     CONTEXT.with(|c| {
         c.borrow()
             .clone()
+            // lint:allow(panic-path): the virtual primitives only exist
+            // inside model(); using one outside is a harness misuse and
+            // panicking (under #[cfg(gar_loom)] test builds) is the
+            // intended failure mode, not a production path.
             .expect("modelcheck primitive used outside model() closure")
     })
 }

@@ -143,9 +143,13 @@ impl Catalog {
         basket: &[ItemId],
         extended: &[ItemId],
     ) -> Vec<Match> {
+        // lint:allow(panic-path): shard ids come from the engine's own
+        // worker loop (0..num_shards), never from the wire.
         let s = &self.shards[shard];
         let mut out = Vec::new();
         for ri in s.index.candidates(basket) {
+            // lint:allow(panic-path): postings are built over this same
+            // rules vector at store load, after checksum validation.
             let rule = &s.rules[ri as usize];
             if rule.antecedent.is_contained_in(extended)
                 && !rule.consequent.is_contained_in(extended)

@@ -102,6 +102,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
     let mut header = [0u8; 4];
     let mut got = 0;
     while got < header.len() {
+        // lint:allow(panic-path): got < header.len() is the loop guard,
+        // so the range slice cannot go out of bounds.
         match r.read(&mut header[got..]) {
             Ok(0) if got == 0 => return Ok(None),
             Ok(0) => return Err(Error::Corrupt("frame truncated mid-header".into())),
@@ -128,6 +130,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
 fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
     let mut got = 0;
     while got < buf.len() {
+        // lint:allow(panic-path): got < buf.len() is the loop guard, so
+        // the range slice cannot go out of bounds.
         match r.read(&mut buf[got..]) {
             Ok(0) => return Err(Error::Corrupt("frame truncated".into())),
             Ok(n) => got += n,
@@ -220,11 +224,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| Error::Protocol("u32 field malformed".into()))?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| Error::Protocol("u64 field malformed".into()))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn items(&mut self, max: usize, what: &str) -> Result<Vec<ItemId>> {

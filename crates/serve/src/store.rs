@@ -151,11 +151,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| Error::Corrupt("rule store u32 field malformed".into()))?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| Error::Corrupt("rule store u64 field malformed".into()))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// A length-prefixed itemset: non-empty, strictly increasing, every
@@ -190,7 +198,10 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<RuleStore> {
         return Err(Error::Corrupt("rule store too short".into()));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let tail: [u8; 8] = tail
+        .try_into()
+        .map_err(|_| Error::Corrupt("rule store checksum tail malformed".into()))?;
+    let stored = u64::from_le_bytes(tail);
     if checksum(body) != stored {
         return Err(Error::Corrupt("rule store checksum mismatch".into()));
     }

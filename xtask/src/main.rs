@@ -1,9 +1,13 @@
 //! Repo automation, invoked as `cargo xtask <command>` (see
 //! `.cargo/config.toml` for the alias).
 //!
-//! * `lint` — the in-repo static analysis pass (concurrency and
-//!   determinism rules the stock toolchain cannot express; see
-//!   `lint.rs`).
+//! * `lint` — the legacy in-repo static analysis pass (concurrency and
+//!   determinism rules the stock toolchain cannot express), now running
+//!   on the `gar-analyze` lexer so string literals and comments can
+//!   never trigger it.
+//! * `analyze` — the full `gar-analyze` catalog: the lint rules plus
+//!   the flow-aware `panic-path`, `lock-blocking` and `unsafe-audit`
+//!   rules, filtered through the checked-in `ANALYZE_BASELINE.txt`.
 //! * `loom` — model-checks the cluster collectives by rebuilding them on
 //!   the `gar-modelcheck` virtual primitives (`--cfg gar_loom`).
 //! * `chaos` — seeded fault-injection soak over the mining runtime
@@ -26,14 +30,19 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-mod lint;
+mod analyze;
 mod runners;
 
 fn usage() -> &'static str {
     "usage: cargo xtask <command>\n\
      \n\
      commands:\n\
-       lint          run the in-repo static analysis rules\n\
+       lint          run the legacy static-analysis rules (token-aware)\n\
+       analyze [--check] [--json FILE]\n\
+                     run the full gar-analyze catalog; --check is CI mode\n\
+                     (baseline-gated: new findings and stale baseline\n\
+                     entries both fail); --json writes a gar-analyze-v1\n\
+                     report\n\
        loom          model-check the cluster collectives (--cfg gar_loom)\n\
        chaos         seeded fault-injection soak (GAR_CHAOS_ITERS scales it)\n\
        bench [--check] [--tolerance F] [--out FILE]\n\
@@ -61,11 +70,13 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!("{}", usage());
-            return ExitCode::FAILURE;
+            // Usage errors are 2; 1 is reserved for "findings/failures".
+            return ExitCode::from(2);
         }
     };
     let code = match cmd {
-        "lint" => lint::run(&repo_root()),
+        "lint" => analyze::lint(&repo_root()),
+        "analyze" => analyze::run(&repo_root(), rest),
         "loom" => runners::loom(&repo_root(), rest),
         "chaos" => runners::chaos(&repo_root(), rest),
         "bench" => runners::bench(&repo_root(), rest),
