@@ -1,11 +1,11 @@
-//! `serve_load` — a deterministic closed-loop load generator for
-//! `gar-cli serve`.
+//! `serve_load` — a deterministic load generator for `gar-cli serve`,
+//! closed-loop by default and open-loop with `--arrival-qps`.
 //!
 //! Baskets are drawn with a seeded SplitMix64 from the *antecedent
 //! universe* of the rule store (items that can actually trigger rules),
-//! so the same `--seed` always produces the same query stream. One
-//! request is in flight at a time (closed loop); per-query latency is
-//! measured client-side and summarized as p50/p99 and QPS.
+//! so the same `--seed` always produces the same query stream. In the
+//! default closed loop one request is in flight at a time; per-query
+//! latency is measured client-side and summarized as p50/p99 and QPS.
 //!
 //! The `--transcript` file is the concatenation of every raw response
 //! payload, length-prefixed. Server answers are deterministic and carry
@@ -13,15 +13,29 @@
 //! must produce byte-identical transcripts — the smoke harness asserts
 //! exactly that.
 //!
+//! `--arrival-qps N` switches to an open loop: arrival gaps are drawn
+//! from the same seeded stream (`gap_i = (0.5 + u_i) / N`, `u_i`
+//! uniform in `[0,1)` — mean `1/N`, never bursty-zero), the schedule is
+//! fixed *before* the run, and `--connections K` workers fire queries
+//! at their scheduled offsets whether or not earlier answers returned.
+//! Overloaded (shed) replies are counted separately from latencies, so
+//! the summary reports the shed rate the server's admission control
+//! chose under that arrival rate rather than folding retrys into tail
+//! latency. Open loop uses the v2 protocol (`--budget-ms` is the
+//! per-query deadline budget) and is incompatible with `--transcript`
+//! (answer interleaving is timing-dependent across connections).
+//!
 //! ```text
 //! serve_load --addr 127.0.0.1:7878 --rules rules.grul --queries 200 \
 //!            --seed 42 --transcript t.bin --summary-out s.json
+//! serve_load --addr 127.0.0.1:7878 --rules rules.grul --queries 500 \
+//!            --seed 42 --arrival-qps 800 --connections 4 --budget-ms 50
 //! ```
 
 use gar_cluster::RetryPolicy;
 use gar_obs::json::Value;
 use gar_obs::Stopwatch;
-use gar_serve::{Client, RuleStore};
+use gar_serve::{Client, QueryReply, RuleStore};
 use gar_types::{Error, ItemId, Result};
 use std::time::Duration;
 
@@ -105,6 +119,8 @@ fn run() -> Result<()> {
         )));
     }
 
+    let arrival_qps: f64 = flags.get_or("arrival-qps", 0.0)?;
+
     let mut rng = SplitMix64(seed);
     let baskets: Vec<Vec<ItemId>> = (0..queries)
         .map(|_| {
@@ -119,6 +135,17 @@ fn run() -> Result<()> {
             b
         })
         .collect();
+
+    if arrival_qps > 0.0 {
+        if flags.get("transcript").is_some() {
+            return Err(Error::InvalidConfig(
+                "--transcript needs the deterministic closed loop; \
+                 drop --arrival-qps or --transcript"
+                    .into(),
+            ));
+        }
+        return open_loop(&flags, addr, &baskets, &mut rng, arrival_qps, deadline);
+    }
 
     let mut client = Client::connect(addr, Some(deadline), &RetryPolicy::default())?;
     let mut transcript: Vec<u8> = Vec::new();
@@ -162,6 +189,138 @@ fn run() -> Result<()> {
 
     if flags.has("shutdown") {
         client.shutdown()?;
+        println!("server at {addr} acknowledged shutdown");
+    }
+    Ok(())
+}
+
+/// The open loop: fire each query at its pre-drawn arrival offset over
+/// `--connections` parallel workers, regardless of whether earlier
+/// answers have returned. Shed (Overloaded) replies are counted, not
+/// latency-sampled — open-loop tail latency only means something over
+/// the queries the server actually admitted.
+fn open_loop(
+    flags: &Flags,
+    addr: &str,
+    baskets: &[Vec<ItemId>],
+    rng: &mut SplitMix64,
+    arrival_qps: f64,
+    deadline: Duration,
+) -> Result<()> {
+    let top_k: u32 = flags.get_or("top-k", 5)?;
+    let budget_ms: u32 = flags.get_or("budget-ms", 50)?;
+    let connections: usize = flags.get_or("connections", 4)?;
+    let shards_label: u64 = flags.get_or("shards-label", 0)?;
+    if connections == 0 {
+        return Err(Error::InvalidConfig(
+            "--connections must be at least 1".into(),
+        ));
+    }
+
+    // The arrival schedule is fixed up front from the seeded stream:
+    // gap_i = (0.5 + u_i) / qps keeps the mean at 1/qps with bounded
+    // jitter, so a given seed always produces the same offered load.
+    let mut at = 0.0f64;
+    let offsets: Vec<Duration> = baskets
+        .iter()
+        .map(|_| {
+            let u = rng.next() as f64 / (u64::MAX as f64 + 1.0);
+            at += (0.5 + u) / arrival_qps;
+            Duration::from_secs_f64(at)
+        })
+        .collect();
+
+    let wall = Stopwatch::start();
+    let retry = RetryPolicy::default();
+    // Worker w owns queries w, w+K, w+2K, … — a fixed partition, so the
+    // schedule (not completion order) decides who sends what.
+    let results: Vec<Result<(Vec<u64>, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|w| {
+                let wall = &wall;
+                let offsets = &offsets;
+                let retry = &retry;
+                scope.spawn(move || -> Result<(Vec<u64>, u64)> {
+                    let mut client = Client::connect(addr, Some(deadline), retry)?;
+                    let mut latencies_us = Vec::new();
+                    let mut shed = 0u64;
+                    for (basket, offset) in baskets
+                        .iter()
+                        .zip(offsets)
+                        .skip(w)
+                        .step_by(connections.max(1))
+                    {
+                        let now = wall.elapsed();
+                        if *offset > now {
+                            std::thread::sleep(*offset - now);
+                        }
+                        let clock = Stopwatch::start();
+                        match client.query_v2(basket, top_k, budget_ms)? {
+                            QueryReply::Results { .. } => {
+                                latencies_us.push(clock.elapsed().as_micros() as u64);
+                            }
+                            QueryReply::Overloaded { .. } => shed += 1,
+                        }
+                    }
+                    Ok((latencies_us, shed))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(Error::InvalidConfig("load worker panicked".into())),
+            })
+            .collect()
+    });
+    let elapsed = wall.elapsed();
+
+    let mut latencies_us = Vec::new();
+    let mut shed = 0u64;
+    for r in results {
+        let (lat, s) = r?;
+        latencies_us.extend(lat);
+        shed += s;
+    }
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_us.len() - 1) as f64 * p / 100.0).round() as usize;
+        latencies_us.get(idx).copied().unwrap_or(0)
+    };
+    let (p50, p99) = (pct(50.0), pct(99.0));
+    let queries = baskets.len();
+    let qps = queries as f64 / elapsed.as_secs_f64().max(1e-9);
+    let shed_rate = shed as f64 / (queries as f64).max(1.0);
+    println!(
+        "{queries} queries in {elapsed:?} (open loop, target {arrival_qps:.0} qps, \
+         {connections} connections): p50 {p50} us, p99 {p99} us, {qps:.0} qps, \
+         {shed} shed ({:.1}%)",
+        shed_rate * 100.0
+    );
+
+    if let Some(path) = flags.get("summary-out") {
+        let summary = Value::Obj(vec![
+            ("shards".into(), Value::Num(shards_label as f64)),
+            ("queries".into(), Value::Num(queries as f64)),
+            ("arrival_qps".into(), Value::Num(arrival_qps)),
+            ("connections".into(), Value::Num(connections as f64)),
+            ("p50_us".into(), Value::Num(p50 as f64)),
+            ("p99_us".into(), Value::Num(p99 as f64)),
+            ("qps".into(), Value::Num(qps.round())),
+            ("shed".into(), Value::Num(shed as f64)),
+            ("shed_rate".into(), Value::Num(shed_rate)),
+        ]);
+        std::fs::write(path, summary.render())
+            .map_err(|e| Error::io(format!("writing summary to {path}"), e))?;
+        println!("wrote {path}");
+    }
+
+    if flags.has("shutdown") {
+        Client::connect(addr, Some(deadline), &retry)?.shutdown()?;
         println!("server at {addr} acknowledged shutdown");
     }
     Ok(())

@@ -20,6 +20,13 @@ pub fn run(args: &Args) -> Result<()> {
         return Ok(());
     }
 
+    if let Some(path) = args.get("reload") {
+        let mut client = Client::connect(addr, Some(deadline), &retry)?;
+        let epoch = client.reload(path)?;
+        println!("server at {addr} reloaded {path} into epoch {epoch}");
+        return Ok(());
+    }
+
     let basket = parse_basket(args.require("basket")?)?;
     let top_k: u32 = args.get_or("top", 5)?;
     let mut client = Client::connect(addr, Some(deadline), &retry)?;

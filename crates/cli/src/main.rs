@@ -86,9 +86,11 @@ USAGE:
                 [--taxonomy FILE.gtax] [--interest R] [--top N]
                 [--out FILE.grul]
   gar-cli serve --rules FILE.grul [--port N] [--shards N]
-                [--deadline-ms MS] [--metrics-out FILE.json]
+                [--deadline-ms MS] [--queue-depth N] [--watch-store]
+                [--faults SPEC] [--metrics-out FILE.json]
                 [--trace-out FILE.json]
-  gar-cli query --addr HOST:PORT (--basket \"1,2,3\" | --shutdown)
+  gar-cli query --addr HOST:PORT
+                (--basket \"1,2,3\" | --reload FILE.grul | --shutdown)
                 [--top K] [--deadline-ms MS]
 
 ALGORITHMS:
@@ -112,7 +114,13 @@ SERVING:
                          embedded taxonomy) as a servable .grul store
   serve                  answer basket queries over TCP; port 0 picks an
                          ephemeral port (printed on the first line)
-  query                  send one basket; --shutdown stops the server
+  serve --watch-store    hot-swap the rule file into a new epoch when it
+                         changes on disk (corrupt swaps are rejected and
+                         the old epoch keeps answering)
+  serve --faults SPEC    seeded serve-side chaos, e.g.
+                         'conn-reset@c0,shard-panic@s1q3,stale-swap@r1'
+  query                  send one basket; --reload hot-swaps a new rule
+                         file; --shutdown stops the server
 
 EXIT CODES:
   0 success · 2 invalid flags/config · 3 I/O or corrupt artifact ·

@@ -99,6 +99,89 @@ impl ScheduledFault {
     }
 }
 
+/// Kinds of faults the serving tier can inject (see `gar-serve`). They
+/// address server-side entities rather than mining nodes: accepted
+/// connections (in accept order), shard workers (by shard id and job
+/// sequence number), and store-reload attempts (in request order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeFaultOp {
+    /// Drop the connection right after reading a request, before any
+    /// response byte — the client sees a reset mid-query.
+    ConnReset,
+    /// Write the next response frame in tiny chunks with delays between
+    /// them (partial writes; the client's read loop must reassemble).
+    SlowFrame,
+    /// Panic the shard worker at the given job number (1-based).
+    ShardPanic,
+    /// Stall the shard worker for the plan's `hang` duration at the
+    /// given job number — backlog builds behind it.
+    ShardStall,
+    /// Corrupt the bytes of the numbered reload attempt (1-based) after
+    /// they are read but before validation — the swap must be rejected
+    /// while the old epoch keeps serving.
+    StaleSwap,
+}
+
+impl ServeFaultOp {
+    fn parse(s: &str) -> Option<ServeFaultOp> {
+        Some(match s {
+            "conn-reset" => ServeFaultOp::ConnReset,
+            "slow-frame" => ServeFaultOp::SlowFrame,
+            "shard-panic" => ServeFaultOp::ShardPanic,
+            "shard-stall" => ServeFaultOp::ShardStall,
+            "stale-swap" => ServeFaultOp::StaleSwap,
+            _ => return None,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ServeFaultOp::ConnReset => "conn-reset",
+            ServeFaultOp::SlowFrame => "slow-frame",
+            ServeFaultOp::ShardPanic => "shard-panic",
+            ServeFaultOp::ShardStall => "shard-stall",
+            ServeFaultOp::StaleSwap => "stale-swap",
+        }
+    }
+}
+
+/// One scheduled serve-side fault point. `at` is the connection index,
+/// shard id, or reload number depending on the op; `job` is the 1-based
+/// job sequence number for shard ops (0 otherwise).
+#[derive(Clone, Debug)]
+pub struct ServeFault {
+    /// What to inject.
+    pub op: ServeFaultOp,
+    /// Connection index (`c`), shard id (`s`), or reload number (`r`).
+    pub at: usize,
+    /// Job sequence number within the shard (`q`, 1-based); 0 for
+    /// connection and reload faults.
+    pub job: usize,
+    /// Shared across clones, exactly like [`ScheduledFault::fired`].
+    fired: Arc<AtomicBool>,
+}
+
+impl ServeFault {
+    /// A not-yet-fired serve fault.
+    pub fn new(op: ServeFaultOp, at: usize, job: usize) -> ServeFault {
+        ServeFault {
+            op,
+            at,
+            job,
+            fired: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn take(&self) -> bool {
+        !self.fired.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether the fault has already fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
 /// A deterministic fault-injection plan for one cluster run (or a
 /// sequence of recovery attempts over the same run).
 #[derive(Clone, Debug)]
@@ -122,6 +205,8 @@ pub struct FaultPlan {
     pub hang: Duration,
     /// Exact fault points.
     pub scheduled: Vec<ScheduledFault>,
+    /// Exact serve-side fault points (consulted by `gar-serve`).
+    pub serve: Vec<ServeFault>,
 }
 
 impl Default for FaultPlan {
@@ -136,6 +221,7 @@ impl Default for FaultPlan {
             delay: Duration::from_millis(1),
             hang: Duration::from_millis(500),
             scheduled: Vec::new(),
+            serve: Vec::new(),
         }
     }
 }
@@ -153,6 +239,48 @@ impl FaultPlan {
     pub fn schedule(mut self, node: usize, pass: usize, op: FaultOp) -> FaultPlan {
         self.scheduled.push(ScheduledFault::new(node, pass, op));
         self
+    }
+
+    /// Builder-style addition of a serve-side fault point.
+    pub fn schedule_serve(mut self, op: ServeFaultOp, at: usize, job: usize) -> FaultPlan {
+        self.serve.push(ServeFault::new(op, at, job));
+        self
+    }
+
+    /// Consumes the first unfired connection fault matching `(op, conn)`.
+    /// `conn` is the index of the connection in accept order (0-based).
+    pub fn take_serve_conn(&self, op: ServeFaultOp, conn: usize) -> bool {
+        debug_assert!(matches!(
+            op,
+            ServeFaultOp::ConnReset | ServeFaultOp::SlowFrame
+        ));
+        self.serve
+            .iter()
+            .filter(|f| f.op == op && f.at == conn)
+            .any(|f| f.take())
+    }
+
+    /// Consumes the first unfired shard fault matching `(op, shard, job)`.
+    /// `job` is the 1-based job sequence number the shard worker is about
+    /// to process (counted across restarts).
+    pub fn take_serve_shard(&self, op: ServeFaultOp, shard: usize, job: usize) -> bool {
+        debug_assert!(matches!(
+            op,
+            ServeFaultOp::ShardPanic | ServeFaultOp::ShardStall
+        ));
+        self.serve
+            .iter()
+            .filter(|f| f.op == op && f.at == shard && f.job == job)
+            .any(|f| f.take())
+    }
+
+    /// Consumes the stale-swap fault for the numbered reload attempt
+    /// (1-based, counted across the server's lifetime).
+    pub fn take_serve_reload(&self, reload: usize) -> bool {
+        self.serve
+            .iter()
+            .filter(|f| f.op == ServeFaultOp::StaleSwap && f.at == reload)
+            .any(|f| f.take())
     }
 
     /// Parses the CLI `--faults` spec: comma-separated tokens, e.g.
@@ -198,6 +326,47 @@ impl FaultPlan {
                     _ => return Err(bad(tok, "unknown key")),
                 }
             } else if let Some((op, at)) = tok.split_once('@') {
+                if let Some(op) = ServeFaultOp::parse(op) {
+                    let fault = match op {
+                        ServeFaultOp::ConnReset | ServeFaultOp::SlowFrame => {
+                            let conn = at
+                                .strip_prefix('c')
+                                .and_then(|c| c.parse().ok())
+                                .ok_or_else(|| bad(tok, "expected <op>@c<conn>"))?;
+                            ServeFault::new(op, conn, 0)
+                        }
+                        ServeFaultOp::ShardPanic | ServeFaultOp::ShardStall => {
+                            let rest = at
+                                .strip_prefix('s')
+                                .ok_or_else(|| bad(tok, "expected <op>@s<shard>q<job>"))?;
+                            let (shard, job) = rest
+                                .split_once('q')
+                                .ok_or_else(|| bad(tok, "expected <op>@s<shard>q<job>"))?;
+                            let shard = shard
+                                .parse()
+                                .map_err(|_| bad(tok, "shard must be an integer"))?;
+                            let job: usize = job
+                                .parse()
+                                .map_err(|_| bad(tok, "job must be an integer"))?;
+                            if job == 0 {
+                                return Err(bad(tok, "job numbers are 1-based"));
+                            }
+                            ServeFault::new(op, shard, job)
+                        }
+                        ServeFaultOp::StaleSwap => {
+                            let reload: usize =
+                                at.strip_prefix('r')
+                                    .and_then(|r| r.parse().ok())
+                                    .ok_or_else(|| bad(tok, "expected stale-swap@r<reload>"))?;
+                            if reload == 0 {
+                                return Err(bad(tok, "reload numbers are 1-based"));
+                            }
+                            ServeFault::new(op, reload, 0)
+                        }
+                    };
+                    plan.serve.push(fault);
+                    continue;
+                }
                 let op = FaultOp::parse(op)
                     .ok_or_else(|| bad(tok, "op must be panic|hang|drop|corrupt|scan"))?;
                 let rest = at
@@ -244,6 +413,17 @@ impl FaultPlan {
         for s in &self.scheduled {
             parts.push(format!("{}@n{}p{}", s.op.name(), s.node, s.pass));
         }
+        for f in &self.serve {
+            parts.push(match f.op {
+                ServeFaultOp::ConnReset | ServeFaultOp::SlowFrame => {
+                    format!("{}@c{}", f.op.name(), f.at)
+                }
+                ServeFaultOp::ShardPanic | ServeFaultOp::ShardStall => {
+                    format!("{}@s{}q{}", f.op.name(), f.at, f.job)
+                }
+                ServeFaultOp::StaleSwap => format!("{}@r{}", f.op.name(), f.at),
+            });
+        }
         parts.join(",")
     }
 
@@ -255,6 +435,7 @@ impl FaultPlan {
             && self.p_delay == 0.0
             && self.p_scan_error == 0.0
             && self.scheduled.is_empty()
+            && self.serve.is_empty()
     }
 
     /// Per-node injection state for one run attempt.
@@ -442,6 +623,70 @@ mod tests {
                 "`{bad}` should be rejected, got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn parse_serve_tokens_roundtrip() {
+        let spec =
+            "seed=7,conn-reset@c0,slow-frame@c3,shard-panic@s1q4,shard-stall@s0q2,stale-swap@r1";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.serve.len(), 5);
+        assert_eq!(plan.serve[0].op, ServeFaultOp::ConnReset);
+        assert_eq!(plan.serve[0].at, 0);
+        assert_eq!(
+            (plan.serve[2].op, plan.serve[2].at, plan.serve[2].job),
+            (ServeFaultOp::ShardPanic, 1, 4)
+        );
+        assert_eq!(
+            (plan.serve[4].op, plan.serve[4].at),
+            (ServeFaultOp::StaleSwap, 1)
+        );
+        assert!(!plan.is_empty());
+        let rendered = plan.render();
+        let reparsed = FaultPlan::parse(&rendered).unwrap();
+        assert_eq!(reparsed.render(), rendered);
+        assert_eq!(rendered, spec);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_serve_tokens() {
+        for bad in [
+            "conn-reset@n1p2",
+            "conn-reset@c",
+            "shard-panic@s1",
+            "shard-panic@s1q0",
+            "shard-stall@q1s2",
+            "stale-swap@r0",
+            "stale-swap@c1",
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidConfig(_)),
+                "`{bad}` should be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_faults_fire_once_at_their_point() {
+        let plan = FaultPlan::with_seed(0)
+            .schedule_serve(ServeFaultOp::ConnReset, 1, 0)
+            .schedule_serve(ServeFaultOp::ShardPanic, 0, 3)
+            .schedule_serve(ServeFaultOp::StaleSwap, 2, 0);
+        // Wrong addresses never fire.
+        assert!(!plan.take_serve_conn(ServeFaultOp::ConnReset, 0));
+        assert!(!plan.take_serve_shard(ServeFaultOp::ShardPanic, 0, 2));
+        assert!(!plan.take_serve_shard(ServeFaultOp::ShardStall, 0, 3));
+        assert!(!plan.take_serve_reload(1));
+        // Right addresses fire exactly once, even through a clone.
+        let clone = plan.clone();
+        assert!(clone.take_serve_conn(ServeFaultOp::ConnReset, 1));
+        assert!(!plan.take_serve_conn(ServeFaultOp::ConnReset, 1));
+        assert!(plan.take_serve_shard(ServeFaultOp::ShardPanic, 0, 3));
+        assert!(!clone.take_serve_shard(ServeFaultOp::ShardPanic, 0, 3));
+        assert!(plan.take_serve_reload(2));
+        assert!(!plan.take_serve_reload(2));
+        assert!(plan.serve.iter().all(|f| f.fired()));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use collective::Collectives;
 #[cfg(not(gar_loom))]
 pub use cost::CostModel;
 #[cfg(not(gar_loom))]
-pub use fault::{FaultOp, FaultPlan, RetryPolicy, ScheduledFault};
+pub use fault::{FaultOp, FaultPlan, RetryPolicy, ScheduledFault, ServeFault, ServeFaultOp};
 #[cfg(not(gar_loom))]
 pub use node::{Envelope, NodeCtx, CONTROL_TAG_EOS};
 #[cfg(not(gar_loom))]

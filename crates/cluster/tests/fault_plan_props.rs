@@ -6,7 +6,7 @@
 //! (reports print `plan.render()` so a failure can be replayed), so
 //! `parse ∘ render` must be the identity on everything a plan carries.
 
-use gar_cluster::{FaultOp, FaultPlan};
+use gar_cluster::{FaultOp, FaultPlan, ServeFaultOp};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -16,6 +16,14 @@ const OPS: [FaultOp; 5] = [
     FaultOp::Drop,
     FaultOp::Corrupt,
     FaultOp::ScanError,
+];
+
+const SERVE_OPS: [ServeFaultOp; 5] = [
+    ServeFaultOp::ConnReset,
+    ServeFaultOp::SlowFrame,
+    ServeFaultOp::ShardPanic,
+    ServeFaultOp::ShardStall,
+    ServeFaultOp::StaleSwap,
 ];
 
 /// Probabilities in [0, 1] with three decimal digits. The compat
@@ -30,16 +38,31 @@ fn arb_op() -> impl Strategy<Value = FaultOp> {
     (0usize..OPS.len()).prop_map(|i| OPS[i])
 }
 
+/// Serve-side fault points as `(op, at, job)`: `job` is only rendered
+/// for the shard ops (`…@sNqM`), and the 1-based positions (`job` for
+/// shard ops, `at` for `stale-swap@rN`) must stay ≥ 1 to be parsable.
+fn arb_serve_fault() -> impl Strategy<Value = (ServeFaultOp, usize, usize)> {
+    (0usize..SERVE_OPS.len(), 0usize..16, 1usize..10).prop_map(|(i, at, job)| {
+        let op = SERVE_OPS[i];
+        match op {
+            ServeFaultOp::ShardPanic | ServeFaultOp::ShardStall => (op, at, job),
+            ServeFaultOp::StaleSwap => (op, at.max(1), 0),
+            ServeFaultOp::ConnReset | ServeFaultOp::SlowFrame => (op, at, 0),
+        }
+    })
+}
+
 /// (seed, [p_drop, p_dup, p_corrupt, p_delay, p_scan], delay-ms,
-/// hang-ms, scheduled (node, pass, op) triples) — everything `render`
-/// can express. Millisecond sleeps include the defaults (1 and 500) so
-/// the omit-if-default path is exercised too.
+/// hang-ms, scheduled (node, pass, op) triples, serve fault points) —
+/// everything `render` can express. Millisecond sleeps include the
+/// defaults (1 and 500) so the omit-if-default path is exercised too.
 type PlanParts = (
     u64,
     (f64, f64, f64, f64, f64),
     u64,
     u64,
     Vec<(usize, usize, FaultOp)>,
+    Vec<(ServeFaultOp, usize, usize)>,
 );
 
 fn arb_plan_parts() -> impl Strategy<Value = PlanParts> {
@@ -49,10 +72,11 @@ fn arb_plan_parts() -> impl Strategy<Value = PlanParts> {
         0u64..2000,
         0u64..2000,
         proptest::collection::vec((0usize..16, 0usize..10, arb_op()), 0..6),
+        proptest::collection::vec(arb_serve_fault(), 0..6),
     )
 }
 
-fn build_plan((seed, probs, delay_ms, hang_ms, scheduled): &PlanParts) -> FaultPlan {
+fn build_plan((seed, probs, delay_ms, hang_ms, scheduled, serve): &PlanParts) -> FaultPlan {
     let mut plan = FaultPlan {
         seed: *seed,
         p_drop: probs.0,
@@ -66,6 +90,9 @@ fn build_plan((seed, probs, delay_ms, hang_ms, scheduled): &PlanParts) -> FaultP
     };
     for &(node, pass, op) in scheduled {
         plan = plan.schedule(node, pass, op);
+    }
+    for &(op, at, job) in serve {
+        plan = plan.schedule_serve(op, at, job);
     }
     plan
 }
@@ -94,6 +121,15 @@ proptest! {
             prop_assert_eq!(got.node, want.node);
             prop_assert_eq!(got.pass, want.pass);
             prop_assert_eq!(got.op, want.op);
+        }
+
+        // Serve-side fault points too (`ServeFault` carries a fired
+        // flag, so again compare the declarative triple).
+        prop_assert_eq!(reparsed.serve.len(), plan.serve.len());
+        for (got, want) in reparsed.serve.iter().zip(&plan.serve) {
+            prop_assert_eq!(got.op, want.op);
+            prop_assert_eq!(got.at, want.at);
+            prop_assert_eq!(got.job, want.job);
         }
 
         // And render is a fixed point of the round trip.

@@ -217,10 +217,11 @@ pub fn decode_counted(payload: &[u8]) -> Result<Vec<(Itemset, u64)>> {
     if payload.len() < 8 {
         return Err(Error::Corrupt("counted list shorter than header".into()));
     }
-    let n = u32::from_le_bytes(payload[0..4].try_into().expect("4")) as usize;
-    let k = u32::from_le_bytes(payload[4..8].try_into().expect("4")) as usize;
+    let (header, body) = payload.split_at(8);
+    let (n_bytes, k_bytes) = header.split_at(4);
+    let n = u32::from_le_bytes(le_array(n_bytes)?) as usize;
+    let k = u32::from_le_bytes(le_array(k_bytes)?) as usize;
     let stride = 4 * k + 8;
-    let body = &payload[8..];
     if body.len() != n * stride {
         return Err(Error::Corrupt(format!(
             "counted list body {} bytes, expected {}",
@@ -230,22 +231,31 @@ pub fn decode_counted(payload: &[u8]) -> Result<Vec<(Itemset, u64)>> {
     }
     let mut out = Vec::with_capacity(n);
     for rec in body.chunks_exact(stride) {
+        let (item_bytes, count_bytes) = rec.split_at(4 * k);
         let mut items = Vec::with_capacity(k);
-        for chunk in rec[..4 * k].chunks_exact(4) {
-            items.push(ItemId(u32::from_le_bytes(chunk.try_into().expect("4"))));
+        for chunk in item_bytes.chunks_exact(4) {
+            items.push(ItemId(u32::from_le_bytes(le_array(chunk)?)));
         }
         // Validate the canonical-itemset invariant rather than trusting
         // the wire: a corrupted or adversarial payload must surface as an
         // error, never as a malformed Itemset.
-        if !items.windows(2).all(|w| w[0] < w[1]) {
+        if !items.iter().zip(items.iter().skip(1)).all(|(a, b)| a < b) {
             return Err(Error::Corrupt(
                 "counted list record is not a strictly increasing itemset".into(),
             ));
         }
-        let count = u64::from_le_bytes(rec[4 * k..].try_into().expect("8"));
+        let count = u64::from_le_bytes(le_array(count_bytes)?);
         out.push((Itemset::from_sorted(items), count));
     }
     Ok(out)
+}
+
+/// Fixed-width little-endian field extraction, with slice-size damage
+/// surfacing as [`Error::Corrupt`] instead of a panic.
+fn le_array<const N: usize>(bytes: &[u8]) -> Result<[u8; N]> {
+    bytes
+        .try_into()
+        .map_err(|_| Error::Corrupt(format!("truncated {N}-byte field")))
 }
 
 #[cfg(test)]

@@ -173,7 +173,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn eat(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -205,7 +205,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.eat(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -216,7 +216,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat(b':')?;
             self.skip_ws();
             let v = self.value()?;
             fields.push((key, v));
@@ -233,7 +233,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -256,7 +256,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut s = String::new();
         loop {
             match self.peek() {
@@ -301,9 +301,11 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 character (the input is a &str,
                     // so boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
+                    let rest = self.bytes.get(self.pos..).unwrap_or_default();
                     let tail = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = tail.chars().next().unwrap();
+                    let Some(c) = tail.chars().next() else {
+                        return Err("unterminated string".into());
+                    };
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -322,7 +324,8 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let span = self.bytes.get(start..self.pos).unwrap_or_default();
+        let text = std::str::from_utf8(span).map_err(|e| e.to_string())?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| format!("invalid number '{text}' at offset {start}"))

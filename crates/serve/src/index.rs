@@ -24,6 +24,9 @@ impl RuleIndex {
     pub fn build(rules: &[Rule], tax: &Taxonomy) -> RuleIndex {
         let n = tax.num_items() as usize;
         // Exact postings first: item -> rules literally containing it.
+        // Store decoding already validated every rule item against the
+        // taxonomy, but an out-of-range id still must not panic a
+        // serving path, so it is dropped rather than indexed.
         let mut exact: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (ri, rule) in rules.iter().enumerate() {
             for &it in rule
@@ -32,7 +35,9 @@ impl RuleIndex {
                 .iter()
                 .chain(rule.consequent.items())
             {
-                exact[it.index()].push(ri as u32);
+                if let Some(list) = exact.get_mut(it.index()) {
+                    list.push(ri as u32);
+                }
             }
         }
         // Then fold each item's ancestor path in: postings[i] is the
@@ -40,9 +45,11 @@ impl RuleIndex {
         let mut postings = Vec::with_capacity(n);
         for i in 0..n {
             let item = ItemId(i as u32);
-            let mut merged = exact[i].clone();
+            let mut merged = exact.get(i).cloned().unwrap_or_default();
             for &anc in tax.ancestors(item) {
-                merged.extend_from_slice(&exact[anc.index()]);
+                if let Some(list) = exact.get(anc.index()) {
+                    merged.extend_from_slice(list);
+                }
             }
             merged.sort_unstable();
             merged.dedup();

@@ -10,22 +10,40 @@
 //!   suppression, sharded by the same root-item hash as H-HPGM.
 //! * [`protocol`] — the length-prefixed, checksummed wire protocol
 //!   (every frame read goes through [`protocol::MAX_FRAME_BYTES`]).
-//! * [`server`] — the sharded concurrent TCP server (worker pool,
-//!   per-shard observability, deadline-bounded shard collection).
+//! * [`server`] — the sharded concurrent TCP server: supervised shard
+//!   workers (panic isolation + bounded restarts), epoch hot-swap of
+//!   the rule store ([`epoch::EpochCell`]), bounded queues with
+//!   overload shedding, per-shard observability, deadline-bounded
+//!   shard collection, and deterministic serve-side fault injection.
+//! * [`epoch`] — the epoch-versioned hot-swap cell (model-checked
+//!   under `--cfg gar_loom` via [`sync`]).
 //! * [`client`] — the blocking client (connect retries via
-//!   `gar-cluster`'s `RetryPolicy`, optional read deadline), plus the
-//!   in-process path [`engine::Catalog::query`] for embedders.
+//!   `gar-cluster`'s `RetryPolicy`, optional read deadline,
+//!   transparent reconnect-and-retry-once for idempotent queries),
+//!   plus the in-process path [`engine::Catalog::query`] for
+//!   embedders.
 
+// Under `--cfg gar_loom` (see `cargo xtask loom`) the cluster fault /
+// retry machinery is stripped, so the TCP client and server are
+// stripped with it; the epoch cell (the part worth model checking)
+// and the pure store/index/engine stack stay available.
+#[cfg(not(gar_loom))]
 pub mod client;
 pub mod engine;
+pub mod epoch;
 pub mod index;
 pub mod protocol;
+#[cfg(not(gar_loom))]
 pub mod server;
 pub mod store;
+pub(crate) mod sync;
 
-pub use client::Client;
+#[cfg(not(gar_loom))]
+pub use client::{Client, QueryReply};
 pub use engine::{Catalog, Recommendation};
-pub use server::{serve, Server, ServerConfig};
+pub use epoch::{Epoch, EpochCell};
+#[cfg(not(gar_loom))]
+pub use server::{serve, ReloadHandle, Server, ServerConfig};
 pub use store::RuleStore;
 
 /// Shared fixtures for the unit tests of this crate.

@@ -18,6 +18,22 @@
 //! | 0x03 | `Error` — `u32` length + UTF-8 message               |
 //! | 0x04 | `Shutdown` (no body)                                 |
 //! | 0x05 | `ShutdownAck` (no body)                              |
+//! | 0x06 | `QueryV2` — `u16 version`, `u32 top_k`,              |
+//! |      | `u32 budget_ms`, `u32 n`, `n × u32` item ids         |
+//! | 0x07 | `ResultsV2` — `u64 epoch`, `u32 shards_missing`,     |
+//! |      | then a `Results` body                                |
+//! | 0x08 | `Reload` — `u16 version`, `u32` length + UTF-8 path  |
+//! | 0x09 | `ReloadAck` — `u64 epoch`                            |
+//! | 0x0A | `Overloaded` — `u32 retry_after_ms`                  |
+//! | 0x0B | `VersionMismatch` — `u16 server`, `u16 client`       |
+//!
+//! Tags 0x01–0x05 are the frozen **v1** surface: their bytes are
+//! identical to the pre-epoch protocol, so fault-free v1 transcripts
+//! stay byte-comparable across this change. The v2 tags carry an
+//! explicit [`PROTOCOL_VERSION`]; a server that sees a v2 frame with a
+//! version it does not speak answers a typed `VersionMismatch` frame
+//! and keeps the connection open rather than hanging up on old (or too
+//! new) clients.
 //!
 //! Malformed payloads are [`Error::Protocol`]; a failed frame checksum
 //! or a mid-frame disconnect is [`Error::Corrupt`]; an expired socket
@@ -35,16 +51,27 @@ use std::io::{Read, Write};
 /// fields before allocating; writes refuse to emit them.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
 
+/// Version spoken by this build for the v2 frames. v1 frames carry no
+/// version field and are accepted forever.
+pub const PROTOCOL_VERSION: u16 = 2;
+
 /// Upper bounds on list lengths inside payloads (stricter than what
 /// would merely fit in a frame, so garbage fails early and clearly).
 const MAX_BASKET_LEN: usize = 1 << 16;
 const MAX_RESULTS: usize = 1 << 16;
+const MAX_PATH_BYTES: usize = 1 << 12;
 
 const TAG_QUERY: u8 = 0x01;
 const TAG_RESULTS: u8 = 0x02;
 const TAG_ERROR: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
 const TAG_SHUTDOWN_ACK: u8 = 0x05;
+const TAG_QUERY_V2: u8 = 0x06;
+const TAG_RESULTS_V2: u8 = 0x07;
+const TAG_RELOAD: u8 = 0x08;
+const TAG_RELOAD_ACK: u8 = 0x09;
+const TAG_OVERLOADED: u8 = 0x0A;
+const TAG_VERSION_MISMATCH: u8 = 0x0B;
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +85,29 @@ pub enum Request {
     },
     /// Ask the server to drain and exit (acknowledged, then honored).
     Shutdown,
+    /// v2 query: like `Query`, plus the protocol version the client
+    /// speaks and a latency budget the server may shed against
+    /// (`budget_ms == 0` means "no budget, use the server deadline").
+    QueryV2 {
+        /// Version the client speaks; answered with `VersionMismatch`
+        /// (not a closed connection) when the server cannot serve it.
+        version: u16,
+        /// Raw (unextended) item ids; any order, duplicates allowed.
+        basket: Vec<ItemId>,
+        /// Maximum number of recommendations wanted.
+        top_k: u32,
+        /// Remaining client deadline budget in milliseconds.
+        budget_ms: u32,
+    },
+    /// Admin: load the store file at `path`, validate it, and hot-swap
+    /// it in as the next epoch. Rejected loads leave the old epoch
+    /// serving.
+    Reload {
+        /// Version the client speaks (see `QueryV2::version`).
+        version: u16,
+        /// Server-side path of the new GRUL store file.
+        path: String,
+    },
 }
 
 /// A server → client message.
@@ -69,6 +119,37 @@ pub enum Response {
     Error(String),
     /// Shutdown accepted; the server exits after this frame.
     ShutdownAck,
+    /// v2 results: which epoch answered and how many shards were
+    /// missing (crashed and not yet restarted) when it was computed.
+    /// `shards_missing == 0` is a complete answer.
+    ResultsV2 {
+        /// Epoch of the catalog snapshot that produced `recs`.
+        epoch: u64,
+        /// Shards that contributed nothing (degraded answer when > 0).
+        shards_missing: u32,
+        /// The scored recommendations, best first.
+        recs: Vec<Recommendation>,
+    },
+    /// The reload was validated and swapped in as `epoch`.
+    ReloadAck {
+        /// The new current epoch.
+        epoch: u64,
+    },
+    /// The query was shed before any shard work: the server cannot meet
+    /// the deadline budget. Typed and retryable — the client should
+    /// back off `retry_after_ms` and try again.
+    Overloaded {
+        /// Suggested client backoff.
+        retry_after_ms: u32,
+    },
+    /// The request's version field is one the server does not speak;
+    /// the connection stays open and v1 frames still work.
+    VersionMismatch {
+        /// Version the server speaks.
+        server: u16,
+        /// Version the client sent.
+        client: u16,
+    },
 }
 
 fn checksum(bytes: &[u8]) -> u64 {
@@ -174,8 +255,36 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             push_items(&mut out, basket);
         }
         Request::Shutdown => out.push(TAG_SHUTDOWN),
+        Request::QueryV2 {
+            version,
+            basket,
+            top_k,
+            budget_ms,
+        } => {
+            out.push(TAG_QUERY_V2);
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(&top_k.to_le_bytes());
+            out.extend_from_slice(&budget_ms.to_le_bytes());
+            push_items(&mut out, basket);
+        }
+        Request::Reload { version, path } => {
+            out.push(TAG_RELOAD);
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            out.extend_from_slice(path.as_bytes());
+        }
     }
     out
+}
+
+fn push_recs(out: &mut Vec<u8>, recs: &[Recommendation]) {
+    out.extend_from_slice(&(recs.len() as u32).to_le_bytes());
+    for rec in recs {
+        push_items(out, rec.consequent.items());
+        out.extend_from_slice(&rec.support_count.to_le_bytes());
+        out.extend_from_slice(&rec.confidence.to_bits().to_le_bytes());
+        out.extend_from_slice(&rec.score.to_bits().to_le_bytes());
+    }
 }
 
 /// Encodes a response payload.
@@ -184,13 +293,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     match resp {
         Response::Results(recs) => {
             out.push(TAG_RESULTS);
-            out.extend_from_slice(&(recs.len() as u32).to_le_bytes());
-            for rec in recs {
-                push_items(&mut out, rec.consequent.items());
-                out.extend_from_slice(&rec.support_count.to_le_bytes());
-                out.extend_from_slice(&rec.confidence.to_bits().to_le_bytes());
-                out.extend_from_slice(&rec.score.to_bits().to_le_bytes());
-            }
+            push_recs(&mut out, recs);
         }
         Response::Error(msg) => {
             out.push(TAG_ERROR);
@@ -198,6 +301,29 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(msg.as_bytes());
         }
         Response::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+        Response::ResultsV2 {
+            epoch,
+            shards_missing,
+            recs,
+        } => {
+            out.push(TAG_RESULTS_V2);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&shards_missing.to_le_bytes());
+            push_recs(&mut out, recs);
+        }
+        Response::ReloadAck { epoch } => {
+            out.push(TAG_RELOAD_ACK);
+            out.extend_from_slice(&epoch.to_le_bytes());
+        }
+        Response::Overloaded { retry_after_ms } => {
+            out.push(TAG_OVERLOADED);
+            out.extend_from_slice(&retry_after_ms.to_le_bytes());
+        }
+        Response::VersionMismatch { server, client } => {
+            out.push(TAG_VERSION_MISMATCH);
+            out.extend_from_slice(&server.to_le_bytes());
+            out.extend_from_slice(&client.to_le_bytes());
+        }
     }
     out
 }
@@ -221,6 +347,14 @@ impl<'a> Cursor<'a> {
 
     fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        let bytes: [u8; 2] = self
+            .take(2)?
+            .try_into()
+            .map_err(|_| Error::Protocol("u16 field malformed".into()))?;
+        Ok(u16::from_le_bytes(bytes))
     }
 
     fn u32(&mut self) -> Result<u32> {
@@ -279,10 +413,74 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
             Request::Query { basket, top_k }
         }
         TAG_SHUTDOWN => Request::Shutdown,
+        TAG_QUERY_V2 => {
+            // The version is carried through undecoded on purpose: the
+            // server answers `VersionMismatch` for versions it does not
+            // speak instead of failing the decode.
+            let version = c.u16()?;
+            let top_k = c.u32()?;
+            if top_k as usize > MAX_RESULTS {
+                return Err(Error::Protocol(format!(
+                    "implausible top_k {top_k} (max {MAX_RESULTS})"
+                )));
+            }
+            let budget_ms = c.u32()?;
+            let basket = c.items(MAX_BASKET_LEN, "basket")?;
+            Request::QueryV2 {
+                version,
+                basket,
+                top_k,
+                budget_ms,
+            }
+        }
+        TAG_RELOAD => {
+            let version = c.u16()?;
+            let len = c.u32()? as usize;
+            if len > MAX_PATH_BYTES {
+                return Err(Error::Protocol(format!(
+                    "implausible reload path length {len} (max {MAX_PATH_BYTES})"
+                )));
+            }
+            let path = std::str::from_utf8(c.take(len)?)
+                .map_err(|_| Error::Protocol("reload path is not UTF-8".into()))?;
+            Request::Reload {
+                version,
+                path: path.to_string(),
+            }
+        }
         tag => return Err(Error::Protocol(format!("unknown request tag {tag:#04x}"))),
     };
     c.done()?;
     Ok(req)
+}
+
+fn read_recs(c: &mut Cursor) -> Result<Vec<Recommendation>> {
+    let n = c.u32()? as usize;
+    if n > MAX_RESULTS {
+        return Err(Error::Protocol(format!(
+            "implausible result count {n} (max {MAX_RESULTS})"
+        )));
+    }
+    let mut recs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let items = c.items(MAX_BASKET_LEN, "consequent")?;
+        if items.is_empty() || items.iter().zip(items.iter().skip(1)).any(|(a, b)| a >= b) {
+            return Err(Error::Protocol("consequent items not ascending".into()));
+        }
+        let support_count = c.u64()?;
+        let confidence = f64::from_bits(c.u64()?);
+        let score = f64::from_bits(c.u64()?);
+        if !confidence.is_finite() || !score.is_finite() {
+            return Err(Error::Protocol("non-finite recommendation score".into()));
+        }
+        recs.push(Recommendation {
+            consequent: Itemset::from_sorted(items),
+            support_count,
+            confidence,
+            score,
+        });
+    }
+    Ok(recs)
 }
 
 /// Decodes a response payload.
@@ -292,34 +490,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         pos: 0,
     };
     let resp = match c.u8()? {
-        TAG_RESULTS => {
-            let n = c.u32()? as usize;
-            if n > MAX_RESULTS {
-                return Err(Error::Protocol(format!(
-                    "implausible result count {n} (max {MAX_RESULTS})"
-                )));
-            }
-            let mut recs = Vec::with_capacity(n);
-            for _ in 0..n {
-                let items = c.items(MAX_BASKET_LEN, "consequent")?;
-                if items.is_empty() || items.windows(2).any(|w| w[0] >= w[1]) {
-                    return Err(Error::Protocol("consequent items not ascending".into()));
-                }
-                let support_count = c.u64()?;
-                let confidence = f64::from_bits(c.u64()?);
-                let score = f64::from_bits(c.u64()?);
-                if !confidence.is_finite() || !score.is_finite() {
-                    return Err(Error::Protocol("non-finite recommendation score".into()));
-                }
-                recs.push(Recommendation {
-                    consequent: Itemset::from_sorted(items),
-                    support_count,
-                    confidence,
-                    score,
-                });
-            }
-            Response::Results(recs)
-        }
+        TAG_RESULTS => Response::Results(read_recs(&mut c)?),
         TAG_ERROR => {
             let len = c.u32()? as usize;
             if len > MAX_FRAME_BYTES {
@@ -330,6 +501,37 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             Response::Error(msg.to_string())
         }
         TAG_SHUTDOWN_ACK => Response::ShutdownAck,
+        TAG_RESULTS_V2 => {
+            let epoch = c.u64()?;
+            if epoch == 0 {
+                return Err(Error::Protocol("epoch 0 is never served".into()));
+            }
+            let shards_missing = c.u32()?;
+            if shards_missing as usize > MAX_RESULTS {
+                return Err(Error::Protocol(format!(
+                    "implausible shards_missing {shards_missing}"
+                )));
+            }
+            Response::ResultsV2 {
+                epoch,
+                shards_missing,
+                recs: read_recs(&mut c)?,
+            }
+        }
+        TAG_RELOAD_ACK => {
+            let epoch = c.u64()?;
+            if epoch == 0 {
+                return Err(Error::Protocol("epoch 0 is never served".into()));
+            }
+            Response::ReloadAck { epoch }
+        }
+        TAG_OVERLOADED => Response::Overloaded {
+            retry_after_ms: c.u32()?,
+        },
+        TAG_VERSION_MISMATCH => Response::VersionMismatch {
+            server: c.u16()?,
+            client: c.u16()?,
+        },
         tag => return Err(Error::Protocol(format!("unknown response tag {tag:#04x}"))),
     };
     c.done()?;
@@ -358,6 +560,13 @@ mod tests {
         ])
     }
 
+    fn sample_recs() -> Vec<Recommendation> {
+        match sample_response() {
+            Response::Results(recs) => recs,
+            _ => unreachable!(),
+        }
+    }
+
     #[test]
     fn request_round_trips() {
         for req in [
@@ -370,6 +579,22 @@ mod tests {
                 top_k: 0,
             },
             Request::Shutdown,
+            Request::QueryV2 {
+                version: PROTOCOL_VERSION,
+                basket: vec![ItemId(1), ItemId(4)],
+                top_k: 3,
+                budget_ms: 250,
+            },
+            Request::QueryV2 {
+                version: 9,
+                basket: vec![],
+                top_k: 0,
+                budget_ms: 0,
+            },
+            Request::Reload {
+                version: PROTOCOL_VERSION,
+                path: "/tmp/rules.grul".into(),
+            },
         ] {
             assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
@@ -382,9 +607,44 @@ mod tests {
             Response::Results(vec![]),
             Response::Error("deadline exceeded".into()),
             Response::ShutdownAck,
+            Response::ResultsV2 {
+                epoch: 3,
+                shards_missing: 1,
+                recs: sample_recs(),
+            },
+            Response::ResultsV2 {
+                epoch: 1,
+                shards_missing: 0,
+                recs: vec![],
+            },
+            Response::ReloadAck { epoch: 7 },
+            Response::Overloaded { retry_after_ms: 25 },
+            Response::VersionMismatch {
+                server: PROTOCOL_VERSION,
+                client: 1,
+            },
         ] {
             assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn v1_encodings_are_frozen() {
+        // The v1 tags are a compatibility surface: serve-smoke compares
+        // transcripts byte-for-byte across releases, so these bytes must
+        // never change. (Adding v2 tags is fine; renumbering is not.)
+        let query = encode_request(&Request::Query {
+            basket: vec![ItemId(2), ItemId(7)],
+            top_k: 4,
+        });
+        assert_eq!(
+            query,
+            [0x01, 4, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0, 7, 0, 0, 0]
+        );
+        let error = encode_response(&Response::Error("x".into()));
+        assert_eq!(error, [0x03, 1, 0, 0, 0, b'x']);
+        assert_eq!(encode_request(&Request::Shutdown), [0x04]);
+        assert_eq!(encode_response(&Response::ShutdownAck), [0x05]);
     }
 
     #[test]
@@ -436,22 +696,85 @@ mod tests {
 
     #[test]
     fn every_frame_byte_flip_is_detected() {
-        let payload = encode_request(&Request::Query {
-            basket: vec![ItemId(1), ItemId(2), ItemId(3)],
-            top_k: 4,
-        });
-        let mut frame = Vec::new();
-        write_frame(&mut frame, &payload).unwrap();
-        for i in 0..frame.len() {
-            let mut bad = frame.clone();
-            bad[i] ^= 0xFF;
-            match read_frame(&mut std::io::Cursor::new(&bad)) {
-                // A header flip may shrink the claimed length so a
-                // checksum-valid prefix cannot result; a payload or
-                // checksum flip must fail the checksum; a length flip
-                // upward must truncate or exceed the cap. Never Ok.
-                Err(Error::Corrupt(_)) | Err(Error::Protocol(_)) => {}
-                other => panic!("flip at {i}: {other:?}"),
+        // One frame per protocol generation — the v2 tags run through
+        // the same every-byte-flip harness as the originals.
+        let payloads = [
+            encode_request(&Request::Query {
+                basket: vec![ItemId(1), ItemId(2), ItemId(3)],
+                top_k: 4,
+            }),
+            encode_request(&Request::QueryV2 {
+                version: PROTOCOL_VERSION,
+                basket: vec![ItemId(1), ItemId(2), ItemId(3)],
+                top_k: 4,
+                budget_ms: 100,
+            }),
+            encode_request(&Request::Reload {
+                version: PROTOCOL_VERSION,
+                path: "/tmp/rules.grul".into(),
+            }),
+            encode_response(&Response::ResultsV2 {
+                epoch: 2,
+                shards_missing: 1,
+                recs: sample_recs(),
+            }),
+            encode_response(&Response::ReloadAck { epoch: 2 }),
+            encode_response(&Response::Overloaded { retry_after_ms: 25 }),
+            encode_response(&Response::VersionMismatch {
+                server: PROTOCOL_VERSION,
+                client: 1,
+            }),
+        ];
+        for payload in payloads {
+            let mut frame = Vec::new();
+            write_frame(&mut frame, &payload).unwrap();
+            for i in 0..frame.len() {
+                let mut bad = frame.clone();
+                bad[i] ^= 0xFF;
+                match read_frame(&mut std::io::Cursor::new(&bad)) {
+                    // A header flip may shrink the claimed length so a
+                    // checksum-valid prefix cannot result; a payload or
+                    // checksum flip must fail the checksum; a length flip
+                    // upward must truncate or exceed the cap. Never Ok.
+                    Err(Error::Corrupt(_)) | Err(Error::Protocol(_)) => {}
+                    other => panic!("flip at {i}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_v2_payload_truncation_is_a_clean_error() {
+        // Truncations *inside* a checksum-valid frame exercise the
+        // cursor bounds of the new decoders.
+        let payloads = [
+            encode_request(&Request::QueryV2 {
+                version: PROTOCOL_VERSION,
+                basket: vec![ItemId(5)],
+                top_k: 2,
+                budget_ms: 9,
+            }),
+            encode_request(&Request::Reload {
+                version: PROTOCOL_VERSION,
+                path: "r.grul".into(),
+            }),
+            encode_response(&Response::ResultsV2 {
+                epoch: 4,
+                shards_missing: 0,
+                recs: sample_recs(),
+            }),
+            encode_response(&Response::ReloadAck { epoch: 4 }),
+            encode_response(&Response::Overloaded { retry_after_ms: 1 }),
+            encode_response(&Response::VersionMismatch {
+                server: PROTOCOL_VERSION,
+                client: 3,
+            }),
+        ];
+        for payload in payloads {
+            for len in 0..payload.len() {
+                let req = decode_request(&payload[..len]);
+                let resp = decode_response(&payload[..len]);
+                assert!(req.is_err() && resp.is_err(), "truncation at {len} decoded");
             }
         }
     }
@@ -466,6 +789,34 @@ mod tests {
             &[TAG_RESULTS, 0xFF, 0xFF, 0xFF, 0xFF][..],
             &[TAG_ERROR, 10, 0, 0, 0, b'h', b'i'][..],
             &[TAG_SHUTDOWN, 0][..], // trailing garbage
+            &[TAG_QUERY_V2, 2][..],
+            &[TAG_QUERY_V2, 2, 0, 0xFF, 0xFF, 0xFF, 0xFF][..],
+            &[TAG_RELOAD, 2, 0, 0xFF, 0xFF, 0xFF, 0xFF][..],
+            &[TAG_RELOAD, 2, 0, 2, 0, 0, 0, 0xC3][..], // bad UTF-8
+            &[TAG_RESULTS_V2, 1, 0, 0, 0, 0, 0, 0, 0][..],
+            &[
+                TAG_RESULTS_V2,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+            ][..], // epoch 0
+            &[TAG_RELOAD_ACK, 9][..],
+            &[TAG_OVERLOADED][..],
+            &[TAG_VERSION_MISMATCH, 2, 0][..],
+            &[TAG_VERSION_MISMATCH, 2, 0, 1, 0, 9][..], // trailing garbage
         ] {
             let req = decode_request(payload);
             let resp = decode_response(payload);

@@ -1,35 +1,63 @@
-//! The sharded concurrent query server.
+//! The sharded, supervised, hot-swappable query server.
 //!
 //! Topology: one blocking accept loop, one detached handler thread per
-//! connection, and one long-lived worker thread per shard. A handler
-//! parses a query, extends the basket once, fans the job out to every
-//! shard worker over an `mpsc` channel, and collects the shard-local
-//! match lists under the configured deadline before merging them into
-//! the final answer — the serving-tier mirror of H-HPGM's
-//! scatter/gather pass structure.
+//! connection, and one **supervisor** thread per shard. Each supervisor
+//! owns its shard's bounded job queue: it publishes a fresh sender into
+//! the shard's slot, runs the worker loop under `catch_unwind`, and on
+//! a panic clears the slot, backs off, and restarts the worker — the
+//! serving-tier mirror of the mining cluster's degraded-mode recovery
+//! (bounded restarts, [`gar_cluster::RetryPolicy`]-shaped backoff).
+//! While a shard is down, queries are answered **degraded**: the v2
+//! response carries `shards_missing`, mirroring `ParallelReport`'s
+//! degraded notes.
 //!
-//! Observability: each shard worker opens a `query` span per job (lane
-//! = shard id) and feeds per-shard counters (`serve.queries`,
-//! `serve.hits`, `serve.misses`) and the `serve.shard_us` latency
-//! histogram; handlers record request-level `serve.requests`,
-//! `serve.latency_us`, `serve.errors`, and `serve.deadline_exceeded`.
+//! Rule refresh: the catalog lives in an [`EpochCell`]. A handler takes
+//! one snapshot per query and every shard job carries that snapshot, so
+//! a query observes exactly one epoch end to end; a `Reload` frame (or
+//! [`Server::reload`]) builds and validates the replacement catalog
+//! outside the lock and swaps it in as `epoch + 1` while in-flight
+//! queries drain on their old snapshots. A reload that fails
+//! validation (missing file, checksum, ordering) is rejected and the
+//! old epoch keeps answering.
+//!
+//! Overload: shard queues are bounded ([`ServerConfig::queue_depth`]).
+//! A full queue — or a v2 deadline budget the backlog cannot meet —
+//! sheds the query *before* any shard work with the typed retryable
+//! `Response::Overloaded` instead of queueing toward collapse.
+//!
+//! Fault injection: the serve-side tokens of a
+//! [`gar_cluster::FaultPlan`] (`conn-reset@cN`, `slow-frame@cN`,
+//! `shard-panic@sNqM`, `shard-stall@sNqM`, `stale-swap@rN`) are
+//! consulted at the matching connection / shard-job / reload points,
+//! driven by `cargo xtask serve-chaos`.
+//!
+//! Observability: per-shard `serve.queries/hits/misses`, `serve.shard_us`,
+//! and `serve.shard_restarts`; request-level `serve.requests`,
+//! `serve.latency_us`, `serve.errors`, `serve.deadline_exceeded`,
+//! `serve.shed`, `serve.degraded`; swap-level `serve.swaps` and
+//! `serve.swap_rejected`.
 //!
 //! Shutdown: a `Shutdown` frame (or [`Server::shutdown`]) flips the
 //! shared `running` flag and nudges the accept loop with a throwaway
 //! self-connection; handlers poll the flag every ~100 ms via their
-//! socket read deadline, and shard workers exit once the last job
-//! sender is gone. [`Server::wait`] joins everything.
+//! socket read deadline; [`Server::wait`] then retires the shard
+//! senders so workers drain and exit, and joins everything.
 
 use crate::engine::{Catalog, Match};
+use crate::epoch::{Epoch, EpochCell};
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response,
+    decode_request, encode_response, read_frame, write_frame, Request, Response, PROTOCOL_VERSION,
 };
 use crate::store::RuleStore;
+use crate::sync::Mutex;
+use gar_cluster::{FaultPlan, ServeFaultOp};
 use gar_obs::{Obs, Stopwatch};
 use gar_types::{Error, ItemId, Result};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -39,12 +67,29 @@ use std::time::Duration;
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Number of rule shards (and shard worker threads); clamped ≥ 1.
     pub shards: usize,
     /// Deadline for collecting all shard answers to one query.
     pub deadline: Duration,
+    /// Bound on each shard's job queue; a full queue sheds the query.
+    /// Clamped ≥ 1.
+    pub queue_depth: usize,
+    /// Rough per-job cost used by deadline-budget admission: a v2 query
+    /// whose `budget_ms` cannot cover `(backlog + 1) × est_job_ms` is
+    /// shed instead of queued.
+    pub est_job_ms: u64,
+    /// Backoff suggested to shed clients.
+    pub retry_after_ms: u32,
+    /// How many times a crashed shard worker is restarted before the
+    /// shard is left down (answers stay degraded).
+    pub max_restarts: usize,
+    /// Base of the supervisor's linear restart backoff (sleep before
+    /// restart `k` is `restart_backoff × k`).
+    pub restart_backoff: Duration,
+    /// Serve-side fault injection points (empty plan = no faults).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -52,15 +97,105 @@ impl Default for ServerConfig {
         ServerConfig {
             shards: 1,
             deadline: Duration::from_secs(5),
+            queue_depth: 64,
+            est_job_ms: 1,
+            retry_after_ms: 25,
+            max_restarts: 8,
+            restart_backoff: Duration::from_millis(10),
+            faults: FaultPlan::default(),
         }
     }
 }
 
-/// One unit of shard work: a parsed query plus the reply channel.
+/// One unit of shard work: a parsed query, the epoch snapshot it runs
+/// against, and the reply channel.
 struct Job {
+    snapshot: Arc<Epoch<Catalog>>,
     basket: Arc<Vec<ItemId>>,
     extended: Arc<Vec<ItemId>>,
     reply: Sender<Vec<Match>>,
+}
+
+/// One shard's supervised queue endpoint. The slot holds the *current*
+/// worker incarnation's sender; `None` while the shard is down
+/// (crashed and not yet restarted, out of restart budget, or shutting
+/// down).
+struct ShardSlot {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    /// Jobs admitted but not yet finished (backlog estimate for
+    /// admission control).
+    queued: AtomicUsize,
+    /// Jobs handed to a worker over the shard's lifetime, counted
+    /// across restarts — the `q` coordinate of shard fault tokens.
+    jobs: AtomicU64,
+}
+
+impl ShardSlot {
+    fn new() -> ShardSlot {
+        ShardSlot {
+            tx: Mutex::new(None),
+            queued: AtomicUsize::new(0),
+            jobs: AtomicU64::new(0),
+        }
+    }
+
+    fn finish_job(&self) {
+        // Saturating: `queued` is reset to 0 when a crashed worker's
+        // queue is discarded, so a late decrement must not wrap.
+        let _ = self
+            .queued
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |q| {
+                Some(q.saturating_sub(1))
+            });
+    }
+}
+
+/// State shared by the accept loop, handlers, supervisors, and admin
+/// reload paths.
+struct Shared {
+    current: EpochCell<Catalog>,
+    slots: Vec<ShardSlot>,
+    cfg: ServerConfig,
+    obs: Obs,
+    running: AtomicBool,
+    /// Accepted connections, in accept order — the `c` coordinate of
+    /// connection fault tokens.
+    conns: AtomicU64,
+    /// Reload attempts, 1-based — the `r` coordinate of `stale-swap`.
+    reloads: AtomicU64,
+}
+
+impl Shared {
+    /// Loads, validates, and swaps in the store at `path`. On any
+    /// failure the current epoch keeps serving and the error reports
+    /// why the swap was rejected.
+    fn reload(&self, path: &str) -> Result<u64> {
+        let attempt = self.reloads.fetch_add(1, Ordering::SeqCst) + 1;
+        let result = self.reload_attempt(path, attempt as usize);
+        match &result {
+            Ok(_) => self.obs.add("serve.swaps", &[], 1),
+            Err(_) => self.obs.add("serve.swap_rejected", &[], 1),
+        }
+        result
+    }
+
+    fn reload_attempt(&self, path: &str, attempt: usize) -> Result<u64> {
+        let mut bytes = std::fs::read(path)
+            .map_err(|e| Error::io(format!("reading store for reload: {path}"), e))?;
+        if self.cfg.faults.take_serve_reload(attempt) {
+            // Injected stale swap: damage the image after the read but
+            // before validation — decode must reject it.
+            self.obs.add("serve.fault.stale_swap", &[], 1);
+            let mid = bytes.len() / 2;
+            if let Some(b) = bytes.get_mut(mid) {
+                *b ^= 0xFF;
+            }
+        }
+        let store = crate::store::decode(&bytes)?;
+        let num_shards = self.current.load().value().num_shards();
+        let catalog = Catalog::new(store, num_shards);
+        Ok(self.current.swap(catalog))
+    }
 }
 
 /// A running server; dropping it does *not* stop the threads — call
@@ -68,10 +203,36 @@ struct Job {
 /// frame) for an orderly exit.
 pub struct Server {
     addr: SocketAddr,
-    running: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisors: Vec<JoinHandle<()>>,
     obs: Obs,
+}
+
+/// A cloneable admin handle onto a running server: reload the store
+/// and read the current epoch without holding the [`Server`] itself
+/// (e.g. from the CLI's `--watch-store` poller thread).
+#[derive(Clone)]
+pub struct ReloadHandle {
+    shared: Arc<Shared>,
+}
+
+impl ReloadHandle {
+    /// Hot-swaps the store at `path` in as the next epoch; see
+    /// [`Server::reload`].
+    pub fn reload(&self, path: &str) -> Result<u64> {
+        self.shared.reload(path)
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.current.epoch()
+    }
+
+    /// Whether the server is still accepting work.
+    pub fn is_running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
 }
 
 impl Server {
@@ -85,15 +246,35 @@ impl Server {
         &self.obs
     }
 
+    /// The current store epoch (1 until the first successful reload).
+    pub fn epoch(&self) -> u64 {
+        self.shared.current.epoch()
+    }
+
+    /// Loads, validates, and hot-swaps the store file at `path`;
+    /// returns the new epoch. A rejected reload (missing file, bad
+    /// checksum, non-canonical ordering) leaves the old epoch serving.
+    pub fn reload(&self, path: &str) -> Result<u64> {
+        self.shared.reload(path)
+    }
+
+    /// An admin handle that outlives borrows of the server.
+    pub fn reload_handle(&self) -> ReloadHandle {
+        ReloadHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Requests an orderly stop: flips the flag and unblocks the accept
     /// loop with a throwaway connection.
     pub fn shutdown(&self) {
-        self.running.store(false, Ordering::SeqCst);
+        self.shared.running.store(false, Ordering::SeqCst);
         // Best-effort nudge; if it fails the accept loop is already gone.
         drop(TcpStream::connect(self.addr));
     }
 
-    /// Blocks until the accept loop and every shard worker have exited.
+    /// Blocks until the accept loop and every shard supervisor have
+    /// exited.
     pub fn wait(mut self) -> Result<()> {
         if let Some(h) = self.accept.take() {
             h.join().map_err(|_| Error::NodeFailure {
@@ -101,10 +282,15 @@ impl Server {
                 reason: "server accept thread panicked".into(),
             })?;
         }
-        for (shard, h) in self.workers.drain(..).enumerate() {
+        // Retire the shard senders: workers drain their queues and
+        // return, supervisors see a clean exit and stop.
+        for slot in &self.shared.slots {
+            slot.tx.lock().take();
+        }
+        for (shard, h) in self.supervisors.drain(..).enumerate() {
             h.join().map_err(|_| Error::NodeFailure {
                 node: shard,
-                reason: "shard worker panicked".into(),
+                reason: "shard supervisor panicked".into(),
             })?;
         }
         Ok(())
@@ -118,51 +304,104 @@ pub fn serve(addr: &str, store: RuleStore, cfg: ServerConfig, obs: Obs) -> Resul
     let local = listener
         .local_addr()
         .map_err(|e| Error::io("reading bound address", e))?;
-    let catalog = Arc::new(Catalog::new(store, cfg.shards));
-    let running = Arc::new(AtomicBool::new(true));
+    let catalog = Catalog::new(store, cfg.shards);
+    let num_shards = catalog.num_shards();
+    let shared = Arc::new(Shared {
+        current: EpochCell::new(catalog),
+        slots: (0..num_shards).map(|_| ShardSlot::new()).collect(),
+        cfg,
+        obs: obs.clone(),
+        running: AtomicBool::new(true),
+        conns: AtomicU64::new(0),
+        reloads: AtomicU64::new(0),
+    });
 
-    let mut senders = Vec::with_capacity(catalog.num_shards());
-    let mut workers = Vec::with_capacity(catalog.num_shards());
-    for shard in 0..catalog.num_shards() {
-        let (tx, rx) = mpsc::channel::<Job>();
-        senders.push(tx);
-        let catalog = Arc::clone(&catalog);
-        let obs = obs.clone();
-        workers.push(
+    let mut supervisors = Vec::with_capacity(num_shards);
+    for shard in 0..num_shards {
+        let shared = Arc::clone(&shared);
+        supervisors.push(
             std::thread::Builder::new()
                 .name(format!("gar-serve-shard-{shard}"))
-                .spawn(move || shard_worker(shard, &catalog, &rx, &obs))
-                .map_err(|e| Error::io("spawning shard worker", e))?,
+                .spawn(move || shard_supervisor(shard, &shared))
+                .map_err(|e| Error::io("spawning shard supervisor", e))?,
         );
     }
 
     let accept = {
-        let running = Arc::clone(&running);
-        let catalog = Arc::clone(&catalog);
-        let obs = obs.clone();
+        let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("gar-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &running, &catalog, &senders, cfg, &obs))
+            .spawn(move || accept_loop(&listener, &shared))
             .map_err(|e| Error::io("spawning accept thread", e))?
     };
 
     Ok(Server {
         addr: local,
-        running,
+        shared,
         accept: Some(accept),
-        workers,
+        supervisors,
         obs,
     })
 }
 
-/// A shard worker: drains jobs until the last sender drops, scoring
-/// each query against its own slice of the rule set.
-fn shard_worker(shard: usize, catalog: &Catalog, rx: &Receiver<Job>, obs: &Obs) {
+/// One shard's supervisor: publish a queue, run the worker, and on a
+/// panic isolate it, back off, and restart with a fresh queue — up to
+/// `max_restarts` times. While the slot holds `None` the shard is down
+/// and handlers answer degraded.
+fn shard_supervisor(shard: usize, shared: &Shared) {
+    let Some(slot) = shared.slots.get(shard) else {
+        return;
+    };
+    let mut restarts = 0usize;
+    loop {
+        let (tx, rx) = mpsc::sync_channel(shared.cfg.queue_depth.max(1));
+        *slot.tx.lock() = Some(tx);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            shard_worker(shard, slot, &shared.cfg.faults, &rx, &shared.obs);
+        }));
+        // Down from here until a restart republishes a sender: clear
+        // the slot (new queries skip this shard → degraded) and discard
+        // the dead queue's backlog estimate.
+        slot.tx.lock().take();
+        slot.queued.store(0, Ordering::SeqCst);
+        if outcome.is_ok() {
+            return; // clean drain: the last sender was retired
+        }
+        shared
+            .obs
+            .add("serve.shard_restarts", &[("shard", shard as u64)], 1);
+        restarts += 1;
+        if restarts > shared.cfg.max_restarts || !shared.running.load(Ordering::SeqCst) {
+            return; // out of budget: shard stays down, answers stay degraded
+        }
+        std::thread::sleep(shared.cfg.restart_backoff * restarts as u32);
+    }
+}
+
+/// A shard worker incarnation: drains jobs until the current sender is
+/// retired, scoring each query against its own slice of the job's
+/// epoch snapshot.
+fn shard_worker(shard: usize, slot: &ShardSlot, faults: &FaultPlan, rx: &Receiver<Job>, obs: &Obs) {
     let labels = [("shard", shard as u64)];
     while let Ok(job) = rx.recv() {
+        let jobno = (slot.jobs.fetch_add(1, Ordering::SeqCst) + 1) as usize;
+        if faults.take_serve_shard(ServeFaultOp::ShardStall, shard, jobno) {
+            obs.add("serve.fault.shard_stall", &labels, 1);
+            std::thread::sleep(faults.hang);
+        }
+        if faults.take_serve_shard(ServeFaultOp::ShardPanic, shard, jobno) {
+            obs.add("serve.fault.shard_panic", &labels, 1);
+            // lint:allow(panic-path): this panic *is* the injected
+            // fault — the supervisor's catch_unwind is the code under
+            // test.
+            panic!("injected shard panic: shard {shard} job {jobno}");
+        }
         let _span = obs.span(shard as u64, 0, "query");
         let clock = Stopwatch::start();
-        let matches = catalog.shard_matches(shard, &job.basket, &job.extended);
+        let matches = job
+            .snapshot
+            .value()
+            .shard_matches(shard, &job.basket, &job.extended);
         obs.observe(
             "serve.shard_us",
             &labels,
@@ -177,53 +416,49 @@ fn shard_worker(shard: usize, catalog: &Catalog, rx: &Receiver<Job>, obs: &Obs) 
         // A receiver gone mid-collect just means the handler gave up
         // (deadline) or disconnected; the next job is unaffected.
         drop(job.reply.send(matches));
+        slot.finish_job();
     }
 }
 
-/// The accept loop. Owns the primary clone of every shard sender, so
-/// workers cannot outlive it by more than the open connections.
-fn accept_loop(
-    listener: &TcpListener,
-    running: &Arc<AtomicBool>,
-    catalog: &Arc<Catalog>,
-    senders: &[Sender<Job>],
-    cfg: ServerConfig,
-    obs: &Obs,
-) {
-    while running.load(Ordering::SeqCst) {
+/// The accept loop: tags each connection with its accept-order index
+/// (the fault plan's `c` coordinate) and hands it to a detached
+/// handler.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while shared.running.load(Ordering::SeqCst) {
         let stream = match listener.accept() {
             Ok((s, _)) => s,
             Err(_) => continue,
         };
-        if !running.load(Ordering::SeqCst) {
+        if !shared.running.load(Ordering::SeqCst) {
             break; // The shutdown nudge itself.
         }
-        let running = Arc::clone(running);
-        let catalog = Arc::clone(catalog);
-        let senders = senders.to_vec();
-        let obs = obs.clone();
+        let conn = shared.conns.fetch_add(1, Ordering::SeqCst) as usize;
+        let shared = Arc::clone(shared);
         // Detached: the handler exits on EOF, on a fatal frame error,
         // or within one poll interval of the flag flipping.
         drop(
             std::thread::Builder::new()
                 .name("gar-serve-conn".into())
-                .spawn(move || handle_connection(stream, &running, &catalog, &senders, cfg, &obs)),
+                .spawn(move || handle_connection(stream, conn, &shared)),
         );
     }
 }
 
+/// How one query ended before response encoding.
+enum Answered {
+    /// All live shards answered; `missing` counts the dead ones.
+    Full { matches: Vec<Match>, missing: u32 },
+    /// Shed before any shard work (queue full or budget unmeetable).
+    Shed,
+    /// The collect deadline expired.
+    TimedOut,
+}
+
 /// One connection: a loop of request frames until EOF, a fatal framing
 /// error, or shutdown.
-fn handle_connection(
-    mut stream: TcpStream,
-    running: &AtomicBool,
-    catalog: &Catalog,
-    senders: &[Sender<Job>],
-    cfg: ServerConfig,
-    obs: &Obs,
-) {
+fn handle_connection(mut stream: TcpStream, conn: usize, shared: &Shared) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
-        || stream.set_write_timeout(Some(cfg.deadline)).is_err()
+        || stream.set_write_timeout(Some(shared.cfg.deadline)).is_err()
     {
         return;
     }
@@ -231,12 +466,13 @@ fn handle_connection(
     // letting Nagle batch them against delayed ACKs costs ~40 ms per
     // round trip on loopback.
     drop(stream.set_nodelay(true));
+    let obs = &shared.obs;
     loop {
         let payload = match read_frame(&mut stream) {
             Ok(Some(p)) => p,
             Ok(None) => return, // clean EOF
             Err(Error::Timeout { .. }) => {
-                if running.load(Ordering::SeqCst) {
+                if shared.running.load(Ordering::SeqCst) {
                     continue; // idle poll tick
                 }
                 return;
@@ -264,72 +500,238 @@ fn handle_connection(
                 continue;
             }
         };
-        match request {
-            Request::Query { basket, top_k } => {
-                let clock = Stopwatch::start();
-                obs.add("serve.requests", &[], 1);
-                let response = match run_query(catalog, senders, cfg.deadline, basket, obs) {
-                    Ok(matches) => Response::Results(catalog.merge(matches, top_k as usize)),
-                    Err(e) => {
-                        obs.add("serve.errors", &[], 1);
-                        Response::Error(e.to_string())
-                    }
-                };
-                obs.observe("serve.latency_us", &[], clock.elapsed().as_micros() as u64);
-                if write_frame(&mut stream, &encode_response(&response)).is_err() {
-                    return;
+        if shared
+            .cfg
+            .faults
+            .take_serve_conn(ServeFaultOp::ConnReset, conn)
+        {
+            // Injected reset: the request was read but the connection
+            // dies before a single response byte — the client must
+            // reconnect and retry.
+            obs.add("serve.fault.conn_reset", &[], 1);
+            return;
+        }
+        let response = match request {
+            Request::Query { basket, top_k } => Some(answer_query(shared, basket, top_k, 0, false)),
+            Request::QueryV2 {
+                version,
+                basket,
+                top_k,
+                budget_ms,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    obs.add("serve.version_mismatch", &[], 1);
+                    Some(Response::VersionMismatch {
+                        server: PROTOCOL_VERSION,
+                        client: version,
+                    })
+                } else {
+                    Some(answer_query(shared, basket, top_k, budget_ms, true))
+                }
+            }
+            Request::Reload { version, path } => {
+                if version != PROTOCOL_VERSION {
+                    obs.add("serve.version_mismatch", &[], 1);
+                    Some(Response::VersionMismatch {
+                        server: PROTOCOL_VERSION,
+                        client: version,
+                    })
+                } else {
+                    Some(match shared.reload(&path) {
+                        Ok(epoch) => Response::ReloadAck { epoch },
+                        Err(e) => {
+                            obs.add("serve.errors", &[], 1);
+                            Response::Error(format!("reload rejected: {e}"))
+                        }
+                    })
                 }
             }
             Request::Shutdown => {
                 let ack = encode_response(&Response::ShutdownAck);
                 drop(write_frame(&mut stream, &ack));
-                running.store(false, Ordering::SeqCst);
+                shared.running.store(false, Ordering::SeqCst);
                 if let Ok(addr) = stream.local_addr() {
                     drop(TcpStream::connect(addr)); // nudge the accept loop
                 }
                 return;
             }
+        };
+        let Some(response) = response else { continue };
+        if write_response(&mut stream, conn, shared, &response).is_err() {
+            return;
         }
     }
 }
 
-/// Fans one query out to every shard and collects the answers under
-/// `deadline`. A missed deadline is the workspace's retryable
-/// [`Error::Timeout`], exactly like a hung peer in the mining cluster.
-fn run_query(
-    catalog: &Catalog,
-    senders: &[Sender<Job>],
-    deadline: Duration,
+/// Writes one response frame, honoring a scheduled `slow-frame` fault
+/// by dribbling the bytes out in small delayed chunks (the client-side
+/// frame reader must reassemble partial writes).
+fn write_response(
+    stream: &mut TcpStream,
+    conn: usize,
+    shared: &Shared,
+    response: &Response,
+) -> Result<()> {
+    if !shared
+        .cfg
+        .faults
+        .take_serve_conn(ServeFaultOp::SlowFrame, conn)
+    {
+        return write_frame(stream, &encode_response(response));
+    }
+    shared.obs.add("serve.fault.slow_frame", &[], 1);
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &encode_response(response))?;
+    let io = |e| Error::io("writing slow frame", e);
+    for chunk in framed.chunks(3) {
+        stream.write_all(chunk).map_err(io)?;
+        stream.flush().map_err(io)?;
+        std::thread::sleep(shared.cfg.faults.delay);
+    }
+    Ok(())
+}
+
+/// Runs one query end to end against a single epoch snapshot and
+/// shapes the response for the requested protocol generation.
+fn answer_query(
+    shared: &Shared,
     basket: Vec<ItemId>,
-    obs: &Obs,
-) -> Result<Vec<Match>> {
+    top_k: u32,
+    budget_ms: u32,
+    v2: bool,
+) -> Response {
+    let obs = &shared.obs;
+    let clock = Stopwatch::start();
+    obs.add("serve.requests", &[], 1);
+    let snapshot = shared.current.load();
+    let response = match run_query(shared, &snapshot, basket, budget_ms) {
+        Answered::Full { matches, missing } => {
+            let recs = snapshot.value().merge(matches, top_k as usize);
+            if missing > 0 {
+                obs.add("serve.degraded", &[], 1);
+            }
+            if v2 {
+                Response::ResultsV2 {
+                    epoch: snapshot.number(),
+                    shards_missing: missing,
+                    recs,
+                }
+            } else {
+                Response::Results(recs)
+            }
+        }
+        Answered::Shed => {
+            obs.add("serve.shed", &[], 1);
+            let retry_after_ms = shared.cfg.retry_after_ms;
+            if v2 {
+                Response::Overloaded { retry_after_ms }
+            } else {
+                Response::Error(format!("overloaded: retry after {retry_after_ms} ms"))
+            }
+        }
+        Answered::TimedOut if v2 => {
+            // The backlog outran the client's budget: typed and
+            // retryable, exactly like a shed before dispatch.
+            obs.add("serve.shed", &[], 1);
+            Response::Overloaded {
+                retry_after_ms: shared.cfg.retry_after_ms,
+            }
+        }
+        Answered::TimedOut => {
+            obs.add("serve.errors", &[], 1);
+            let e = Error::Timeout {
+                node: 0,
+                op: "shard-collect".into(),
+            };
+            Response::Error(e.to_string())
+        }
+    };
+    obs.observe("serve.latency_us", &[], clock.elapsed().as_micros() as u64);
+    response
+}
+
+/// Fans one query out to every live shard and collects the answers
+/// under the deadline. Dead shards (no published sender, or a crash
+/// mid-collect) are counted as missing rather than failing the query;
+/// a queue that cannot take the job — or a backlog the budget cannot
+/// cover — sheds it.
+fn run_query(
+    shared: &Shared,
+    snapshot: &Arc<Epoch<Catalog>>,
+    basket: Vec<ItemId>,
+    budget_ms: u32,
+) -> Answered {
+    let catalog = snapshot.value();
     let basket = Arc::new(basket);
     let extended = Arc::new(catalog.extend_basket(&basket));
+    let deadline = if budget_ms == 0 {
+        shared.cfg.deadline
+    } else {
+        shared
+            .cfg
+            .deadline
+            .min(Duration::from_millis(budget_ms as u64))
+    };
+    if budget_ms > 0 {
+        let backlog = shared
+            .slots
+            .iter()
+            .map(|s| s.queued.load(Ordering::SeqCst))
+            .max()
+            .unwrap_or(0) as u64;
+        if (backlog + 1).saturating_mul(shared.cfg.est_job_ms) > budget_ms as u64 {
+            return Answered::Shed;
+        }
+    }
     let (reply_tx, reply_rx) = mpsc::channel();
-    for tx in senders {
+    let mut dispatched = 0usize;
+    let mut missing = 0u32;
+    for slot in &shared.slots {
         let job = Job {
+            snapshot: Arc::clone(snapshot),
             basket: Arc::clone(&basket),
             extended: Arc::clone(&extended),
             reply: reply_tx.clone(),
         };
-        tx.send(job).map_err(|_| Error::NodeFailure {
-            node: 0,
-            reason: "shard worker exited".into(),
-        })?;
-    }
-    drop(reply_tx);
-    let mut matches = Vec::new();
-    for _ in 0..senders.len() {
-        match reply_rx.recv_timeout(deadline) {
-            Ok(mut m) => matches.append(&mut m),
-            Err(_) => {
-                obs.add("serve.deadline_exceeded", &[], 1);
-                return Err(Error::Timeout {
-                    node: 0,
-                    op: "shard-collect".into(),
-                });
+        slot.queued.fetch_add(1, Ordering::SeqCst);
+        // The guard is held across try_send only, which never blocks.
+        let sent = match slot.tx.lock().as_ref() {
+            Some(tx) => tx.try_send(job),
+            None => Err(TrySendError::Disconnected(job)),
+        };
+        match sent {
+            Ok(()) => dispatched += 1,
+            Err(TrySendError::Full(_)) => {
+                slot.finish_job();
+                return Answered::Shed;
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Shard down (crashed, restarting, or out of budget):
+                // answer without it.
+                slot.finish_job();
+                missing += 1;
             }
         }
     }
-    Ok(matches)
+    drop(reply_tx);
+    let mut matches = Vec::new();
+    let mut collected = 0usize;
+    while collected < dispatched {
+        match reply_rx.recv_timeout(deadline) {
+            Ok(mut m) => {
+                matches.append(&mut m);
+                collected += 1;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Every outstanding job's worker died before replying.
+                missing += (dispatched - collected) as u32;
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                shared.obs.add("serve.deadline_exceeded", &[], 1);
+                return Answered::TimedOut;
+            }
+        }
+    }
+    Answered::Full { matches, missing }
 }

@@ -183,7 +183,7 @@ impl<'a> Cursor<'a> {
             }
             items.push(ItemId(raw));
         }
-        if items.windows(2).any(|w| w[0] >= w[1]) {
+        if items.iter().zip(items.iter().skip(1)).any(|(a, b)| a >= b) {
             return Err(Error::Corrupt(format!("{what} items are not ascending")));
         }
         Ok(Itemset::from_sorted(items))

@@ -1,0 +1,50 @@
+//! Synchronization shim for the serving tier: `std::sync` in normal
+//! builds, the `gar-modelcheck` virtual primitives under
+//! `--cfg gar_loom` (same pattern as `gar-cluster`'s shim).
+//!
+//! The epoch hot-swap cell ([`crate::epoch::EpochCell`]) and the shard
+//! supervisor's sender slot go through these names, so the exact code
+//! that swaps stores in production is the code the model checker
+//! explores (`cargo xtask loom` runs `tests/loom_epoch.rs`).
+//!
+//! `Mutex::lock` returns the guard directly. On the `std` backend a
+//! poisoned lock is recovered with `into_inner`: the supervisor clears
+//! and republishes a shard's sender slot only from its own (never
+//! panicking mid-update) restart loop, and the epoch slot holds a
+//! single `Arc` that is replaced atomically, so neither can be observed
+//! half-updated.
+
+#[cfg(not(gar_loom))]
+mod backend {
+    use std::sync::PoisonError;
+
+    pub use std::sync::Arc;
+
+    /// `std::sync::Mutex` with panic-poisoning flattened away.
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    /// Guard type re-exported so signatures can name it under both
+    /// backends.
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+#[cfg(gar_loom)]
+mod backend {
+    pub use gar_modelcheck::sync::{Mutex, MutexGuard};
+    pub use std::sync::Arc;
+}
+
+pub(crate) use backend::{Arc, Mutex};
+
+#[allow(unused_imports)]
+pub(crate) use backend::MutexGuard;

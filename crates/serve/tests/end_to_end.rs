@@ -1,15 +1,18 @@
 //! End-to-end serving over real loopback TCP: a known hierarchy, a
 //! running sharded server, and a client — answers must match the
-//! in-process engine exactly, taxonomy-ancestor matches included, and
-//! a hostile frame must not take the server down.
+//! in-process engine exactly, taxonomy-ancestor matches included, a
+//! hostile frame must not take the server down, reloads must hot-swap
+//! epochs without dropping queries, and old-version frames must get a
+//! typed mismatch answer rather than a hangup.
 
-use gar_cluster::RetryPolicy;
+use gar_cluster::{FaultPlan, RetryPolicy};
 use gar_mining::rules::Rule;
 use gar_obs::Obs;
-use gar_serve::{serve, Catalog, Client, RuleStore, ServerConfig};
+use gar_serve::{serve, Catalog, Client, QueryReply, RuleStore, ServerConfig};
 use gar_taxonomy::{Taxonomy, TaxonomyBuilder};
 use gar_types::{iset, ItemId, Itemset};
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// The [SA95] hierarchy: clothes(0) → outerwear(1) → {jackets(3),
@@ -48,10 +51,27 @@ fn fixture_store() -> RuleStore {
     RuleStore::new(fixture_rules(), sa95_taxonomy(), 6)
 }
 
+/// A second-generation rule set so a reload has observable effects.
+fn refreshed_store() -> RuleStore {
+    let rules = vec![
+        rule(iset![1], iset![7], 4, 0.8),
+        rule(iset![2], iset![3], 2, 0.6),
+    ];
+    RuleStore::new(rules, sa95_taxonomy(), 8)
+}
+
+/// A unique scratch path under the OS temp dir.
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("gar-serve-e2e-{}-{seq}-{name}", std::process::id()))
+}
+
 fn start(shards: usize, obs: Obs) -> gar_serve::Server {
     let cfg = ServerConfig {
         shards,
         deadline: Duration::from_secs(5),
+        ..ServerConfig::default()
     };
     serve("127.0.0.1:0", fixture_store(), cfg, obs).unwrap()
 }
@@ -153,6 +173,182 @@ fn oversize_frame_gets_an_error_and_the_server_survives() {
     // The server is still alive and correct afterwards.
     let mut client = connect(&server);
     assert!(!client.query(&[ItemId(3)], 5).unwrap().is_empty());
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn reload_hot_swaps_the_epoch_and_answers_change() {
+    let server = start(2, Obs::disabled());
+    let mut client = connect(&server);
+    let basket = [ItemId(3)];
+
+    // Epoch 1: the original rules answer, stamped with their epoch.
+    let reply = client.query_v2(&basket, 10, 0).unwrap();
+    let reference_v1 = Catalog::new(fixture_store(), 1);
+    assert_eq!(
+        reply,
+        QueryReply::Results {
+            epoch: 1,
+            shards_missing: 0,
+            recs: reference_v1.query(&basket, 10),
+        }
+    );
+
+    // Hot-swap in the refreshed store.
+    let path = scratch_path("refresh.grul");
+    refreshed_store().save(&path).unwrap();
+    let epoch = client.reload(&path.to_string_lossy()).unwrap();
+    assert_eq!(epoch, 2);
+    assert_eq!(server.epoch(), 2);
+
+    // Epoch 2: the refreshed rules answer on the same connection.
+    let reply = client.query_v2(&basket, 10, 0).unwrap();
+    let reference_v2 = Catalog::new(refreshed_store(), 1);
+    assert_eq!(
+        reply,
+        QueryReply::Results {
+            epoch: 2,
+            shards_missing: 0,
+            recs: reference_v2.query(&basket, 10),
+        }
+    );
+    // v1 queries keep working after the swap.
+    assert_eq!(
+        client.query(&basket, 10).unwrap(),
+        reference_v2.query(&basket, 10)
+    );
+    std::fs::remove_file(&path).ok();
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn corrupt_reload_is_rejected_while_the_old_epoch_serves() {
+    let obs = Obs::enabled();
+    let server = start(1, obs.clone());
+    let mut client = connect(&server);
+    let basket = [ItemId(3)];
+    let reference = Catalog::new(fixture_store(), 1);
+
+    // Write a refreshed store, then flip one byte mid-file.
+    let path = scratch_path("torn.grul");
+    refreshed_store().save(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = client.reload(&path.to_string_lossy()).unwrap_err();
+    assert!(
+        err.to_string().contains("reload rejected"),
+        "unexpected reload error: {err}"
+    );
+    // The old epoch keeps answering, proven by the epoch tag.
+    let reply = client.query_v2(&basket, 10, 0).unwrap();
+    assert_eq!(
+        reply,
+        QueryReply::Results {
+            epoch: 1,
+            shards_missing: 0,
+            recs: reference.query(&basket, 10),
+        }
+    );
+    // A missing file is rejected the same way.
+    let err = client.reload("/nonexistent/rules.grul").unwrap_err();
+    assert!(err.to_string().contains("reload rejected"), "{err}");
+    assert_eq!(server.epoch(), 1);
+    let snap = obs.metrics();
+    assert_eq!(snap.counters.get("serve.swap_rejected"), Some(&2));
+    assert!(!snap.counters.contains_key("serve.swaps"));
+    std::fs::remove_file(&path).ok();
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn version_mismatch_is_typed_and_the_connection_survives() {
+    use gar_serve::protocol::{
+        decode_response, encode_request, read_frame, write_frame, Request, Response,
+        PROTOCOL_VERSION,
+    };
+    let server = start(1, Obs::disabled());
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    // A v2 frame from the future: version 9.
+    let req = encode_request(&Request::QueryV2 {
+        version: 9,
+        basket: vec![ItemId(3)],
+        top_k: 5,
+        budget_ms: 0,
+    });
+    write_frame(&mut raw, &req).unwrap();
+    let payload = read_frame(&mut raw).unwrap().unwrap();
+    assert_eq!(
+        decode_response(&payload).unwrap(),
+        Response::VersionMismatch {
+            server: PROTOCOL_VERSION,
+            client: 9,
+        }
+    );
+    // The connection stays open and protocol-consistent: a v1 query on
+    // the same socket still answers.
+    let req = encode_request(&Request::Query {
+        basket: vec![ItemId(3)],
+        top_k: 5,
+    });
+    write_frame(&mut raw, &req).unwrap();
+    let payload = read_frame(&mut raw).unwrap().unwrap();
+    assert!(matches!(
+        decode_response(&payload).unwrap(),
+        Response::Results(recs) if !recs.is_empty()
+    ));
+    drop(raw);
+    server.shutdown();
+    server.wait().unwrap();
+}
+
+#[test]
+fn client_transparently_retries_after_a_connection_reset() {
+    let obs = Obs::enabled();
+    let cfg = ServerConfig {
+        shards: 2,
+        faults: FaultPlan::parse("conn-reset@c0").unwrap(),
+        ..ServerConfig::default()
+    };
+    let server = serve("127.0.0.1:0", fixture_store(), cfg, obs.clone()).unwrap();
+    let mut client = connect(&server);
+    // The first connection is reset right after the request is read;
+    // the client must reconnect and retry without surfacing an error.
+    let recs = client.query(&[ItemId(3)], 10).unwrap();
+    let reference = Catalog::new(fixture_store(), 1);
+    assert_eq!(recs, reference.query(&[ItemId(3)], 10));
+    assert_eq!(
+        obs.metrics().counters.get("serve.fault.conn_reset"),
+        Some(&1)
+    );
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn slow_frame_writes_are_reassembled_by_the_client() {
+    let obs = Obs::enabled();
+    let cfg = ServerConfig {
+        shards: 1,
+        faults: FaultPlan::parse("slow-frame@c0,delay-ms=1").unwrap(),
+        ..ServerConfig::default()
+    };
+    let server = serve("127.0.0.1:0", fixture_store(), cfg, obs.clone()).unwrap();
+    let mut client = connect(&server);
+    // The response frame dribbles out in 3-byte chunks; the framed
+    // reader must reassemble it into the exact same answer.
+    let recs = client.query(&[ItemId(3)], 10).unwrap();
+    let reference = Catalog::new(fixture_store(), 1);
+    assert_eq!(recs, reference.query(&[ItemId(3)], 10));
+    assert_eq!(
+        obs.metrics().counters.get("serve.fault.slow_frame"),
+        Some(&1)
+    );
     client.shutdown().unwrap();
     server.wait().unwrap();
 }

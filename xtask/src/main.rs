@@ -8,10 +8,14 @@
 //! * `analyze` — the full `gar-analyze` catalog: the lint rules plus
 //!   the flow-aware `panic-path`, `lock-blocking` and `unsafe-audit`
 //!   rules, filtered through the checked-in `ANALYZE_BASELINE.txt`.
-//! * `loom` — model-checks the cluster collectives by rebuilding them on
-//!   the `gar-modelcheck` virtual primitives (`--cfg gar_loom`).
+//! * `loom` — model-checks the cluster collectives and the serve-layer
+//!   epoch cell by rebuilding them on the `gar-modelcheck` virtual
+//!   primitives (`--cfg gar_loom`).
 //! * `chaos` — seeded fault-injection soak over the mining runtime
 //!   (tolerated schedules must leave the output byte-identical).
+//! * `serve-chaos` — seeded fault-injection soak over the serving layer
+//!   (shard panics, connection resets, corrupt hot-swaps, overload
+//!   bursts; `GAR_SERVE_CHAOS_SEEDS` pins the seed matrix).
 //! * `bench` — the perf-regression gate: runs the pinned smoke matrix
 //!   (see `crates/bench/src/bin/bench_gate.rs`) and, with `--check`,
 //!   compares modeled execution times against the committed
@@ -43,8 +47,11 @@ fn usage() -> &'static str {
                      (baseline-gated: new findings and stale baseline\n\
                      entries both fail); --json writes a gar-analyze-v1\n\
                      report\n\
-       loom          model-check the cluster collectives (--cfg gar_loom)\n\
+       loom          model-check the cluster collectives and the serve\n\
+                     epoch cell (--cfg gar_loom)\n\
        chaos         seeded fault-injection soak (GAR_CHAOS_ITERS scales it)\n\
+       serve-chaos   seeded serve-layer fault soak (GAR_SERVE_CHAOS_SEEDS\n\
+                     pins the seed matrix)\n\
        bench [--check] [--tolerance F] [--out FILE]\n\
                      run the pinned smoke matrix; --check gates against\n\
                      the committed BENCH_PR3.json baseline\n\
@@ -79,6 +86,7 @@ fn main() -> ExitCode {
         "analyze" => analyze::run(&repo_root(), rest),
         "loom" => runners::loom(&repo_root(), rest),
         "chaos" => runners::chaos(&repo_root(), rest),
+        "serve-chaos" => runners::serve_chaos(&repo_root(), rest),
         "bench" => runners::bench(&repo_root(), rest),
         "serve-smoke" => runners::serve_smoke(&repo_root(), rest),
         "miri" => runners::miri(&repo_root(), rest),

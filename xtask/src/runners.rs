@@ -42,12 +42,14 @@ fn probe(mut cmd: Command) -> bool {
         .unwrap_or(false)
 }
 
-/// Model-checks the cluster collectives. Compiles `gar-cluster` with
-/// `--cfg gar_loom`, swapping the std primitives in `cluster/src/sync.rs`
-/// for the `gar-modelcheck` virtual ones, then runs the exhaustive
-/// schedule-enumeration suite. The checker's own unit tests run first so
-/// a broken checker cannot vacuously pass the suite. A separate target
-/// dir keeps the `--cfg` flag from invalidating the main build cache.
+/// Model-checks the cluster collectives and the serve-layer epoch cell.
+/// Compiles with `--cfg gar_loom`, swapping the std primitives in
+/// `cluster/src/sync.rs` and `serve/src/sync.rs` for the
+/// `gar-modelcheck` virtual ones, then runs the exhaustive
+/// schedule-enumeration suites. The checker's own unit tests run first
+/// so a broken checker cannot vacuously pass the suites. A separate
+/// target dir keeps the `--cfg` flag from invalidating the main build
+/// cache.
 pub fn loom(root: &Path, args: &[String]) -> u8 {
     let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
     if !rustflags.is_empty() {
@@ -66,22 +68,31 @@ pub fn loom(root: &Path, args: &[String]) -> u8 {
         return code;
     }
 
-    run_echoed(
-        Command::new("cargo")
-            .current_dir(root)
-            .env("RUSTFLAGS", &rustflags)
-            .args([
-                "test",
-                "-q",
-                "-p",
-                "gar-cluster",
-                "--test",
-                "loom_collectives",
-                "--target-dir",
-                "target/loom",
-            ])
-            .args(passthrough(args)),
-    )
+    for (pkg, suite) in [
+        ("gar-cluster", "loom_collectives"),
+        ("gar-serve", "loom_epoch"),
+    ] {
+        let code = run_echoed(
+            Command::new("cargo")
+                .current_dir(root)
+                .env("RUSTFLAGS", &rustflags)
+                .args([
+                    "test",
+                    "-q",
+                    "-p",
+                    pkg,
+                    "--test",
+                    suite,
+                    "--target-dir",
+                    "target/loom",
+                ])
+                .args(passthrough(args)),
+        );
+        if code != 0 {
+            return code;
+        }
+    }
+    0
 }
 
 /// Runs the seeded chaos soak: the `gar-mining` chaos suite (fault
@@ -106,6 +117,35 @@ pub fn chaos(root: &Path, args: &[String]) -> u8 {
         Command::new("cargo")
             .current_dir(root)
             .args(["test", "-q", "-p", "gar-cluster", "fault"])
+            .args(passthrough(args)),
+    )
+}
+
+/// Runs the serve-layer chaos soak: the `gar-serve` chaos suite drives
+/// a real TCP server through shard panics, connection resets, slow
+/// frames, corrupt mid-swap stores, and overload bursts, asserting the
+/// robustness invariants (no process abort, every accepted query
+/// answered correctly or typed-retryable, byte-identical post-recovery
+/// transcripts, epoch monotonicity). `GAR_SERVE_CHAOS_SEEDS` pins the
+/// seed matrix so CI failures reproduce locally; the serve-side fault
+/// grammar unit tests run alongside.
+pub fn serve_chaos(root: &Path, args: &[String]) -> u8 {
+    let seeds = std::env::var("GAR_SERVE_CHAOS_SEEDS").unwrap_or_else(|_| "11,23,47".into());
+    eprintln!("xtask serve-chaos: GAR_SERVE_CHAOS_SEEDS={seeds}");
+    let code = run_echoed(
+        Command::new("cargo")
+            .current_dir(root)
+            .env("GAR_SERVE_CHAOS_SEEDS", &seeds)
+            .args(["test", "-q", "-p", "gar-serve", "--test", "chaos"])
+            .args(passthrough(args)),
+    );
+    if code != 0 {
+        return code;
+    }
+    run_echoed(
+        Command::new("cargo")
+            .current_dir(root)
+            .args(["test", "-q", "-p", "gar-cluster", "serve"])
             .args(passthrough(args)),
     )
 }
