@@ -13,6 +13,22 @@
 //! must produce byte-identical transcripts — the smoke harness asserts
 //! exactly that.
 //!
+//! `--batch N` groups baskets into `QueryBatch` frames of N — one
+//! round-trip scores the whole frame. Latency is attributed **per
+//! basket** (every basket in a frame records that frame's latency) and
+//! QPS is baskets per second, so `--batch 1` and `--batch 64` numbers
+//! stay directly comparable; `--batch 1` keeps the original
+//! single-query wire path byte-for-byte (v1 `Query` closed-loop, v2
+//! `QueryV2` open-loop), so historical transcripts and numbers are
+//! untouched.
+//!
+//! `--same-root` draws every basket from a single taxonomy root's
+//! subtree (the root chosen per basket from the same seeded stream,
+//! weighted by its antecedent mass). That is the single-root-heavy
+//! workload affinity routing is built for: each basket lands on
+//! exactly one shard, and `serve.routed.single` should equal
+//! `serve.baskets` on the server side.
+//!
 //! `--arrival-qps N` switches to an open loop: arrival gaps are drawn
 //! from the same seeded stream (`gap_i = (0.5 + u_i) / N`, `u_i`
 //! uniform in `[0,1)` — mean `1/N`, never bursty-zero), the schedule is
@@ -35,7 +51,8 @@
 use gar_cluster::RetryPolicy;
 use gar_obs::json::Value;
 use gar_obs::Stopwatch;
-use gar_serve::{Client, QueryReply, RuleStore};
+use gar_serve::protocol::MAX_BATCH;
+use gar_serve::{BatchReply, Client, QueryReply, RuleStore};
 use gar_types::{Error, ItemId, Result};
 use std::time::Duration;
 
@@ -112,22 +129,61 @@ fn run() -> Result<()> {
     let shards_label: u64 = flags.get_or("shards-label", 0)?;
     let deadline = Duration::from_millis(flags.get_or("deadline-ms", 5000)?);
 
-    let universe = RuleStore::load(rules_path)?.antecedent_items();
+    let store = RuleStore::load(rules_path)?;
+    let universe = store.antecedent_items();
     if universe.is_empty() {
         return Err(Error::InvalidConfig(format!(
             "{rules_path} holds no rules; nothing to query"
         )));
     }
 
+    // `--same-root` is the single-root-heavy workload: every basket's
+    // items come from one taxonomy root's subtree, so affinity routing
+    // sends the whole basket to exactly one shard. Groups are keyed by
+    // root in a BTreeMap so the draw order is deterministic.
+    let same_root = flags.has("same-root");
+    let by_root: Vec<(u32, Vec<ItemId>)> = if same_root {
+        let mut groups: std::collections::BTreeMap<u32, Vec<ItemId>> = Default::default();
+        for &item in &universe {
+            groups
+                .entry(store.taxonomy.root_of(item).0)
+                .or_default()
+                .push(item);
+        }
+        groups.into_iter().collect()
+    } else {
+        Vec::new()
+    };
+
     let arrival_qps: f64 = flags.get_or("arrival-qps", 0.0)?;
+    let batch: usize = flags.get_or("batch", 1)?;
+    if batch == 0 || batch > MAX_BATCH {
+        return Err(Error::InvalidConfig(format!(
+            "--batch must be in 1..={MAX_BATCH}"
+        )));
+    }
 
     let mut rng = SplitMix64(seed);
     let baskets: Vec<Vec<ItemId>> = (0..queries)
         .map(|_| {
+            // With --same-root the pool is one root's subtree, chosen by
+            // drawing a universe item and keeping its whole root group —
+            // roots are thereby weighted by their antecedent mass, like
+            // the plain draw. Without it the pool is the full universe.
+            let pool: &[ItemId] = if same_root {
+                let probe = universe[rng.below(universe.len() as u64) as usize];
+                let root = store.taxonomy.root_of(probe).0;
+                match by_root.binary_search_by_key(&root, |(r, _)| *r) {
+                    Ok(i) => &by_root[i].1,
+                    Err(_) => &universe,
+                }
+            } else {
+                &universe
+            };
             // Distinct items per basket (a transaction is a set).
             let mut b = Vec::new();
-            while b.len() < basket_len.min(universe.len()) {
-                let item = universe[rng.below(universe.len() as u64) as usize];
+            while b.len() < basket_len.min(pool.len()) {
+                let item = pool[rng.below(pool.len() as u64) as usize];
                 if !b.contains(&item) {
                     b.push(item);
                 }
@@ -144,19 +200,42 @@ fn run() -> Result<()> {
                     .into(),
             ));
         }
-        return open_loop(&flags, addr, &baskets, &mut rng, arrival_qps, deadline);
+        return open_loop(
+            &flags,
+            addr,
+            &baskets,
+            &mut rng,
+            arrival_qps,
+            deadline,
+            batch,
+        );
     }
 
     let mut client = Client::connect(addr, Some(deadline), &RetryPolicy::default())?;
     let mut transcript: Vec<u8> = Vec::new();
     let mut latencies_us: Vec<u64> = Vec::with_capacity(queries);
     let wall = Stopwatch::start();
-    for basket in &baskets {
-        let clock = Stopwatch::start();
-        let payload = client.query_raw(basket, top_k)?;
-        latencies_us.push(clock.elapsed().as_micros() as u64);
-        transcript.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        transcript.extend_from_slice(&payload);
+    if batch == 1 {
+        // The original v1 single-query path, untouched: transcripts
+        // written here must stay byte-identical across releases.
+        for basket in &baskets {
+            let clock = Stopwatch::start();
+            let payload = client.query_raw(basket, top_k)?;
+            latencies_us.push(clock.elapsed().as_micros() as u64);
+            transcript.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            transcript.extend_from_slice(&payload);
+        }
+    } else {
+        // Batched path: one frame per chunk; every basket in the chunk
+        // records the frame's latency so percentiles stay per-basket.
+        for chunk in baskets.chunks(batch) {
+            let clock = Stopwatch::start();
+            let payload = client.query_batch_raw(chunk, top_k, 0)?;
+            let us = clock.elapsed().as_micros() as u64;
+            latencies_us.extend(std::iter::repeat_n(us, chunk.len()));
+            transcript.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            transcript.extend_from_slice(&payload);
+        }
     }
     let elapsed = wall.elapsed();
 
@@ -178,6 +257,12 @@ fn run() -> Result<()> {
         let summary = Value::Obj(vec![
             ("shards".into(), Value::Num(shards_label as f64)),
             ("queries".into(), Value::Num(queries as f64)),
+            ("batch".into(), Value::Num(batch as f64)),
+            ("basket".into(), Value::Num(basket_len as f64)),
+            (
+                "same_root".into(),
+                Value::Num(f64::from(u8::from(same_root))),
+            ),
             ("p50_us".into(), Value::Num(p50 as f64)),
             ("p99_us".into(), Value::Num(p99 as f64)),
             ("qps".into(), Value::Num(qps.round())),
@@ -199,6 +284,7 @@ fn run() -> Result<()> {
 /// answers have returned. Shed (Overloaded) replies are counted, not
 /// latency-sampled — open-loop tail latency only means something over
 /// the queries the server actually admitted.
+#[allow(clippy::too_many_arguments)]
 fn open_loop(
     flags: &Flags,
     addr: &str,
@@ -206,6 +292,7 @@ fn open_loop(
     rng: &mut SplitMix64,
     arrival_qps: f64,
     deadline: Duration,
+    batch: usize,
 ) -> Result<()> {
     let top_k: u32 = flags.get_or("top-k", 5)?;
     let budget_ms: u32 = flags.get_or("budget-ms", 50)?;
@@ -217,15 +304,18 @@ fn open_loop(
         ));
     }
 
-    // The arrival schedule is fixed up front from the seeded stream:
-    // gap_i = (0.5 + u_i) / qps keeps the mean at 1/qps with bounded
-    // jitter, so a given seed always produces the same offered load.
+    // The arrival schedule is fixed up front from the seeded stream,
+    // one arrival per *frame*: gap_i = frame_len × (0.5 + u_i) / qps
+    // keeps the offered **basket** rate at `arrival_qps` whatever the
+    // batch size, so a given seed always produces the same offered
+    // load.
+    let frames: Vec<&[Vec<ItemId>]> = baskets.chunks(batch).collect();
     let mut at = 0.0f64;
-    let offsets: Vec<Duration> = baskets
+    let offsets: Vec<Duration> = frames
         .iter()
-        .map(|_| {
+        .map(|frame| {
             let u = rng.next() as f64 / (u64::MAX as f64 + 1.0);
-            at += (0.5 + u) / arrival_qps;
+            at += frame.len() as f64 * (0.5 + u) / arrival_qps;
             Duration::from_secs_f64(at)
         })
         .collect();
@@ -240,11 +330,12 @@ fn open_loop(
                 let wall = &wall;
                 let offsets = &offsets;
                 let retry = &retry;
+                let frames = &frames;
                 scope.spawn(move || -> Result<(Vec<u64>, u64)> {
                     let mut client = Client::connect(addr, Some(deadline), retry)?;
                     let mut latencies_us = Vec::new();
                     let mut shed = 0u64;
-                    for (basket, offset) in baskets
+                    for (frame, offset) in frames
                         .iter()
                         .zip(offsets)
                         .skip(w)
@@ -255,11 +346,30 @@ fn open_loop(
                             std::thread::sleep(*offset - now);
                         }
                         let clock = Stopwatch::start();
-                        match client.query_v2(basket, top_k, budget_ms)? {
-                            QueryReply::Results { .. } => {
-                                latencies_us.push(clock.elapsed().as_micros() as u64);
+                        if batch == 1 {
+                            // The original v2 single-query wire path.
+                            let Some(basket) = frame.first() else {
+                                continue;
+                            };
+                            match client.query_v2(basket, top_k, budget_ms)? {
+                                QueryReply::Results { .. } => {
+                                    latencies_us.push(clock.elapsed().as_micros() as u64);
+                                }
+                                QueryReply::Overloaded { .. } => shed += 1,
                             }
-                            QueryReply::Overloaded { .. } => shed += 1,
+                        } else {
+                            match client.query_batch(frame, top_k, budget_ms)? {
+                                BatchReply::Results { .. } => {
+                                    // Per-basket attribution: every
+                                    // basket in the frame waited this
+                                    // long for its answer.
+                                    let us = clock.elapsed().as_micros() as u64;
+                                    latencies_us.extend(std::iter::repeat_n(us, frame.len()));
+                                }
+                                // Admission is all-or-nothing per
+                                // frame: the whole frame was shed.
+                                BatchReply::Overloaded { .. } => shed += frame.len() as u64,
+                            }
                         }
                     }
                     Ok((latencies_us, shed))
@@ -307,6 +417,15 @@ fn open_loop(
             ("shards".into(), Value::Num(shards_label as f64)),
             ("queries".into(), Value::Num(queries as f64)),
             ("arrival_qps".into(), Value::Num(arrival_qps)),
+            ("batch".into(), Value::Num(batch as f64)),
+            (
+                "basket".into(),
+                Value::Num(flags.get_or("basket", 3)? as f64),
+            ),
+            (
+                "same_root".into(),
+                Value::Num(f64::from(u8::from(flags.has("same-root")))),
+            ),
             ("connections".into(), Value::Num(connections as f64)),
             ("p50_us".into(), Value::Num(p50 as f64)),
             ("p99_us".into(), Value::Num(p99 as f64)),

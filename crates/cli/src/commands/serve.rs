@@ -21,6 +21,9 @@ pub fn run(args: &Args) -> Result<()> {
     let shards: usize = args.get_or("shards", 1)?;
     let deadline_ms: u64 = args.get_or("deadline-ms", 5000)?;
     let queue_depth: usize = args.get_or("queue-depth", 64)?;
+    // Hot-answer cache entries; 0 (default) disables the cache so a
+    // default server stays byte-for-byte deterministic in its metrics.
+    let cache: usize = args.get_or("cache", 0)?;
     if shards == 0 {
         return Err(gar_types::Error::InvalidConfig(
             "--shards must be at least 1".into(),
@@ -51,6 +54,7 @@ pub fn run(args: &Args) -> Result<()> {
         shards,
         deadline: Duration::from_millis(deadline_ms),
         queue_depth,
+        cache_capacity: cache,
         faults,
         ..ServerConfig::default()
     };

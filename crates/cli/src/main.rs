@@ -86,9 +86,9 @@ USAGE:
                 [--taxonomy FILE.gtax] [--interest R] [--top N]
                 [--out FILE.grul]
   gar-cli serve --rules FILE.grul [--port N] [--shards N]
-                [--deadline-ms MS] [--queue-depth N] [--watch-store]
-                [--faults SPEC] [--metrics-out FILE.json]
-                [--trace-out FILE.json]
+                [--deadline-ms MS] [--queue-depth N] [--cache N]
+                [--watch-store] [--faults SPEC]
+                [--metrics-out FILE.json] [--trace-out FILE.json]
   gar-cli query --addr HOST:PORT
                 (--basket \"1,2,3\" | --reload FILE.grul | --shutdown)
                 [--top K] [--deadline-ms MS]

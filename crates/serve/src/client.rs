@@ -18,7 +18,8 @@
 
 use crate::engine::Recommendation;
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, PROTOCOL_VERSION,
+    decode_response, encode_request, read_frame, write_frame, BatchAnswer, Request, Response,
+    PROTOCOL_VERSION,
 };
 use gar_cluster::RetryPolicy;
 use gar_types::{Error, ItemId, Result};
@@ -48,6 +49,25 @@ pub enum QueryReply {
         recs: Vec<Recommendation>,
     },
     /// Shed under overload; retry after the suggested backoff.
+    Overloaded {
+        /// Suggested backoff before retrying.
+        retry_after_ms: u32,
+    },
+}
+
+/// A batched query outcome: one answer per submitted basket, in
+/// submission order, all scored against a single epoch — or one typed
+/// shed covering the whole batch (admission is all-or-nothing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchReply {
+    /// Per-basket answers, index-aligned with the request's baskets.
+    Results {
+        /// Epoch of the store snapshot that answered every basket.
+        epoch: u64,
+        /// One answer per basket, in submission order.
+        answers: Vec<BatchAnswer>,
+    },
+    /// The whole batch was shed; retry after the suggested backoff.
     Overloaded {
         /// Suggested backoff before retrying.
         retry_after_ms: u32,
@@ -137,6 +157,41 @@ impl Client {
         let req = encode_request(&Request::QueryV2 {
             version: PROTOCOL_VERSION,
             basket: basket.to_vec(),
+            top_k,
+            budget_ms,
+        });
+        self.round_trip(&req)
+    }
+
+    /// Sends N baskets in one frame and decodes the per-basket
+    /// answers. One round trip scores the whole batch, amortizing
+    /// framing, syscalls, and shard-queue overhead across it.
+    pub fn query_batch(
+        &mut self,
+        baskets: &[Vec<ItemId>],
+        top_k: u32,
+        budget_ms: u32,
+    ) -> Result<BatchReply> {
+        let payload = self.query_batch_raw(baskets, top_k, budget_ms)?;
+        match decode_response(&payload)? {
+            Response::ResultsBatch { epoch, answers } => Ok(BatchReply::Results { epoch, answers }),
+            Response::Overloaded { retry_after_ms } => {
+                Ok(BatchReply::Overloaded { retry_after_ms })
+            }
+            other => Err(unexpected("batch results", other)),
+        }
+    }
+
+    /// Raw-payload twin of [`Client::query_batch`] for transcripts.
+    pub fn query_batch_raw(
+        &mut self,
+        baskets: &[Vec<ItemId>],
+        top_k: u32,
+        budget_ms: u32,
+    ) -> Result<Vec<u8>> {
+        let req = encode_request(&Request::QueryBatch {
+            version: PROTOCOL_VERSION,
+            baskets: baskets.to_vec(),
             top_k,
             budget_ms,
         });

@@ -18,11 +18,18 @@
 //!   dropped when the specialization scores at least as high, because
 //!   "⇒ outerwear" adds nothing over "⇒ hiking boots".
 //!
-//! Rules are sharded by the FxHash of their itemset's sorted root-id
-//! key — exactly the placement of the H-HPGM family. The root key is
+//! Rules are sharded by the FxHash of their **antecedent's** sorted
+//! distinct root-id key — the placement of the H-HPGM family applied
+//! to the part of the rule a query has to satisfy. The root key is
 //! invariant under item generalization, so a rule and all its ancestor
 //! rules land on the same shard: the hierarchy locality the miner
-//! exploits transfers to the serving tier unchanged.
+//! exploits transfers to the serving tier unchanged. Placement by
+//! antecedent roots is what makes **affinity routing** sound: a rule
+//! matches a basket only when its antecedent is contained in the
+//! basket's extended transaction, extension never adds a new root, so
+//! every rule that can match a single-root basket has antecedent root
+//! key `{root}` and lives on [`Catalog::route`]'s one shard. Fan-out
+//! is needed only for multi-root baskets.
 
 use crate::index::RuleIndex;
 use crate::store::RuleStore;
@@ -52,13 +59,30 @@ pub struct Match {
     pub score: f64,
 }
 
-/// The shard of an itemset: FxHash of its sorted root-id key (with
-/// multiplicity), modulo the shard count — H-HPGM's `owner_of_key`
-/// transplanted to serving.
+/// The shard of an itemset: FxHash of its sorted **distinct** root-id
+/// key, modulo the shard count — H-HPGM's `owner_of_key` transplanted
+/// to serving. Deduplication makes the key a set, so the single-root
+/// key `{r}` of a basket hashes identically to the antecedent key of
+/// every rule that basket can trigger.
 pub fn shard_of(items: &[ItemId], tax: &Taxonomy, num_shards: usize) -> usize {
     let mut roots: Vec<u32> = items.iter().map(|&i| tax.root_of(i).raw()).collect();
     roots.sort_unstable();
+    roots.dedup();
     (fx_hash_u32_slice(&roots) % num_shards.max(1) as u64) as usize
+}
+
+/// Where a basket's shard work has to go, decided by
+/// [`Catalog::route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// No known item: nothing can match, no shard needs to run.
+    Empty,
+    /// Every known item shares one root: only this shard can hold a
+    /// matching rule (antecedent-root placement), so the query touches
+    /// exactly one shard.
+    Single(usize),
+    /// The basket spans several roots: any shard may contribute.
+    Broadcast,
 }
 
 /// One shard: a slice of the rule set plus its inverted index.
@@ -85,7 +109,10 @@ impl Catalog {
         let tax = store.taxonomy;
         let mut buckets: Vec<Vec<Rule>> = (0..num_shards).map(|_| Vec::new()).collect();
         for rule in store.rules {
-            let s = shard_of(rule.itemset().items(), &tax, num_shards);
+            // Placement by the *antecedent's* root key: the only part a
+            // basket must contain for the rule to fire, so affinity
+            // routing can prove single-root queries shard-local.
+            let s = shard_of(rule.antecedent.items(), &tax, num_shards);
             buckets[s].push(rule);
         }
         let shards = buckets
@@ -132,6 +159,34 @@ impl Catalog {
             .filter(|it| it.raw() < self.taxonomy.num_items())
             .collect();
         self.taxonomy.extend_transaction(&known)
+    }
+
+    /// Decides which shards a basket has to visit. Extension only adds
+    /// *ancestors*, which never change an item's root, so the root set
+    /// of the extended transaction equals the root set of the known raw
+    /// items — a rule can match only if its antecedent's root set is a
+    /// subset of that set. With rules placed by their antecedent root
+    /// key, a single-root basket's answer therefore lives entirely on
+    /// `shard_of({root})`; only multi-root baskets need fan-out.
+    pub fn route(&self, basket: &[ItemId]) -> Route {
+        let mut root: Option<u32> = None;
+        for &it in basket {
+            if it.raw() >= self.taxonomy.num_items() {
+                continue; // unknown item: dropped by extend_basket too
+            }
+            let r = self.taxonomy.root_of(it).raw();
+            match root {
+                None => root = Some(r),
+                Some(seen) if seen == r => {}
+                Some(_) => return Route::Broadcast,
+            }
+        }
+        match root {
+            None => Route::Empty,
+            Some(r) => {
+                Route::Single((fx_hash_u32_slice(&[r]) % self.shards.len().max(1) as u64) as usize)
+            }
+        }
     }
 
     /// The matches of one shard for a query. `basket` drives the index
@@ -360,6 +415,70 @@ mod tests {
                     reference.query(basket, 10),
                     "shards={shards} basket={basket:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn route_classifies_baskets_by_distinct_roots() {
+        let cat = catalog(vec![rule(iset![1], iset![7], 2, 2.0 / 3.0)], 4);
+        // jackets(3) + ski pants(4) + clothes(0): one root → Single.
+        match cat.route(&[ItemId(3), ItemId(4), ItemId(0)]) {
+            Route::Single(s) => assert!(s < 4),
+            other => panic!("expected Single, got {other:?}"),
+        }
+        // A single-root basket routes to the shard of its root key —
+        // where every rule with that antecedent root lives.
+        let tax = sa95_taxonomy();
+        assert_eq!(
+            cat.route(&[ItemId(3)]),
+            Route::Single(shard_of(&[ItemId(0)], &tax, 4))
+        );
+        // clothes(0) + boots(7): two roots → Broadcast.
+        assert_eq!(cat.route(&[ItemId(0), ItemId(7)]), Route::Broadcast);
+        // Unknown items are ignored; all-unknown means no shard at all.
+        assert_eq!(cat.route(&[ItemId(900)]), Route::Empty);
+        assert_eq!(cat.route(&[]), Route::Empty);
+        match cat.route(&[ItemId(900), ItemId(6)]) {
+            Route::Single(_) => {}
+            other => panic!("expected Single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_root_routing_agrees_with_full_fanout() {
+        // Every rule a single-root basket can match must live on the
+        // routed shard: scoring only that shard must equal fanning out
+        // to all of them. Exercised over rules with cross-root
+        // consequents and multi-root antecedents — the ones affinity
+        // placement must keep out of the way.
+        let rules = vec![
+            rule(iset![1], iset![7], 2, 2.0 / 3.0), // clothes → footwear
+            rule(iset![3], iset![2], 3, 0.9),       // clothes → clothes
+            rule(iset![7], iset![1], 2, 1.0),       // footwear → clothes
+            rule(iset![2], iset![6], 1, 0.4),
+            rule(iset![4], iset![7], 1, 0.5),
+            rule(iset![2, 6], iset![7], 1, 0.7), // multi-root antecedent
+        ];
+        for shards in [1usize, 2, 4] {
+            let cat = catalog(rules.clone(), shards);
+            for basket in [
+                vec![ItemId(3)],
+                vec![ItemId(7)],
+                vec![ItemId(2), ItemId(3)],
+                vec![ItemId(6), ItemId(7)],
+            ] {
+                let Route::Single(s) = cat.route(&basket) else {
+                    panic!("single-root basket {basket:?} not routed Single");
+                };
+                let extended = cat.extend_basket(&basket);
+                let routed = cat.merge(cat.shard_matches(s, &basket, &extended), 10);
+                let mut all = Vec::new();
+                for shard in 0..cat.num_shards() {
+                    all.extend(cat.shard_matches(shard, &basket, &extended));
+                }
+                let fanout = cat.merge(all, 10);
+                assert_eq!(routed, fanout, "shards={shards} basket={basket:?}");
             }
         }
     }

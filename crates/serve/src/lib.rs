@@ -10,11 +10,16 @@
 //!   suppression, sharded by the same root-item hash as H-HPGM.
 //! * [`protocol`] — the length-prefixed, checksummed wire protocol
 //!   (every frame read goes through [`protocol::MAX_FRAME_BYTES`]).
-//! * [`server`] — the sharded concurrent TCP server: supervised shard
-//!   workers (panic isolation + bounded restarts), epoch hot-swap of
-//!   the rule store ([`epoch::EpochCell`]), bounded queues with
+//! * [`server`] — the sharded concurrent TCP server: a single
+//!   non-blocking readiness event loop (see [`netpoll`]) multiplexing
+//!   every connection, pipelined + batched query frames, shard-affinity
+//!   routing with an optional epoch-keyed hot-answer cache, supervised
+//!   shard workers (panic isolation + bounded restarts), epoch hot-swap
+//!   of the rule store ([`epoch::EpochCell`]), bounded queues with
 //!   overload shedding, per-shard observability, deadline-bounded
 //!   shard collection, and deterministic serve-side fault injection.
+//! * [`netpoll`] — the hand-rolled `poll(2)` readiness shim the event
+//!   loop blocks in (offline-deps: no `libc`/`mio`).
 //! * [`epoch`] — the epoch-versioned hot-swap cell (model-checked
 //!   under `--cfg gar_loom` via [`sync`]).
 //! * [`client`] — the blocking client (connect retries via
@@ -32,6 +37,8 @@ pub mod client;
 pub mod engine;
 pub mod epoch;
 pub mod index;
+#[cfg(not(gar_loom))]
+pub mod netpoll;
 pub mod protocol;
 #[cfg(not(gar_loom))]
 pub mod server;
@@ -39,8 +46,8 @@ pub mod store;
 pub(crate) mod sync;
 
 #[cfg(not(gar_loom))]
-pub use client::{Client, QueryReply};
-pub use engine::{Catalog, Recommendation};
+pub use client::{BatchReply, Client, QueryReply};
+pub use engine::{Catalog, Recommendation, Route};
 pub use epoch::{Epoch, EpochCell};
 #[cfg(not(gar_loom))]
 pub use server::{serve, ReloadHandle, Server, ServerConfig};

@@ -27,9 +27,20 @@
 //! | 0x0A | `Overloaded` — `u32 retry_after_ms`                  |
 //! | 0x0B | `VersionMismatch` — `u16 server`, `u16 client`       |
 //!
+//! | 0x0C | `QueryBatch` — `u16 version`, `u32 top_k`,           |
+//! |      | `u32 budget_ms`, `u32 count`, then `count` baskets   |
+//! |      | (`u32 n`, `n × u32` item ids each)                   |
+//! | 0x0D | `ResultsBatch` — `u64 epoch`, `u32 count`, then per  |
+//! |      | basket `u32 shards_missing` + a `Results` body       |
+//!
 //! Tags 0x01–0x05 are the frozen **v1** surface: their bytes are
 //! identical to the pre-epoch protocol, so fault-free v1 transcripts
-//! stay byte-comparable across this change. The v2 tags carry an
+//! stay byte-comparable across this change; tags 0x06–0x0B are the
+//! frozen first-generation v2 surface, pinned the same way.
+//! `QueryBatch` scores up to [`MAX_BATCH`] baskets in one round trip
+//! against **one** epoch snapshot; answer `i` of a `ResultsBatch` is
+//! exactly what the same basket would get from its own `QueryV2`, so
+//! batching changes throughput, never answers. The v2 tags carry an
 //! explicit [`PROTOCOL_VERSION`]; a server that sees a v2 frame with a
 //! version it does not speak answers a typed `VersionMismatch` frame
 //! and keeps the connection open rather than hanging up on old (or too
@@ -61,6 +72,9 @@ const MAX_BASKET_LEN: usize = 1 << 16;
 const MAX_RESULTS: usize = 1 << 16;
 const MAX_PATH_BYTES: usize = 1 << 12;
 
+/// Most baskets one `QueryBatch` frame may carry.
+pub const MAX_BATCH: usize = 1 << 10;
+
 const TAG_QUERY: u8 = 0x01;
 const TAG_RESULTS: u8 = 0x02;
 const TAG_ERROR: u8 = 0x03;
@@ -72,6 +86,8 @@ const TAG_RELOAD: u8 = 0x08;
 const TAG_RELOAD_ACK: u8 = 0x09;
 const TAG_OVERLOADED: u8 = 0x0A;
 const TAG_VERSION_MISMATCH: u8 = 0x0B;
+const TAG_QUERY_BATCH: u8 = 0x0C;
+const TAG_RESULTS_BATCH: u8 = 0x0D;
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +123,19 @@ pub enum Request {
         version: u16,
         /// Server-side path of the new GRUL store file.
         path: String,
+    },
+    /// Score up to [`MAX_BATCH`] baskets in one round trip, all
+    /// against the same epoch snapshot. Answer `i` equals what basket
+    /// `i` would get from its own `QueryV2` with the same `top_k`.
+    QueryBatch {
+        /// Version the client speaks (see `QueryV2::version`).
+        version: u16,
+        /// The baskets, answered in order.
+        baskets: Vec<Vec<ItemId>>,
+        /// Maximum number of recommendations wanted per basket.
+        top_k: u32,
+        /// Latency budget for the whole batch (0 = server deadline).
+        budget_ms: u32,
     },
 }
 
@@ -150,6 +179,26 @@ pub enum Response {
         /// Version the client sent.
         client: u16,
     },
+    /// One answer per `QueryBatch` basket, in request order, all from
+    /// the same epoch. A shed batch is answered `Overloaded` as a
+    /// whole instead.
+    ResultsBatch {
+        /// Epoch of the catalog snapshot that produced every answer.
+        epoch: u64,
+        /// Per-basket answers, in request order.
+        answers: Vec<BatchAnswer>,
+    },
+}
+
+/// One basket's slice of a [`Response::ResultsBatch`]: the same
+/// information a standalone `ResultsV2` would carry, minus the shared
+/// epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchAnswer {
+    /// Shards that contributed nothing to this basket (0 = complete).
+    pub shards_missing: u32,
+    /// The scored recommendations, best first.
+    pub recs: Vec<Recommendation>,
 }
 
 fn checksum(bytes: &[u8]) -> u64 {
@@ -222,6 +271,109 @@ fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
     Ok(())
 }
 
+/// Outcome of one [`FrameBuffer::fill`] from a non-blocking stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillStatus {
+    /// The stream would block; whatever arrived is buffered.
+    Open,
+    /// The peer closed: drain [`FrameBuffer::next_frame`], then stop.
+    Eof,
+}
+
+/// Incremental frame reassembly for the server's readiness loop: bytes
+/// go in as the socket delivers them (any fragmentation), complete
+/// verified frames come out. The blocking twin of [`read_frame`] with
+/// the same guarantees — the length field is validated against
+/// [`MAX_FRAME_BYTES`] before a frame is sliced out and the trailing
+/// checksum is verified before the payload is surfaced. Lives here so
+/// the `no-raw-net` lint keeps every stream read inside the codec.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Reads everything currently available from a **non-blocking**
+    /// reader into the buffer. Returns [`FillStatus::Eof`] once the
+    /// peer has closed; buffered complete frames are still extractable
+    /// afterwards.
+    pub fn fill(&mut self, r: &mut impl Read) -> Result<FillStatus> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match r.read(&mut scratch) {
+                Ok(0) => return Ok(FillStatus::Eof),
+                Ok(n) => {
+                    // lint:allow(panic-path): read contracts n <= len.
+                    self.buf.extend_from_slice(&scratch[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(FillStatus::Open)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Error::io("reading frame", e)),
+            }
+        }
+    }
+
+    /// Extracts the next complete frame, if one is fully buffered.
+    /// Oversize lengths and checksum mismatches are the same errors
+    /// [`read_frame`] reports; after an error the stream is no longer
+    /// frame-aligned and must be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut header = [0u8; 4];
+        match self.buf.get(..4) {
+            Some(h) => header.copy_from_slice(h),
+            None => return Ok(None),
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(Error::Protocol(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte maximum"
+            )));
+        }
+        let total = 4 + len + 8;
+        let Some(body) = self.buf.get(4..total) else {
+            return Ok(None); // frame not fully buffered yet
+        };
+        let (payload, tail_bytes) = body.split_at(len);
+        let mut tail = [0u8; 8];
+        tail.copy_from_slice(tail_bytes);
+        if checksum(payload) != u64::from_le_bytes(tail) {
+            return Err(Error::Corrupt("frame checksum mismatch".into()));
+        }
+        let payload = payload.to_vec();
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+
+    /// Bytes currently buffered (partial-frame backlog).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Drains and discards whatever is currently readable on a
+/// **non-blocking** reader. The server's waker pipe carries meaningless
+/// nudge bytes whose only job is to make `poll` return; this empties it
+/// without interpreting anything. Lives here so the `no-raw-net` lint
+/// keeps every stream read inside the codec.
+pub fn drain_ready(r: &mut impl Read) {
+    let mut scratch = [0u8; 64];
+    loop {
+        match r.read(&mut scratch) {
+            Ok(0) => return, // peer closed; nothing left to drain
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return, // WouldBlock (drained) or a real error
+        }
+    }
+}
+
 /// Socket-deadline expiries become the workspace's retryable
 /// [`Error::Timeout`]; everything else stays an I/O error.
 fn map_read_err(e: std::io::Error) -> Error {
@@ -273,6 +425,21 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&(path.len() as u32).to_le_bytes());
             out.extend_from_slice(path.as_bytes());
         }
+        Request::QueryBatch {
+            version,
+            baskets,
+            top_k,
+            budget_ms,
+        } => {
+            out.push(TAG_QUERY_BATCH);
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(&top_k.to_le_bytes());
+            out.extend_from_slice(&budget_ms.to_le_bytes());
+            out.extend_from_slice(&(baskets.len() as u32).to_le_bytes());
+            for basket in baskets {
+                push_items(&mut out, basket);
+            }
+        }
     }
     out
 }
@@ -323,6 +490,15 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(TAG_VERSION_MISMATCH);
             out.extend_from_slice(&server.to_le_bytes());
             out.extend_from_slice(&client.to_le_bytes());
+        }
+        Response::ResultsBatch { epoch, answers } => {
+            out.push(TAG_RESULTS_BATCH);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&(answers.len() as u32).to_le_bytes());
+            for answer in answers {
+                out.extend_from_slice(&answer.shards_missing.to_le_bytes());
+                push_recs(&mut out, &answer.recs);
+            }
         }
     }
     out
@@ -448,6 +624,32 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
                 path: path.to_string(),
             }
         }
+        TAG_QUERY_BATCH => {
+            let version = c.u16()?;
+            let top_k = c.u32()?;
+            if top_k as usize > MAX_RESULTS {
+                return Err(Error::Protocol(format!(
+                    "implausible top_k {top_k} (max {MAX_RESULTS})"
+                )));
+            }
+            let budget_ms = c.u32()?;
+            let count = c.u32()? as usize;
+            if count > MAX_BATCH {
+                return Err(Error::Protocol(format!(
+                    "implausible batch size {count} (max {MAX_BATCH})"
+                )));
+            }
+            let mut baskets = Vec::with_capacity(count);
+            for _ in 0..count {
+                baskets.push(c.items(MAX_BASKET_LEN, "basket")?);
+            }
+            Request::QueryBatch {
+                version,
+                baskets,
+                top_k,
+                budget_ms,
+            }
+        }
         tag => return Err(Error::Protocol(format!("unknown request tag {tag:#04x}"))),
     };
     c.done()?;
@@ -532,6 +734,32 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             server: c.u16()?,
             client: c.u16()?,
         },
+        TAG_RESULTS_BATCH => {
+            let epoch = c.u64()?;
+            if epoch == 0 {
+                return Err(Error::Protocol("epoch 0 is never served".into()));
+            }
+            let count = c.u32()? as usize;
+            if count > MAX_BATCH {
+                return Err(Error::Protocol(format!(
+                    "implausible batch size {count} (max {MAX_BATCH})"
+                )));
+            }
+            let mut answers = Vec::with_capacity(count);
+            for _ in 0..count {
+                let shards_missing = c.u32()?;
+                if shards_missing as usize > MAX_RESULTS {
+                    return Err(Error::Protocol(format!(
+                        "implausible shards_missing {shards_missing}"
+                    )));
+                }
+                answers.push(BatchAnswer {
+                    shards_missing,
+                    recs: read_recs(&mut c)?,
+                });
+            }
+            Response::ResultsBatch { epoch, answers }
+        }
         tag => return Err(Error::Protocol(format!("unknown response tag {tag:#04x}"))),
     };
     c.done()?;
@@ -595,6 +823,18 @@ mod tests {
                 version: PROTOCOL_VERSION,
                 path: "/tmp/rules.grul".into(),
             },
+            Request::QueryBatch {
+                version: PROTOCOL_VERSION,
+                baskets: vec![vec![ItemId(3), ItemId(9)], vec![], vec![ItemId(1)]],
+                top_k: 5,
+                budget_ms: 100,
+            },
+            Request::QueryBatch {
+                version: 9,
+                baskets: vec![],
+                top_k: 0,
+                budget_ms: 0,
+            },
         ] {
             assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
@@ -623,6 +863,23 @@ mod tests {
                 server: PROTOCOL_VERSION,
                 client: 1,
             },
+            Response::ResultsBatch {
+                epoch: 5,
+                answers: vec![
+                    BatchAnswer {
+                        shards_missing: 0,
+                        recs: sample_recs(),
+                    },
+                    BatchAnswer {
+                        shards_missing: 2,
+                        recs: vec![],
+                    },
+                ],
+            },
+            Response::ResultsBatch {
+                epoch: 1,
+                answers: vec![],
+            },
         ] {
             assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
         }
@@ -645,6 +902,131 @@ mod tests {
         assert_eq!(error, [0x03, 1, 0, 0, 0, b'x']);
         assert_eq!(encode_request(&Request::Shutdown), [0x04]);
         assert_eq!(encode_response(&Response::ShutdownAck), [0x05]);
+    }
+
+    #[test]
+    fn batch_encodings_are_pinned() {
+        // The batch tags join the frozen surface the moment they ship:
+        // byte-exact, like v1_encodings_are_frozen.
+        let query = encode_request(&Request::QueryBatch {
+            version: 2,
+            baskets: vec![vec![ItemId(3)], vec![ItemId(1), ItemId(2)]],
+            top_k: 4,
+            budget_ms: 7,
+        });
+        assert_eq!(
+            query,
+            [
+                0x0C, 2, 0, 4, 0, 0, 0, 7, 0, 0, 0, 2, 0, 0, 0, // header
+                1, 0, 0, 0, 3, 0, 0, 0, // basket [3]
+                2, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, // basket [1, 2]
+            ]
+        );
+        let results = encode_response(&Response::ResultsBatch {
+            epoch: 3,
+            answers: vec![BatchAnswer {
+                shards_missing: 1,
+                recs: vec![],
+            }],
+        });
+        assert_eq!(
+            results,
+            [0x0D, 3, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0]
+        );
+    }
+
+    /// A reader that serves one byte per `fill` call, then signals
+    /// `WouldBlock` — the worst-case fragmentation a non-blocking
+    /// socket can produce.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        pos: usize,
+        served: bool,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            if self.served {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.served = true;
+            if let (Some(dst), Some(&src)) = (buf.first_mut(), self.data.get(self.pos)) {
+                *dst = src;
+                self.pos += 1;
+                Ok(1)
+            } else {
+                Ok(0)
+            }
+        }
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_one_byte_dribbles() {
+        let payloads = [
+            encode_response(&sample_response()),
+            encode_request(&Request::Shutdown),
+            encode_request(&Request::QueryBatch {
+                version: PROTOCOL_VERSION,
+                baskets: vec![vec![ItemId(1)], vec![ItemId(2), ItemId(3)]],
+                top_k: 3,
+                budget_ms: 0,
+            }),
+        ];
+        let mut framed = Vec::new();
+        for p in &payloads {
+            write_frame(&mut framed, p).unwrap();
+        }
+        let mut dribble = Dribble {
+            data: &framed,
+            pos: 0,
+            served: false,
+        };
+        let mut fb = FrameBuffer::new();
+        let mut out = Vec::new();
+        loop {
+            dribble.served = false;
+            let status = fb.fill(&mut dribble).unwrap();
+            while let Some(frame) = fb.next_frame().unwrap() {
+                out.push(frame);
+            }
+            if status == FillStatus::Eof {
+                break;
+            }
+        }
+        assert_eq!(out, payloads.to_vec());
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_corruption_like_the_blocking_reader() {
+        let payload = encode_response(&sample_response());
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        // Flip one payload byte: the checksum must catch it.
+        let mut bad = framed.clone();
+        if let Some(b) = bad.get_mut(6) {
+            *b ^= 0xFF;
+        }
+        let mut fb = FrameBuffer::new();
+        fb.fill(&mut std::io::Cursor::new(&bad)).unwrap();
+        assert!(matches!(fb.next_frame(), Err(Error::Corrupt(_))));
+        // An oversize length field fails before any allocation.
+        let mut fb = FrameBuffer::new();
+        fb.fill(&mut std::io::Cursor::new(&(1u32 << 30).to_le_bytes()))
+            .unwrap();
+        assert!(matches!(fb.next_frame(), Err(Error::Protocol(_))));
+        // A partial frame is simply not ready yet.
+        let cut = framed.len() - 1;
+        let mut fb = FrameBuffer::new();
+        fb.fill(&mut std::io::Cursor::new(&framed[..cut])).unwrap();
+        assert_eq!(fb.next_frame().unwrap(), None);
+        assert_eq!(fb.buffered(), cut);
+        // The missing byte completes it.
+        fb.fill(&mut std::io::Cursor::new(&framed[cut..])).unwrap();
+        assert_eq!(fb.next_frame().unwrap(), Some(payload));
     }
 
     #[test]
@@ -724,6 +1106,19 @@ mod tests {
                 server: PROTOCOL_VERSION,
                 client: 1,
             }),
+            encode_request(&Request::QueryBatch {
+                version: PROTOCOL_VERSION,
+                baskets: vec![vec![ItemId(1), ItemId(2)], vec![ItemId(3)]],
+                top_k: 4,
+                budget_ms: 100,
+            }),
+            encode_response(&Response::ResultsBatch {
+                epoch: 2,
+                answers: vec![BatchAnswer {
+                    shards_missing: 1,
+                    recs: sample_recs(),
+                }],
+            }),
         ];
         for payload in payloads {
             let mut frame = Vec::new();
@@ -768,6 +1163,25 @@ mod tests {
             encode_response(&Response::VersionMismatch {
                 server: PROTOCOL_VERSION,
                 client: 3,
+            }),
+            encode_request(&Request::QueryBatch {
+                version: PROTOCOL_VERSION,
+                baskets: vec![vec![ItemId(5)], vec![ItemId(6), ItemId(7)]],
+                top_k: 2,
+                budget_ms: 9,
+            }),
+            encode_response(&Response::ResultsBatch {
+                epoch: 4,
+                answers: vec![
+                    BatchAnswer {
+                        shards_missing: 0,
+                        recs: sample_recs(),
+                    },
+                    BatchAnswer {
+                        shards_missing: 0,
+                        recs: vec![],
+                    },
+                ],
             }),
         ];
         for payload in payloads {
@@ -817,6 +1231,30 @@ mod tests {
             &[TAG_OVERLOADED][..],
             &[TAG_VERSION_MISMATCH, 2, 0][..],
             &[TAG_VERSION_MISMATCH, 2, 0, 1, 0, 9][..], // trailing garbage
+            &[TAG_QUERY_BATCH, 2][..],
+            // Implausible batch count (0xFFFFFFFF baskets).
+            &[
+                TAG_QUERY_BATCH,
+                2,
+                0,
+                5,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0xFF,
+                0xFF,
+                0xFF,
+                0xFF,
+            ][..],
+            // Batch of one basket, then nothing: truncated mid-basket.
+            &[TAG_QUERY_BATCH, 2, 0, 5, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0][..],
+            &[TAG_RESULTS_BATCH, 1, 0, 0, 0][..],
+            // Epoch 0 is never served, batch or not.
+            &[TAG_RESULTS_BATCH, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0][..],
         ] {
             let req = decode_request(payload);
             let resp = decode_response(payload);

@@ -1,84 +1,128 @@
-//! The sharded, supervised, hot-swappable query server.
+//! The sharded, supervised, hot-swappable query server — built around a
+//! single non-blocking readiness event loop.
 //!
-//! Topology: one blocking accept loop, one detached handler thread per
-//! connection, and one **supervisor** thread per shard. Each supervisor
-//! owns its shard's bounded job queue: it publishes a fresh sender into
-//! the shard's slot, runs the worker loop under `catch_unwind`, and on
-//! a panic clears the slot, backs off, and restarts the worker — the
-//! serving-tier mirror of the mining cluster's degraded-mode recovery
-//! (bounded restarts, [`gar_cluster::RetryPolicy`]-shaped backoff).
-//! While a shard is down, queries are answered **degraded**: the v2
-//! response carries `shards_missing`, mirroring `ParallelReport`'s
-//! degraded notes.
+//! Topology: **one** event-loop thread owns the listener, every
+//! connection, and all protocol state; one **supervisor** thread per
+//! shard owns that shard's bounded job queue exactly as before (publish
+//! a fresh sender, run the worker under `catch_unwind`, clear the slot
+//! and restart with backoff on a panic). The per-connection handler
+//! threads of the previous design are gone: sockets are non-blocking,
+//! readiness comes from the hand-rolled [`crate::netpoll`] `poll(2)`
+//! shim, and partial frames reassemble in [`FrameBuffer`] (the codec
+//! file, so the `no-raw-net` lint still sees every stream read in one
+//! place). Shard workers hand finished jobs back over an mpsc
+//! completion channel and nudge the loop through a loopback waker
+//! socket pair (coalesced by an atomic flag).
 //!
-//! Rule refresh: the catalog lives in an [`EpochCell`]. A handler takes
-//! one snapshot per query and every shard job carries that snapshot, so
-//! a query observes exactly one epoch end to end; a `Reload` frame (or
-//! [`Server::reload`]) builds and validates the replacement catalog
-//! outside the lock and swaps it in as `epoch + 1` while in-flight
-//! queries drain on their old snapshots. A reload that fails
-//! validation (missing file, checksum, ordering) is rejected and the
-//! old epoch keeps answering.
+//! Requests **pipeline**: a connection may send any number of frames
+//! without waiting; responses are queued per connection in request
+//! order (a slot is reserved when the request is admitted and filled
+//! when its shard jobs complete), so concurrent queries on one socket
+//! never reorder.
+//!
+//! Routing: rules are placed by the root-item hash of their
+//! **antecedent**, so a basket whose (known) items share one root —
+//! which generalization can never change — can only match rules on that
+//! one shard ([`Catalog::route`]). Single-root baskets therefore
+//! dispatch exactly one job; fan-out is reserved for multi-root
+//! baskets. Batched requests (`QueryBatch`) group their baskets by
+//! routed shard into **one job per (request, shard)**, amortizing queue
+//! and wake overhead across the whole batch.
+//!
+//! Hot answers: an optional bounded FIFO cache
+//! ([`ServerConfig::cache_capacity`], default off) keyed by canonical
+//! basket bytes **plus the epoch number and top-k**, so a reload
+//! invalidates by construction — an epoch-2 lookup can never see an
+//! epoch-1 answer. Only complete (no shard missing) answers are
+//! cached; `serve.cache.{hits,misses}` count every lookup.
+//!
+//! Rule refresh: the catalog lives in an [`EpochCell`]. A request takes
+//! one snapshot and every job carries it, so a query observes exactly
+//! one epoch end to end; `Reload` builds and validates the replacement
+//! outside the lock and swaps it as `epoch + 1` while in-flight
+//! queries drain on their snapshots. A rejected reload (missing file,
+//! checksum, ordering) leaves the old epoch serving.
 //!
 //! Overload: shard queues are bounded ([`ServerConfig::queue_depth`]).
-//! A full queue — or a v2 deadline budget the backlog cannot meet —
-//! sheds the query *before* any shard work with the typed retryable
-//! `Response::Overloaded` instead of queueing toward collapse.
+//! A full queue — or a deadline budget the backlog cannot meet
+//! (`(backlog + jobs) × est_job_ms > budget_ms`) — sheds the whole
+//! request *before* shard work with the typed retryable
+//! `Response::Overloaded`.
 //!
 //! Fault injection: the serve-side tokens of a
 //! [`gar_cluster::FaultPlan`] (`conn-reset@cN`, `slow-frame@cN`,
 //! `shard-panic@sNqM`, `shard-stall@sNqM`, `stale-swap@rN`) are
-//! consulted at the matching connection / shard-job / reload points,
-//! driven by `cargo xtask serve-chaos`.
+//! consulted at the same connection / shard-job / reload points as
+//! before; the shard fault `q` coordinate counts **jobs**, so a batch
+//! is one unit exactly like a single query.
 //!
-//! Observability: per-shard `serve.queries/hits/misses`, `serve.shard_us`,
-//! and `serve.shard_restarts`; request-level `serve.requests`,
-//! `serve.latency_us`, `serve.errors`, `serve.deadline_exceeded`,
-//! `serve.shed`, `serve.degraded`; swap-level `serve.swaps` and
-//! `serve.swap_rejected`.
+//! Observability: everything the thread-per-connection server recorded
+//! (`serve.requests/queries/hits/misses/shard_us/latency_us/errors/
+//! deadline_exceeded/shed/degraded/swaps/swap_rejected/shard_restarts/
+//! version_mismatch/fault.*`) plus `serve.baskets`,
+//! `serve.routed.{single,fanout,empty}` and `serve.cache.{hits,misses}`.
 //!
 //! Shutdown: a `Shutdown` frame (or [`Server::shutdown`]) flips the
-//! shared `running` flag and nudges the accept loop with a throwaway
-//! self-connection; handlers poll the flag every ~100 ms via their
-//! socket read deadline; [`Server::wait`] then retires the shard
-//! senders so workers drain and exit, and joins everything.
+//! shared `running` flag (the handle also nudges the waker); the loop
+//! stops accepting and reading, drains in-flight requests and output
+//! buffers, and exits. [`Server::wait`] joins the loop, retires the
+//! shard senders so workers drain, and joins the supervisors.
 
-use crate::engine::{Catalog, Match};
+use crate::engine::{Catalog, Match, Recommendation, Route};
 use crate::epoch::{Epoch, EpochCell};
+use crate::netpoll::{Interest, Poller, Readiness};
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response, PROTOCOL_VERSION,
+    decode_request, drain_ready, encode_response, write_frame, BatchAnswer, FillStatus,
+    FrameBuffer, Request, Response, PROTOCOL_VERSION,
 };
 use crate::store::RuleStore;
 use crate::sync::Mutex;
 use gar_cluster::{FaultPlan, ServeFaultOp};
 use gar_obs::{Obs, Stopwatch};
 use gar_types::{Error, ItemId, Result};
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::io::AsRawFd;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How often a connection handler re-checks the shutdown flag while
-/// blocked waiting for the next request frame.
+/// Upper bound on one poll tick while idle; the loop re-checks the
+/// shutdown flag at least this often.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A dispatched basket and its ancestor extension, shared across every
+/// shard job that carries it.
+type SharedBasket = (Arc<Vec<ItemId>>, Arc<Vec<ItemId>>);
+
+#[cfg(unix)]
+fn raw_fd<T: AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> i32 {
+    0
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Number of rule shards (and shard worker threads); clamped ≥ 1.
     pub shards: usize,
-    /// Deadline for collecting all shard answers to one query.
+    /// Deadline for collecting all shard answers to one request.
     pub deadline: Duration,
-    /// Bound on each shard's job queue; a full queue sheds the query.
+    /// Bound on each shard's job queue; a full queue sheds the request.
     /// Clamped ≥ 1.
     pub queue_depth: usize,
-    /// Rough per-job cost used by deadline-budget admission: a v2 query
-    /// whose `budget_ms` cannot cover `(backlog + 1) × est_job_ms` is
-    /// shed instead of queued.
+    /// Rough per-job cost used by deadline-budget admission: a request
+    /// whose `budget_ms` cannot cover `(backlog + jobs) × est_job_ms`
+    /// is shed instead of queued.
     pub est_job_ms: u64,
     /// Backoff suggested to shed clients.
     pub retry_after_ms: u32,
@@ -88,6 +132,10 @@ pub struct ServerConfig {
     /// Base of the supervisor's linear restart backoff (sleep before
     /// restart `k` is `restart_backoff × k`).
     pub restart_backoff: Duration,
+    /// Hot-answer cache capacity in entries; 0 (the default) disables
+    /// the cache. Keys embed the epoch, so a reload invalidates
+    /// logically at once and stale entries age out FIFO.
+    pub cache_capacity: usize,
     /// Serve-side fault injection points (empty plan = no faults).
     pub faults: FaultPlan,
 }
@@ -102,18 +150,93 @@ impl Default for ServerConfig {
             retry_after_ms: 25,
             max_restarts: 8,
             restart_backoff: Duration::from_millis(10),
+            cache_capacity: 0,
             faults: FaultPlan::default(),
         }
     }
 }
 
-/// One unit of shard work: a parsed query, the epoch snapshot it runs
-/// against, and the reply channel.
-struct Job {
-    snapshot: Arc<Epoch<Catalog>>,
+/// One basket inside a shard job: which answer slot it belongs to and
+/// the (shared) basket plus its ancestor extension.
+struct JobItem {
+    index: usize,
     basket: Arc<Vec<ItemId>>,
     extended: Arc<Vec<ItemId>>,
-    reply: Sender<Vec<Match>>,
+}
+
+/// One unit of shard work: every basket of one request routed to this
+/// shard, the epoch snapshot they run against, and the completion
+/// guard. Batches ride in one job so queue overhead is per
+/// (request, shard), not per basket.
+struct Job {
+    snapshot: Arc<Epoch<Catalog>>,
+    items: Vec<JobItem>,
+    guard: ReplyGuard,
+}
+
+/// What a shard worker hands back to the event loop. `results` is
+/// `None` when the job died before scoring (worker panic, queue
+/// discarded) — the guard's `Drop` posts it so a job can never vanish
+/// silently.
+struct Completion {
+    req: u64,
+    shard: usize,
+    results: Option<Vec<(usize, Vec<Match>)>>,
+}
+
+/// Completion bookkeeping that must fire exactly once per dispatched
+/// job, on every path: success posts the scored results, a panic or a
+/// dropped queue posts a failure from `Drop`. Both release the shard's
+/// backlog slot and nudge the event loop awake.
+struct ReplyGuard {
+    shared: Arc<Shared>,
+    tx: Sender<Completion>,
+    req: u64,
+    shard: usize,
+    armed: bool,
+}
+
+impl ReplyGuard {
+    fn complete(mut self, results: Vec<(usize, Vec<Match>)>) {
+        self.armed = false;
+        // A dead receiver means the loop is gone; accounting still runs.
+        drop(self.tx.send(Completion {
+            req: self.req,
+            shard: self.shard,
+            results: Some(results),
+        }));
+        self.settle();
+    }
+
+    /// The job was never handed to a worker (queue full / shard down):
+    /// release the backlog slot without posting a completion — the
+    /// dispatcher does its own accounting on those paths.
+    fn abandon(mut self) {
+        self.armed = false;
+        if let Some(slot) = self.shared.slots.get(self.shard) {
+            slot.finish_job();
+        }
+    }
+
+    fn settle(&self) {
+        if let Some(slot) = self.shared.slots.get(self.shard) {
+            slot.finish_job();
+        }
+        self.shared.wake();
+    }
+}
+
+impl Drop for ReplyGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            drop(self.tx.send(Completion {
+                req: self.req,
+                shard: self.shard,
+                results: None,
+            }));
+            self.settle();
+        }
+    }
 }
 
 /// One shard's supervised queue endpoint. The slot holds the *current*
@@ -150,7 +273,7 @@ impl ShardSlot {
     }
 }
 
-/// State shared by the accept loop, handlers, supervisors, and admin
+/// State shared by the event loop, shard supervisors/workers, and admin
 /// reload paths.
 struct Shared {
     current: EpochCell<Catalog>,
@@ -159,13 +282,30 @@ struct Shared {
     obs: Obs,
     running: AtomicBool,
     /// Accepted connections, in accept order — the `c` coordinate of
-    /// connection fault tokens.
+    /// connection fault tokens. The waker pair uses its own throwaway
+    /// listener, so it never consumes a number.
     conns: AtomicU64,
     /// Reload attempts, 1-based — the `r` coordinate of `stale-swap`.
     reloads: AtomicU64,
+    /// Write end of the event loop's waker socket pair.
+    wake_tx: TcpStream,
+    /// Coalesces wake bytes: set before writing, cleared by the loop
+    /// *before* draining, so a wake can park at most one byte.
+    wake_pending: AtomicBool,
 }
 
 impl Shared {
+    /// Nudges the event loop out of `poll`. Coalesced: while a nudge is
+    /// already pending no byte is written, so workers can wake at full
+    /// rate without ever backing up the pipe.
+    fn wake(&self) {
+        if !self.wake_pending.swap(true, Ordering::SeqCst) {
+            let mut tx = &self.wake_tx;
+            drop(tx.write(&[1u8]));
+            drop(tx.flush());
+        }
+    }
+
     /// Loads, validates, and swaps in the store at `path`. On any
     /// failure the current epoch keeps serving and the error reports
     /// why the swap was rejected.
@@ -204,7 +344,7 @@ impl Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    driver: Option<JoinHandle<()>>,
     supervisors: Vec<JoinHandle<()>>,
     obs: Obs,
 }
@@ -265,21 +405,20 @@ impl Server {
         }
     }
 
-    /// Requests an orderly stop: flips the flag and unblocks the accept
-    /// loop with a throwaway connection.
+    /// Requests an orderly stop: flips the flag and nudges the event
+    /// loop awake through the waker pipe.
     pub fn shutdown(&self) {
         self.shared.running.store(false, Ordering::SeqCst);
-        // Best-effort nudge; if it fails the accept loop is already gone.
-        drop(TcpStream::connect(self.addr));
+        self.shared.wake();
     }
 
-    /// Blocks until the accept loop and every shard supervisor have
+    /// Blocks until the event loop and every shard supervisor have
     /// exited.
     pub fn wait(mut self) -> Result<()> {
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.driver.take() {
             h.join().map_err(|_| Error::NodeFailure {
                 node: 0,
-                reason: "server accept thread panicked".into(),
+                reason: "server event loop panicked".into(),
             })?;
         }
         // Retire the shard senders: workers drain their queues and
@@ -304,8 +443,29 @@ pub fn serve(addr: &str, store: RuleStore, cfg: ServerConfig, obs: Obs) -> Resul
     let local = listener
         .local_addr()
         .map_err(|e| Error::io("reading bound address", e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| Error::io("setting listener non-blocking", e))?;
+
+    // The waker pair: a loopback connection to ourselves on a throwaway
+    // listener (so it never consumes a fault-plan `c` coordinate).
+    // Workers write a byte, poll reports the read end ready, the loop
+    // drains it.
+    fn wake_io(what: &'static str) -> impl FnOnce(std::io::Error) -> Error {
+        move |e| Error::io(format!("waker setup: {what}"), e)
+    }
+    let wake_listener = TcpListener::bind("127.0.0.1:0").map_err(wake_io("bind"))?;
+    let wake_addr = wake_listener.local_addr().map_err(wake_io("local addr"))?;
+    let wake_tx = TcpStream::connect(wake_addr).map_err(wake_io("connect"))?;
+    let (wake_rx, _) = wake_listener.accept().map_err(wake_io("accept"))?;
+    wake_rx
+        .set_nonblocking(true)
+        .map_err(wake_io("non-blocking"))?;
+    drop(wake_listener);
+
     let catalog = Catalog::new(store, cfg.shards);
     let num_shards = catalog.num_shards();
+    let cache_capacity = cfg.cache_capacity;
     let shared = Arc::new(Shared {
         current: EpochCell::new(catalog),
         slots: (0..num_shards).map(|_| ShardSlot::new()).collect(),
@@ -314,6 +474,8 @@ pub fn serve(addr: &str, store: RuleStore, cfg: ServerConfig, obs: Obs) -> Resul
         running: AtomicBool::new(true),
         conns: AtomicU64::new(0),
         reloads: AtomicU64::new(0),
+        wake_tx,
+        wake_pending: AtomicBool::new(false),
     });
 
     let mut supervisors = Vec::with_capacity(num_shards);
@@ -327,18 +489,34 @@ pub fn serve(addr: &str, store: RuleStore, cfg: ServerConfig, obs: Obs) -> Resul
         );
     }
 
-    let accept = {
+    let (comp_tx, comp_rx) = mpsc::channel();
+    let driver = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
-            .name("gar-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &shared))
-            .map_err(|e| Error::io("spawning accept thread", e))?
+            .name("gar-serve-loop".into())
+            .spawn(move || {
+                EventLoop {
+                    shared,
+                    listener,
+                    wake_rx,
+                    comp_tx,
+                    comp_rx,
+                    conns: Vec::new(),
+                    pending: HashMap::new(),
+                    next_req: 1,
+                    cache: AnswerCache::new(cache_capacity),
+                    poller: Poller::new(),
+                    draining: false,
+                }
+                .run()
+            })
+            .map_err(|e| Error::io("spawning event loop", e))?
     };
 
     Ok(Server {
         addr: local,
         shared,
-        accept: Some(accept),
+        driver: Some(driver),
         supervisors,
         obs,
     })
@@ -347,8 +525,8 @@ pub fn serve(addr: &str, store: RuleStore, cfg: ServerConfig, obs: Obs) -> Resul
 /// One shard's supervisor: publish a queue, run the worker, and on a
 /// panic isolate it, back off, and restart with a fresh queue — up to
 /// `max_restarts` times. While the slot holds `None` the shard is down
-/// and handlers answer degraded.
-fn shard_supervisor(shard: usize, shared: &Shared) {
+/// and requests are answered degraded.
+fn shard_supervisor(shard: usize, shared: &Arc<Shared>) {
     let Some(slot) = shared.slots.get(shard) else {
         return;
     };
@@ -360,8 +538,9 @@ fn shard_supervisor(shard: usize, shared: &Shared) {
             shard_worker(shard, slot, &shared.cfg.faults, &rx, &shared.obs);
         }));
         // Down from here until a restart republishes a sender: clear
-        // the slot (new queries skip this shard → degraded) and discard
-        // the dead queue's backlog estimate.
+        // the slot (new requests skip this shard → degraded) and
+        // discard the dead queue's backlog estimate. Queued jobs drop
+        // with the queue; their guards post failure completions.
         slot.tx.lock().take();
         slot.queued.store(0, Ordering::SeqCst);
         if outcome.is_ok() {
@@ -379,8 +558,10 @@ fn shard_supervisor(shard: usize, shared: &Shared) {
 }
 
 /// A shard worker incarnation: drains jobs until the current sender is
-/// retired, scoring each query against its own slice of the job's
-/// epoch snapshot.
+/// retired, scoring every basket of each job against its own slice of
+/// the job's epoch snapshot. Per-basket counters keep their historical
+/// meaning (one `serve.queries` per basket scored); fault tokens count
+/// whole jobs.
 fn shard_worker(shard: usize, slot: &ShardSlot, faults: &FaultPlan, rx: &Receiver<Job>, obs: &Obs) {
     let labels = [("shard", shard as u64)];
     while let Ok(job) = rx.recv() {
@@ -393,126 +574,407 @@ fn shard_worker(shard: usize, slot: &ShardSlot, faults: &FaultPlan, rx: &Receive
             obs.add("serve.fault.shard_panic", &labels, 1);
             // lint:allow(panic-path): this panic *is* the injected
             // fault — the supervisor's catch_unwind is the code under
-            // test.
+            // test. The job's guard posts the failure completion from
+            // its Drop during unwind.
             panic!("injected shard panic: shard {shard} job {jobno}");
         }
         let _span = obs.span(shard as u64, 0, "query");
-        let clock = Stopwatch::start();
-        let matches = job
-            .snapshot
-            .value()
-            .shard_matches(shard, &job.basket, &job.extended);
-        obs.observe(
-            "serve.shard_us",
-            &labels,
-            clock.elapsed().as_micros() as u64,
-        );
-        obs.add("serve.queries", &labels, 1);
-        if matches.is_empty() {
-            obs.add("serve.misses", &labels, 1);
-        } else {
-            obs.add("serve.hits", &labels, 1);
+        let mut results = Vec::with_capacity(job.items.len());
+        for item in &job.items {
+            let clock = Stopwatch::start();
+            let matches = job
+                .snapshot
+                .value()
+                .shard_matches(shard, &item.basket, &item.extended);
+            obs.observe(
+                "serve.shard_us",
+                &labels,
+                clock.elapsed().as_micros() as u64,
+            );
+            obs.add("serve.queries", &labels, 1);
+            if matches.is_empty() {
+                obs.add("serve.misses", &labels, 1);
+            } else {
+                obs.add("serve.hits", &labels, 1);
+            }
+            results.push((item.index, matches));
         }
-        // A receiver gone mid-collect just means the handler gave up
-        // (deadline) or disconnected; the next job is unaffected.
-        drop(job.reply.send(matches));
-        slot.finish_job();
+        job.guard.complete(results);
     }
 }
 
-/// The accept loop: tags each connection with its accept-order index
-/// (the fault plan's `c` coordinate) and hands it to a detached
-/// handler.
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    while shared.running.load(Ordering::SeqCst) {
-        let stream = match listener.accept() {
-            Ok((s, _)) => s,
-            Err(_) => continue,
-        };
-        if !shared.running.load(Ordering::SeqCst) {
-            break; // The shutdown nudge itself.
+/// Which protocol generation shaped a request (and so its response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    V1,
+    V2,
+    Batch,
+}
+
+/// Per-basket scoring state inside a pending request.
+#[derive(Default)]
+struct BasketState {
+    /// Cache key to fill on a complete answer (`None` when the cache is
+    /// off, the lookup hit, or the basket routed `Empty`).
+    key: Option<Vec<u8>>,
+    /// Pre-resolved answer (cache hit or empty route): `(recs, missing)`.
+    ready: Option<(Vec<Recommendation>, u32)>,
+    /// Shard matches accumulated so far.
+    matches: Vec<Match>,
+    /// Shards that should have scored this basket but died.
+    missing: u32,
+}
+
+/// One admitted request waiting on shard completions.
+struct Pending {
+    /// Owning connection id (not index — indices shift as conns close).
+    conn: u64,
+    shape: Shape,
+    top_k: usize,
+    snapshot: Arc<Epoch<Catalog>>,
+    clock: Stopwatch,
+    deadline: Duration,
+    expected: usize,
+    done: usize,
+    /// Which basket indices each dispatched shard job covers, so a
+    /// failure completion can charge `missing` to exactly those.
+    jobs: Vec<(usize, Vec<usize>)>,
+    baskets: Vec<BasketState>,
+}
+
+/// An entry in a connection's ordered response queue: responses go out
+/// in request order, so a slot is reserved at admission and filled at
+/// completion.
+enum RespSlot {
+    Ready(Vec<u8>),
+    Waiting(u64),
+}
+
+/// One live connection owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Accept-order id — the fault plan's `c` coordinate.
+    id: u64,
+    inbuf: FrameBuffer,
+    outbuf: Vec<u8>,
+    resp: VecDeque<RespSlot>,
+    /// No more frames will be read (EOF, shutdown, or framing error);
+    /// the conn closes once its response queue and out buffer drain.
+    read_shut: bool,
+    dead: bool,
+}
+
+/// The bounded hot-answer FIFO cache. Keys embed the epoch, so entries
+/// from a replaced epoch can never be returned; they just age out.
+struct AnswerCache {
+    capacity: usize,
+    map: HashMap<Vec<u8>, Vec<Recommendation>>,
+    order: VecDeque<Vec<u8>>,
+}
+
+impl AnswerCache {
+    fn new(capacity: usize) -> AnswerCache {
+        AnswerCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
         }
-        let conn = shared.conns.fetch_add(1, Ordering::SeqCst) as usize;
-        let shared = Arc::clone(shared);
-        // Detached: the handler exits on EOF, on a fatal frame error,
-        // or within one poll interval of the flag flipping.
-        drop(
-            std::thread::Builder::new()
-                .name("gar-serve-conn".into())
-                .spawn(move || handle_connection(stream, conn, &shared)),
-        );
     }
-}
 
-/// How one query ended before response encoding.
-enum Answered {
-    /// All live shards answered; `missing` counts the dead ones.
-    Full { matches: Vec<Match>, missing: u32 },
-    /// Shed before any shard work (queue full or budget unmeetable).
-    Shed,
-    /// The collect deadline expired.
-    TimedOut,
-}
-
-/// One connection: a loop of request frames until EOF, a fatal framing
-/// error, or shutdown.
-fn handle_connection(mut stream: TcpStream, conn: usize, shared: &Shared) {
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
-        || stream.set_write_timeout(Some(shared.cfg.deadline)).is_err()
-    {
-        return;
+    fn get(&self, key: &[u8]) -> Option<Vec<Recommendation>> {
+        self.map.get(key).cloned()
     }
-    // A response is a few small writes (header, payload, checksum);
-    // letting Nagle batch them against delayed ACKs costs ~40 ms per
-    // round trip on loopback.
-    drop(stream.set_nodelay(true));
-    let obs = &shared.obs;
-    loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(p)) => p,
-            Ok(None) => return, // clean EOF
-            Err(Error::Timeout { .. }) => {
-                if shared.running.load(Ordering::SeqCst) {
-                    continue; // idle poll tick
+
+    fn insert(&mut self, key: Vec<u8>, recs: Vec<Recommendation>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), recs).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                match self.order.pop_front() {
+                    Some(old) => drop(self.map.remove(&old)),
+                    None => break,
                 }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+/// Canonical cache key: epoch, top-k, then the basket's distinct item
+/// ids sorted — so `[3,1,3]` and `[1,3]` share an entry and an answer
+/// can never leak across epochs or k values.
+fn cache_key(epoch: u64, top_k: u32, basket: &[ItemId]) -> Vec<u8> {
+    let mut items: Vec<u32> = basket.iter().map(|i| i.raw()).collect();
+    items.sort_unstable();
+    items.dedup();
+    let mut key = Vec::with_capacity(12 + items.len() * 4);
+    key.extend_from_slice(&epoch.to_le_bytes());
+    key.extend_from_slice(&top_k.to_le_bytes());
+    for it in items {
+        key.extend_from_slice(&it.to_le_bytes());
+    }
+    key
+}
+
+/// Encodes and frames a response for a connection's out queue.
+fn frame_bytes(response: &Response) -> Vec<u8> {
+    let mut framed = Vec::new();
+    // Writing into a Vec cannot fail.
+    drop(write_frame(&mut framed, &encode_response(response)));
+    framed
+}
+
+/// The typed shed reply for each protocol generation.
+fn shed_response(cfg: &ServerConfig, shape: Shape) -> Response {
+    match shape {
+        Shape::V1 => Response::Error(format!("overloaded: retry after {} ms", cfg.retry_after_ms)),
+        _ => Response::Overloaded {
+            retry_after_ms: cfg.retry_after_ms,
+        },
+    }
+}
+
+/// The single-threaded readiness loop: listener + waker + every
+/// connection in one `poll` set; shard work leaves through bounded
+/// queues and comes back through the completion channel.
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    comp_tx: Sender<Completion>,
+    comp_rx: Receiver<Completion>,
+    conns: Vec<Conn>,
+    pending: HashMap<u64, Pending>,
+    next_req: u64,
+    cache: AnswerCache,
+    poller: Poller,
+    draining: bool,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut readiness: Vec<Readiness> = Vec::new();
+        loop {
+            if !self.shared.running.load(Ordering::SeqCst) {
+                self.draining = true;
+            }
+            if self.draining
+                && self.pending.is_empty()
+                && self.conns.iter().all(|c| c.outbuf.is_empty())
+            {
                 return;
             }
-            Err(_) => {
-                // Oversize length, bad checksum, mid-frame EOF: the
-                // stream is no longer frame-aligned. Best-effort error
-                // frame, then drop the connection.
-                obs.add("serve.errors", &[], 1);
-                let resp = encode_response(&Response::Error("malformed frame".into()));
-                drop(write_frame(&mut stream, &resp));
+
+            // Sleep until the next readiness event, completion nudge,
+            // or the nearest request deadline.
+            let mut timeout = POLL_INTERVAL;
+            // lint:allow(det-taint): a min over deadlines is the same
+            // in any iteration order
+            for p in self.pending.values() {
+                let left = p.deadline.saturating_sub(p.clock.elapsed());
+                timeout = timeout.min(left.max(Duration::from_millis(1)));
+            }
+            let n_polled = self.conns.len();
+            let mut interests = Vec::with_capacity(2 + n_polled);
+            interests.push(Interest {
+                fd: raw_fd(&self.listener),
+                read: true,
+                write: false,
+            });
+            interests.push(Interest {
+                fd: raw_fd(&self.wake_rx),
+                read: true,
+                write: false,
+            });
+            for c in &self.conns {
+                interests.push(Interest {
+                    fd: raw_fd(&c.stream),
+                    read: !(c.read_shut || self.draining),
+                    write: !c.outbuf.is_empty(),
+                });
+            }
+            if self
+                .poller
+                .wait(&interests, timeout, &mut readiness)
+                .is_err()
+            {
+                // poll itself failing (not EINTR — the shim swallows
+                // that) is unexpected; back off briefly and retry
+                // rather than spinning.
+                readiness.clear();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+
+            // Waker: clear the coalescing flag *before* draining, so a
+            // wake racing the drain lands a fresh byte for next tick.
+            if readiness.get(1).is_some_and(|r| r.readable || r.closed) {
+                self.shared.wake_pending.store(false, Ordering::SeqCst);
+                drain_ready(&mut self.wake_rx);
+            }
+
+            // Completions are drained every tick regardless of what
+            // woke us — the waker is a nudge, not the ground truth.
+            while let Ok(c) = self.comp_rx.try_recv() {
+                self.apply_completion(c);
+            }
+            self.expire_deadlines();
+
+            if readiness.first().is_some_and(|r| r.readable) {
+                self.accept_ready();
+            }
+            for i in 0..n_polled {
+                let Some(r) = readiness.get(2 + i).copied() else {
+                    break;
+                };
+                if r.readable || r.closed {
+                    self.read_conn(i);
+                }
+                if r.writable {
+                    self.pump(i);
+                }
+            }
+            self.conns.retain(|c| !c.dead);
+        }
+    }
+
+    /// Accepts everything currently queued on the listener.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining || !self.shared.running.load(Ordering::SeqCst) {
+                        continue; // closing: refuse by immediate drop
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // A response is a few small writes; letting Nagle
+                    // batch them against delayed ACKs costs ~40 ms per
+                    // round trip on loopback.
+                    drop(stream.set_nodelay(true));
+                    let id = self.shared.conns.fetch_add(1, Ordering::SeqCst);
+                    self.conns.push(Conn {
+                        stream,
+                        id,
+                        inbuf: FrameBuffer::new(),
+                        outbuf: Vec::new(),
+                        resp: VecDeque::new(),
+                        read_shut: false,
+                        dead: false,
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Pulls whatever the socket has, surfaces complete frames, and
+    /// dispatches them. A framing error (oversize claim, checksum
+    /// mismatch) means the stream is no longer frame-aligned: answer
+    /// with a best-effort error frame and close once it flushes.
+    fn read_conn(&mut self, ci: usize) {
+        let mut frames = Vec::new();
+        let mut framing_error = false;
+        {
+            let Some(conn) = self.conns.get_mut(ci) else {
+                return;
+            };
+            if conn.dead || conn.read_shut {
                 return;
             }
-        };
+            let status = match conn.inbuf.fill(&mut conn.stream) {
+                Ok(s) => s,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            };
+            loop {
+                match conn.inbuf.next_frame() {
+                    Ok(Some(p)) => frames.push(p),
+                    Ok(None) => break,
+                    Err(_) => {
+                        framing_error = true;
+                        break;
+                    }
+                }
+            }
+            if status == FillStatus::Eof {
+                conn.read_shut = true;
+                if frames.is_empty()
+                    && !framing_error
+                    && conn.resp.is_empty()
+                    && conn.outbuf.is_empty()
+                {
+                    conn.dead = true; // clean EOF, nothing in flight
+                }
+            }
+        }
+        for payload in frames {
+            if self.conns.get(ci).is_none_or(|c| c.dead) {
+                return;
+            }
+            self.handle_frame(ci, payload);
+        }
+        if framing_error {
+            self.shared.obs.add("serve.errors", &[], 1);
+            self.respond(ci, frame_bytes(&Response::Error("malformed frame".into())));
+            if let Some(conn) = self.conns.get_mut(ci) {
+                conn.read_shut = true;
+            }
+            self.pump(ci);
+        }
+    }
+
+    /// Decodes and dispatches one request frame.
+    fn handle_frame(&mut self, ci: usize, payload: Vec<u8>) {
+        let obs = self.shared.obs.clone();
         let request = match decode_request(&payload) {
             Ok(r) => r,
             Err(e) => {
                 // The frame was well-formed (checksum passed), so the
                 // stream is still aligned: report and keep serving.
                 obs.add("serve.errors", &[], 1);
-                let resp = encode_response(&Response::Error(e.to_string()));
-                if write_frame(&mut stream, &resp).is_err() {
-                    return;
-                }
-                continue;
+                self.respond(ci, frame_bytes(&Response::Error(e.to_string())));
+                return;
             }
         };
-        if shared
+        let Some(conn_id) = self.conns.get(ci).map(|c| c.id as usize) else {
+            return;
+        };
+        if self
+            .shared
             .cfg
             .faults
-            .take_serve_conn(ServeFaultOp::ConnReset, conn)
+            .take_serve_conn(ServeFaultOp::ConnReset, conn_id)
         {
             // Injected reset: the request was read but the connection
             // dies before a single response byte — the client must
             // reconnect and retry.
             obs.add("serve.fault.conn_reset", &[], 1);
+            if let Some(conn) = self.conns.get_mut(ci) {
+                conn.dead = true;
+            }
             return;
         }
-        let response = match request {
-            Request::Query { basket, top_k } => Some(answer_query(shared, basket, top_k, 0, false)),
+        let mismatch = |client: u16| {
+            frame_bytes(&Response::VersionMismatch {
+                server: PROTOCOL_VERSION,
+                client,
+            })
+        };
+        match request {
+            Request::Query { basket, top_k } => {
+                self.start_request(ci, Shape::V1, vec![basket], top_k, 0);
+            }
             Request::QueryV2 {
                 version,
                 basket,
@@ -521,217 +983,504 @@ fn handle_connection(mut stream: TcpStream, conn: usize, shared: &Shared) {
             } => {
                 if version != PROTOCOL_VERSION {
                     obs.add("serve.version_mismatch", &[], 1);
-                    Some(Response::VersionMismatch {
-                        server: PROTOCOL_VERSION,
-                        client: version,
-                    })
+                    self.respond(ci, mismatch(version));
                 } else {
-                    Some(answer_query(shared, basket, top_k, budget_ms, true))
+                    self.start_request(ci, Shape::V2, vec![basket], top_k, budget_ms);
+                }
+            }
+            Request::QueryBatch {
+                version,
+                baskets,
+                top_k,
+                budget_ms,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    obs.add("serve.version_mismatch", &[], 1);
+                    self.respond(ci, mismatch(version));
+                } else {
+                    self.start_request(ci, Shape::Batch, baskets, top_k, budget_ms);
                 }
             }
             Request::Reload { version, path } => {
                 if version != PROTOCOL_VERSION {
                     obs.add("serve.version_mismatch", &[], 1);
-                    Some(Response::VersionMismatch {
-                        server: PROTOCOL_VERSION,
-                        client: version,
-                    })
-                } else {
-                    Some(match shared.reload(&path) {
-                        Ok(epoch) => Response::ReloadAck { epoch },
-                        Err(e) => {
-                            obs.add("serve.errors", &[], 1);
-                            Response::Error(format!("reload rejected: {e}"))
-                        }
-                    })
+                    self.respond(ci, mismatch(version));
+                    return;
                 }
+                let response = match self.shared.reload(&path) {
+                    Ok(epoch) => {
+                        // Epoch-tagged keys already can't alias; the
+                        // clear just stops dead entries occupying
+                        // capacity.
+                        self.cache.clear();
+                        Response::ReloadAck { epoch }
+                    }
+                    Err(e) => {
+                        obs.add("serve.errors", &[], 1);
+                        Response::Error(format!("reload rejected: {e}"))
+                    }
+                };
+                self.respond(ci, frame_bytes(&response));
             }
             Request::Shutdown => {
-                let ack = encode_response(&Response::ShutdownAck);
-                drop(write_frame(&mut stream, &ack));
-                shared.running.store(false, Ordering::SeqCst);
-                if let Ok(addr) = stream.local_addr() {
-                    drop(TcpStream::connect(addr)); // nudge the accept loop
+                self.respond(ci, frame_bytes(&Response::ShutdownAck));
+                if let Some(conn) = self.conns.get_mut(ci) {
+                    conn.read_shut = true;
                 }
+                self.shared.running.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Admits one query-shaped request: cache lookups, affinity
+    /// routing, admission control, and per-shard batched dispatch. A
+    /// response slot is reserved in request order whatever the outcome.
+    fn start_request(
+        &mut self,
+        ci: usize,
+        shape: Shape,
+        baskets: Vec<Vec<ItemId>>,
+        top_k: u32,
+        budget_ms: u32,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let obs = shared.obs.clone();
+        obs.add("serve.requests", &[], 1);
+        obs.add("serve.baskets", &[], baskets.len() as u64);
+        let clock = Stopwatch::start();
+        let snapshot = shared.current.load();
+        let nshards = shared.slots.len();
+        let cache_on = shared.cfg.cache_capacity > 0;
+
+        let mut states: Vec<BasketState> = Vec::with_capacity(baskets.len());
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+        {
+            let catalog = snapshot.value();
+            for (i, basket) in baskets.iter().enumerate() {
+                let mut st = BasketState::default();
+                if cache_on {
+                    let key = cache_key(snapshot.number(), top_k, basket);
+                    if let Some(recs) = self.cache.get(&key) {
+                        obs.add("serve.cache.hits", &[], 1);
+                        st.ready = Some((recs, 0));
+                        states.push(st);
+                        continue;
+                    }
+                    obs.add("serve.cache.misses", &[], 1);
+                    st.key = Some(key);
+                }
+                match catalog.route(basket) {
+                    Route::Empty => {
+                        obs.add("serve.routed.empty", &[], 1);
+                        st.key = None; // nothing worth caching
+                        st.ready = Some((Vec::new(), 0));
+                    }
+                    Route::Single(s) => {
+                        obs.add("serve.routed.single", &[], 1);
+                        if let Some(b) = buckets.get_mut(s) {
+                            b.push(i);
+                        }
+                    }
+                    Route::Broadcast => {
+                        obs.add("serve.routed.fanout", &[], 1);
+                        for b in buckets.iter_mut() {
+                            b.push(i);
+                        }
+                    }
+                }
+                states.push(st);
+            }
+        }
+
+        let njobs = buckets.iter().filter(|b| !b.is_empty()).count();
+        let deadline = if budget_ms == 0 {
+            shared.cfg.deadline
+        } else {
+            shared
+                .cfg
+                .deadline
+                .min(Duration::from_millis(budget_ms as u64))
+        };
+
+        // Admission: a budget the current backlog plus our own jobs
+        // cannot meet is shed typed before any shard work.
+        if budget_ms > 0 && njobs > 0 {
+            let backlog = shared
+                .slots
+                .iter()
+                .map(|s| s.queued.load(Ordering::SeqCst))
+                .max()
+                .unwrap_or(0) as u64;
+            if (backlog + njobs as u64).saturating_mul(shared.cfg.est_job_ms) > budget_ms as u64 {
+                obs.add("serve.shed", &[], 1);
+                obs.observe("serve.latency_us", &[], clock.elapsed().as_micros() as u64);
+                self.respond(ci, frame_bytes(&shed_response(&shared.cfg, shape)));
                 return;
             }
+        }
+
+        // Share each dispatched basket (and its ancestor extension)
+        // across however many shard jobs carry it.
+        let mut dispatched = vec![false; baskets.len()];
+        for bucket in &buckets {
+            for &i in bucket {
+                if let Some(d) = dispatched.get_mut(i) {
+                    *d = true;
+                }
+            }
+        }
+        let mut arcs: Vec<Option<SharedBasket>> = Vec::with_capacity(baskets.len());
+        {
+            let catalog = snapshot.value();
+            for (i, basket) in baskets.into_iter().enumerate() {
+                if dispatched.get(i).copied().unwrap_or(false) {
+                    let extended = Arc::new(catalog.extend_basket(&basket));
+                    arcs.push(Some((Arc::new(basket), extended)));
+                } else {
+                    arcs.push(None);
+                }
+            }
+        }
+
+        let req = self.next_req;
+        self.next_req += 1;
+        let mut expected = 0usize;
+        let mut jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (s, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let Some(slot) = shared.slots.get(s) else {
+                continue;
+            };
+            let mut items = Vec::with_capacity(bucket.len());
+            for &i in &bucket {
+                if let Some(Some((basket, extended))) = arcs.get(i) {
+                    items.push(JobItem {
+                        index: i,
+                        basket: Arc::clone(basket),
+                        extended: Arc::clone(extended),
+                    });
+                }
+            }
+            slot.queued.fetch_add(1, Ordering::SeqCst);
+            let job = Job {
+                snapshot: Arc::clone(&snapshot),
+                items,
+                guard: ReplyGuard {
+                    shared: Arc::clone(&shared),
+                    tx: self.comp_tx.clone(),
+                    req,
+                    shard: s,
+                    armed: true,
+                },
+            };
+            // The guard is held across try_send only, which never blocks.
+            let sent = match slot.tx.lock().as_ref() {
+                Some(tx) => tx.try_send(job),
+                None => Err(TrySendError::Disconnected(job)),
+            };
+            match sent {
+                Ok(()) => {
+                    expected += 1;
+                    jobs.push((s, bucket));
+                }
+                Err(TrySendError::Full(job)) => {
+                    // Shed the whole request. Jobs already queued on
+                    // other shards run to completion; their results
+                    // reference a request id that was never registered
+                    // and are discarded on arrival.
+                    let Job { guard, .. } = job;
+                    guard.abandon();
+                    obs.add("serve.shed", &[], 1);
+                    obs.observe("serve.latency_us", &[], clock.elapsed().as_micros() as u64);
+                    self.respond(ci, frame_bytes(&shed_response(&shared.cfg, shape)));
+                    return;
+                }
+                Err(TrySendError::Disconnected(job)) => {
+                    // Shard down (crashed, restarting, or out of
+                    // budget): answer without it.
+                    let Job { guard, .. } = job;
+                    guard.abandon();
+                    for &i in &bucket {
+                        if let Some(st) = states.get_mut(i) {
+                            st.missing += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let conn_id = self.conns.get(ci).map(|c| c.id).unwrap_or(u64::MAX);
+        let pending = Pending {
+            conn: conn_id,
+            shape,
+            top_k: top_k as usize,
+            snapshot,
+            clock,
+            deadline,
+            expected,
+            done: 0,
+            jobs,
+            baskets: states,
         };
-        let Some(response) = response else { continue };
-        if write_response(&mut stream, conn, shared, &response).is_err() {
-            return;
+        self.respond_waiting(ci, req);
+        if expected == 0 {
+            // Fully answered from cache / empty routes / dead shards.
+            self.finalize_ok(req, pending);
+        } else {
+            self.pending.insert(req, pending);
         }
     }
-}
 
-/// Writes one response frame, honoring a scheduled `slow-frame` fault
-/// by dribbling the bytes out in small delayed chunks (the client-side
-/// frame reader must reassemble partial writes).
-fn write_response(
-    stream: &mut TcpStream,
-    conn: usize,
-    shared: &Shared,
-    response: &Response,
-) -> Result<()> {
-    if !shared
-        .cfg
-        .faults
-        .take_serve_conn(ServeFaultOp::SlowFrame, conn)
-    {
-        return write_frame(stream, &encode_response(response));
+    /// Applies one shard completion; finalizes the request once every
+    /// dispatched job has reported.
+    fn apply_completion(&mut self, c: Completion) {
+        let finished = {
+            let Some(p) = self.pending.get_mut(&c.req) else {
+                return; // shed, timed out, or abandoned: stale result
+            };
+            p.done += 1;
+            match c.results {
+                Some(list) => {
+                    for (idx, m) in list {
+                        if let Some(b) = p.baskets.get_mut(idx) {
+                            b.matches.extend(m);
+                        }
+                    }
+                }
+                None => {
+                    // The job died before scoring: every basket it
+                    // carried is missing this shard's answer.
+                    let idxs = p
+                        .jobs
+                        .iter()
+                        .find(|(s, _)| *s == c.shard)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_default();
+                    for idx in idxs {
+                        if let Some(b) = p.baskets.get_mut(idx) {
+                            b.missing += 1;
+                        }
+                    }
+                }
+            }
+            p.done >= p.expected
+        };
+        if finished {
+            if let Some(p) = self.pending.remove(&c.req) {
+                self.finalize_ok(c.req, p);
+            }
+        }
     }
-    shared.obs.add("serve.fault.slow_frame", &[], 1);
-    let mut framed = Vec::new();
-    write_frame(&mut framed, &encode_response(response))?;
-    let io = |e| Error::io("writing slow frame", e);
-    for chunk in framed.chunks(3) {
-        stream.write_all(chunk).map_err(io)?;
-        stream.flush().map_err(io)?;
-        std::thread::sleep(shared.cfg.faults.delay);
-    }
-    Ok(())
-}
 
-/// Runs one query end to end against a single epoch snapshot and
-/// shapes the response for the requested protocol generation.
-fn answer_query(
-    shared: &Shared,
-    basket: Vec<ItemId>,
-    top_k: u32,
-    budget_ms: u32,
-    v2: bool,
-) -> Response {
-    let obs = &shared.obs;
-    let clock = Stopwatch::start();
-    obs.add("serve.requests", &[], 1);
-    let snapshot = shared.current.load();
-    let response = match run_query(shared, &snapshot, basket, budget_ms) {
-        Answered::Full { matches, missing } => {
-            let recs = snapshot.value().merge(matches, top_k as usize);
+    /// Times out every pending request whose deadline has passed.
+    fn expire_deadlines(&mut self) {
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.clock.elapsed() >= p.deadline)
+            .map(|(req, _)| *req)
+            .collect();
+        for req in expired {
+            if let Some(p) = self.pending.remove(&req) {
+                self.finalize_timeout(req, p);
+            }
+        }
+    }
+
+    /// Builds the success response for a fully-reported request: merge
+    /// per basket, record degradation, feed the cache, and deliver.
+    fn finalize_ok(&mut self, req: u64, p: Pending) {
+        let obs = self.shared.obs.clone();
+        let Pending {
+            conn,
+            shape,
+            top_k,
+            snapshot,
+            clock,
+            baskets,
+            ..
+        } = p;
+        let epoch = snapshot.number();
+        let mut answers = Vec::with_capacity(baskets.len());
+        for b in baskets {
+            let (recs, missing) = match b.ready {
+                Some(ready) => ready,
+                None => (snapshot.value().merge(b.matches, top_k), b.missing),
+            };
             if missing > 0 {
                 obs.add("serve.degraded", &[], 1);
+            } else if let Some(key) = b.key {
+                // Complete answers only: a degraded answer must be
+                // re-scored once the shard is back, never replayed.
+                self.cache.insert(key, recs.clone());
             }
-            if v2 {
+            answers.push(BatchAnswer {
+                shards_missing: missing,
+                recs,
+            });
+        }
+        let response = match shape {
+            Shape::Batch => Response::ResultsBatch { epoch, answers },
+            Shape::V2 => {
+                let a = answers.into_iter().next().unwrap_or(BatchAnswer {
+                    shards_missing: 0,
+                    recs: Vec::new(),
+                });
                 Response::ResultsV2 {
-                    epoch: snapshot.number(),
-                    shards_missing: missing,
-                    recs,
+                    epoch,
+                    shards_missing: a.shards_missing,
+                    recs: a.recs,
+                }
+            }
+            Shape::V1 => Response::Results(
+                answers
+                    .into_iter()
+                    .next()
+                    .map(|a| a.recs)
+                    .unwrap_or_default(),
+            ),
+        };
+        obs.observe("serve.latency_us", &[], clock.elapsed().as_micros() as u64);
+        self.deliver(conn, req, frame_bytes(&response));
+    }
+
+    /// Builds the timeout response: typed retryable for v2/batch
+    /// (indistinguishable from a shed, as before), an error string for
+    /// v1.
+    fn finalize_timeout(&mut self, req: u64, p: Pending) {
+        let obs = self.shared.obs.clone();
+        obs.add("serve.deadline_exceeded", &[], 1);
+        let response = match p.shape {
+            Shape::V1 => {
+                obs.add("serve.errors", &[], 1);
+                let e = Error::Timeout {
+                    node: 0,
+                    op: "shard-collect".into(),
+                };
+                Response::Error(e.to_string())
+            }
+            _ => {
+                obs.add("serve.shed", &[], 1);
+                Response::Overloaded {
+                    retry_after_ms: self.shared.cfg.retry_after_ms,
+                }
+            }
+        };
+        obs.observe(
+            "serve.latency_us",
+            &[],
+            p.clock.elapsed().as_micros() as u64,
+        );
+        self.deliver(p.conn, req, frame_bytes(&response));
+    }
+
+    /// Fills the reserved response slot for `req` on its connection and
+    /// pumps. A connection that died in the meantime just discards the
+    /// response.
+    fn deliver(&mut self, conn_id: u64, req: u64, framed: Vec<u8>) {
+        let Some(ci) = self.conns.iter().position(|c| c.id == conn_id && !c.dead) else {
+            return;
+        };
+        let mut filled = false;
+        if let Some(conn) = self.conns.get_mut(ci) {
+            if let Some(slot) = conn
+                .resp
+                .iter_mut()
+                .find(|s| matches!(s, RespSlot::Waiting(r) if *r == req))
+            {
+                *slot = RespSlot::Ready(framed);
+                filled = true;
+            }
+        }
+        if filled {
+            self.pump(ci);
+        }
+    }
+
+    /// Enqueues an immediately-ready response in request order.
+    fn respond(&mut self, ci: usize, framed: Vec<u8>) {
+        if let Some(conn) = self.conns.get_mut(ci) {
+            conn.resp.push_back(RespSlot::Ready(framed));
+        }
+        self.pump(ci);
+    }
+
+    /// Reserves a response slot for a request still in flight.
+    fn respond_waiting(&mut self, ci: usize, req: u64) {
+        if let Some(conn) = self.conns.get_mut(ci) {
+            conn.resp.push_back(RespSlot::Waiting(req));
+        }
+    }
+
+    /// Moves every leading ready response into the out buffer (honoring
+    /// a scheduled `slow-frame` fault by dribbling that response out in
+    /// small delayed chunks) and writes as much as the socket takes.
+    fn pump(&mut self, ci: usize) {
+        let shared = Arc::clone(&self.shared);
+        let Some(conn) = self.conns.get_mut(ci) else {
+            return;
+        };
+        if conn.dead {
+            return;
+        }
+        while matches!(conn.resp.front(), Some(RespSlot::Ready(_))) {
+            let Some(RespSlot::Ready(framed)) = conn.resp.pop_front() else {
+                break;
+            };
+            if shared
+                .cfg
+                .faults
+                .take_serve_conn(ServeFaultOp::SlowFrame, conn.id as usize)
+            {
+                shared.obs.add("serve.fault.slow_frame", &[], 1);
+                if dribble(conn, &framed, &shared).is_err() {
+                    conn.dead = true;
+                    return;
                 }
             } else {
-                Response::Results(recs)
+                conn.outbuf.extend_from_slice(&framed);
             }
         }
-        Answered::Shed => {
-            obs.add("serve.shed", &[], 1);
-            let retry_after_ms = shared.cfg.retry_after_ms;
-            if v2 {
-                Response::Overloaded { retry_after_ms }
-            } else {
-                Response::Error(format!("overloaded: retry after {retry_after_ms} ms"))
-            }
+        flush_out(conn);
+        if conn.read_shut && conn.resp.is_empty() && conn.outbuf.is_empty() {
+            conn.dead = true; // drained: close
         }
-        Answered::TimedOut if v2 => {
-            // The backlog outran the client's budget: typed and
-            // retryable, exactly like a shed before dispatch.
-            obs.add("serve.shed", &[], 1);
-            Response::Overloaded {
-                retry_after_ms: shared.cfg.retry_after_ms,
-            }
-        }
-        Answered::TimedOut => {
-            obs.add("serve.errors", &[], 1);
-            let e = Error::Timeout {
-                node: 0,
-                op: "shard-collect".into(),
-            };
-            Response::Error(e.to_string())
-        }
-    };
-    obs.observe("serve.latency_us", &[], clock.elapsed().as_micros() as u64);
-    response
+    }
 }
 
-/// Fans one query out to every live shard and collects the answers
-/// under the deadline. Dead shards (no published sender, or a crash
-/// mid-collect) are counted as missing rather than failing the query;
-/// a queue that cannot take the job — or a backlog the budget cannot
-/// cover — sheds it.
-fn run_query(
-    shared: &Shared,
-    snapshot: &Arc<Epoch<Catalog>>,
-    basket: Vec<ItemId>,
-    budget_ms: u32,
-) -> Answered {
-    let catalog = snapshot.value();
-    let basket = Arc::new(basket);
-    let extended = Arc::new(catalog.extend_basket(&basket));
-    let deadline = if budget_ms == 0 {
-        shared.cfg.deadline
-    } else {
-        shared
-            .cfg
-            .deadline
-            .min(Duration::from_millis(budget_ms as u64))
-    };
-    if budget_ms > 0 {
-        let backlog = shared
-            .slots
-            .iter()
-            .map(|s| s.queued.load(Ordering::SeqCst))
-            .max()
-            .unwrap_or(0) as u64;
-        if (backlog + 1).saturating_mul(shared.cfg.est_job_ms) > budget_ms as u64 {
-            return Answered::Shed;
-        }
-    }
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let mut dispatched = 0usize;
-    let mut missing = 0u32;
-    for slot in &shared.slots {
-        let job = Job {
-            snapshot: Arc::clone(snapshot),
-            basket: Arc::clone(&basket),
-            extended: Arc::clone(&extended),
-            reply: reply_tx.clone(),
-        };
-        slot.queued.fetch_add(1, Ordering::SeqCst);
-        // The guard is held across try_send only, which never blocks.
-        let sent = match slot.tx.lock().as_ref() {
-            Some(tx) => tx.try_send(job),
-            None => Err(TrySendError::Disconnected(job)),
-        };
-        match sent {
-            Ok(()) => dispatched += 1,
-            Err(TrySendError::Full(_)) => {
-                slot.finish_job();
-                return Answered::Shed;
+/// Writes the out buffer until the socket would block.
+fn flush_out(conn: &mut Conn) {
+    while !conn.outbuf.is_empty() {
+        match conn.stream.write(&conn.outbuf) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
             }
-            Err(TrySendError::Disconnected(_)) => {
-                // Shard down (crashed, restarting, or out of budget):
-                // answer without it.
-                slot.finish_job();
-                missing += 1;
+            Ok(n) => drop(conn.outbuf.drain(..n)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
             }
         }
     }
-    drop(reply_tx);
-    let mut matches = Vec::new();
-    let mut collected = 0usize;
-    while collected < dispatched {
-        match reply_rx.recv_timeout(deadline) {
-            Ok(mut m) => {
-                matches.append(&mut m);
-                collected += 1;
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                // Every outstanding job's worker died before replying.
-                missing += (dispatched - collected) as u32;
-                break;
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                shared.obs.add("serve.deadline_exceeded", &[], 1);
-                return Answered::TimedOut;
-            }
-        }
+}
+
+/// The `slow-frame` fault: flush what's buffered, then trickle the
+/// response out in 3-byte chunks with delays (the client-side frame
+/// reader must reassemble partial writes). Temporarily blocking — the
+/// loop stalls for the dribble, which is the point of the fault.
+fn dribble(conn: &mut Conn, framed: &[u8], shared: &Shared) -> std::io::Result<()> {
+    conn.stream.set_nonblocking(false)?;
+    conn.stream.write_all(&conn.outbuf)?;
+    conn.outbuf.clear();
+    for chunk in framed.chunks(3) {
+        conn.stream.write_all(chunk)?;
+        conn.stream.flush()?;
+        std::thread::sleep(shared.cfg.faults.delay);
     }
-    Answered::Full { matches, missing }
+    conn.stream.set_nonblocking(true)
 }

@@ -159,7 +159,10 @@ fn assert_correct_for_epoch(
 /// answer, i.e. the crashed shard is back.
 fn wait_until_recovered(client: &mut Client) {
     for _ in 0..200 {
-        let reply = client.query_v2(&[ItemId(3)], 10, 0).unwrap();
+        // A multi-root basket (roots clothes/footwear) broadcasts to
+        // every shard — affinity routing would answer a single-root
+        // probe from one healthy shard and miss the one restarting.
+        let reply = client.query_v2(&[ItemId(3), ItemId(7)], 10, 0).unwrap();
         if matches!(
             reply,
             QueryReply::Results {

@@ -128,17 +128,32 @@ fn per_shard_metrics_are_recorded() {
     let obs = Obs::enabled();
     let server = start(2, obs.clone());
     let mut client = connect(&server);
-    for basket in [vec![ItemId(3)], vec![ItemId(7)], vec![ItemId(2)]] {
+    // Multi-root baskets (clothes + footwear roots) broadcast to every
+    // shard; the single-root basket routes to exactly one.
+    for basket in [
+        vec![ItemId(3), ItemId(7)],
+        vec![ItemId(2), ItemId(6)],
+        vec![ItemId(4), ItemId(5)],
+    ] {
         client.query(&basket, 5).unwrap();
     }
+    client.query(&[ItemId(3)], 5).unwrap();
     client.shutdown().unwrap();
     server.wait().unwrap();
     let snap = obs.metrics();
+    let mut scored = 0;
     for shard in 0..2 {
         let key = format!("serve.queries{{shard={shard}}}");
-        assert_eq!(snap.counters.get(&key), Some(&3), "missing {key}: {snap:?}");
+        let n = snap.counters.get(&key).copied().unwrap_or(0);
+        assert!(n >= 3, "shard {shard} missed broadcasts: {snap:?}");
+        scored += n;
     }
-    assert_eq!(snap.counters.get("serve.requests"), Some(&3));
+    // 3 broadcasts × 2 shards + 1 single-root dispatch.
+    assert_eq!(scored, 7, "{snap:?}");
+    assert_eq!(snap.counters.get("serve.requests"), Some(&4));
+    assert_eq!(snap.counters.get("serve.baskets"), Some(&4));
+    assert_eq!(snap.counters.get("serve.routed.fanout"), Some(&3));
+    assert_eq!(snap.counters.get("serve.routed.single"), Some(&1));
     assert!(snap.histograms.contains_key("serve.latency_us"));
     assert!(snap.histograms.contains_key("serve.shard_us{shard=0}"));
     // The trace has one `query` span lane per shard.

@@ -5,7 +5,7 @@
 use gar_mining::rules::Rule;
 use gar_serve::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Request, Response,
+    BatchAnswer, Request, Response, PROTOCOL_VERSION,
 };
 use gar_serve::{Recommendation, RuleStore};
 use gar_taxonomy::TaxonomyBuilder;
@@ -86,6 +86,93 @@ proptest! {
             .collect();
         let resp = Response::Results(recs);
         prop_assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn batch_requests_round_trip(
+        baskets in proptest::collection::vec(arb_basket(), 0..6),
+        top_k in 0u32..1000,
+        budget_ms in 0u32..10_000,
+    ) {
+        let req = Request::QueryBatch {
+            version: PROTOCOL_VERSION,
+            baskets,
+            top_k,
+            budget_ms,
+        };
+        prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+    }
+
+    #[test]
+    fn batch_responses_round_trip(
+        epoch in 0u64..1_000_000,
+        raw in proptest::collection::vec(
+            (
+                0u32..3,
+                proptest::collection::vec(
+                    (proptest::collection::btree_set(0u32..1000, 1..4), 0u64..500, 0u32..1001),
+                    0..4,
+                ),
+            ),
+            0..6,
+        ),
+    ) {
+        let answers: Vec<BatchAnswer> = raw
+            .into_iter()
+            .map(|(missing, recs)| BatchAnswer {
+                shards_missing: missing,
+                recs: recs
+                    .into_iter()
+                    .map(|(set, sup, conf_ppm)| {
+                        let confidence = f64::from(conf_ppm) / 1000.0;
+                        Recommendation {
+                            consequent: Itemset::from_unsorted(
+                                set.into_iter().map(ItemId).collect(),
+                            ),
+                            support_count: sup,
+                            confidence,
+                            score: confidence * sup as f64 / 500.0,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let resp = Response::ResultsBatch { epoch, answers };
+        prop_assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn corrupted_batch_frames_never_panic(
+        baskets in proptest::collection::vec(arb_basket(), 0..4),
+    ) {
+        // Exhaustive over the frame: EVERY truncation must error or
+        // report a clean partial read, and EVERY single-byte flip must
+        // be caught by the checksum — on the new batch tags, never a
+        // panic or a silent wrong decode.
+        let payload = encode_request(&Request::QueryBatch {
+            version: PROTOCOL_VERSION,
+            baskets,
+            top_k: 3,
+            budget_ms: 25,
+        });
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &payload).unwrap();
+        for cut in 0..frame.len() {
+            drop(read_frame(&mut std::io::Cursor::new(&frame[..cut])));
+        }
+        for flip in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[flip] ^= 0x01;
+            if let Ok(Some(p)) = read_frame(&mut std::io::Cursor::new(&bad)) {
+                prop_assert_eq!(p, payload.clone());
+                prop_assert!(false, "single-bit flip went undetected at byte {}", flip);
+            }
+        }
+        // And the payload itself, truncated at every boundary behind a
+        // valid frame, must decode-error cleanly.
+        for cut in 0..payload.len() {
+            drop(decode_request(&payload[..cut]));
+        }
     }
 
     #[test]

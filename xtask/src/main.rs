@@ -25,6 +25,11 @@
 //!   the seeded `serve_load` generator, and assert byte-identical
 //!   response transcripts plus per-shard metrics (see
 //!   `crates/bench/src/bin/serve_load.rs`).
+//! * `serve-bench` — the serve-layer perf gate: the batched
+//!   single-root-heavy workload at 1 and 4 shards, ratcheted so 4-shard
+//!   qps stays strictly above 1-shard qps (the PR-8 inversion fix) and
+//!   batched 1-shard qps stays at least 2× the PR-4 single-query
+//!   number; `--check` compares against the committed `BENCH_PR8.json`.
 //! * `miri` — runs the UB interpreter over the unsafe-bearing crates
 //!   when the `miri` component is installed; degrades to a skip
 //!   otherwise (this build environment has no network to install it).
@@ -58,6 +63,10 @@ fn usage() -> &'static str {
        serve-smoke [--out FILE]\n\
                      mine → persist → serve → load-test; asserts deterministic\n\
                      transcripts and writes a gar-serve-bench-v1 baseline\n\
+       serve-bench [--check] [--tolerance F] [--out FILE] [--baseline FILE]\n\
+                     batched serve perf gate at 1 and 4 shards; --check gates\n\
+                     against the committed BENCH_PR8.json (4-shard > 1-shard\n\
+                     qps, batched >= 2x the PR4 single-query baseline)\n\
        miri [--strict]   run miri over unsafe-bearing crates (skip if unavailable)\n\
        tsan [--strict]   run ThreadSanitizer over cluster tests (skip if unavailable)\n\
      \n\
@@ -89,6 +98,7 @@ fn main() -> ExitCode {
         "serve-chaos" => runners::serve_chaos(&repo_root(), rest),
         "bench" => runners::bench(&repo_root(), rest),
         "serve-smoke" => runners::serve_smoke(&repo_root(), rest),
+        "serve-bench" => runners::serve_bench(&repo_root(), rest),
         "miri" => runners::miri(&repo_root(), rest),
         "tsan" => runners::tsan(&repo_root(), rest),
         "help" | "--help" | "-h" => {
