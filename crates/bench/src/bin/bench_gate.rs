@@ -2,8 +2,9 @@
 //!
 //! Runs a pinned smoke matrix — R30F5 at scale 0.01, minimum support
 //! 1.0%, pass 2 only: sequential Cumulate plus NPGM / HPGM / H-HPGM /
-//! H-HPGM-FGD at 4 and 8 nodes — and writes the results as
-//! `BENCH_PR3.json`. The gated quantity is the *modeled* SP-2 execution
+//! H-HPGM-FGD and the pattern-growth FP-Growth at 4 and 8 nodes — and
+//! writes the results as
+//! `BENCH_PR9.json`. The gated quantity is the *modeled* SP-2 execution
 //! time (`ParallelReport::modeled_seconds`, a pure function of the
 //! deterministic per-node ledgers), not wall time, so the gate is
 //! machine-independent and byte-reproducible; wall time is printed for
@@ -14,7 +15,7 @@
 //!
 //! * default — run the matrix and (re)write the baseline file;
 //! * `--check` — run the matrix, write the fresh results next to the
-//!   baseline (`BENCH_PR3.fresh.json`), and fail (exit 1) if any entry
+//!   baseline (`BENCH_PR9.fresh.json`), and fail (exit 1) if any entry
 //!   drifts from the committed baseline by more than `--tolerance`
 //!   (relative, default 0.15), if an entry is missing, or if the
 //!   Figure 14 ordering (H-HPGM-FGD ≤ H-HPGM ≤ HPGM at 8 nodes) breaks.
@@ -39,7 +40,7 @@ use gar_storage::PartitionedDatabase;
 /// Schema tag of the bench baseline file.
 const SCHEMA: &str = "gar-bench-v1";
 /// The committed baseline this PR's gate compares against.
-const BASELINE: &str = "BENCH_PR3.json";
+const BASELINE: &str = "BENCH_PR9.json";
 /// Minimum support of the smoke matrix, in percent.
 const MINSUP_PCT: f64 = 1.0;
 /// The parallel algorithms of the matrix.
@@ -77,7 +78,7 @@ fn run_main() -> i32 {
         .map(str::to_string)
         .unwrap_or_else(|| {
             if check {
-                "BENCH_PR3.fresh.json".to_string()
+                "BENCH_PR9.fresh.json".to_string()
             } else {
                 BASELINE.to_string()
             }
@@ -169,7 +170,7 @@ fn run_matrix(env: &Env) -> Result<(Vec<Entry>, Workload, PartitionedDatabase), 
     let mut entries = Vec::new();
 
     // Sequential reference: Cumulate over the unpartitioned data.
-    {
+    let reference_large = {
         let db1 = workload.partition(1).map_err(|e| e.to_string())?;
         let params = MiningParams::with_min_support(minsup).max_pass(2);
         let sw = Stopwatch::start();
@@ -186,7 +187,8 @@ fn run_matrix(env: &Env) -> Result<(Vec<Entry>, Workload, PartitionedDatabase), 
             value: output.num_large() as f64,
             wall_seconds: wall,
         });
-    }
+        output.num_large()
+    };
 
     let mut db8 = None;
     for nodes in NODE_COUNTS {
@@ -207,6 +209,35 @@ fn run_matrix(env: &Env) -> Result<(Vec<Entry>, Workload, PartitionedDatabase), 
             );
             entries.push(Entry {
                 key: format!("{}@{nodes}", alg.name()),
+                metric: "modeled_seconds",
+                value: modeled,
+                wall_seconds: wall,
+            });
+        }
+
+        // The pattern-growth family: two logical passes, so its modeled
+        // time covers tree build + base exchange + projection mining.
+        // Its answer must be *exactly* Cumulate's, which the matrix
+        // checks before trusting the timing row.
+        {
+            let sw = Stopwatch::start();
+            let rep = run_fpg(&workload, &db, nodes)?;
+            let wall = sw.elapsed().as_secs_f64();
+            if rep.output.num_large() != reference_large {
+                return Err(format!(
+                    "FP-Growth @ {nodes}: {} large itemsets but Cumulate found {reference_large}",
+                    rep.output.num_large()
+                ));
+            }
+            let modeled = rep
+                .pass_reports
+                .iter()
+                .find(|p| p.k == 2)
+                .map(|p| p.modeled_seconds)
+                .ok_or_else(|| format!("FP-Growth @ {nodes}: no pass 2 in report"))?;
+            println!("  FP-Growth@{nodes}: modeled {modeled:.4}s ({wall:.2}s wall)");
+            entries.push(Entry {
+                key: format!("FP-Growth@{nodes}"),
                 metric: "modeled_seconds",
                 value: modeled,
                 wall_seconds: wall,
@@ -241,6 +272,22 @@ fn run_one(
     }
     mine_parallel(alg, db, &workload.taxonomy, &params, &cluster)
         .map_err(|e| format!("{} @ {nodes} nodes: {e}", alg.name()))
+}
+
+/// One FP-Growth run of the matrix, same setup as `run_one` (the
+/// pattern-growth driver lives in its own crate).
+fn run_fpg(
+    workload: &Workload,
+    db: &PartitionedDatabase,
+    nodes: usize,
+) -> Result<ParallelReport, String> {
+    let minsup = MINSUP_PCT / 100.0;
+    let memory = workload.memory_with_headroom(minsup, nodes, 3.0);
+    let mut params = MiningParams::with_min_support(minsup);
+    params.max_pass = Some(2);
+    let cluster = ClusterConfig::new(nodes, memory);
+    gar_fpg::mine_parallel(db, &workload.taxonomy, &params, &cluster)
+        .map_err(|e| format!("FP-Growth @ {nodes} nodes: {e}"))
 }
 
 /// Renders the baseline JSON through the gar-obs codec (deterministic

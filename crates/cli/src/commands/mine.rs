@@ -17,7 +17,12 @@ use std::time::Duration;
 pub fn run(args: &Args) -> Result<()> {
     let dir = Path::new(args.require("data")?);
     let min_support: f64 = args.require_parsed("min-support")?;
-    let algorithm = algorithm_by_name(args.get("algorithm").unwrap_or("H-HPGM-FGD"))?;
+    // `--algo` is the short alias for `--algorithm`.
+    let algo_name = args
+        .get("algo")
+        .or_else(|| args.get("algorithm"))
+        .unwrap_or("H-HPGM-FGD");
+    let algorithm = algorithm_by_name(algo_name)?;
     let memory_mb: u64 = args.get_or("memory-mb", 64)?;
 
     let mut params = MiningParams::with_min_support(min_support);
@@ -79,7 +84,15 @@ pub fn run(args: &Args) -> Result<()> {
                 resume: args.has_switch("resume"),
                 max_node_failures: args.get_or("max-node-failures", 0)?,
             };
-            let report = mine_parallel_with(parallel_alg, &db, &tax, &params, &cluster, &opts)?;
+            let report = match parallel_alg {
+                // The pattern-growth family has its own driver crate.
+                Algorithm::FpGrowth => {
+                    gar_fpg::mine_parallel_with(&db, &tax, &params, &cluster, &opts)?
+                }
+                apriori_alg => {
+                    mine_parallel_with(apriori_alg, &db, &tax, &params, &cluster, &opts)?
+                }
+            };
             println!(
                 "{} on {} nodes: wall {:?}, modeled SP-2 time {:.2}s",
                 algorithm.name(),

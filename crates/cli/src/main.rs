@@ -77,7 +77,7 @@ USAGE:
   gar-cli gen   --out DIR [--preset R30F5|R30F3|R30F10] [--scale F]
                 [--seed N] [--partitions N]
   gar-cli info  --data DIR
-  gar-cli mine  --data DIR --min-support F [--algorithm NAME]
+  gar-cli mine  --data DIR --min-support F [--algorithm NAME|--algo NAME]
                 [--max-pass K] [--memory-mb M] [--out FILE.gout]
                 [--checkpoint-dir DIR] [--resume] [--faults SPEC]
                 [--deadline-ms MS] [--max-node-failures N]
@@ -95,7 +95,7 @@ USAGE:
 
 ALGORITHMS:
   Cumulate (sequential), NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD,
-  H-HPGM-FGD (default)
+  H-HPGM-FGD (default), FP-Growth (pattern growth, projection-sharded)
 
 FAULT TOLERANCE (parallel algorithms):
   --checkpoint-dir DIR   persist L_k after every pass (crash-safe writes)

@@ -321,3 +321,81 @@ fn usage_prints_without_args() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
+
+/// An unknown `--algo` is a typed configuration error: exit code 2 and
+/// a message listing every valid algorithm name, FP-Growth included.
+#[test]
+fn unknown_algo_is_a_typed_config_error_listing_the_names() {
+    let out = bin()
+        .args([
+            "mine",
+            "--data",
+            "/nonexistent",
+            "--min-support",
+            "0.1",
+            "--algo",
+            "frobnicate",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "expected exit code 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown algorithm 'frobnicate'"),
+        "stderr should name the bad algorithm: {stderr}"
+    );
+    for name in ["Cumulate", "NPGM", "H-HPGM-FGD", "FP-Growth"] {
+        assert!(
+            stderr.contains(name),
+            "stderr should list '{name}': {stderr}"
+        );
+    }
+}
+
+/// `--algo fp-growth` runs the pattern-growth miner end to end and
+/// reports the same large-itemset count as Cumulate.
+#[test]
+fn fp_growth_via_algo_alias_agrees_with_cumulate() {
+    let dir = tmp_dir("fpg");
+    let data = dir.join("data");
+    run_ok(bin().args([
+        "gen",
+        "--out",
+        data.to_str().unwrap(),
+        "--preset",
+        "R30F10",
+        "--scale",
+        "0.001",
+        "--partitions",
+        "3",
+        "--seed",
+        "11",
+    ]));
+    let count_of = |flag: &str, algorithm: &str| -> String {
+        let out = run_ok(bin().args([
+            "mine",
+            "--data",
+            data.to_str().unwrap(),
+            "--min-support",
+            "0.03",
+            flag,
+            algorithm,
+        ]));
+        out.lines()
+            .find(|l| l.contains("large itemsets across"))
+            .unwrap_or_default()
+            .split(':')
+            .nth(1)
+            .unwrap_or_default()
+            .trim()
+            .to_string()
+    };
+    let fpg = count_of("--algo", "fp-growth");
+    let seq = count_of("--algorithm", "cumulate");
+    assert_eq!(
+        fpg.split(' ').next(),
+        seq.split(' ').next(),
+        "fp-growth vs cumulate counts differ: '{fpg}' vs '{seq}'"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,183 @@
+//! Recursive pattern growth over conditional pattern bases.
+//!
+//! A projection mines every large itemset whose *least frequent* member
+//! is the projection item: each itemset therefore belongs to exactly one
+//! projection (the one of its maximum-rank element), which is what makes
+//! projections independently schedulable across cluster nodes.
+//!
+//! The recursion works on path lists, not rebuilt sub-trees: a conditional
+//! base is a list of `(ascending rank path, count)` pairs, support of the
+//! pattern extended by rank `j` is the count sum over paths containing
+//! `j`, and `j`'s own sub-base is the strict prefixes before `j` with
+//! items hierarchy-related to `j` dropped. That filter maintains the
+//! invariant that a base never contains an item related to any pattern
+//! element — Cumulate's ancestor rule, enforced at growth time.
+
+use crate::order::ItemOrder;
+use gar_taxonomy::Taxonomy;
+use gar_types::{ItemId, Itemset};
+
+/// One conditional pattern base: ascending rank paths with multiplicities.
+pub type CondBase = Vec<(Vec<u32>, u64)>;
+
+/// Shared context of one projection's growth.
+pub struct GrowCtx<'a> {
+    pub order: &'a ItemOrder,
+    pub tax: &'a Taxonomy,
+    pub min_support_count: u64,
+    /// Largest itemset to emit (`MiningParams::max_pass`); `None` grows
+    /// to fixpoint.
+    pub max_len: Option<usize>,
+    /// Path elements visited — the projection's CPU-work measure.
+    pub work: u64,
+}
+
+/// Mines every large itemset (size ≥ 2) whose maximum-rank element is
+/// `item`, given `item`'s conditional base with hierarchy-related items
+/// already dropped. Singletons are pass 1's business. Emission order is
+/// depth-first; the caller canonicalizes.
+pub fn mine_projection(
+    ctx: &mut GrowCtx<'_>,
+    item: ItemId,
+    base: &CondBase,
+    out: &mut Vec<(Itemset, u64)>,
+) {
+    let mut pattern = vec![item];
+    grow(ctx, &mut pattern, base, out);
+}
+
+fn grow(
+    ctx: &mut GrowCtx<'_>,
+    pattern: &mut Vec<ItemId>,
+    base: &CondBase,
+    out: &mut Vec<(Itemset, u64)>,
+) {
+    if ctx.max_len.is_some_and(|m| pattern.len() >= m) {
+        return;
+    }
+    // Support of pattern ∪ {j} for every rank j present in the base.
+    // Paths are ascending, so the largest rank in play is each path's
+    // last element — a dense count array over that prefix is cheaper and
+    // deterministically iterable, unlike a hash map.
+    let mut max_rank = 0u32;
+    for (path, _) in base {
+        if let Some(&last) = path.last() {
+            max_rank = max_rank.max(last + 1);
+        }
+    }
+    let mut counts = vec![0u64; max_rank as usize];
+    for (path, count) in base {
+        ctx.work += path.len() as u64;
+        for &r in path {
+            counts[r as usize] += count;
+        }
+    }
+    for j in 0..max_rank {
+        let support = counts[j as usize];
+        if support < ctx.min_support_count {
+            continue;
+        }
+        let grown = ctx.order.item_at(j);
+        pattern.push(grown);
+        out.push((Itemset::from_unsorted(pattern.clone()), support));
+        if ctx.max_len.is_none_or(|m| pattern.len() < m) {
+            // j's conditional base: the strict prefixes before j of every
+            // path containing j, minus items related to the grown item.
+            let mut sub = CondBase::new();
+            for (path, count) in base {
+                let Ok(pos) = path.binary_search(&j) else {
+                    continue;
+                };
+                ctx.work += pos as u64;
+                let prefix: Vec<u32> = path[..pos]
+                    .iter()
+                    .copied()
+                    .filter(|&q| !ctx.tax.related(ctx.order.item_at(q), grown))
+                    .collect();
+                if !prefix.is_empty() {
+                    sub.push((prefix, *count));
+                }
+            }
+            if !sub.is_empty() {
+                grow(ctx, pattern, &sub, out);
+            }
+        }
+        pattern.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_taxonomy::TaxonomyBuilder;
+    use gar_types::iset;
+
+    fn flat_tax(n: u32) -> Taxonomy {
+        TaxonomyBuilder::new(n).build().unwrap()
+    }
+
+    #[test]
+    fn grows_pairs_and_triples() {
+        let tax = flat_tax(3);
+        // counts: 0 -> 10, 1 -> 8, 2 -> 5 (ranks = ids here)
+        let order = ItemOrder::new(&[10, 8, 5], 2);
+        // Projection of item 2 (rank 2): base paths over ranks {0, 1}.
+        let base: CondBase = vec![(vec![0, 1], 3), (vec![0], 2)];
+        let mut ctx = GrowCtx {
+            order: &order,
+            tax: &tax,
+            min_support_count: 2,
+            max_len: None,
+            work: 0,
+        };
+        let mut out = Vec::new();
+        mine_projection(&mut ctx, ItemId(2), &base, &mut out);
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        assert_eq!(
+            out,
+            vec![(iset![0, 1, 2], 3), (iset![0, 2], 5), (iset![1, 2], 3),]
+        );
+        assert!(ctx.work > 0);
+    }
+
+    #[test]
+    fn max_len_caps_growth() {
+        let tax = flat_tax(3);
+        let order = ItemOrder::new(&[10, 8, 5], 2);
+        let base: CondBase = vec![(vec![0, 1], 3)];
+        let mut ctx = GrowCtx {
+            order: &order,
+            tax: &tax,
+            min_support_count: 2,
+            max_len: Some(2),
+            work: 0,
+        };
+        let mut out = Vec::new();
+        mine_projection(&mut ctx, ItemId(2), &base, &mut out);
+        assert!(out.iter().all(|(s, _)| s.len() == 2));
+        assert_eq!(out.len(), 2); // {0,2}, {1,2} — no triple
+    }
+
+    #[test]
+    fn related_items_filtered_from_sub_bases() {
+        // 0 is the parent of 1; both large. Projection of item 2 whose
+        // base holds both: {0,2} and {1,2} are fine, but growing {1,2}
+        // must not add 0 (ancestor of 1).
+        let mut b = TaxonomyBuilder::new(3);
+        b.edge(1, 0).unwrap();
+        let tax = b.build().unwrap();
+        let order = ItemOrder::new(&[10, 8, 5], 2);
+        let base: CondBase = vec![(vec![0, 1], 4)];
+        let mut ctx = GrowCtx {
+            order: &order,
+            tax: &tax,
+            min_support_count: 2,
+            max_len: None,
+            work: 0,
+        };
+        let mut out = Vec::new();
+        mine_projection(&mut ctx, ItemId(2), &base, &mut out);
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        assert_eq!(out, vec![(iset![0, 2], 4), (iset![1, 2], 4)]);
+    }
+}

@@ -1,0 +1,95 @@
+//! The global frequency order over large items.
+//!
+//! FP-Growth's determinism hangs on one total order shared by every tree
+//! and every shipped path: items sorted by descending global support,
+//! ties broken by ascending id. Both keys come out of pass 1's all-reduce,
+//! so every node — at any cluster size — derives the identical order.
+
+use gar_types::ItemId;
+
+/// A dense bidirectional map between large items and their frequency
+/// ranks. Rank 0 is the most frequent item; ranks are `u32` because they
+/// double as the on-wire representation of path elements.
+#[derive(Debug, Clone)]
+pub struct ItemOrder {
+    /// `rank_of[item.index()]`, or `u32::MAX` for items below minimum
+    /// support.
+    rank_of: Vec<u32>,
+    /// `items[rank]` — the inverse map.
+    items: Vec<ItemId>,
+}
+
+impl ItemOrder {
+    /// Builds the order from the global per-item counts of pass 1.
+    pub fn new(item_counts: &[u64], min_support_count: u64) -> ItemOrder {
+        let mut items: Vec<ItemId> = (0..item_counts.len() as u32)
+            .map(ItemId)
+            .filter(|i| item_counts[i.index()] >= min_support_count)
+            .collect();
+        items.sort_unstable_by(|a, b| {
+            item_counts[b.index()]
+                .cmp(&item_counts[a.index()])
+                .then(a.cmp(b))
+        });
+        let mut rank_of = vec![u32::MAX; item_counts.len()];
+        for (r, &it) in items.iter().enumerate() {
+            rank_of[it.index()] = r as u32;
+        }
+        ItemOrder { rank_of, items }
+    }
+
+    /// Number of large items (= number of ranks = number of projections).
+    pub fn num_large(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The rank of `item`, or `None` if it is not large.
+    pub fn rank(&self, item: ItemId) -> Option<u32> {
+        let r = *self.rank_of.get(item.index())?;
+        (r != u32::MAX).then_some(r)
+    }
+
+    /// The item holding `rank` (must be `< num_large()`).
+    pub fn item_at(&self, rank: u32) -> ItemId {
+        self.items[rank as usize]
+    }
+
+    /// Projects a transaction onto the order: keeps the large items and
+    /// sorts their ranks ascending (most frequent first), which is the
+    /// FP-tree insertion order. The input must be duplicate-free (which
+    /// `Taxonomy::extend_transaction` guarantees).
+    pub fn project(&self, t: &[ItemId], out: &mut Vec<u32>) {
+        out.clear();
+        for &it in t {
+            if let Some(r) = self.rank(it) {
+                out.push(r);
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_by_count_then_id() {
+        // counts: item0=5, item1=9, item2=5, item3=1
+        let order = ItemOrder::new(&[5, 9, 5, 1], 2);
+        assert_eq!(order.num_large(), 3);
+        assert_eq!(order.item_at(0), ItemId(1)); // highest count
+        assert_eq!(order.item_at(1), ItemId(0)); // tie broken by id
+        assert_eq!(order.item_at(2), ItemId(2));
+        assert_eq!(order.rank(ItemId(3)), None); // below support
+        assert_eq!(order.rank(ItemId(2)), Some(2));
+    }
+
+    #[test]
+    fn project_filters_and_sorts() {
+        let order = ItemOrder::new(&[5, 9, 5, 1], 2);
+        let mut out = Vec::new();
+        order.project(&[ItemId(3), ItemId(2), ItemId(1)], &mut out);
+        assert_eq!(out, vec![0, 2]); // item1 (rank 0), item2 (rank 2)
+    }
+}

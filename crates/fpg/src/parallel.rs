@@ -1,0 +1,739 @@
+//! Parallel FP-Growth on the shared-nothing cluster simulator.
+//!
+//! The run has two logical passes:
+//!
+//! 1. **Count** — identical to the Apriori family's pass 1: all-reduce the
+//!    transaction count, scan + count ancestor-extended items, all-reduce
+//!    the counts. Every node now holds the global frequency order.
+//! 2. **Build + grow** — each node builds an FP-tree over its own
+//!    partition, then ships every projection's conditional-base paths to
+//!    the projection's *owner* through one non-barrier exchange. Ownership
+//!    hashes the projection item's classification-hierarchy **root**
+//!    (H-HPGM's placement carried to pattern growth), so an item and all
+//!    its ancestors — the generalization chain the related-item filter
+//!    inspects — land on one node. After the exchange quiesces, owners
+//!    mine their projections as independent tasks, streaming each finished
+//!    projection to the coordinator, which checkpoints at projection
+//!    granularity and finally broadcasts the assembled output.
+//!
+//! Every projection task announces itself via `set_pass(3 + t)`, so
+//! `FaultPlan` coordinates address "node n, projection t": `panic@n1p4`
+//! kills node 1 in its second projection, and [`mine_parallel_with`]
+//! recovers by redistributing the dead node's partitions and replaying
+//! only the projections missing from the checkpoint. Support counts are
+//! partition-independent, so the recovered output — and the rule store
+//! derived from it — is byte-identical to the fault-free run.
+
+use crate::checkpoint::{self, FpgCheckpoint, FpgCheckpointSink};
+use crate::grow::{mine_projection, CondBase, GrowCtx};
+use crate::order::ItemOrder;
+use crate::sequential::{group_passes, large_singletons};
+use crate::tree::FpTree;
+use crate::wire::{self, tags, PathBatch};
+use gar_cluster::{
+    Cluster, ClusterConfig, ClusterRun, Envelope, NodeCtx, NodeStatsSnapshot, RetryPolicy,
+};
+use gar_mining::params::{Algorithm, MiningParams};
+use gar_mining::report::{LargePass, MiningOutput, ParallelReport, PassReport};
+use gar_storage::{MultiSource, PartitionedDatabase, TransactionSource};
+use gar_taxonomy::Taxonomy;
+use gar_types::{Error, ItemId, Itemset, Result};
+use std::collections::BTreeMap;
+use std::hash::Hasher;
+
+pub use gar_mining::parallel::MineOptions;
+
+/// Flush threshold for outgoing path batches (same rationale as the
+/// Apriori family's batching).
+const BATCH_FLUSH_BYTES: usize = 16 * 1024;
+
+/// How many projections to extract between opportunistic inbox drains
+/// during the base exchange.
+const POLL_EVERY_PROJECTIONS: u32 = 8;
+
+/// The node owning `item`'s projection: hash of the item's *root*, so a
+/// whole generalization chain is mined on one node.
+pub fn owner_of(item: ItemId, tax: &Taxonomy, num_nodes: usize) -> usize {
+    let mut h = gar_types::FxHasher::default();
+    h.write_u32(tax.root_of(item).raw());
+    (h.finish() % num_nodes as u64) as usize
+}
+
+/// Checkpoint plumbing handed to every node thread.
+struct Persist<'a> {
+    resume_from: Option<&'a FpgCheckpoint>,
+    sink: Option<&'a FpgCheckpointSink>,
+}
+
+const NO_PERSIST: Persist<'static> = Persist {
+    resume_from: None,
+    sink: None,
+};
+
+/// Per-pass bookkeeping one node accumulates (the FP-Growth analogue of
+/// the Apriori family's `NodePassInfo`; no duplication or fragments here).
+struct PassInfo {
+    k: usize,
+    /// Pass 1: items counted. Pass 2: projections this node mined.
+    num_candidates: usize,
+    num_large: usize,
+    restored: bool,
+    delta: NodeStatsSnapshot,
+}
+
+struct NodeOutcome {
+    pass_infos: Vec<PassInfo>,
+    /// Identical on every node (the coordinator broadcasts it).
+    output: MiningOutput,
+}
+
+/// Runs parallel FP-Growth over `db` (one partition per node) on a
+/// simulated cluster of `cluster.num_nodes` nodes.
+///
+/// # Errors
+/// Rejects a node/partition mismatch and invalid parameters; propagates
+/// node failures.
+pub fn mine_parallel(
+    db: &PartitionedDatabase,
+    tax: &Taxonomy,
+    params: &MiningParams,
+    cluster: &ClusterConfig,
+) -> Result<ParallelReport> {
+    params.validate()?;
+    cluster.validate()?;
+    check_partitions(db, cluster)?;
+    let sources: Vec<&dyn TransactionSource> =
+        (0..db.num_partitions()).map(|i| db.partition(i)).collect();
+    run(&sources, tax, params, cluster, &NO_PERSIST)
+}
+
+/// [`mine_parallel`] with the fault-tolerant runtime: projection-level
+/// checkpointing, `--resume`, and degraded-mode recovery. Mirrors
+/// `gar_mining::parallel::mine_parallel_with`, with the projection (not
+/// the pass) as the recovery unit.
+pub fn mine_parallel_with(
+    db: &PartitionedDatabase,
+    tax: &Taxonomy,
+    params: &MiningParams,
+    cluster: &ClusterConfig,
+    opts: &MineOptions,
+) -> Result<ParallelReport> {
+    params.validate()?;
+    cluster.validate()?;
+    check_partitions(db, cluster)?;
+
+    let want_sink = opts.checkpoint_dir.is_some() || opts.max_node_failures > 0;
+    let sink = if want_sink {
+        Some(FpgCheckpointSink::new(opts.checkpoint_dir.clone())?)
+    } else {
+        None
+    };
+
+    let mut restore: Option<FpgCheckpoint> = None;
+    if opts.resume {
+        if let Some(dir) = &opts.checkpoint_dir {
+            if let Some(cp) = checkpoint::load_latest(dir) {
+                if let Some(s) = &sink {
+                    s.seed(cp.clone());
+                }
+                restore = Some(cp);
+            }
+        }
+    }
+
+    // `slots[s]` holds the original partition indices node `s` scans in
+    // the current attempt; a failed node's slot is dissolved into the
+    // survivors' slots.
+    let mut slots: Vec<Vec<usize>> = (0..cluster.num_nodes).map(|i| vec![i]).collect();
+    let mut degraded: Vec<String> = Vec::new();
+    let mut failures = 0usize;
+    loop {
+        let mut attempt = cluster.clone();
+        attempt.num_nodes = slots.len();
+        let multis: Vec<MultiSource<'_>> = slots
+            .iter()
+            .map(|parts| MultiSource::new(parts.iter().map(|&i| db.partition(i)).collect()))
+            .collect();
+        let sources: Vec<&dyn TransactionSource> =
+            multis.iter().map(|m| m as &dyn TransactionSource).collect();
+        let persist = Persist {
+            resume_from: restore.as_ref(),
+            sink: sink.as_ref(),
+        };
+        match run(&sources, tax, params, &attempt, &persist) {
+            Ok(mut report) => {
+                report.degraded = degraded;
+                return Ok(report);
+            }
+            Err(Error::NodeFailure { node, reason })
+                if failures < opts.max_node_failures && slots.len() > 1 && node < slots.len() =>
+            {
+                failures += 1;
+                let orphaned = slots.remove(node);
+                let survivors = slots.len();
+                for (j, part) in orphaned.iter().enumerate() {
+                    slots[j % survivors].push(*part);
+                }
+                restore = sink.as_ref().and_then(|s| s.latest());
+                let finished = restore.as_ref().map_or(0, |cp| cp.completed.len());
+                degraded.push(format!(
+                    "node {node} failed ({reason}); redistributed partitions {orphaned:?} \
+                     across {survivors} survivors and resumed with {finished} finished \
+                     projections restored"
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn check_partitions(db: &PartitionedDatabase, cluster: &ClusterConfig) -> Result<()> {
+    if db.num_partitions() != cluster.num_nodes {
+        return Err(Error::InvalidConfig(format!(
+            "database has {} partitions but the cluster has {} nodes",
+            db.num_partitions(),
+            cluster.num_nodes
+        )));
+    }
+    Ok(())
+}
+
+fn run(
+    sources: &[&dyn TransactionSource],
+    tax: &Taxonomy,
+    params: &MiningParams,
+    cluster: &ClusterConfig,
+    persist: &Persist<'_>,
+) -> Result<ParallelReport> {
+    let run = Cluster::run(cluster, |ctx| {
+        let part = sources[ctx.node_id()];
+        node_mine(ctx, part, tax, params, persist)
+    })?;
+    Ok(assemble(cluster, run))
+}
+
+/// One full pass over the node's local partition, with the same I/O and
+/// observability accounting as the Apriori family's scans.
+fn scan_partition(
+    ctx: &NodeCtx,
+    part: &dyn TransactionSource,
+    mut f: impl FnMut(&[ItemId]) -> Result<()>,
+) -> Result<()> {
+    let _scan = ctx.span("scan");
+    let before = part.bytes_read();
+    // Opening the scan is where injected (and real) storage errors
+    // surface; retrying the *open* can never double-count transactions.
+    let mut scan = RetryPolicy::default().run(|| {
+        ctx.inject_scan_fault()?;
+        part.scan()
+    })?;
+    let mut buf = Vec::new();
+    let mut transactions = 0u64;
+    while scan.next_into(&mut buf)? {
+        transactions += 1;
+        f(&buf)?;
+    }
+    drop(scan);
+    ctx.stats().record_io(part.bytes_read() - before);
+    ctx.stats().record_scan_pass();
+    let obs = ctx.obs();
+    if obs.is_enabled() {
+        let labels = [("node", ctx.node_id() as u64), ("pass", ctx.current_pass())];
+        obs.add("scan.passes", &labels, 1);
+        obs.add("scan.transactions", &labels, transactions);
+        obs.add("scan.bytes", &labels, part.bytes_read() - before);
+    }
+    Ok(())
+}
+
+/// Records a finished logical pass in the run's observability sink, with
+/// the exact metric names of the Apriori family so `metrics.json` keeps
+/// one schema across miner families.
+fn record_pass_obs(ctx: &NodeCtx, info: &PassInfo) {
+    let obs = ctx.obs();
+    if !obs.is_enabled() {
+        return;
+    }
+    let labels = [("node", ctx.node_id() as u64), ("pass", info.k as u64)];
+    obs.add("pass.candidates", &labels, info.num_candidates as u64);
+    obs.add("pass.duplicated", &labels, 0);
+    obs.add("pass.fragments", &labels, 1);
+    obs.add("pass.large", &labels, info.num_large as u64);
+    if info.restored {
+        obs.add("pass.restored", &labels, 1);
+    }
+    let d = &info.delta;
+    obs.add("pass.messages_sent", &labels, d.messages_sent);
+    obs.add("pass.bytes_sent", &labels, d.bytes_sent);
+    obs.add("pass.messages_received", &labels, d.messages_received);
+    obs.add("pass.bytes_received", &labels, d.bytes_received);
+    obs.add("pass.hash_probes", &labels, d.hash_probes);
+    obs.add("pass.cpu_ticks", &labels, d.cpu_ticks);
+    obs.add("pass.io_bytes", &labels, d.io_bytes);
+    obs.observe(
+        "pass.node_bytes_received",
+        &[("pass", info.k as u64)],
+        d.bytes_received,
+    );
+    obs.observe(
+        "pass.node_cpu_ticks",
+        &[("pass", info.k as u64)],
+        d.cpu_ticks,
+    );
+}
+
+/// Coordinator-side checkpoint write; non-coordinators and runs without
+/// a sink are no-ops.
+fn store_checkpoint(
+    ctx: &NodeCtx,
+    persist: &Persist<'_>,
+    num_transactions: u64,
+    min_support_count: u64,
+    item_counts: &[u64],
+    deep: &BTreeMap<ItemId, Vec<(Itemset, u64)>>,
+) -> Result<()> {
+    let Some(sink) = persist.sink else {
+        return Ok(());
+    };
+    if !ctx.is_coordinator() {
+        return Ok(());
+    }
+    let _checkpoint = ctx.span("checkpoint");
+    ctx.obs().add(
+        "checkpoint.stored",
+        &[("node", ctx.node_id() as u64), ("pass", ctx.current_pass())],
+        1,
+    );
+    sink.store(FpgCheckpoint {
+        num_transactions,
+        min_support_count,
+        item_counts: item_counts.to_vec(),
+        // BTreeMap iteration is already the canonical item order.
+        completed: deep.iter().map(|(it, v)| (*it, v.clone())).collect(),
+    })
+}
+
+/// Receives one PATHS envelope into the local conditional bases.
+fn receive_paths(env: &Envelope, scratch: &mut Vec<u32>, bases: &mut [CondBase]) -> Result<()> {
+    if env.tag != tags::PATHS {
+        return Err(Error::Protocol(format!(
+            "expected PATHS during base exchange, got tag {}",
+            env.tag
+        )));
+    }
+    wire::for_each_path(&env.payload, scratch, |target, count, path| {
+        let base = bases
+            .get_mut(target as usize)
+            .ok_or_else(|| Error::Protocol(format!("path for unknown projection rank {target}")))?;
+        base.push((path.to_vec(), count));
+        Ok(())
+    })
+}
+
+/// Coordinator-side intake of one finished projection from a peer.
+fn receive_result(
+    env: &Envelope,
+    order: &ItemOrder,
+    deep: &mut BTreeMap<ItemId, Vec<(Itemset, u64)>>,
+) -> Result<()> {
+    if env.tag != tags::RESULT {
+        return Err(Error::Protocol(format!(
+            "coordinator expected RESULT, got tag {}",
+            env.tag
+        )));
+    }
+    let (rank, items) = wire::decode_result(&env.payload)?;
+    if rank as usize >= order.num_large() {
+        return Err(Error::Protocol(format!(
+            "result for unknown projection rank {rank}"
+        )));
+    }
+    let item = order.item_at(rank);
+    if deep.insert(item, items).is_some() {
+        return Err(Error::Protocol(format!(
+            "duplicate projection result for item {}",
+            item.raw()
+        )));
+    }
+    Ok(())
+}
+
+fn node_mine(
+    ctx: &NodeCtx,
+    part: &dyn TransactionSource,
+    tax: &Taxonomy,
+    params: &MiningParams,
+    persist: &Persist<'_>,
+) -> Result<NodeOutcome> {
+    let me = ctx.node_id();
+    let n = ctx.num_nodes();
+    let mut pass_infos = Vec::new();
+
+    // ---- Pass 1: global item counts (or their checkpointed replay). ----
+    let (num_transactions, min_support_count, item_counts, p1_restored, p1_delta) =
+        if let Some(cp) = persist.resume_from {
+            (
+                cp.num_transactions,
+                cp.min_support_count,
+                cp.item_counts.clone(),
+                true,
+                NodeStatsSnapshot::default(),
+            )
+        } else {
+            let last_snap = ctx.stats().snapshot();
+            ctx.set_pass(1);
+            let _pass = ctx.span("pass");
+            let num_transactions = ctx.all_reduce_u64(&[part.num_transactions() as u64])?[0];
+            let min_support_count = params.min_support_count(num_transactions);
+            let mut counts = vec![0u64; tax.num_items() as usize];
+            scan_partition(ctx, part, |t| {
+                let extended = tax.extend_transaction(t);
+                ctx.stats().add_cpu(extended.len() as u64);
+                for it in extended {
+                    counts[it.index()] += 1;
+                }
+                Ok(())
+            })?;
+            let global = {
+                let _count = ctx.span("count");
+                ctx.all_reduce_u64(&counts)?
+            };
+            let delta = ctx.stats().snapshot().delta_since(&last_snap);
+            (
+                num_transactions,
+                min_support_count,
+                global.as_ref().clone(),
+                false,
+                delta,
+            )
+        };
+
+    let large1 = large_singletons(&item_counts, min_support_count);
+    let order = ItemOrder::new(&item_counts, min_support_count);
+    pass_infos.push(PassInfo {
+        k: 1,
+        num_candidates: tax.num_items() as usize,
+        num_large: large1.itemsets.len(),
+        restored: p1_restored,
+        delta: p1_delta,
+    });
+    record_pass_obs(ctx, &pass_infos[0]);
+
+    // The finished projections every node skips on a resumed attempt.
+    let completed: &[(ItemId, Vec<(Itemset, u64)>)] =
+        persist.resume_from.map_or(&[], |cp| &cp.completed);
+    let has_completed = |item: ItemId| completed.binary_search_by_key(&item, |(it, _)| *it).is_ok();
+
+    // Coordinator-side accumulator of finished projections, seeded from
+    // the checkpoint. BTreeMap keys give the canonical assembly order
+    // regardless of result arrival order.
+    let mut deep: BTreeMap<ItemId, Vec<(Itemset, u64)>> = BTreeMap::new();
+    if ctx.is_coordinator() {
+        for (it, v) in completed {
+            deep.insert(*it, v.clone());
+        }
+        if !p1_restored {
+            store_checkpoint(
+                ctx,
+                persist,
+                num_transactions,
+                min_support_count,
+                &item_counts,
+                &deep,
+            )?;
+        }
+    }
+
+    // All nodes derive this from the same global data, so pass_infos
+    // stays equal-length across the cluster either way.
+    let run_projections = params.max_pass != Some(1) && order.num_large() > 0;
+
+    let passes: Vec<LargePass> = if run_projections {
+        ctx.set_pass(2);
+        let pass2_snap = ctx.stats().snapshot();
+        let _pass = ctx.span("pass");
+
+        // Every node derives the same global projection count (the
+        // pass-2 "candidates"), its own task list, and — on the
+        // coordinator — the exact number of peer results to expect.
+        // On a resume this is the *remaining* work; a fully-checkpointed
+        // run rebuilds nothing and rescans nothing.
+        let mut total_projections = 0usize;
+        let mut owned: Vec<u32> = Vec::new();
+        for r in 0..order.num_large() as u32 {
+            let item = order.item_at(r);
+            if has_completed(item) {
+                continue;
+            }
+            total_projections += 1;
+            if owner_of(item, tax, n) == me {
+                owned.push(r);
+            }
+        }
+        let mut expected = if ctx.is_coordinator() {
+            total_projections - owned.len()
+        } else {
+            0
+        };
+
+        let mut bases: Vec<CondBase> = vec![CondBase::new(); order.num_large()];
+        if total_projections > 0 {
+            // ---- Build the local FP-tree over rank-projected transactions. ----
+            let mut tree = FpTree::new(order.num_large());
+            {
+                let mut ranks = Vec::new();
+                scan_partition(ctx, part, |t| {
+                    let extended = tax.extend_transaction(t);
+                    ctx.stats().add_cpu(extended.len() as u64);
+                    order.project(&extended, &mut ranks);
+                    tree.insert(&ranks);
+                    Ok(())
+                })?;
+            }
+            {
+                let obs = ctx.obs();
+                if obs.is_enabled() {
+                    let labels = [("node", me as u64), ("pass", 2u64)];
+                    obs.add("counter.fptree.nodes", &labels, tree.num_nodes() as u64);
+                    obs.add("counter.fptree.inserts", &labels, tree.num_inserts());
+                }
+            }
+
+            // ---- Exchange: ship each projection's base paths to its owner. ----
+            let mut recv_scratch: Vec<u32> = Vec::new();
+            let mut ex = ctx.exchange();
+            let mut outgoing: Vec<PathBatch> = (0..n).map(|_| PathBatch::new()).collect();
+            for r in 0..order.num_large() as u32 {
+                let item = order.item_at(r);
+                if has_completed(item) {
+                    continue; // already mined in a previous attempt
+                }
+                let owner = owner_of(item, tax, n);
+                tree.for_each_base_path(r, &mut |path, count| {
+                    ctx.stats().add_cpu(path.len() as u64 + 1);
+                    let filtered: Vec<u32> = path
+                        .iter()
+                        .copied()
+                        .filter(|&q| !tax.related(order.item_at(q), item))
+                        .collect();
+                    if filtered.is_empty() {
+                        return Ok(());
+                    }
+                    if owner == me {
+                        bases[r as usize].push((filtered, count));
+                    } else {
+                        outgoing[owner].push(r, count, &filtered);
+                        if outgoing[owner].byte_len() >= BATCH_FLUSH_BYTES {
+                            ex.send(owner, tags::PATHS, outgoing[owner].take())?;
+                        }
+                    }
+                    Ok(())
+                })?;
+                if (r + 1) % POLL_EVERY_PROJECTIONS == 0 {
+                    ex.poll(|env| receive_paths(env, &mut recv_scratch, &mut bases))?;
+                }
+            }
+            let _exchange = ctx.span("exchange");
+            for (owner, batch) in outgoing.iter_mut().enumerate() {
+                if !batch.is_empty() {
+                    ex.send(owner, tags::PATHS, batch.take())?;
+                }
+            }
+            ex.finish(|env| receive_paths(env, &mut recv_scratch, &mut bases))?;
+            // Quiesce the exchange so no RESULT message can race into a
+            // peer's exchange drain.
+            ctx.barrier()?;
+        }
+
+        let mut grow = GrowCtx {
+            order: &order,
+            tax,
+            min_support_count,
+            max_len: params.max_pass,
+            work: 0,
+        };
+        for (t, &r) in owned.iter().enumerate() {
+            // The per-projection fault coordinate: `panic@nXpY` with
+            // Y >= 3 kills node X in its (Y-3)rd projection task.
+            ctx.set_pass(3 + t);
+            let item = order.item_at(r);
+            let mut found = Vec::new();
+            {
+                let _projection = ctx.span("projection");
+                mine_projection(&mut grow, item, &bases[r as usize], &mut found);
+            }
+            ctx.obs().add(
+                "counter.fptree.projections",
+                &[("node", me as u64), ("pass", ctx.current_pass())],
+                1,
+            );
+            if ctx.is_coordinator() {
+                if deep.insert(item, found).is_some() {
+                    return Err(Error::Protocol(format!(
+                        "projection {} mined twice",
+                        item.raw()
+                    )));
+                }
+                store_checkpoint(
+                    ctx,
+                    persist,
+                    num_transactions,
+                    min_support_count,
+                    &item_counts,
+                    &deep,
+                )?;
+                // Opportunistically absorb peers' finished projections so
+                // the checkpoint advances while we still mine our own.
+                while let Some(env) = ctx.try_recv()? {
+                    receive_result(&env, &order, &mut deep)?;
+                    expected = expected.checked_sub(1).ok_or_else(|| {
+                        Error::Protocol("unexpected extra projection result".into())
+                    })?;
+                    store_checkpoint(
+                        ctx,
+                        persist,
+                        num_transactions,
+                        min_support_count,
+                        &item_counts,
+                        &deep,
+                    )?;
+                }
+            } else {
+                ctx.send(0, tags::RESULT, wire::encode_result(r, &found))?;
+            }
+        }
+        ctx.stats().add_cpu(grow.work);
+
+        // ---- Gather the stragglers, assemble, broadcast. ----
+        let passes = {
+            let _gather = ctx.span("gather");
+            if ctx.is_coordinator() {
+                while expected > 0 {
+                    let env = ctx.recv()?;
+                    receive_result(&env, &order, &mut deep)?;
+                    expected -= 1;
+                    store_checkpoint(
+                        ctx,
+                        persist,
+                        num_transactions,
+                        min_support_count,
+                        &item_counts,
+                        &deep,
+                    )?;
+                }
+                let found: Vec<(Itemset, u64)> =
+                    deep.values().flat_map(|v| v.iter().cloned()).collect();
+                let mut passes = Vec::new();
+                if !large1.itemsets.is_empty() {
+                    passes.push(large1.clone());
+                }
+                passes.extend(group_passes(found));
+                ctx.broadcast(Some(wire::encode_passes(&passes)))?;
+                passes
+            } else {
+                wire::decode_passes(&ctx.broadcast(None)?)?
+            }
+        };
+
+        let deep_large: usize = passes
+            .iter()
+            .filter(|p| p.k >= 2)
+            .map(|p| p.itemsets.len())
+            .sum();
+        pass_infos.push(PassInfo {
+            k: 2,
+            num_candidates: total_projections,
+            num_large: deep_large,
+            restored: false,
+            delta: ctx.stats().snapshot().delta_since(&pass2_snap),
+        });
+        record_pass_obs(ctx, &pass_infos[1]);
+        passes
+    } else if large1.itemsets.is_empty() {
+        Vec::new()
+    } else {
+        vec![large1.clone()]
+    };
+
+    Ok(NodeOutcome {
+        pass_infos,
+        output: MiningOutput {
+            algorithm: Algorithm::FpGrowth,
+            num_transactions,
+            min_support_count,
+            passes,
+        },
+    })
+}
+
+fn assemble(cluster: &ClusterConfig, run: ClusterRun<NodeOutcome>) -> ParallelReport {
+    let num_nodes = cluster.num_nodes;
+    let num_passes = run.results[0].pass_infos.len();
+    debug_assert!(run.results.iter().all(|r| r.pass_infos.len() == num_passes));
+
+    let mut pass_reports = Vec::with_capacity(num_passes);
+    let mut total_modeled = 0.0;
+    for p in 0..num_passes {
+        let info = &run.results[0].pass_infos[p];
+        let node_deltas: Vec<NodeStatsSnapshot> =
+            run.results.iter().map(|r| r.pass_infos[p].delta).collect();
+        let modeled_seconds = cluster.cost.execution_seconds(&node_deltas);
+        total_modeled += modeled_seconds;
+        pass_reports.push(PassReport {
+            k: info.k,
+            num_candidates: info.num_candidates,
+            num_duplicated: 0,
+            num_fragments: 1,
+            num_large: info.num_large,
+            restored: info.restored,
+            node_deltas,
+            modeled_seconds,
+        });
+    }
+
+    let output = run.results.into_iter().next().expect("node 0").output;
+    ParallelReport {
+        output,
+        num_nodes,
+        pass_reports,
+        wall: run.wall,
+        modeled_seconds: total_modeled,
+        node_totals: run.stats,
+        degraded: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_taxonomy::TaxonomyBuilder;
+
+    #[test]
+    fn owner_is_stable_within_a_generalization_chain() {
+        // 0 -> 1 -> 2 (one chain), 3 alone.
+        let mut b = TaxonomyBuilder::new(4);
+        b.edge(1, 0).unwrap();
+        b.edge(2, 1).unwrap();
+        let tax = b.build().unwrap();
+        for nodes in [1usize, 2, 4, 8] {
+            let owner_root = owner_of(ItemId(0), &tax, nodes);
+            assert_eq!(owner_of(ItemId(1), &tax, nodes), owner_root);
+            assert_eq!(owner_of(ItemId(2), &tax, nodes), owner_root);
+            assert!(owner_of(ItemId(3), &tax, nodes) < nodes);
+        }
+    }
+
+    #[test]
+    fn partition_mismatch_rejected() {
+        let tax = TaxonomyBuilder::new(2).build().unwrap();
+        let db = PartitionedDatabase::build_in_memory(
+            2,
+            vec![vec![ItemId(0)], vec![ItemId(1)]].into_iter(),
+        )
+        .unwrap();
+        let cluster = ClusterConfig::new(3, 64 * 1024 * 1024);
+        let err =
+            mine_parallel(&db, &tax, &MiningParams::with_min_support(0.1), &cluster).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
+    }
+}

@@ -1,0 +1,146 @@
+//! The FP-tree: a prefix tree over rank-ordered transactions.
+//!
+//! Nodes store frequency *ranks* (see [`crate::order::ItemOrder`]), not
+//! item ids — ranks are dense, globally agreed, and double as the wire
+//! representation. The per-rank header lists make conditional-pattern-base
+//! extraction a parent walk per tree node instead of a database rescan.
+
+/// An FP-tree. Index 0 is the root sentinel.
+#[derive(Debug)]
+pub struct FpTree {
+    nodes: Vec<Node>,
+    /// `headers[rank]` — every tree node holding that rank.
+    headers: Vec<Vec<u32>>,
+    inserts: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    rank: u32,
+    count: u64,
+    parent: u32,
+    /// Children sorted by rank; binary-searched on insert.
+    children: Vec<(u32, u32)>,
+}
+
+impl FpTree {
+    /// An empty tree over `num_ranks` large items.
+    pub fn new(num_ranks: usize) -> FpTree {
+        FpTree {
+            nodes: vec![Node {
+                rank: u32::MAX,
+                count: 0,
+                parent: u32::MAX,
+                children: Vec::new(),
+            }],
+            headers: vec![Vec::new(); num_ranks],
+            inserts: 0,
+        }
+    }
+
+    /// Inserts one transaction, given as its ascending rank path, with
+    /// unit count. Shared prefixes merge; each new suffix node is linked
+    /// into its rank's header list.
+    pub fn insert(&mut self, path: &[u32]) {
+        self.inserts += path.len() as u64;
+        let mut cur = 0u32;
+        for &r in path {
+            let search = self.nodes[cur as usize]
+                .children
+                .binary_search_by_key(&r, |&(cr, _)| cr);
+            cur = match search {
+                Ok(i) => {
+                    let (_, idx) = self.nodes[cur as usize].children[i];
+                    self.nodes[idx as usize].count += 1;
+                    idx
+                }
+                Err(i) => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(Node {
+                        rank: r,
+                        count: 1,
+                        parent: cur,
+                        children: Vec::new(),
+                    });
+                    self.nodes[cur as usize].children.insert(i, (r, idx));
+                    self.headers[r as usize].push(idx);
+                    idx
+                }
+            };
+        }
+    }
+
+    /// Number of tree nodes, excluding the root sentinel.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Total path elements inserted (the tree-build work measure).
+    pub fn num_inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Invokes `f` on the prefix path (ascending ranks, *excluding*
+    /// `rank` itself) and count of every tree node holding `rank` — the
+    /// raw conditional pattern base of that rank's item.
+    pub fn for_each_base_path<E>(
+        &self,
+        rank: u32,
+        f: &mut impl FnMut(&[u32], u64) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let mut path = Vec::new();
+        for &idx in &self.headers[rank as usize] {
+            let count = self.nodes[idx as usize].count;
+            path.clear();
+            let mut cur = self.nodes[idx as usize].parent;
+            while cur != 0 && cur != u32::MAX {
+                path.push(self.nodes[cur as usize].rank);
+                cur = self.nodes[cur as usize].parent;
+            }
+            path.reverse();
+            f(&path, count)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_base(tree: &FpTree, rank: u32) -> Vec<(Vec<u32>, u64)> {
+        let mut out = Vec::new();
+        tree.for_each_base_path::<()>(rank, &mut |p, c| {
+            out.push((p.to_vec(), c));
+            Ok(())
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn shared_prefixes_merge() {
+        let mut tree = FpTree::new(4);
+        tree.insert(&[0, 1, 2]);
+        tree.insert(&[0, 1, 3]);
+        tree.insert(&[0, 2]);
+        // root -> 0 (3) -> 1 (2) -> {2, 3}; 0 -> 2 (1)
+        assert_eq!(tree.num_nodes(), 5);
+        assert_eq!(tree.num_inserts(), 8);
+
+        assert_eq!(collect_base(&tree, 0), vec![(vec![], 3)]);
+        assert_eq!(collect_base(&tree, 1), vec![(vec![0], 2)]);
+        // Rank 2 appears twice: under 0-1 and directly under 0.
+        let mut base2 = collect_base(&tree, 2);
+        base2.sort();
+        assert_eq!(base2, vec![(vec![0], 1), (vec![0, 1], 1)]);
+    }
+
+    #[test]
+    fn empty_paths_are_noops() {
+        let mut tree = FpTree::new(2);
+        tree.insert(&[]);
+        assert_eq!(tree.num_nodes(), 0);
+        assert_eq!(tree.num_inserts(), 0);
+    }
+}

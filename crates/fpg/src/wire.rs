@@ -1,0 +1,265 @@
+//! Wire framing for the FP-Growth exchange phases.
+//!
+//! Everything travels as frequency *ranks* (`u32`), which both sides
+//! derive identically from pass 1's all-reduced counts — no id remapping
+//! on receive. Every decoder bounds-checks; malformed frames surface as
+//! [`Error::Protocol`], never a panic.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use gar_mining::report::LargePass;
+use gar_mining::wire::{decode_counted, encode_counted};
+use gar_types::{Error, Itemset, Result};
+
+/// Message tags of the FP-Growth phases. Distinct from the Apriori
+/// family's tags so a cross-wired message is a loud protocol error.
+pub(crate) mod tags {
+    /// A batch of conditional-base paths flowing to a projection's owner.
+    pub const PATHS: u32 = 11;
+    /// One finished projection's itemsets flowing to the coordinator.
+    pub const RESULT: u32 = 12;
+}
+
+/// A batch of `(projection rank, count, path)` records. Same flush
+/// discipline as the Apriori family's `ItemListBatch`.
+pub(crate) struct PathBatch {
+    buf: BytesMut,
+    entries: usize,
+}
+
+impl PathBatch {
+    pub fn new() -> PathBatch {
+        PathBatch {
+            buf: BytesMut::new(),
+            entries: 0,
+        }
+    }
+
+    pub fn push(&mut self, target: u32, count: u64, path: &[u32]) {
+        self.buf.put_u32_le(target);
+        self.buf.put_u64_le(count);
+        self.buf.put_u32_le(path.len() as u32);
+        for &r in path {
+            self.buf.put_u32_le(r);
+        }
+        self.entries += 1;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Drains the batch into a sendable payload.
+    pub fn take(&mut self) -> Bytes {
+        self.entries = 0;
+        self.buf.split().freeze()
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(Error::Protocol("truncated FP-Growth frame".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| Error::Protocol("malformed u32 field".into()))?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| Error::Protocol("malformed u64 field".into()))?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Iterates the records of a [`PathBatch`] payload.
+pub(crate) fn for_each_path(
+    payload: &[u8],
+    scratch: &mut Vec<u32>,
+    mut f: impl FnMut(u32, u64, &[u32]) -> Result<()>,
+) -> Result<()> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    while !c.done() {
+        let target = c.u32()?;
+        let count = c.u64()?;
+        let len = c.u32()? as usize;
+        if len > payload.len() / 4 {
+            return Err(Error::Protocol("implausible path length".into()));
+        }
+        scratch.clear();
+        for _ in 0..len {
+            scratch.push(c.u32()?);
+        }
+        f(target, count, scratch)?;
+    }
+    Ok(())
+}
+
+/// Encodes one finished projection: its rank plus its itemsets (mixed
+/// sizes, so records carry their own length).
+pub(crate) fn encode_result(rank: u32, items: &[(Itemset, u64)]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(rank);
+    buf.put_u32_le(items.len() as u32);
+    for (set, count) in items {
+        buf.put_u32_le(set.len() as u32);
+        for &it in set.items() {
+            buf.put_u32_le(it.raw());
+        }
+        buf.put_u64_le(*count);
+    }
+    buf.freeze()
+}
+
+/// Decodes a [`encode_result`] payload.
+pub(crate) fn decode_result(payload: &[u8]) -> Result<(u32, Vec<(Itemset, u64)>)> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let rank = c.u32()?;
+    let n = c.u32()? as usize;
+    if n > payload.len() {
+        return Err(Error::Protocol("implausible result count".into()));
+    }
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = c.u32()? as usize;
+        if len > payload.len() / 4 {
+            return Err(Error::Protocol("implausible itemset length".into()));
+        }
+        let mut set = Vec::with_capacity(len);
+        for _ in 0..len {
+            set.push(gar_types::ItemId(c.u32()?));
+        }
+        let count = c.u64()?;
+        items.push((Itemset::from_unsorted(set), count));
+    }
+    if !c.done() {
+        return Err(Error::Protocol("result frame has trailing garbage".into()));
+    }
+    Ok((rank, items))
+}
+
+/// Encodes the final pass chain for the coordinator's output broadcast.
+pub(crate) fn encode_passes(passes: &[LargePass]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(passes.len() as u32);
+    for pass in passes {
+        buf.put_u32_le(pass.k as u32);
+        let block = encode_counted(pass.k, &pass.itemsets);
+        buf.put_u32_le(block.len() as u32);
+        buf.put_slice(&block);
+    }
+    buf.freeze()
+}
+
+/// Decodes an [`encode_passes`] payload.
+pub(crate) fn decode_passes(payload: &[u8]) -> Result<Vec<LargePass>> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let n = c.u32()? as usize;
+    if n > 64 {
+        return Err(Error::Protocol("implausible pass count".into()));
+    }
+    let mut passes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = c.u32()? as usize;
+        let block_len = c.u32()? as usize;
+        let itemsets = decode_counted(c.take(block_len)?)?;
+        if itemsets.iter().any(|(s, _)| s.len() != k) {
+            return Err(Error::Protocol(format!("pass {k} holds non-{k}-itemsets")));
+        }
+        passes.push(LargePass { k, itemsets });
+    }
+    if !c.done() {
+        return Err(Error::Protocol("passes frame has trailing garbage".into()));
+    }
+    Ok(passes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_types::iset;
+
+    #[test]
+    fn path_batch_round_trips() {
+        let mut b = PathBatch::new();
+        b.push(7, 3, &[0, 2, 5]);
+        b.push(9, 1, &[]);
+        assert!(!b.is_empty());
+        let payload = b.take();
+        assert!(b.is_empty());
+        let mut got = Vec::new();
+        let mut scratch = Vec::new();
+        for_each_path(&payload, &mut scratch, |t, c, p| {
+            got.push((t, c, p.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, vec![(7, 3, vec![0, 2, 5]), (9, 1, vec![])]);
+    }
+
+    #[test]
+    fn result_round_trips() {
+        let items = vec![(iset![3, 1], 10), (iset![4, 1, 2], 6)];
+        let (rank, back) = decode_result(&encode_result(5, &items)).unwrap();
+        assert_eq!(rank, 5);
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn passes_round_trip() {
+        let passes = vec![
+            LargePass {
+                k: 1,
+                itemsets: vec![(iset![0], 4), (iset![2], 3)],
+            },
+            LargePass {
+                k: 2,
+                itemsets: vec![(iset![0, 2], 3)],
+            },
+        ];
+        let back = decode_passes(&encode_passes(&passes)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].itemsets, passes[0].itemsets);
+        assert_eq!(back[1].itemsets, passes[1].itemsets);
+    }
+
+    #[test]
+    fn truncation_is_a_protocol_error() {
+        let payload = encode_result(1, &[(iset![1, 2], 5)]);
+        for cut in 0..payload.len() {
+            assert!(decode_result(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

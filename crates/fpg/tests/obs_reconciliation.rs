@@ -1,0 +1,225 @@
+//! Obs ↔ `NodeStats` reconciliation for the FP-Growth miner, mirroring
+//! the Apriori family's test so both miner families honor one metrics
+//! schema.
+//!
+//! For 1/4/8-node runs over the same generated workload:
+//!
+//! * **link conservation** — what node `a` records as sent to `b` is
+//!   exactly what `b` records as received from `a`;
+//! * **ledger agreement** — each node's ledger totals equal its per-link
+//!   `cluster.*` counters plus its synthetic `collective.*` charges;
+//! * **I/O agreement** — `scan.bytes` / `scan.passes` sum to the
+//!   ledger's `io_bytes` / `scan_passes`;
+//! * **pass agreement** — `pass.candidates` / `pass.large` match the
+//!   assembled report on every node;
+//! * **oracle agreement** — the mined rule set (itemsets and support
+//!   counts) is exactly what the sequential Cumulate finds, and the
+//!   persisted GRUL store is **byte-identical** to the one derived from
+//!   the Cumulate oracle at every node count.
+
+use gar_cluster::ClusterConfig;
+use gar_datagen::{DatasetSpec, TransactionGenerator};
+use gar_fpg::mine_parallel;
+use gar_mining::rules::derive_rules;
+use gar_mining::sequential::cumulate;
+use gar_mining::{MiningOutput, MiningParams, ParallelReport};
+use gar_obs::{MetricsSnapshot, Obs};
+use gar_serve::RuleStore;
+use gar_storage::PartitionedDatabase;
+use gar_taxonomy::Taxonomy;
+use gar_types::ItemId;
+
+const BIG_MEMORY: u64 = 1 << 30;
+const MINSUP: f64 = 0.05;
+const SEED: u64 = 13;
+
+fn dataset(seed: u64) -> (Taxonomy, Vec<Vec<ItemId>>) {
+    let spec = DatasetSpec {
+        name: "fpg-obs-reconcile".into(),
+        num_transactions: 350,
+        avg_transaction_size: 6.0,
+        avg_pattern_size: 3.0,
+        num_patterns: 40,
+        num_items: 200,
+        num_roots: 6,
+        fanout: 4.0,
+        seed,
+    };
+    let mut g = TransactionGenerator::new(&spec).unwrap();
+    let txns: Vec<_> = g.by_ref().collect();
+    (g.into_taxonomy(), txns)
+}
+
+fn run_observed(seed: u64, nodes: usize) -> (ParallelReport, MetricsSnapshot) {
+    let (tax, txns) = dataset(seed);
+    let db = PartitionedDatabase::build_in_memory(nodes, txns.into_iter()).unwrap();
+    let obs = Obs::enabled();
+    let cluster = ClusterConfig::new(nodes, BIG_MEMORY).with_obs(obs.clone());
+    let params = MiningParams::with_min_support(MINSUP);
+    let report = mine_parallel(&db, &tax, &params, &cluster)
+        .unwrap_or_else(|e| panic!("fp-growth @ {nodes} nodes failed: {e}"));
+    (report, obs.metrics())
+}
+
+fn cumulate_oracle(seed: u64) -> MiningOutput {
+    let (tax, txns) = dataset(seed);
+    let db = PartitionedDatabase::build_in_memory(1, txns.into_iter()).unwrap();
+    let params = MiningParams::with_min_support(MINSUP);
+    cumulate(db.partition(0), &tax, &params).unwrap()
+}
+
+/// Derives rules and persists them as a GRUL store, returning the file
+/// bytes — the serving-layer artifact the byte-identity contract is
+/// about.
+fn rule_store_bytes(output: &MiningOutput, tax: &Taxonomy, path: &std::path::Path) -> Vec<u8> {
+    let rules = derive_rules(output, 0.5, Some(tax));
+    assert!(!rules.is_empty(), "no rules derived — assertion is vacuous");
+    RuleStore::new(rules, tax.clone(), output.num_transactions)
+        .save(path)
+        .unwrap();
+    std::fs::read(path).unwrap()
+}
+
+#[test]
+fn metrics_reconcile_with_node_stats_at_every_node_count() {
+    let oracle = cumulate_oracle(SEED);
+    assert!(
+        oracle.passes.len() >= 2,
+        "oracle mined too little: {} passes",
+        oracle.passes.len()
+    );
+    let dir = std::env::temp_dir().join(format!("gar-fpg-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (tax, _) = dataset(SEED);
+    let oracle_store = rule_store_bytes(&oracle, &tax, &dir.join("oracle.grul"));
+
+    for nodes in [1usize, 4, 8] {
+        let (report, m) = run_observed(SEED, nodes);
+        let ctxt = format!("fp-growth @ {nodes} nodes");
+
+        // Link conservation: sent(a -> b) == received(b <- a).
+        for a in 0..nodes {
+            for b in 0..nodes {
+                for what in ["messages", "bytes"] {
+                    let sent = m.counter(&format!("cluster.{what}_sent{{node={a},peer={b}}}"));
+                    let recv = m.counter(&format!("cluster.{what}_received{{node={b},peer={a}}}"));
+                    assert_eq!(sent, recv, "{ctxt}: {what} {a}->{b} not conserved");
+                }
+            }
+        }
+
+        // Ledger agreement: per-node totals = link sums + collective
+        // charges, for all four directions/quantities.
+        for n in 0..nodes {
+            let ledger = &report.node_totals[n];
+            for (what, total) in [
+                ("messages_sent", ledger.messages_sent),
+                ("bytes_sent", ledger.bytes_sent),
+                ("messages_received", ledger.messages_received),
+                ("bytes_received", ledger.bytes_received),
+            ] {
+                let links = m.sum_prefix(&format!("cluster.{what}{{node={n},peer="));
+                let coll = m.counter(&format!("collective.{what}{{node={n}}}"));
+                assert_eq!(
+                    links + coll,
+                    total,
+                    "{ctxt}: node {n} {what}: links {links} + collective {coll} != ledger {total}"
+                );
+            }
+
+            // I/O agreement (the key prefix stops at `pass=` so `node=1`
+            // cannot match `node=10`).
+            let scan_bytes = m.sum_prefix(&format!("scan.bytes{{node={n},pass="));
+            assert_eq!(scan_bytes, ledger.io_bytes, "{ctxt}: node {n} io_bytes");
+            let scan_passes = m.sum_prefix(&format!("scan.passes{{node={n},pass="));
+            assert_eq!(
+                scan_passes, ledger.scan_passes,
+                "{ctxt}: node {n} scan_passes"
+            );
+        }
+
+        // Pass agreement: the report's per-pass candidate and large
+        // counts are what every node recorded.
+        assert_eq!(report.pass_reports.len(), 2, "{ctxt}: logical pass count");
+        for p in &report.pass_reports {
+            for n in 0..nodes {
+                let cands = m.counter(&format!("pass.candidates{{node={n},pass={}}}", p.k));
+                assert_eq!(
+                    cands, p.num_candidates as u64,
+                    "{ctxt}: pass {} candidates on node {n}",
+                    p.k
+                );
+                let large = m.counter(&format!("pass.large{{node={n},pass={}}}", p.k));
+                assert_eq!(
+                    large, p.num_large as u64,
+                    "{ctxt}: pass {} large on node {n}",
+                    p.k
+                );
+            }
+        }
+
+        // Pass 2's candidates are projections — one per large singleton —
+        // and the per-task counter must account for every one of them,
+        // spread across the owning nodes.
+        let projections = report.pass_reports[1].num_candidates as u64;
+        assert_eq!(
+            projections, report.pass_reports[0].num_large as u64,
+            "{ctxt}: projections != |L1|"
+        );
+        let mined: u64 = m.sum_prefix("counter.fptree.projections{");
+        assert_eq!(mined, projections, "{ctxt}: projection tasks mined");
+
+        // The FP-tree structure counters are live on every node.
+        for n in 0..nodes {
+            assert!(
+                m.counter(&format!("counter.fptree.nodes{{node={n},pass=2}}")) > 0,
+                "{ctxt}: node {n} recorded no fptree nodes"
+            );
+            assert!(
+                m.counter(&format!("counter.fptree.inserts{{node={n},pass=2}}")) > 0,
+                "{ctxt}: node {n} recorded no fptree inserts"
+            );
+        }
+
+        // Oracle agreement: the full mined rule set — every itemset with
+        // its support count, pass for pass — is the Cumulate oracle's.
+        assert_eq!(
+            report.output.passes.len(),
+            oracle.passes.len(),
+            "{ctxt}: pass structure diverged from Cumulate"
+        );
+        for (got, want) in report.output.passes.iter().zip(&oracle.passes) {
+            assert_eq!(got.k, want.k, "{ctxt}: pass k");
+            assert_eq!(
+                got.itemsets, want.itemsets,
+                "{ctxt}: pass {} rule set diverged from Cumulate",
+                got.k
+            );
+        }
+
+        // The serving artifact too: the GRUL store persisted from this
+        // run is byte-for-byte the one the Cumulate oracle produces, so
+        // gar-serve consumes FP-Growth output with zero changes.
+        let store = rule_store_bytes(&report.output, &tax, &dir.join(format!("fpg-{nodes}.grul")));
+        assert_eq!(
+            store, oracle_store,
+            "{ctxt}: GRUL store bytes diverged from the Cumulate oracle's"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A disabled handle must record nothing — the zero-overhead contract
+/// holds for the FP-Growth driver too.
+#[test]
+fn disabled_obs_records_nothing() {
+    let (tax, txns) = dataset(SEED);
+    let db = PartitionedDatabase::build_in_memory(4, txns.into_iter()).unwrap();
+    let obs = Obs::disabled();
+    let cluster = ClusterConfig::new(4, BIG_MEMORY).with_obs(obs.clone());
+    let params = MiningParams::with_min_support(MINSUP);
+    mine_parallel(&db, &tax, &params, &cluster).unwrap();
+    let m = obs.metrics();
+    assert!(m.counters.is_empty());
+    assert!(m.histograms.is_empty());
+}

@@ -75,6 +75,13 @@ fn dispatch(
                 "{algorithm} is a sequential algorithm; use gar_mining::sequential"
             )))
         }
+        Algorithm::FpGrowth => {
+            return Err(Error::InvalidConfig(
+                "FP-Growth is a pattern-growth miner implemented by the gar-fpg crate; \
+                 call gar_fpg::mine_parallel (or `gar-cli mine --algo fp-growth`)"
+                    .into(),
+            ))
+        }
         Algorithm::Npgm => return npgm::mine(sources, tax, params, cluster, persist),
         Algorithm::Hpgm => return hpgm::mine(sources, tax, params, cluster, persist),
         Algorithm::HHpgm => None,
@@ -143,6 +150,13 @@ pub fn mine_parallel_with(
         return Err(Error::InvalidConfig(format!(
             "{algorithm} is a sequential algorithm; use gar_mining::sequential"
         )));
+    }
+    if algorithm == Algorithm::FpGrowth {
+        return Err(Error::InvalidConfig(
+            "FP-Growth is a pattern-growth miner implemented by the gar-fpg crate; \
+             call gar_fpg::mine_parallel_with (or `gar-cli mine --algo fp-growth`)"
+                .into(),
+        ));
     }
 
     let want_sink = opts.checkpoint_dir.is_some() || opts.max_node_failures > 0;

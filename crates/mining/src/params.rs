@@ -39,6 +39,10 @@ pub enum Algorithm {
     HHpgmPgd,
     /// H-HPGM with Fine Grain Duplicate (§3.4.3).
     HHpgmFgd,
+    /// Taxonomy-extended parallel FP-Growth (pattern growth instead of
+    /// candidate generation). Implemented by the `gar-fpg` crate; the
+    /// Apriori-family entry points reject it with a pointer there.
+    FpGrowth,
 }
 
 impl Algorithm {
@@ -53,10 +57,14 @@ impl Algorithm {
             Algorithm::HHpgmTgd => "H-HPGM-TGD",
             Algorithm::HHpgmPgd => "H-HPGM-PGD",
             Algorithm::HHpgmFgd => "H-HPGM-FGD",
+            Algorithm::FpGrowth => "FP-Growth",
         }
     }
 
-    /// All parallel algorithms, in the paper's presentation order.
+    /// All parallel Apriori-family algorithms, in the paper's
+    /// presentation order. FP-Growth is deliberately absent: it lives in
+    /// the `gar-fpg` crate and the suites that iterate this list drive
+    /// the candidate-generation pass loop.
     pub fn parallel_all() -> [Algorithm; 6] {
         [
             Algorithm::Npgm,

@@ -124,6 +124,7 @@ pub fn algorithm_by_name(name: &str) -> Result<Algorithm> {
         Algorithm::HHpgmTgd,
         Algorithm::HHpgmPgd,
         Algorithm::HHpgmFgd,
+        Algorithm::FpGrowth,
     ];
     all.into_iter()
         .find(|a| a.name().eq_ignore_ascii_case(name))

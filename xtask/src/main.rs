@@ -19,7 +19,7 @@
 //! * `bench` — the perf-regression gate: runs the pinned smoke matrix
 //!   (see `crates/bench/src/bin/bench_gate.rs`) and, with `--check`,
 //!   compares modeled execution times against the committed
-//!   `BENCH_PR3.json` baseline.
+//!   `BENCH_PR9.json` baseline.
 //! * `serve-smoke` — the serving-layer smoke: mine a tiny dataset,
 //!   persist the rule store, serve it at 1 and 4 shards, drive it with
 //!   the seeded `serve_load` generator, and assert byte-identical
@@ -59,7 +59,7 @@ fn usage() -> &'static str {
                      pins the seed matrix)\n\
        bench [--check] [--tolerance F] [--out FILE]\n\
                      run the pinned smoke matrix; --check gates against\n\
-                     the committed BENCH_PR3.json baseline\n\
+                     the committed BENCH_PR9.json baseline\n\
        serve-smoke [--out FILE]\n\
                      mine → persist → serve → load-test; asserts deterministic\n\
                      transcripts and writes a gar-serve-bench-v1 baseline\n\

@@ -96,22 +96,26 @@ pub fn loom(root: &Path, args: &[String]) -> u8 {
 }
 
 /// Runs the seeded chaos soak: the `gar-mining` chaos suite (fault
-/// schedules vs. the byte-identical-output claim) plus the cluster
-/// crate's fault-injection unit tests. `GAR_CHAOS_ITERS` scales how many
-/// seeds each soak case explores (default shown below); every failure
-/// message embeds the `FaultPlan` spec that reproduces it.
+/// schedules vs. the byte-identical-output claim), the `gar-fpg` chaos
+/// suite (mid-projection panics vs. the byte-identical-GRUL claim),
+/// plus the cluster crate's fault-injection unit tests.
+/// `GAR_CHAOS_ITERS` scales how many seeds each soak case explores
+/// (default shown below); every failure message embeds the `FaultPlan`
+/// spec that reproduces it.
 pub fn chaos(root: &Path, args: &[String]) -> u8 {
     let iters = std::env::var("GAR_CHAOS_ITERS").unwrap_or_else(|_| "25".into());
     eprintln!("xtask chaos: GAR_CHAOS_ITERS={iters} (seeds per soak case)");
-    let code = run_echoed(
-        Command::new("cargo")
-            .current_dir(root)
-            .env("GAR_CHAOS_ITERS", &iters)
-            .args(["test", "-q", "-p", "gar-mining", "--test", "chaos"])
-            .args(passthrough(args)),
-    );
-    if code != 0 {
-        return code;
+    for suite in ["gar-mining", "gar-fpg"] {
+        let code = run_echoed(
+            Command::new("cargo")
+                .current_dir(root)
+                .env("GAR_CHAOS_ITERS", &iters)
+                .args(["test", "-q", "-p", suite, "--test", "chaos"])
+                .args(passthrough(args)),
+        );
+        if code != 0 {
+            return code;
+        }
     }
     run_echoed(
         Command::new("cargo")
