@@ -1,11 +1,14 @@
 //! Offline stand-in for the `bytes 1` API subset this workspace uses.
 //!
-//! [`Bytes`] is an immutable, cheaply clonable byte buffer (`Arc<[u8]>`
+//! [`Bytes`] is an immutable, cheaply clonable byte buffer (`Arc<Vec<u8>>`
 //! underneath — clones share one allocation, which is what keeps the
-//! cluster simulator's fan-out sends allocation-free). [`BytesMut`] is a
-//! growable builder that freezes into a `Bytes`. Zero-copy slicing of a
-//! sub-range is not implemented because nothing in the workspace slices a
-//! `Bytes` without copying.
+//! cluster simulator's fan-out sends allocation-free, and freezing an
+//! owned `Vec<u8>` moves it into the shared allocation without copying a
+//! single payload byte). [`BytesMut`] is a growable builder that freezes
+//! into a `Bytes`; its `split()` leaves the builder's capacity in place,
+//! so the batch-flush idiom `buf.split().freeze()` reuses one allocation
+//! across flushes. Zero-copy slicing of a sub-range is not implemented
+//! because nothing in the workspace slices a `Bytes` without copying.
 
 use std::ops::Deref;
 use std::sync::Arc;
@@ -13,7 +16,7 @@ use std::sync::Arc;
 /// Immutable shared byte buffer.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
@@ -26,19 +29,29 @@ impl Bytes {
     /// shared allocation (the real crate points at the static data; the
     /// workspace only uses this for tiny test payloads).
     pub fn from_static(data: &'static [u8]) -> Bytes {
-        Bytes { data: data.into() }
+        Bytes {
+            data: Arc::new(data.to_vec()),
+        }
+    }
+
+    /// Copies a slice into a fresh exact-size shared allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::new(data.to_vec()),
+        }
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Moves the vector into the shared allocation — no byte copy.
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: v.into() }
+        Bytes { data: Arc::new(v) }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Bytes {
-        Bytes { data: v.into() }
+        Bytes::copy_from_slice(v)
     }
 }
 
@@ -65,7 +78,7 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &*self.data == other
+        *self.data == *other
     }
 }
 
@@ -110,12 +123,14 @@ impl BytesMut {
         self.buf.is_empty()
     }
 
-    /// Takes the accumulated bytes, leaving this builder empty (the
-    /// `split().freeze()` idiom for reusable batch buffers).
+    /// Takes the accumulated bytes, leaving this builder empty but with
+    /// its capacity intact (the `split().freeze()` idiom for reusable
+    /// batch buffers: repeated flushes write into one warm allocation).
     pub fn split(&mut self) -> BytesMut {
-        BytesMut {
-            buf: std::mem::take(&mut self.buf),
-        }
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf);
+        self.buf.clear();
+        BytesMut { buf: out }
     }
 
     /// Converts the accumulated bytes into an immutable [`Bytes`].
@@ -182,6 +197,25 @@ mod tests {
         let second = b.split().freeze();
         assert_eq!(&first[..], &1u32.to_le_bytes());
         assert_eq!(&second[..], &2u32.to_le_bytes());
+    }
+
+    #[test]
+    fn split_retains_builder_capacity() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(&[7u8; 48]);
+        let cap = b.buf.capacity();
+        let flushed = b.split().freeze();
+        assert_eq!(flushed.len(), 48);
+        assert!(b.is_empty());
+        assert_eq!(b.buf.capacity(), cap, "split must keep the warm buffer");
+    }
+
+    #[test]
+    fn freeze_moves_without_copying() {
+        let v = vec![3u8; 32];
+        let ptr = v.as_ptr();
+        let frozen = Bytes::from(v);
+        assert_eq!(frozen.as_ref().as_ptr(), ptr, "From<Vec<u8>> must not copy");
     }
 
     #[test]

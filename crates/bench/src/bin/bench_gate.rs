@@ -4,43 +4,55 @@
 //! 1.0%, pass 2 only: sequential Cumulate plus NPGM / HPGM / H-HPGM /
 //! H-HPGM-FGD and the pattern-growth FP-Growth at 4 and 8 nodes — and
 //! writes the results as
-//! `BENCH_PR9.json`. The gated quantity is the *modeled* SP-2 execution
+//! `BENCH_PR10.json`. The gated quantity is the *modeled* SP-2 execution
 //! time (`ParallelReport::modeled_seconds`, a pure function of the
 //! deterministic per-node ledgers), not wall time, so the gate is
-//! machine-independent and byte-reproducible; wall time is printed for
-//! context only. Cumulate, which has no cluster ledger, is gated on its
-//! (deterministic) large-itemset count.
+//! machine-independent and byte-reproducible; wall time is recorded per
+//! entry and only gated when `--gate-wall` asks for it. Cumulate, which
+//! has no cluster ledger, is gated on its (deterministic) large-itemset
+//! count; its modeled seconds are synthesized from its
+//! [`SequentialMeters`] through the same `CostModel`.
 //!
 //! Modes:
 //!
 //! * default — run the matrix and (re)write the baseline file;
 //! * `--check` — run the matrix, write the fresh results next to the
-//!   baseline (`BENCH_PR9.fresh.json`), and fail (exit 1) if any entry
+//!   baseline (`BENCH_PR10.fresh.json`), and fail (exit 1) if any entry
 //!   drifts from the committed baseline by more than `--tolerance`
 //!   (relative, default 0.15), if an entry is missing, or if the
-//!   Figure 14 ordering (H-HPGM-FGD ≤ H-HPGM ≤ HPGM at 8 nodes) breaks.
+//!   Figure 14 ordering (H-HPGM-FGD ≤ H-HPGM ≤ HPGM at 8 nodes) breaks;
+//! * `--gate-wall` — additionally gate wall-clock against the model:
+//!   every 8-node entry must finish within `--wall-ratio-max` (default
+//!   1.5) × its total modeled seconds, and no entry's wall/modeled
+//!   ratio may regress more than `--wall-tolerance` (relative, default
+//!   0.5 — wall time on shared runners is noisy) past the committed
+//!   baseline's ratio.
+//!
+//! When `GITHUB_STEP_SUMMARY` is set, a markdown comparison table
+//! (fresh vs baseline, with wall ratios) is appended to it.
 //!
 //! Optional artifacts: `--metrics-out FILE` / `--trace-out FILE` rerun
 //! one instrumented configuration (H-HPGM-FGD at 8 nodes) with the
 //! observability layer enabled and dump its counters and chrome-trace
 //! spans.
 //!
-//! Run: `cargo xtask bench [--check] [--tolerance F] [--out FILE]`
+//! Run: `cargo xtask bench [--check] [--gate-wall] [--tolerance F] [--out FILE]`
 
 use gar_bench::{banner, Env, Workload};
-use gar_cluster::ClusterConfig;
+use gar_cluster::{ClusterConfig, CostModel, NodeStatsSnapshot};
 use gar_datagen::presets;
 use gar_mining::parallel::mine_parallel;
-use gar_mining::sequential::cumulate;
+use gar_mining::sequential::cumulate_metered;
 use gar_mining::{Algorithm, MiningParams, ParallelReport};
 use gar_obs::json::{parse, Value};
 use gar_obs::{Obs, Stopwatch};
 use gar_storage::PartitionedDatabase;
 
-/// Schema tag of the bench baseline file.
-const SCHEMA: &str = "gar-bench-v1";
+/// Schema tag of the bench baseline file (v2 adds
+/// `modeled_total_seconds` per entry so wall ratios can be gated).
+const SCHEMA: &str = "gar-bench-v2";
 /// The committed baseline this PR's gate compares against.
-const BASELINE: &str = "BENCH_PR9.json";
+const BASELINE: &str = "BENCH_PR10.json";
 /// Minimum support of the smoke matrix, in percent.
 const MINSUP_PCT: f64 = 1.0;
 /// The parallel algorithms of the matrix.
@@ -60,8 +72,20 @@ struct Entry {
     /// What `value` measures (`modeled_seconds` or `num_large`).
     metric: &'static str,
     value: f64,
-    /// Informational wall time, never gated.
+    /// Total modeled seconds over every pass of the run (for parallel
+    /// entries `ParallelReport::modeled_seconds`; for Cumulate its
+    /// meters priced through the default `CostModel`). The denominator
+    /// of the `--gate-wall` ratio.
+    modeled_total_seconds: f64,
+    /// Wall time of the run; gated only under `--gate-wall`.
     wall_seconds: f64,
+}
+
+impl Entry {
+    /// Wall-clock over modeled execution time.
+    fn wall_ratio(&self) -> f64 {
+        self.wall_seconds / self.modeled_total_seconds.max(1e-9)
+    }
 }
 
 fn main() {
@@ -71,14 +95,21 @@ fn main() {
 fn run_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let gate_wall = args.iter().any(|a| a == "--gate-wall");
     let tolerance: f64 = flag_value(&args, "--tolerance")
         .map(|v| v.parse().expect("--tolerance takes a number"))
         .unwrap_or(0.15);
+    let wall_tolerance: f64 = flag_value(&args, "--wall-tolerance")
+        .map(|v| v.parse().expect("--wall-tolerance takes a number"))
+        .unwrap_or(0.5);
+    let wall_ratio_max: f64 = flag_value(&args, "--wall-ratio-max")
+        .map(|v| v.parse().expect("--wall-ratio-max takes a number"))
+        .unwrap_or(1.5);
     let out_path = flag_value(&args, "--out")
         .map(str::to_string)
         .unwrap_or_else(|| {
-            if check {
-                "BENCH_PR9.fresh.json".to_string()
+            if check || gate_wall {
+                BASELINE.replace(".json", ".fresh.json")
             } else {
                 BASELINE.to_string()
             }
@@ -136,22 +167,35 @@ fn run_main() -> i32 {
     }
     println!("  golden shape ok: H-HPGM-FGD <= H-HPGM <= HPGM at 8 nodes");
 
-    if !check {
-        return 0;
+    write_step_summary(&entries);
+
+    let mut code = 0;
+    if gate_wall {
+        match check_wall(&entries, wall_ratio_max, wall_tolerance) {
+            Ok(()) => println!(
+                "  wall gate ok: every 8-node entry within {wall_ratio_max:.2}x modeled, \
+                 no ratio regression beyond {:.0}%",
+                wall_tolerance * 100.0
+            ),
+            Err(msg) => {
+                eprintln!("bench gate: {msg}");
+                code = 1;
+            }
+        }
     }
-    match check_against_baseline(&entries, tolerance) {
-        Ok(()) => {
-            println!(
+    if check {
+        match check_against_baseline(&entries, tolerance) {
+            Ok(()) => println!(
                 "  gate ok: all entries within {:.0}% of {BASELINE}",
                 tolerance * 100.0
-            );
-            0
-        }
-        Err(msg) => {
-            eprintln!("bench gate: {msg}");
-            1
+            ),
+            Err(msg) => {
+                eprintln!("bench gate: {msg}");
+                code = 1;
+            }
         }
     }
+    code
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -169,22 +213,32 @@ fn run_matrix(env: &Env) -> Result<(Vec<Entry>, Workload, PartitionedDatabase), 
     let minsup = MINSUP_PCT / 100.0;
     let mut entries = Vec::new();
 
-    // Sequential reference: Cumulate over the unpartitioned data.
+    // Sequential reference: Cumulate over the unpartitioned data. Its
+    // meters, priced through the same CostModel as the cluster ledgers,
+    // give the sequential row a wall/modeled ratio too.
     let reference_large = {
         let db1 = workload.partition(1).map_err(|e| e.to_string())?;
         let params = MiningParams::with_min_support(minsup).max_pass(2);
         let sw = Stopwatch::start();
-        let output =
-            cumulate(db1.partition(0), &workload.taxonomy, &params).map_err(|e| e.to_string())?;
+        let (output, meters) = cumulate_metered(db1.partition(0), &workload.taxonomy, &params)
+            .map_err(|e| e.to_string())?;
         let wall = sw.elapsed().as_secs_f64();
+        let modeled = CostModel::default().node_seconds(&NodeStatsSnapshot {
+            cpu_ticks: meters.cpu_ticks,
+            hash_probes: meters.hash_probes,
+            io_bytes: meters.io_bytes,
+            scan_passes: meters.scan_passes,
+            ..Default::default()
+        });
         println!(
-            "  Cumulate@1: {} large itemsets ({wall:.2}s wall)",
+            "  Cumulate@1: {} large itemsets, modeled {modeled:.4}s ({wall:.2}s wall)",
             output.num_large()
         );
         entries.push(Entry {
             key: "Cumulate@1".to_string(),
             metric: "num_large",
             value: output.num_large() as f64,
+            modeled_total_seconds: modeled,
             wall_seconds: wall,
         });
         output.num_large()
@@ -211,6 +265,7 @@ fn run_matrix(env: &Env) -> Result<(Vec<Entry>, Workload, PartitionedDatabase), 
                 key: format!("{}@{nodes}", alg.name()),
                 metric: "modeled_seconds",
                 value: modeled,
+                modeled_total_seconds: rep.modeled_seconds,
                 wall_seconds: wall,
             });
         }
@@ -240,6 +295,7 @@ fn run_matrix(env: &Env) -> Result<(Vec<Entry>, Workload, PartitionedDatabase), 
                 key: format!("FP-Growth@{nodes}"),
                 metric: "modeled_seconds",
                 value: modeled,
+                modeled_total_seconds: rep.modeled_seconds,
                 wall_seconds: wall,
             });
         }
@@ -300,6 +356,10 @@ fn render(env: &Env, entries: &[Entry]) -> String {
                 ("key".to_string(), Value::Str(e.key.clone())),
                 ("metric".to_string(), Value::Str(e.metric.to_string())),
                 ("value".to_string(), Value::Num(e.value)),
+                (
+                    "modeled_total_seconds".to_string(),
+                    Value::Num(e.modeled_total_seconds),
+                ),
                 ("wall_seconds".to_string(), Value::Num(e.wall_seconds)),
             ])
         })
@@ -337,8 +397,11 @@ fn golden_shape(entries: &[Entry]) -> Result<(), String> {
     }
 }
 
-/// Compares fresh entries against the committed baseline.
-fn check_against_baseline(entries: &[Entry], tolerance: f64) -> Result<(), String> {
+/// One committed-baseline entry: `(key, value, modeled_total_seconds,
+/// wall_seconds)`. The last two are `None` for pre-v2 baselines.
+type BaselineEntry = (String, f64, Option<f64>, Option<f64>);
+
+fn load_baseline() -> Result<Vec<BaselineEntry>, String> {
     let src = std::fs::read_to_string(BASELINE).map_err(|e| {
         format!("cannot read {BASELINE}: {e} (run `cargo xtask bench` to create it)")
     })?;
@@ -350,12 +413,131 @@ fn check_against_baseline(entries: &[Entry], tolerance: f64) -> Result<(), Strin
         .get("entries")
         .and_then(Value::as_arr)
         .ok_or_else(|| format!("{BASELINE}: no entries array"))?;
+    let mut out = Vec::new();
+    for e in base_entries {
+        let key = e
+            .get("key")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{BASELINE}: entry without key"))?;
+        let value = e
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{BASELINE}: entry {key} without value"))?;
+        out.push((
+            key.to_string(),
+            value,
+            e.get("modeled_total_seconds").and_then(Value::as_f64),
+            e.get("wall_seconds").and_then(Value::as_f64),
+        ));
+    }
+    Ok(out)
+}
+
+/// The `--gate-wall` checks.
+///
+/// 1. **Absolute**: every 8-node entry's wall time stays within
+///    `ratio_max` × its total modeled seconds (the ROADMAP "wall within
+///    ~1.5× of modeled" criterion — the simulator may not silently
+///    drift away from the machine it models).
+/// 2. **Ratchet**: no entry's wall/modeled ratio regresses more than
+///    `tolerance` (relative) past the committed baseline's ratio, so
+///    unmetered hot-path overhead cannot creep back in under the
+///    absolute ceiling.
+fn check_wall(entries: &[Entry], ratio_max: f64, tolerance: f64) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for e in entries {
+        if e.key.ends_with("@8") && e.wall_ratio() > ratio_max {
+            failures.push(format!(
+                "{}: wall {:.2}s is {:.2}x modeled {:.4}s (ceiling {ratio_max:.2}x)",
+                e.key,
+                e.wall_seconds,
+                e.wall_ratio(),
+                e.modeled_total_seconds,
+            ));
+        }
+    }
+
+    let baseline = load_baseline()?;
+    for e in entries {
+        let base_ratio = baseline.iter().find_map(|(key, _, modeled, wall)| {
+            if key != &e.key {
+                return None;
+            }
+            Some((*wall)? / (*modeled)?.max(1e-9))
+        });
+        let Some(base_ratio) = base_ratio else {
+            failures.push(format!("{}: no wall ratio in {BASELINE}", e.key));
+            continue;
+        };
+        let ceiling = base_ratio * (1.0 + tolerance);
+        if e.wall_ratio() > ceiling {
+            failures.push(format!(
+                "{}: wall/modeled ratio {:.2} exceeds {ceiling:.2} \
+                 (baseline {base_ratio:.2} + {:.0}% tolerance)",
+                e.key,
+                e.wall_ratio(),
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "wall gate: {} failure{}:\n  {}",
+            failures.len(),
+            if failures.len() == 1 { "" } else { "s" },
+            failures.join("\n  ")
+        ))
+    }
+}
+
+/// Appends a fresh-vs-baseline markdown table to `$GITHUB_STEP_SUMMARY`
+/// when CI provides one. Best-effort: failures only warn.
+fn write_step_summary(entries: &[Entry]) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let baseline = load_baseline().ok();
+    let mut md = String::from(
+        "### Bench gate (R30F5 smoke matrix)\n\n\
+         | entry | metric | fresh | baseline | wall | wall/modeled |\n\
+         |---|---|---:|---:|---:|---:|\n",
+    );
+    for e in entries {
+        let base = baseline
+            .as_ref()
+            .and_then(|b| b.iter().find(|(key, ..)| key == &e.key))
+            .map_or_else(|| "—".to_string(), |(_, v, ..)| format!("{v:.4}"));
+        md.push_str(&format!(
+            "| {} | {} | {:.4} | {} | {:.2}s | {:.2}x |\n",
+            e.key,
+            e.metric,
+            e.value,
+            base,
+            e.wall_seconds,
+            e.wall_ratio()
+        ));
+    }
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(md.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("bench gate: cannot append step summary to {path}: {e}");
+    }
+}
+
+/// Compares fresh entries against the committed baseline.
+fn check_against_baseline(entries: &[Entry], tolerance: f64) -> Result<(), String> {
+    let baseline = load_baseline()?;
     let baseline_of = |key: &str| -> Option<f64> {
-        base_entries.iter().find_map(|e| {
-            (e.get("key").and_then(Value::as_str) == Some(key))
-                .then(|| e.get("value").and_then(Value::as_f64))
-                .flatten()
-        })
+        baseline
+            .iter()
+            .find_map(|(k, v, ..)| (k == key).then_some(*v))
     };
 
     let mut failures = Vec::new();

@@ -2,7 +2,6 @@
 
 use crate::args::Args;
 use crate::commands::{load_taxonomy, open_partitions, META_FILE};
-use gar_storage::TransactionSource;
 use gar_types::Result;
 use std::path::Path;
 

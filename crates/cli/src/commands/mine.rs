@@ -34,7 +34,21 @@ pub fn run(args: &Args) -> Result<()> {
     }
     params.validate()?;
 
-    let parts = open_partitions(dir)?;
+    let mut parts = open_partitions(dir)?;
+    // `--flat` lifts record-stream partitions into the zero-copy flat
+    // representation up front, so every subsequent pass lends borrowed
+    // slices instead of re-decoding the file (`part-*.gfp` inputs are
+    // already flat).
+    if args.has_switch("flat") {
+        parts = parts
+            .into_iter()
+            .map(|p| -> Result<Box<dyn gar_storage::TransactionSource>> {
+                Ok(Box::new(gar_storage::FlatPartition::from_source(
+                    p.as_ref(),
+                )?))
+            })
+            .collect::<Result<_>>()?;
+    }
     let tax = load_taxonomy(dir)?;
     let started = Stopwatch::start();
 
@@ -61,13 +75,7 @@ pub fn run(args: &Args) -> Result<()> {
             let nodes = parts.len();
             // Reopen through the PartitionedDatabase wrapper for the
             // parallel entry point (one partition = one node).
-            let db = {
-                let boxed = parts
-                    .into_iter()
-                    .map(|p| Box::new(p) as Box<dyn gar_storage::TransactionSource>)
-                    .collect::<Vec<_>>();
-                PartitionedDatabase::from_parts(boxed)
-            };
+            let db = PartitionedDatabase::from_parts(parts);
             let mut cluster =
                 ClusterConfig::new(nodes, memory_mb * 1024 * 1024).with_obs(obs.clone());
             if let Some(spec) = args.get("faults") {

@@ -7,7 +7,7 @@ pub mod query;
 pub mod rules;
 pub mod serve;
 
-use gar_storage::{DiskPartition, TransactionSource};
+use gar_storage::{DiskPartition, FlatPartition, TransactionSource};
 use gar_taxonomy::Taxonomy;
 use gar_types::{Error, ItemId, Result};
 use std::path::{Path, PathBuf};
@@ -17,26 +17,37 @@ pub const TAXONOMY_FILE: &str = "taxonomy.gtax";
 /// Name of the human-readable metadata file inside a dataset directory.
 pub const META_FILE: &str = "dataset.txt";
 
-/// Opens every `part-*.txn` partition of a dataset directory, sorted by
-/// file name (= node id).
-pub fn open_partitions(dir: &Path) -> Result<Vec<DiskPartition>> {
+/// Opens every partition of a dataset directory, sorted by file name
+/// (= node id). Both partition formats are accepted: record-stream
+/// `part-*.txn` files and flat zero-copy `part-*.gfp` files (the latter
+/// load fully into memory, so every scan pass lends borrowed slices).
+pub fn open_partitions(dir: &Path) -> Result<Vec<Box<dyn TransactionSource>>> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| Error::io(format!("reading dataset dir {}", dir.display()), e))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("part-") && n.ends_with(".txn"))
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.starts_with("part-") && (n.ends_with(".txn") || n.ends_with(".gfp"))
+            })
         })
         .collect();
     paths.sort();
     if paths.is_empty() {
         return Err(Error::InvalidConfig(format!(
-            "{} contains no part-*.txn partitions (not a dataset dir?)",
+            "{} contains no part-*.txn or part-*.gfp partitions (not a dataset dir?)",
             dir.display()
         )));
     }
-    paths.into_iter().map(DiskPartition::open).collect()
+    paths
+        .into_iter()
+        .map(|p| -> Result<Box<dyn TransactionSource>> {
+            if p.extension().is_some_and(|e| e == "gfp") {
+                Ok(Box::new(FlatPartition::open(&p)?))
+            } else {
+                Ok(Box::new(DiskPartition::open(&p)?))
+            }
+        })
+        .collect()
 }
 
 /// Loads the taxonomy of a dataset directory.
@@ -47,12 +58,12 @@ pub fn load_taxonomy(dir: &Path) -> Result<Taxonomy> {
 /// A read-only concatenation of partitions, presented as one
 /// [`TransactionSource`] — what the sequential algorithms scan.
 pub struct ChainedSource<'a> {
-    parts: &'a [DiskPartition],
+    parts: &'a [Box<dyn TransactionSource>],
 }
 
 impl<'a> ChainedSource<'a> {
     /// Chains `parts` in order.
-    pub fn new(parts: &'a [DiskPartition]) -> ChainedSource<'a> {
+    pub fn new(parts: &'a [Box<dyn TransactionSource>]) -> ChainedSource<'a> {
         ChainedSource { parts }
     }
 }
@@ -67,21 +78,43 @@ impl TransactionSource for ChainedSource<'_> {
             parts: self.parts,
             current: None,
             next_part: 0,
+            buf: Vec::new(),
         }))
     }
 
     fn bytes_read(&self) -> u64 {
         self.parts.iter().map(|p| p.bytes_read()).sum()
     }
+
+    fn size_bytes(&self) -> u64 {
+        self.parts.iter().map(|p| p.size_bytes()).sum()
+    }
 }
 
 struct ChainedScan<'a> {
-    parts: &'a [DiskPartition],
+    parts: &'a [Box<dyn TransactionSource>],
     current: Option<Box<dyn gar_storage::TransactionScan + 'a>>,
     next_part: usize,
+    buf: Vec<ItemId>,
 }
 
 impl gar_storage::TransactionScan for ChainedScan<'_> {
+    fn next_slice(&mut self) -> Result<Option<&[ItemId]>> {
+        loop {
+            if let Some(scan) = self.current.as_mut() {
+                if scan.next_into(&mut self.buf)? {
+                    return Ok(Some(&self.buf));
+                }
+                self.current = None;
+            }
+            if self.next_part >= self.parts.len() {
+                return Ok(None);
+            }
+            self.current = Some(self.parts[self.next_part].scan()?);
+            self.next_part += 1;
+        }
+    }
+
     fn next_into(&mut self, buf: &mut Vec<ItemId>) -> Result<bool> {
         loop {
             if let Some(scan) = self.current.as_mut() {
@@ -112,7 +145,7 @@ mod tests {
     fn chained_source_concatenates() {
         let dir = std::env::temp_dir().join(format!("gar-cli-chain-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let mut parts = Vec::new();
+        let mut parts: Vec<Box<dyn TransactionSource>> = Vec::new();
         for (i, txns) in [vec![ids(&[1])], vec![ids(&[2]), ids(&[3])]]
             .iter()
             .enumerate()
@@ -121,7 +154,7 @@ mod tests {
             for t in txns {
                 w.write(t).unwrap();
             }
-            parts.push(w.finish().unwrap());
+            parts.push(Box::new(w.finish().unwrap()));
         }
         let chain = ChainedSource::new(&parts);
         assert_eq!(chain.num_transactions(), 3);

@@ -386,10 +386,11 @@ fn node_mine(
             let num_transactions = ctx.all_reduce_u64(&[part.num_transactions() as u64])?[0];
             let min_support_count = params.min_support_count(num_transactions);
             let mut counts = vec![0u64; tax.num_items() as usize];
+            let mut extended = Vec::new();
             scan_partition(ctx, part, |t| {
-                let extended = tax.extend_transaction(t);
+                tax.extend_transaction_into(t, &mut extended);
                 ctx.stats().add_cpu(extended.len() as u64);
-                for it in extended {
+                for &it in &extended {
                     counts[it.index()] += 1;
                 }
                 Ok(())
@@ -482,8 +483,9 @@ fn node_mine(
             let mut tree = FpTree::new(order.num_large());
             {
                 let mut ranks = Vec::new();
+                let mut extended = Vec::new();
                 scan_partition(ctx, part, |t| {
-                    let extended = tax.extend_transaction(t);
+                    tax.extend_transaction_into(t, &mut extended);
                     ctx.stats().add_cpu(extended.len() as u64);
                     order.project(&extended, &mut ranks);
                     tree.insert(&ranks);

@@ -31,8 +31,10 @@ pub fn mine_sequential(
 
     // Scan 1: count every item of every level over extended transactions.
     let mut counts = vec![0u64; tax.num_items() as usize];
+    let mut extended = Vec::new();
     scan(source, |t| {
-        for it in tax.extend_transaction(t) {
+        tax.extend_transaction_into(t, &mut extended);
+        for &it in &extended {
             counts[it.index()] += 1;
         }
     })?;
@@ -49,7 +51,7 @@ pub fn mine_sequential(
         let mut tree = FpTree::new(order.num_large());
         let mut ranks = Vec::new();
         scan(source, |t| {
-            let extended = tax.extend_transaction(t);
+            tax.extend_transaction_into(t, &mut extended);
             order.project(&extended, &mut ranks);
             tree.insert(&ranks);
         })?;
@@ -129,9 +131,8 @@ pub(crate) fn group_passes(found: Vec<(Itemset, u64)>) -> Vec<LargePass> {
 
 fn scan(source: &dyn TransactionSource, mut f: impl FnMut(&[ItemId])) -> Result<()> {
     let mut s = source.scan()?;
-    let mut buf = Vec::new();
-    while s.next_into(&mut buf)? {
-        f(&buf);
+    while let Some(t) = s.next_slice()? {
+        f(t);
     }
     Ok(())
 }

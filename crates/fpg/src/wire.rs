@@ -27,9 +27,11 @@ pub(crate) struct PathBatch {
 }
 
 impl PathBatch {
+    /// An empty batch, pre-sized for the 16 KiB flush threshold so the
+    /// first fill never regrows (and `take()` keeps the warm buffer).
     pub fn new() -> PathBatch {
         PathBatch {
-            buf: BytesMut::new(),
+            buf: BytesMut::with_capacity(17 * 1024),
             entries: 0,
         }
     }

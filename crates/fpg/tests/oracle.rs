@@ -11,7 +11,7 @@ use gar_fpg::{mine_parallel, mine_sequential};
 use gar_mining::oracle::mine_naive;
 use gar_mining::sequential::cumulate;
 use gar_mining::{MiningOutput, MiningParams};
-use gar_storage::PartitionedDatabase;
+use gar_storage::{FlatPartition, PartitionedDatabase};
 use gar_taxonomy::synth::{synthesize, SynthTaxonomyConfig};
 use gar_taxonomy::Taxonomy;
 use gar_types::ItemId;
@@ -57,6 +57,19 @@ fn scenario(seed: u64) -> Scenario {
     }
 }
 
+/// Round-trips a transaction set through the `GFP1` on-disk flat
+/// format: write, reopen, delete the file (`open` loads it fully).
+fn persisted_partition(txns: &[Vec<ItemId>], tag: &str) -> FlatPartition {
+    let path =
+        std::env::temp_dir().join(format!("gar-fpg-oracle-{}-{tag}.gfp1", std::process::id()));
+    FlatPartition::from_transactions(txns)
+        .write_to(&path)
+        .unwrap();
+    let part = FlatPartition::open(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    part
+}
+
 fn assert_outputs_equal(a: &MiningOutput, b: &MiningOutput, ctxt: &str) {
     assert_eq!(
         a.passes.len(),
@@ -86,6 +99,22 @@ fn sequential_fp_growth_matches_both_oracles() {
         let fpg = mine_sequential(db.partition(0), &s.tax, &params).unwrap();
         assert_outputs_equal(&naive, &fpg, &format!("seed {seed} vs naive"));
         assert_outputs_equal(&cum, &fpg, &format!("seed {seed} vs cumulate"));
+
+        // The on-disk GFP1 flat format must be invisible to the miners:
+        // both families agree with the oracle on the reopened partition.
+        let part = persisted_partition(&s.txns, &format!("seq-{seed}"));
+        let fpg_disk = mine_sequential(&part, &s.tax, &params).unwrap();
+        let cum_disk = cumulate(&part, &s.tax, &params).unwrap();
+        assert_outputs_equal(
+            &naive,
+            &fpg_disk,
+            &format!("seed {seed} persisted fpg vs naive"),
+        );
+        assert_outputs_equal(
+            &naive,
+            &cum_disk,
+            &format!("seed {seed} persisted cumulate vs naive"),
+        );
     }
 }
 

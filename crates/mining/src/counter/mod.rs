@@ -49,6 +49,18 @@ impl CountOutcome {
     }
 }
 
+/// Footprint of an arena-backed counter, reported as the
+/// `counter.arena.*` obs series (one observation per counter built).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Tree nodes in the arena.
+    pub nodes: u64,
+    /// Edges (fan-out entries) across all nodes.
+    pub edges: u64,
+    /// Total bytes of the flat arrays.
+    pub bytes: u64,
+}
+
 /// A support counter over a fixed candidate set.
 pub trait CandidateCounter: Send {
     /// Number of candidates.
@@ -73,6 +85,12 @@ pub trait CandidateCounter: Send {
 
     /// The candidates with their counts, in insertion order.
     fn into_counts(self: Box<Self>) -> Vec<(Itemset, u64)>;
+
+    /// Arena footprint when the counter is backed by a flat arena;
+    /// `None` for hash-map structures.
+    fn arena_stats(&self) -> Option<ArenaStats> {
+        None
+    }
 }
 
 /// Builds the configured counter over `candidates` (all of size `k`, all

@@ -3,7 +3,7 @@
 
 use crate::candidate::{generate_candidates, generate_pairs};
 use crate::checkpoint::{Checkpoint, CheckpointPass, CheckpointSink};
-use crate::counter::candidate_entry_bytes;
+use crate::counter::{candidate_entry_bytes, CandidateCounter};
 use crate::params::{Algorithm, CounterKind, MiningParams};
 use crate::report::{LargePass, MiningOutput, ParallelReport, PassReport};
 use crate::sequential::large_items_from_counts;
@@ -92,10 +92,11 @@ pub(crate) fn pass1(
     let num_transactions = ctx.all_reduce_u64(&[part.num_transactions() as u64])?[0];
     let min_support_count = params.min_support_count(num_transactions);
     let mut counts = vec![0u64; tax.num_items() as usize];
+    let mut extended = Vec::new();
     scan_partition(ctx, part, |t| {
-        let extended = tax.extend_transaction(t);
+        tax.extend_transaction_into(t, &mut extended);
         ctx.stats().add_cpu(extended.len() as u64);
-        for it in extended {
+        for &it in &extended {
             counts[it.index()] += 1;
         }
         Ok(())
@@ -127,11 +128,10 @@ pub(crate) fn scan_partition(
         ctx.inject_scan_fault()?;
         part.scan()
     })?;
-    let mut buf = Vec::new();
     let mut transactions = 0u64;
-    while scan.next_into(&mut buf)? {
+    while let Some(t) = scan.next_slice()? {
         transactions += 1;
-        f(&buf)?;
+        f(t)?;
     }
     drop(scan);
     ctx.stats().record_io(part.bytes_read() - before);
@@ -289,6 +289,21 @@ pub(crate) fn counter_probe_metrics(kind: CounterKind) -> (&'static str, &'stati
     match kind {
         CounterKind::HashMap => ("counter.hashmap.probes", "counter.hashmap.hits"),
         CounterKind::HashTree => ("counter.hashtree.probes", "counter.hashtree.hits"),
+    }
+}
+
+/// Records a freshly built counter's arena footprint (`counter.arena.*`,
+/// one observation per counter per pass); no-op for non-arena counters.
+pub(crate) fn record_arena_obs(ctx: &NodeCtx, k: usize, counter: &dyn CandidateCounter) {
+    let obs = ctx.obs();
+    if !obs.is_enabled() {
+        return;
+    }
+    if let Some(s) = counter.arena_stats() {
+        let labels = [("node", ctx.node_id() as u64), ("pass", k as u64)];
+        obs.add("counter.arena.nodes", &labels, s.nodes);
+        obs.add("counter.arena.edges", &labels, s.edges);
+        obs.add("counter.arena.bytes", &labels, s.bytes);
     }
 }
 

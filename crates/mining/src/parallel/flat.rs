@@ -13,8 +13,8 @@
 use crate::candidate::{generate_candidates, generate_pairs};
 use crate::counter::build_counter;
 use crate::parallel::common::{
-    candidates_bytes, counter_probe_metrics, for_each_k_subset, gather_large, record_pass_obs,
-    scan_partition, tags, NodePassInfo, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
+    candidates_bytes, counter_probe_metrics, for_each_k_subset, gather_large, record_arena_obs,
+    record_pass_obs, scan_partition, tags, NodePassInfo, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
 };
 use crate::params::MiningParams;
 use crate::report::{LargePass, MiningOutput, ParallelReport, PassReport};
@@ -170,6 +170,7 @@ pub fn mine_parallel_flat(
                     let mut large = Vec::new();
                     for fragment in candidates.chunks(frag_len) {
                         let mut counter = build_counter(params.counter, k, fragment);
+                        record_arena_obs(ctx, k, counter.as_ref());
                         scan_partition(ctx, part, |t| {
                             let out = counter.count_transaction(t);
                             ctx.stats().add_cpu(out.work);
@@ -195,6 +196,7 @@ pub fn mine_parallel_flat(
                         .cloned()
                         .collect();
                     let mut counter = build_counter(params.counter, k, &mine);
+                    record_arena_obs(ctx, k, counter.as_ref());
                     let mut batches: Vec<ItemsetBatch> =
                         (0..n).map(|_| ItemsetBatch::new(k)).collect();
                     let mut ex = ctx.exchange();

@@ -24,8 +24,8 @@ use crate::candidate::items_in_candidates;
 use crate::counter::{build_counter, CandidateCounter};
 use crate::parallel::common::{
     assemble_report, candidates_bytes, counter_probe_metrics, for_each_root_multiset, gather_large,
-    node_pass_loop, root_key, scan_partition, tags, PassPersistence, BATCH_FLUSH_BYTES,
-    POLL_EVERY_TXNS,
+    node_pass_loop, record_arena_obs, root_key, scan_partition, tags, PassPersistence,
+    BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
 };
 use crate::parallel::duplicate::{select_duplicates, DuplicateGrain, DuplicateSelection};
 use crate::params::{Algorithm, MiningParams};
@@ -36,7 +36,9 @@ use gar_cluster::{Cluster, ClusterConfig, NodeCtx};
 use gar_storage::TransactionSource;
 use gar_taxonomy::{PrunedView, Taxonomy};
 use gar_types::{FxHashSet, ItemId, Itemset, Result};
+use std::collections::HashMap;
 use std::hash::Hasher;
+use std::sync::{Arc, Mutex};
 
 /// Owner node of a root-itemset key.
 fn owner_of_key(key: &[u32], num_nodes: usize) -> usize {
@@ -47,142 +49,125 @@ fn owner_of_key(key: &[u32], num_nodes: usize) -> usize {
     (h.finish() % num_nodes as u64) as usize
 }
 
-/// Enumerates the item choices of one root combination: `parts` gives
-/// `(group, multiplicity)` per distinct root; every way of choosing
-/// `multiplicity` items from each group yields one candidate probe.
-fn enumerate_combo_subsets(
-    parts: &[(&[ItemId], usize)],
-    scratch: &mut Vec<ItemId>,
-    sorted: &mut Vec<ItemId>,
-    f: &mut impl FnMut(&[ItemId]),
-) {
-    fn choose(
-        parts: &[(&[ItemId], usize)],
-        part: usize,
-        start: usize,
-        left: usize,
-        scratch: &mut Vec<ItemId>,
-        sorted: &mut Vec<ItemId>,
-        f: &mut impl FnMut(&[ItemId]),
-    ) {
-        if left == 0 {
-            if part + 1 == parts.len() {
-                sorted.clear();
-                sorted.extend_from_slice(scratch);
-                sorted.sort_unstable();
-                f(sorted);
-            } else {
-                choose(parts, part + 1, 0, parts[part + 1].1, scratch, sorted, f);
+/// Pass-`k` setup that every replica derives identically from globally
+/// agreed inputs (the merged large sets and all-reduced pass-1 counts):
+/// the duplicate selection, the ancestor-extension view, the owner of
+/// each partitioned candidate, and the set of still-partitioned root
+/// combinations.
+///
+/// On a real cluster each node computes this independently and in
+/// parallel — zero communication, one setup's worth of elapsed time. The
+/// simulator runs its nodes on shared cores, where N identical
+/// computations would serialize and charge the wall clock N× for work
+/// the modeled ledgers (correctly) price once; so the first node to
+/// reach pass `k` computes the setup and the rest share it.
+struct PassSetup {
+    selection: DuplicateSelection,
+    view: PrunedView,
+    /// Owner node of `selection.remaining[i]`.
+    owners: Vec<u32>,
+    /// Root combinations that still have partitioned candidates.
+    active: FxHashSet<Box<[u32]>>,
+    /// L1 membership mask: defines "large item" for reduce-to-lowest-large.
+    l1: Vec<bool>,
+}
+
+fn build_pass_setup(
+    grain: Option<DuplicateGrain>,
+    k: usize,
+    candidates: &[Itemset],
+    tax: &Taxonomy,
+    num_nodes: usize,
+    memory_budget: u64,
+    p1: &crate::parallel::common::Pass1,
+) -> PassSetup {
+    let mut l1 = vec![false; tax.num_items() as usize];
+    for (s, _) in &p1.large.itemsets {
+        l1[s.items()[0].index()] = true;
+    }
+
+    let selection = match grain {
+        Some(g) => {
+            let mut load = vec![0u64; num_nodes];
+            for c in candidates {
+                load[owner_of_key(&root_key(c.items(), tax), num_nodes)] += candidates_bytes(k, 1);
             }
-            return;
+            let max_load = load.iter().copied().max().unwrap_or(0);
+            let budget = memory_budget.saturating_sub(max_load);
+            select_duplicates(
+                g,
+                candidates,
+                tax,
+                &p1.item_counts,
+                p1.num_transactions,
+                &l1,
+                budget,
+            )
         }
-        let group = parts[part].0;
-        if group.len() - start < left {
-            return;
-        }
-        for (i, &item) in group.iter().enumerate().skip(start) {
-            scratch.push(item);
-            choose(parts, part, i + 1, left - 1, scratch, sorted, f);
-            scratch.pop();
-        }
+        None => DuplicateSelection::none(candidates),
+    };
+
+    let view = PrunedView::new(tax, items_in_candidates(candidates));
+
+    let mut owners = Vec::with_capacity(selection.remaining.len());
+    let mut active: FxHashSet<Box<[u32]>> = FxHashSet::default();
+    for c in &selection.remaining {
+        let key = root_key(c.items(), tax);
+        owners.push(owner_of_key(&key, num_nodes) as u32);
+        active.insert(key);
     }
-    if parts.is_empty() {
-        return;
+
+    PassSetup {
+        selection,
+        view,
+        owners,
+        active,
+        l1,
     }
-    scratch.clear();
-    choose(parts, 0, 0, parts[0].1, scratch, sorted, f);
 }
 
 /// Counts, in one pass over `items` (a local reduced transaction or a
-/// received sub-transaction), both counter targets:
+/// received sub-transaction), this node's two counter targets: the
+/// replicated `C_k^D` (`dup_counter`, counted by every node against its
+/// *own* data — `None` on the receive path, where the sender already
+/// counted it) and this node's hash partition (`local_counter`).
 ///
-/// * `dup_counter` for root combinations in `dup_combos` (the replicated
-///   `C_k^D`, counted by every node on its own data — pass an empty set
-///   on the receive path, where `C_k^D` was already handled by the
-///   sender);
-/// * `local_counter` for root combinations in `owned_active` (this node's
-///   hash partition).
+/// The items are extended with candidate-present ancestors **once**, then
+/// each counter walks the extended transaction and its tree jointly
+/// ("generate k-itemset from the received items and increment the sup_cou
+/// for the itemset and all its ancestor candidates"). Each tree holds
+/// exactly the candidates its ownership class admits, so the joint walk
+/// counts precisely what per-combination subset enumeration would — while
+/// never expanding a subset that matches no candidate prefix.
 ///
-/// The items are extended with candidate-present ancestors **once**,
-/// grouped by root, and only combinations in either set are enumerated —
-/// the aggregate subset enumeration across the cluster therefore happens
-/// exactly once per combination ("generate k-itemset from the received
-/// items and increment the sup_cou for the itemset and all its ancestor
-/// candidates").
-///
-/// Returns `(work, hits)` — the probe tallies already charged to the
+/// Returns `(work, hits)` — the walk tallies already charged to the
 /// ledger — so the caller can aggregate them per pass for the
 /// observability counters.
-#[allow(clippy::too_many_arguments)]
 fn count_combos(
     ctx: &NodeCtx,
     tax: &Taxonomy,
     view: &PrunedView,
-    dup_counter: &mut dyn CandidateCounter,
-    dup_combos: &FxHashSet<Box<[u32]>>,
+    dup_counter: Option<&mut dyn CandidateCounter>,
     local_counter: &mut dyn CandidateCounter,
-    owned_active: &FxHashSet<Box<[u32]>>,
     items: &[ItemId],
-    k: usize,
+    ext: &mut Vec<ItemId>,
 ) -> (u64, u64) {
-    if (owned_active.is_empty() && dup_combos.is_empty()) || items.is_empty() {
+    if items.is_empty() {
         return (0, 0);
     }
-    let ext = view.extend_transaction(tax, items);
+    view.extend_transaction_into(tax, items, ext);
     ctx.stats().add_cpu(ext.len() as u64);
-
-    // Group the extended items by root (ancestors share their
-    // descendants' root, so groups are per-tree).
-    let mut groups: Vec<(u32, Vec<ItemId>)> = Vec::new();
-    for &it in &ext {
-        let r = tax.root_of(it).raw();
-        match groups.iter_mut().find(|(x, _)| *x == r) {
-            Some((_, v)) => v.push(it),
-            None => groups.push((r, vec![it])),
-        }
-    }
-    groups.sort_unstable_by_key(|(r, _)| *r);
-    let roots: Vec<(u32, usize)> = groups.iter().map(|(r, v)| (*r, v.len())).collect();
 
     let mut work = 0u64;
     let mut hits = 0u64;
-    let mut scratch = Vec::with_capacity(k);
-    let mut sorted = Vec::with_capacity(k);
-    for_each_root_multiset(&roots, k, &mut |combo| {
-        work += 1;
-        let in_dup = dup_combos.contains(combo);
-        let in_owned = owned_active.contains(combo);
-        if !in_dup && !in_owned {
-            return;
-        }
-        // Split the combo into (group items, multiplicity) parts.
-        let mut parts: Vec<(&[ItemId], usize)> = Vec::with_capacity(k);
-        let mut i = 0;
-        while i < combo.len() {
-            let r = combo[i];
-            let mut m = 1;
-            while i + m < combo.len() && combo[i + m] == r {
-                m += 1;
-            }
-            let gi = groups
-                .binary_search_by_key(&r, |(x, _)| *x)
-                .expect("root present");
-            parts.push((&groups[gi].1, m));
-            i += m;
-        }
-        enumerate_combo_subsets(&parts, &mut scratch, &mut sorted, &mut |subset| {
-            if in_dup {
-                let out = dup_counter.probe(subset);
-                work += out.work;
-                hits += out.hits;
-            }
-            if in_owned {
-                let out = local_counter.probe(subset);
-                work += out.work;
-                hits += out.hits;
-            }
-        });
-    });
+    if let Some(dup) = dup_counter {
+        let out = dup.count_transaction(ext);
+        work += out.work;
+        hits += out.hits;
+    }
+    let out = local_counter.count_transaction(ext);
+    work += out.work;
+    hits += out.hits;
     ctx.stats().add_cpu(work);
     ctx.stats().add_probes(hits);
     (work, hits)
@@ -200,6 +185,7 @@ pub(crate) fn mine(
     cluster: &ClusterConfig,
     persist: &PassPersistence<'_>,
 ) -> Result<ParallelReport> {
+    let setups: Mutex<HashMap<usize, Arc<PassSetup>>> = Mutex::new(HashMap::new());
     let run = Cluster::run(cluster, |ctx| {
         let part = sources[ctx.node_id()];
         node_pass_loop(
@@ -213,68 +199,47 @@ pub(crate) fn mine(
                 let n = ctx.num_nodes();
                 let me = ctx.node_id();
 
-                // L1 membership mask: defines "large item" for the
-                // reduce-to-lowest-large transformation.
-                let mut l1 = vec![false; tax.num_items() as usize];
-                for (s, _) in &p1.large.itemsets {
-                    l1[s.items()[0].index()] = true;
-                }
-
-                // Duplicate selection (identical on every node — inputs are
-                // all globally agreed).
-                let selection = match grain {
-                    Some(g) => {
-                        let mut load = vec![0u64; n];
-                        for c in candidates {
-                            load[owner_of_key(&root_key(c.items(), tax), n)] +=
-                                candidates_bytes(k, 1);
+                // Replica-identical pass setup: computed by the first node
+                // to reach pass k, shared by the rest (see [`PassSetup`]).
+                let setup = {
+                    let mut m = setups.lock().unwrap();
+                    match m.get(&k) {
+                        Some(s) => Arc::clone(s),
+                        None => {
+                            let s = Arc::new(build_pass_setup(
+                                grain,
+                                k,
+                                candidates,
+                                tax,
+                                n,
+                                ctx.memory_budget(),
+                                p1,
+                            ));
+                            m.insert(k, Arc::clone(&s));
+                            s
                         }
-                        let max_load = load.iter().copied().max().unwrap_or(0);
-                        let budget = ctx.memory_budget().saturating_sub(max_load);
-                        select_duplicates(
-                            g,
-                            candidates,
-                            tax,
-                            &p1.item_counts,
-                            p1.num_transactions,
-                            &l1,
-                            budget,
-                        )
                     }
-                    None => DuplicateSelection::none(candidates),
                 };
-
-                // Ancestor-extension filter over the *full* candidate set.
-                let view = PrunedView::new(tax, items_in_candidates(candidates));
+                let PassSetup {
+                    selection,
+                    view,
+                    owners,
+                    active,
+                    l1,
+                } = &*setup;
 
                 // My partition of the non-duplicated candidates.
                 let mine: Vec<Itemset> = selection
                     .remaining
                     .iter()
-                    .filter(|c| owner_of_key(&root_key(c.items(), tax), n) == me)
-                    .cloned()
+                    .zip(owners)
+                    .filter(|(_, &o)| o as usize == me)
+                    .map(|(c, _)| c.clone())
                     .collect();
                 let mut local_counter = build_counter(params.counter, k, &mine);
                 let mut dup_counter = build_counter(params.counter, k, &selection.duplicated);
-
-                // Root combinations that still have partitioned candidates —
-                // only these cause any shipping — and the subset owned here,
-                // which is all this node ever enumerates.
-                let active: FxHashSet<Box<[u32]>> = selection
-                    .remaining
-                    .iter()
-                    .map(|c| root_key(c.items(), tax))
-                    .collect();
-                let owned_active: FxHashSet<Box<[u32]>> =
-                    mine.iter().map(|c| root_key(c.items(), tax)).collect();
-                let dup_combos: FxHashSet<Box<[u32]>> = selection
-                    .duplicated
-                    .iter()
-                    .map(|c| root_key(c.items(), tax))
-                    .collect();
-                // Receive-path sentinel: C_k^D was already counted by the
-                // sender against its own transaction.
-                let no_dup: FxHashSet<Box<[u32]>> = FxHashSet::default();
+                record_arena_obs(ctx, k, local_counter.as_ref());
+                record_arena_obs(ctx, k, dup_counter.as_ref());
 
                 let mut ex = ctx.exchange();
                 let mut txn_no = 0usize;
@@ -283,29 +248,29 @@ pub(crate) fn mine(
                 let mut owner_roots: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
                 let mut group_scratch: Vec<ItemId> = Vec::new();
                 let mut recv_scratch: Vec<ItemId> = Vec::new();
+                let mut reduced: Vec<ItemId> = Vec::new();
+                let mut ext_scratch: Vec<ItemId> = Vec::new();
                 let mut batches: Vec<ItemListBatch> =
                     (0..n).map(|_| ItemListBatch::new()).collect();
 
                 scan_partition(ctx, part, |t| {
-                    let reduced = tax.reduce_to_lowest_large(t, |it| l1[it.index()]);
+                    tax.reduce_to_lowest_large_into(t, |it| l1[it.index()], &mut reduced);
                     ctx.stats().add_cpu(t.len() as u64);
                     if reduced.is_empty() {
                         return Ok(());
                     }
 
-                    // One combined local counting pass: C_k^D combos (counted
-                    // on every node's own data) and this node's own partition
-                    // combos, sharing a single ancestor extension.
+                    // One combined local counting pass: the replicated C_k^D
+                    // (counted on every node's own data) and this node's own
+                    // partition, sharing a single ancestor extension.
                     let (w, h) = count_combos(
                         ctx,
                         tax,
-                        &view,
-                        dup_counter.as_mut(),
-                        &dup_combos,
+                        view,
+                        Some(dup_counter.as_mut()),
                         local_counter.as_mut(),
-                        &owned_active,
                         &reduced,
-                        k,
+                        &mut ext_scratch,
                     );
                     probes += w;
                     hits += h;
@@ -359,18 +324,19 @@ pub(crate) fn mine(
 
                     txn_no += 1;
                     if txn_no.is_multiple_of(POLL_EVERY_TXNS) {
+                        // Receive path: C_k^D was already counted by the
+                        // sender against its own transaction, so only the
+                        // local partition counts here.
                         ex.poll(|env| {
                             for_each_item_list(&env.payload, &mut recv_scratch, |list| {
                                 let (w, h) = count_combos(
                                     ctx,
                                     tax,
-                                    &view,
-                                    dup_counter.as_mut(),
-                                    &no_dup,
+                                    view,
+                                    None,
                                     local_counter.as_mut(),
-                                    &owned_active,
                                     list,
-                                    k,
+                                    &mut ext_scratch,
                                 );
                                 probes += w;
                                 hits += h;
@@ -393,13 +359,11 @@ pub(crate) fn mine(
                             let (w, h) = count_combos(
                                 ctx,
                                 tax,
-                                &view,
-                                dup_counter.as_mut(),
-                                &no_dup,
+                                view,
+                                None,
                                 local_counter.as_mut(),
-                                &owned_active,
                                 list,
-                                k,
+                                &mut ext_scratch,
                             );
                             probes += w;
                             hits += h;
@@ -439,54 +403,6 @@ pub(crate) fn mine(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn ids(v: &[u32]) -> Vec<ItemId> {
-        v.iter().map(|&x| ItemId(x)).collect()
-    }
-
-    fn collect_subsets(parts: &[(&[ItemId], usize)]) -> Vec<Vec<ItemId>> {
-        let mut scratch = Vec::new();
-        let mut sorted = Vec::new();
-        let mut out = Vec::new();
-        enumerate_combo_subsets(parts, &mut scratch, &mut sorted, &mut |s| {
-            out.push(s.to_vec())
-        });
-        out
-    }
-
-    #[test]
-    fn combo_subsets_cross_product_of_two_groups() {
-        let g1 = ids(&[5, 9]);
-        let g2 = ids(&[7]);
-        let subsets = collect_subsets(&[(&g1, 1), (&g2, 1)]);
-        assert_eq!(subsets, vec![ids(&[5, 7]), ids(&[7, 9])]);
-    }
-
-    #[test]
-    fn combo_subsets_within_one_group() {
-        let g = ids(&[1, 4, 8]);
-        let subsets = collect_subsets(&[(&g, 2)]);
-        assert_eq!(subsets, vec![ids(&[1, 4]), ids(&[1, 8]), ids(&[4, 8])]);
-    }
-
-    #[test]
-    fn combo_subsets_mixed_multiplicities() {
-        let g1 = ids(&[2, 6]);
-        let g2 = ids(&[3, 5]);
-        // Choose 2 from g1, 1 from g2: 1 * 2 = 2 subsets, always sorted.
-        let subsets = collect_subsets(&[(&g1, 2), (&g2, 1)]);
-        assert_eq!(subsets, vec![ids(&[2, 3, 6]), ids(&[2, 5, 6])]);
-        for s in &subsets {
-            assert!(s.windows(2).all(|w| w[0] < w[1]));
-        }
-    }
-
-    #[test]
-    fn combo_subsets_insufficient_group_yields_nothing() {
-        let g = ids(&[1]);
-        assert!(collect_subsets(&[(&g, 2)]).is_empty());
-        assert!(collect_subsets(&[]).is_empty());
-    }
 
     #[test]
     fn owner_of_key_is_stable_and_bounded() {

@@ -13,7 +13,7 @@ use crate::candidate::items_in_candidates;
 use crate::counter::build_counter;
 use crate::parallel::common::{
     assemble_report, counter_probe_metrics, for_each_k_subset, gather_large, node_pass_loop,
-    scan_partition, tags, PassPersistence, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
+    record_arena_obs, scan_partition, tags, PassPersistence, BATCH_FLUSH_BYTES, POLL_EVERY_TXNS,
 };
 use crate::params::{Algorithm, MiningParams};
 use crate::report::ParallelReport;
@@ -69,16 +69,18 @@ pub(crate) fn mine(
                     .cloned()
                     .collect();
                 let mut counter = build_counter(params.counter, k, &mine);
+                record_arena_obs(ctx, k, counter.as_ref());
 
                 let mut batches: Vec<ItemsetBatch> = (0..n).map(|_| ItemsetBatch::new(k)).collect();
                 let mut ex = ctx.exchange();
                 let mut scratch = Vec::with_capacity(k);
+                let mut extended = Vec::new();
                 let mut decoded = 0usize;
                 let mut txn_no = 0usize;
                 let (mut probes, mut hits) = (0u64, 0u64);
 
                 scan_partition(ctx, part, |t| {
-                    let extended = view.extend_transaction(tax, t);
+                    view.extend_transaction_into(tax, t, &mut extended);
                     ctx.stats().add_cpu(extended.len() as u64);
                     for_each_k_subset(&extended, k, &mut scratch, &mut |subset| {
                         ctx.stats().add_cpu(1);

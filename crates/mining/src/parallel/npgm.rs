@@ -12,8 +12,8 @@
 use crate::candidate::items_in_candidates;
 use crate::counter::build_counter;
 use crate::parallel::common::{
-    assemble_report, candidates_bytes, counter_probe_metrics, node_pass_loop, scan_partition,
-    PassPersistence,
+    assemble_report, candidates_bytes, counter_probe_metrics, node_pass_loop, record_arena_obs,
+    scan_partition, PassPersistence,
 };
 use crate::params::{Algorithm, MiningParams};
 use crate::report::ParallelReport;
@@ -51,10 +51,12 @@ pub(crate) fn mine(
 
                 let mut large = Vec::new();
                 let (mut probes, mut hits) = (0u64, 0u64);
+                let mut extended = Vec::new();
                 for fragment in candidates.chunks(frag_len.max(1)) {
                     let mut counter = build_counter(params.counter, k, fragment);
+                    record_arena_obs(ctx, k, counter.as_ref());
                     scan_partition(ctx, part, |t| {
-                        let extended = view.extend_transaction(tax, t);
+                        view.extend_transaction_into(tax, t, &mut extended);
                         ctx.stats().add_cpu(extended.len() as u64);
                         let out = counter.count_transaction(&extended);
                         ctx.stats().add_cpu(out.work);

@@ -9,6 +9,27 @@ use gar_storage::TransactionSource;
 use gar_taxonomy::{PrunedView, Taxonomy};
 use gar_types::{ItemId, Itemset, Result};
 
+/// Abstract-work meters of one sequential run, charged with the same
+/// units the parallel ledgers use (`NodeStats`): `cpu_ticks` per
+/// extension item and counter-walk step, `hash_probes` per sup_cou
+/// increment, `io_bytes` per byte scanned. Priced through the cluster
+/// crate's `CostModel` they yield a modeled execution time directly
+/// comparable to `ParallelReport::modeled_seconds` — which is what lets
+/// the bench gate compute a wall/modeled ratio for the sequential
+/// reference too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequentialMeters {
+    /// Extension items pushed + counter-walk steps + per-pass candidate
+    /// generation (one tick per candidate, as the parallel loop charges).
+    pub cpu_ticks: u64,
+    /// Successful candidate count increments.
+    pub hash_probes: u64,
+    /// Bytes read from the transaction source, all passes.
+    pub io_bytes: u64,
+    /// Full scans of the partition (one per pass).
+    pub scan_passes: u64,
+}
+
 /// Mines all large itemsets of `part` under the classification hierarchy
 /// `tax`, sequentially, with Cumulate's three optimizations:
 ///
@@ -23,20 +44,35 @@ pub fn cumulate(
     tax: &Taxonomy,
     params: &MiningParams,
 ) -> Result<MiningOutput> {
+    cumulate_metered(part, tax, params).map(|(out, _)| out)
+}
+
+/// [`cumulate`], additionally returning the run's [`SequentialMeters`].
+pub fn cumulate_metered(
+    part: &dyn TransactionSource,
+    tax: &Taxonomy,
+    params: &MiningParams,
+) -> Result<(MiningOutput, SequentialMeters)> {
     params.validate()?;
     let num_transactions = part.num_transactions() as u64;
     let min_support_count = params.min_support_count(num_transactions);
+    let mut meters = SequentialMeters::default();
 
     // Pass 1: count every item of every level via full ancestor extension.
     let mut item_counts = vec![0u64; tax.num_items() as usize];
-    let mut buf = Vec::new();
+    let mut extended = Vec::new();
+    let io_before = part.bytes_read();
     let mut scan = part.scan()?;
-    while scan.next_into(&mut buf)? {
-        for it in tax.extend_transaction(&buf) {
+    while let Some(t) = scan.next_slice()? {
+        tax.extend_transaction_into(t, &mut extended);
+        meters.cpu_ticks += extended.len() as u64;
+        for &it in &extended {
             item_counts[it.index()] += 1;
         }
     }
     drop(scan);
+    meters.io_bytes += part.bytes_read() - io_before;
+    meters.scan_passes += 1;
     let l1 = large_items_from_counts(&item_counts, min_support_count);
     let mut passes = vec![l1];
 
@@ -63,17 +99,24 @@ pub fn cumulate(
         if candidates.is_empty() {
             break;
         }
+        meters.cpu_ticks += candidates.len() as u64;
 
         // Optimization 2: prune taxonomy items absent from all candidates.
         let view = PrunedView::new(tax, items_in_candidates(&candidates));
         let mut counter = build_counter(params.counter, k, &candidates);
 
+        let io_before = part.bytes_read();
         let mut scan = part.scan()?;
-        while scan.next_into(&mut buf)? {
-            let extended = view.extend_transaction(tax, &buf);
-            counter.count_transaction(&extended);
+        while let Some(t) = scan.next_slice()? {
+            view.extend_transaction_into(tax, t, &mut extended);
+            meters.cpu_ticks += extended.len() as u64;
+            let out = counter.count_transaction(&extended);
+            meters.cpu_ticks += out.work;
+            meters.hash_probes += out.hits;
         }
         drop(scan);
+        meters.io_bytes += part.bytes_read() - io_before;
+        meters.scan_passes += 1;
 
         let large = extract_large(counter, min_support_count);
         let empty = large.is_empty();
@@ -86,12 +129,15 @@ pub fn cumulate(
         k += 1;
     }
 
-    Ok(MiningOutput {
-        algorithm: Algorithm::Cumulate,
-        num_transactions,
-        min_support_count,
-        passes,
-    })
+    Ok((
+        MiningOutput {
+            algorithm: Algorithm::Cumulate,
+            num_transactions,
+            min_support_count,
+            passes,
+        },
+        meters,
+    ))
 }
 
 #[cfg(test)]
@@ -247,6 +293,24 @@ mod tests {
             vec![(iset![1, 2, 3, 4], 10)]
         );
         assert!(out.large(5).is_none());
+    }
+
+    #[test]
+    fn metered_run_matches_and_charges_every_meter() {
+        let tax = sa95_taxonomy();
+        let db = sa95_db();
+        let params = MiningParams::with_min_support(0.3);
+        let plain = cumulate(db.partition(0), &tax, &params).unwrap();
+        let (metered, m) = cumulate_metered(db.partition(0), &tax, &params).unwrap();
+        assert_eq!(plain.num_large(), metered.num_large());
+        for (a, b) in plain.all_large().zip(metered.all_large()) {
+            assert_eq!(a, b);
+        }
+        assert!(m.cpu_ticks > 0, "extension/walk work must be charged");
+        assert!(m.hash_probes > 0, "sup_cou increments must be charged");
+        assert!(m.io_bytes > 0, "scanned bytes must be charged");
+        // At least the item pass and the pair pass touch the data.
+        assert!(m.scan_passes >= 2);
     }
 
     #[test]

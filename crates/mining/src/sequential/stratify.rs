@@ -89,10 +89,11 @@ pub fn stratify(
 
     // Pass 1 is exactly Cumulate's.
     let mut item_counts = vec![0u64; tax.num_items() as usize];
-    let mut buf = Vec::new();
+    let mut extended = Vec::new();
     let mut scan = part.scan()?;
-    while scan.next_into(&mut buf)? {
-        for it in tax.extend_transaction(&buf) {
+    while let Some(t) = scan.next_slice()? {
+        tax.extend_transaction_into(t, &mut extended);
+        for &it in &extended {
             item_counts[it.index()] += 1;
         }
     }
@@ -163,8 +164,8 @@ pub fn stratify(
 
             let mut counter = build_counter(params.counter, k, &batch);
             let mut scan = part.scan()?;
-            while scan.next_into(&mut buf)? {
-                let extended = view.extend_transaction(tax, &buf);
+            while let Some(t) = scan.next_slice()? {
+                view.extend_transaction_into(tax, t, &mut extended);
                 counter.count_transaction(&extended);
             }
             drop(scan);

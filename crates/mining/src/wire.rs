@@ -57,10 +57,11 @@ impl Default for ItemListBatch {
 }
 
 impl ItemListBatch {
-    /// An empty batch.
+    /// An empty batch, pre-sized for the standard flush threshold (the
+    /// senders flush at 16 KiB, so the first fill never regrows).
     pub fn new() -> ItemListBatch {
         ItemListBatch {
-            buf: BytesMut::new(),
+            buf: BytesMut::with_capacity(17 * 1024),
             lists: 0,
         }
     }
@@ -134,11 +135,13 @@ pub struct ItemsetBatch {
 }
 
 impl ItemsetBatch {
-    /// An empty batch of k-itemsets.
+    /// An empty batch of k-itemsets, pre-sized for the standard flush
+    /// threshold (the senders flush at 16 KiB, so the first fill never
+    /// regrows).
     pub fn new(k: usize) -> ItemsetBatch {
         ItemsetBatch {
             k,
-            buf: BytesMut::new(),
+            buf: BytesMut::with_capacity(17 * 1024),
         }
     }
 

@@ -13,7 +13,7 @@ use gar_mining::parallel::mine_parallel;
 use gar_mining::parallel::rules::derive_rules_parallel;
 use gar_mining::{Algorithm, MiningParams};
 use gar_obs::{MetricsSnapshot, Obs};
-use gar_storage::PartitionedDatabase;
+use gar_storage::{FlatPartition, PartitionedDatabase, TransactionSource};
 use gar_taxonomy::Taxonomy;
 use gar_types::ItemId;
 use std::fmt::Write as _;
@@ -75,6 +75,58 @@ fn rendered_metrics(alg: Algorithm, seed: u64, num_nodes: usize) -> String {
     obs.metrics().to_json()
 }
 
+/// Same round-robin split as `build_in_memory`, but every partition is
+/// round-tripped through the `GFP1` on-disk flat format first: written
+/// with `FlatPartition::write_to`, reopened with `FlatPartition::open`.
+/// `open` loads the file fully, so the temp files can be deleted before
+/// mining starts.
+fn persisted_db(num_nodes: usize, txns: &[Vec<ItemId>], tag: &str) -> PartitionedDatabase {
+    let dir = std::env::temp_dir().join(format!(
+        "gar-determinism-{}-{tag}-{num_nodes}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut buckets: Vec<FlatPartition> = (0..num_nodes).map(|_| FlatPartition::new()).collect();
+    for (i, t) in txns.iter().enumerate() {
+        buckets[i % num_nodes].push(t);
+    }
+    let parts: Vec<Box<dyn TransactionSource>> = buckets
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let path = dir.join(format!("part-{i}.gfp1"));
+            b.write_to(&path).unwrap();
+            Box::new(FlatPartition::open(&path).unwrap()) as Box<dyn TransactionSource>
+        })
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+    PartitionedDatabase::from_parts(parts)
+}
+
+/// `rendered_report`, except the partitions went through GFP1 disk files.
+fn rendered_report_persisted(alg: Algorithm, seed: u64, num_nodes: usize) -> String {
+    let (tax, txns) = dataset(seed);
+    let db = persisted_db(num_nodes, &txns, "report");
+    let cluster = ClusterConfig::new(num_nodes, BIG_MEMORY);
+    let params = MiningParams::with_min_support(0.05);
+
+    let report = mine_parallel(alg, &db, &tax, &params, &cluster).unwrap();
+    let rules = derive_rules_parallel(&report.output, 0.5, Some(&tax), &cluster).unwrap();
+
+    let mut out = String::new();
+    for pass in &report.output.passes {
+        writeln!(out, "pass k={}", pass.k).unwrap();
+        for (set, count) in &pass.itemsets {
+            writeln!(out, "  {set} x{count}").unwrap();
+        }
+    }
+    writeln!(out, "rules ({})", rules.len()).unwrap();
+    for rule in &rules {
+        writeln!(out, "  {rule}").unwrap();
+    }
+    out
+}
+
 /// Same seed, same node count, run twice → byte-identical reports.
 #[test]
 fn same_seed_reruns_are_byte_identical() {
@@ -120,6 +172,23 @@ fn node_count_does_not_change_the_report() {
             assert_eq!(
                 one, many,
                 "{alg}: report differs between 1 and {nodes} nodes"
+            );
+        }
+    }
+}
+
+/// The on-disk GFP1 flat format must be invisible too: partitions
+/// round-tripped through disk files produce the same bytes as the
+/// in-memory build, at every node count, for every parallel algorithm.
+#[test]
+fn persisted_flat_partitions_do_not_change_the_report() {
+    for alg in Algorithm::parallel_all() {
+        let reference = rendered_report(alg, 11, 1);
+        for nodes in [1, 2, 4] {
+            let persisted = rendered_report_persisted(alg, 11, nodes);
+            assert_eq!(
+                reference, persisted,
+                "{alg}: persisted GFP1 report differs at {nodes} nodes"
             );
         }
     }

@@ -7,7 +7,7 @@ use gar_mining::oracle::mine_naive;
 use gar_mining::parallel::mine_parallel;
 use gar_mining::sequential::cumulate;
 use gar_mining::{Algorithm, CounterKind, MiningParams};
-use gar_storage::PartitionedDatabase;
+use gar_storage::{FlatPartition, PartitionedDatabase, TransactionSource};
 use gar_taxonomy::synth::{synthesize, SynthTaxonomyConfig};
 use gar_taxonomy::Taxonomy;
 use gar_types::ItemId;
@@ -52,6 +52,32 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 min_support: 1.0 / f64::from(div),
             }
         })
+}
+
+/// Same round-robin split as `build_in_memory`, with every partition
+/// round-tripped through a `GFP1` disk file (`write_to` then `open`;
+/// `open` loads fully, so the files are deleted before mining).
+fn persisted_db(num_nodes: usize, txns: &[Vec<ItemId>]) -> PartitionedDatabase {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let run = UNIQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gar-oracle-eq-{}-{run}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut buckets: Vec<FlatPartition> = (0..num_nodes).map(|_| FlatPartition::new()).collect();
+    for (i, t) in txns.iter().enumerate() {
+        buckets[i % num_nodes].push(t);
+    }
+    let parts: Vec<Box<dyn TransactionSource>> = buckets
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let path = dir.join(format!("part-{i}.gfp1"));
+            b.write_to(&path).unwrap();
+            Box::new(FlatPartition::open(&path).unwrap()) as Box<dyn TransactionSource>
+        })
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+    PartitionedDatabase::from_parts(parts)
 }
 
 fn outputs_equal(a: &gar_mining::MiningOutput, b: &gar_mining::MiningOutput) -> Result<(), String> {
@@ -101,6 +127,18 @@ proptest! {
         let params = MiningParams::with_min_support(s.min_support);
         let naive = mine_naive(&s.txns, &s.tax, &params);
         let db = PartitionedDatabase::build_in_memory(3, s.txns.clone().into_iter()).unwrap();
+        let cluster = ClusterConfig::new(3, 1 << 16);
+        let rep = mine_parallel(Algorithm::HHpgmFgd, &db, &s.tax, &params, &cluster).unwrap();
+        outputs_equal(&naive, &rep.output).map_err(TestCaseError::fail)?;
+    }
+
+    // The persisted GFP1 flat format must be invisible: partitions
+    // round-tripped through disk files still match the oracle exactly.
+    #[test]
+    fn hhpgm_fgd_on_persisted_flat_partitions_matches_oracle(s in arb_scenario()) {
+        let params = MiningParams::with_min_support(s.min_support);
+        let naive = mine_naive(&s.txns, &s.tax, &params);
+        let db = persisted_db(3, &s.txns);
         let cluster = ClusterConfig::new(3, 1 << 16);
         let rep = mine_parallel(Algorithm::HHpgmFgd, &db, &s.tax, &params, &cluster).unwrap();
         outputs_equal(&naive, &rep.output).map_err(TestCaseError::fail)?;

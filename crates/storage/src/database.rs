@@ -1,6 +1,6 @@
 //! Horizontally partitioned transaction databases.
 
-use crate::memory::MemoryPartition;
+use crate::flat::FlatPartition;
 use crate::partition::PartitionWriter;
 use crate::TransactionSource;
 use gar_types::{Error, ItemId, Result};
@@ -44,7 +44,9 @@ impl PartitionedDatabase {
         Ok(PartitionedDatabase { parts })
     }
 
-    /// Same split, held in memory.
+    /// Same split, held in memory as zero-copy [`FlatPartition`]s (scan
+    /// passes lend borrowed slices; `bytes_read` accounting is identical
+    /// to the other representations).
     pub fn build_in_memory(
         num_partitions: usize,
         txns: impl Iterator<Item = Vec<ItemId>>,
@@ -52,13 +54,14 @@ impl PartitionedDatabase {
         if num_partitions == 0 {
             return Err(Error::InvalidConfig("need at least one partition".into()));
         }
-        let mut buckets: Vec<Vec<Vec<ItemId>>> = vec![Vec::new(); num_partitions];
+        let mut buckets: Vec<FlatPartition> =
+            (0..num_partitions).map(|_| FlatPartition::new()).collect();
         for (i, t) in txns.enumerate() {
-            buckets[i % num_partitions].push(t);
+            buckets[i % num_partitions].push(&t);
         }
         let parts = buckets
             .into_iter()
-            .map(|b| Box::new(MemoryPartition::new(b)) as Box<dyn TransactionSource>)
+            .map(|b| Box::new(b) as Box<dyn TransactionSource>)
             .collect();
         Ok(PartitionedDatabase { parts })
     }

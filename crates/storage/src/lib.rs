@@ -11,6 +11,9 @@
 //!   *re-scanning* these files once per candidate fragment);
 //! * [`MemoryPartition`] — an in-memory stand-in with the same interface
 //!   for unit tests and allocation-free microbenches;
+//! * [`FlatPartition`] — the zero-copy representation: one offsets array +
+//!   one items array, scans lend borrowed slices, with a bulk-loadable
+//!   `GFP1` serialized form;
 //! * [`PartitionedDatabase`] — splits a transaction stream round-robin
 //!   across `N` node partitions, as the evaluation section prescribes.
 //!
@@ -19,11 +22,13 @@
 
 pub mod codec;
 mod database;
+mod flat;
 mod memory;
 mod multi;
 mod partition;
 
 pub use database::PartitionedDatabase;
+pub use flat::FlatPartition;
 pub use memory::MemoryPartition;
 pub use multi::MultiSource;
 pub use partition::{DiskPartition, PartitionWriter, ScanIter};
@@ -43,13 +48,34 @@ pub trait TransactionSource: Send + Sync {
     /// Memory partitions report equivalent encoded bytes so NPGM's
     /// fragment-rescan cost stays visible in either mode.
     fn bytes_read(&self) -> u64;
+
+    /// Encoded size of the partition in bytes (equivalent encoded size
+    /// for in-memory representations — one full scan reads exactly this).
+    fn size_bytes(&self) -> u64;
 }
 
-/// A streaming pass over one partition. `next_into` refills the caller's
-/// buffer to avoid a per-transaction allocation on the hot path (see the
-/// perf-book guidance on reusing workhorse collections).
+/// A streaming pass over one partition.
+///
+/// The primary interface is the lending `next_slice`: in-memory partitions
+/// hand out borrowed slices with zero copying, and file-backed scans
+/// borrow from one internal buffer — either way the pass loop touches no
+/// allocator. `next_into` is the copying convenience for callers that
+/// need to keep the transaction across iterations.
 pub trait TransactionScan {
+    /// Borrows the next transaction; the slice is valid until the next
+    /// call on this scan. Returns `Ok(None)` on a clean end-of-partition.
+    fn next_slice(&mut self) -> Result<Option<&[ItemId]>>;
+
     /// Reads the next transaction into `buf` (cleared first). Returns
     /// `Ok(false)` on a clean end-of-partition.
-    fn next_into(&mut self, buf: &mut Vec<ItemId>) -> Result<bool>;
+    fn next_into(&mut self, buf: &mut Vec<ItemId>) -> Result<bool> {
+        buf.clear();
+        match self.next_slice()? {
+            Some(t) => {
+                buf.extend_from_slice(t);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
 }

@@ -42,6 +42,10 @@ impl MemoryPartition {
 }
 
 impl TransactionSource for MemoryPartition {
+    fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+
     fn num_transactions(&self) -> usize {
         self.txns.len()
     }
@@ -66,19 +70,17 @@ struct MemScan<'a> {
 }
 
 impl TransactionScan for MemScan<'_> {
-    fn next_into(&mut self, buf: &mut Vec<ItemId>) -> Result<bool> {
-        buf.clear();
+    fn next_slice(&mut self) -> Result<Option<&[ItemId]>> {
         match self.part.txns.get(self.next) {
             Some(t) => {
-                buf.extend_from_slice(t);
                 self.part
                     .bytes_read
                     // relaxed: monotonic I/O tally; see bytes_read().
                     .fetch_add(codec::encoded_len(t.len()) as u64, Ordering::Relaxed);
                 self.next += 1;
-                Ok(true)
+                Ok(Some(t))
             }
-            None => Ok(false),
+            None => Ok(None),
         }
     }
 }

@@ -33,22 +33,46 @@ impl TransactionSource for MultiSource<'_> {
             parts: &self.parts,
             current: None,
             next_part: 0,
+            buf: Vec::new(),
         }))
     }
 
     fn bytes_read(&self) -> u64 {
         self.parts.iter().map(|p| p.bytes_read()).sum()
     }
+
+    fn size_bytes(&self) -> u64 {
+        self.parts.iter().map(|p| p.size_bytes()).sum()
+    }
 }
 
-/// Chained scan over the members of a [`MultiSource`].
+/// Chained scan over the members of a [`MultiSource`]. `next_slice` lends
+/// from one internal buffer (the member scans' borrows cannot escape the
+/// advance loop), `next_into` stays copy-free into the caller's buffer.
 struct MultiScan<'a> {
     parts: &'a [&'a dyn TransactionSource],
     current: Option<Box<dyn TransactionScan + 'a>>,
     next_part: usize,
+    buf: Vec<ItemId>,
 }
 
 impl TransactionScan for MultiScan<'_> {
+    fn next_slice(&mut self) -> Result<Option<&[ItemId]>> {
+        loop {
+            if let Some(scan) = self.current.as_mut() {
+                if scan.next_into(&mut self.buf)? {
+                    return Ok(Some(&self.buf));
+                }
+                self.current = None;
+            }
+            if self.next_part >= self.parts.len() {
+                return Ok(None);
+            }
+            self.current = Some(self.parts[self.next_part].scan()?);
+            self.next_part += 1;
+        }
+    }
+
     fn next_into(&mut self, buf: &mut Vec<ItemId>) -> Result<bool> {
         loop {
             if let Some(scan) = self.current.as_mut() {

@@ -97,6 +97,10 @@ impl DiskPartition {
 }
 
 impl TransactionSource for DiskPartition {
+    fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+
     fn num_transactions(&self) -> usize {
         self.num_transactions
     }
@@ -107,6 +111,7 @@ impl TransactionSource for DiskPartition {
         Ok(Box::new(ScanIter {
             reader: BufReader::with_capacity(256 * 1024, file),
             bytes_read: &self.bytes_read,
+            buf: Vec::new(),
         }))
     }
 
@@ -117,13 +122,26 @@ impl TransactionSource for DiskPartition {
     }
 }
 
-/// One sequential pass over a [`DiskPartition`].
+/// One sequential pass over a [`DiskPartition`]. Decodes through one
+/// internal buffer, so `next_slice` lends without allocating.
 pub struct ScanIter<'a> {
     reader: BufReader<File>,
     bytes_read: &'a AtomicU64,
+    buf: Vec<ItemId>,
 }
 
 impl TransactionScan for ScanIter<'_> {
+    fn next_slice(&mut self) -> Result<Option<&[ItemId]>> {
+        match codec::read_transaction(&mut self.reader, &mut self.buf)? {
+            Some(n) => {
+                // relaxed: monotonic I/O tally; see bytes_read().
+                self.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+                Ok(Some(&self.buf))
+            }
+            None => Ok(None),
+        }
+    }
+
     fn next_into(&mut self, buf: &mut Vec<ItemId>) -> Result<bool> {
         match codec::read_transaction(&mut self.reader, buf)? {
             Some(n) => {

@@ -27,5 +27,5 @@ mod taxonomy;
 mod view;
 
 pub use builder::TaxonomyBuilder;
-pub use taxonomy::Taxonomy;
+pub use taxonomy::{AncestorClosure, Taxonomy};
 pub use view::PrunedView;

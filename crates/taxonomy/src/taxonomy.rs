@@ -102,6 +102,21 @@ impl Taxonomy {
         &self.anc_data[lo..hi]
     }
 
+    /// The precomputed ancestor closure as one flat offsets+ids table.
+    ///
+    /// Built once at construction and shared by every pass of every miner
+    /// family: `ids()[offsets()[i]..offsets()[i+1]]` are the proper
+    /// ancestors of item `i`, nearest first. Hot loops that want to avoid
+    /// even the bounds arithmetic of [`Taxonomy::ancestors`] can borrow
+    /// the two slices directly.
+    #[inline]
+    pub fn closure(&self) -> AncestorClosure<'_> {
+        AncestorClosure {
+            offsets: &self.anc_off,
+            ids: &self.anc_data,
+        }
+    }
+
     /// The root of `item`'s tree (`item` itself when it is a root).
     ///
     /// This is the partitioning key of the H-HPGM family: every ancestor
@@ -191,13 +206,21 @@ impl Taxonomy {
     /// NPGM/HPGM's), before the candidate-presence filter.
     pub fn extend_transaction(&self, t: &[ItemId]) -> Vec<ItemId> {
         let mut out = Vec::with_capacity(t.len() * 2);
+        self.extend_transaction_into(t, &mut out);
+        out
+    }
+
+    /// [`Taxonomy::extend_transaction`] into a caller-owned buffer
+    /// (cleared first). The extension runs once per transaction per pass,
+    /// so hot loops reuse one scratch vector instead of allocating.
+    pub fn extend_transaction_into(&self, t: &[ItemId], out: &mut Vec<ItemId>) {
+        out.clear();
         out.extend_from_slice(t);
         for &it in t {
             out.extend_from_slice(self.ancestors(it));
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Extends a transaction but keeps only items for which `keep` returns
@@ -210,6 +233,19 @@ impl Taxonomy {
         keep: impl Fn(ItemId) -> bool,
     ) -> Vec<ItemId> {
         let mut out = Vec::with_capacity(t.len() * 2);
+        self.extend_transaction_filtered_into(t, keep, &mut out);
+        out
+    }
+
+    /// [`Taxonomy::extend_transaction_filtered`] into a caller-owned
+    /// buffer (cleared first).
+    pub fn extend_transaction_filtered_into(
+        &self,
+        t: &[ItemId],
+        keep: impl Fn(ItemId) -> bool,
+        out: &mut Vec<ItemId>,
+    ) {
+        out.clear();
         out.extend_from_slice(t);
         for &it in t {
             for &a in self.ancestors(it) {
@@ -220,7 +256,6 @@ impl Taxonomy {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// *Reduces* a transaction for the H-HPGM family: each item is replaced
@@ -233,6 +268,19 @@ impl Taxonomy {
         is_large: impl Fn(ItemId) -> bool,
     ) -> Vec<ItemId> {
         let mut out = Vec::with_capacity(t.len());
+        self.reduce_to_lowest_large_into(t, is_large, &mut out);
+        out
+    }
+
+    /// [`Taxonomy::reduce_to_lowest_large`] into a caller-owned buffer
+    /// (cleared first).
+    pub fn reduce_to_lowest_large_into(
+        &self,
+        t: &[ItemId],
+        is_large: impl Fn(ItemId) -> bool,
+        out: &mut Vec<ItemId>,
+    ) {
+        out.clear();
         for &it in t {
             if is_large(it) {
                 out.push(it);
@@ -242,7 +290,6 @@ impl Taxonomy {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// The nearest large ancestor-or-self of `item`, if any.
@@ -251,6 +298,46 @@ impl Taxonomy {
             return Some(item);
         }
         self.ancestors(item).iter().copied().find(|&a| is_large(a))
+    }
+}
+
+/// A borrowed view of the taxonomy's flat ancestor-closure table.
+///
+/// Computed exactly once per run (at [`Taxonomy`] construction) and shared
+/// by every pass of both miner families — Apriori transaction extension and
+/// FP-tree ancestor extension both index into the same two arrays instead
+/// of re-walking parent pointers per transaction per pass.
+#[derive(Debug, Clone, Copy)]
+pub struct AncestorClosure<'a> {
+    offsets: &'a [u32],
+    ids: &'a [ItemId],
+}
+
+impl<'a> AncestorClosure<'a> {
+    /// The offsets array: `num_items + 1` entries, monotone.
+    #[inline]
+    pub fn offsets(&self) -> &'a [u32] {
+        self.offsets
+    }
+
+    /// The concatenated ancestor chains, nearest first per item.
+    #[inline]
+    pub fn ids(&self) -> &'a [ItemId] {
+        self.ids
+    }
+
+    /// The proper ancestors of `item`, nearest first, root last.
+    #[inline]
+    pub fn ancestors(&self, item: ItemId) -> &'a [ItemId] {
+        let lo = self.offsets[item.index()] as usize;
+        let hi = self.offsets[item.index() + 1] as usize;
+        &self.ids[lo..hi]
+    }
+
+    /// Chain length of `item` (= its depth).
+    #[inline]
+    pub fn chain_len(&self, item: ItemId) -> usize {
+        (self.offsets[item.index() + 1] - self.offsets[item.index()]) as usize
     }
 }
 
@@ -484,6 +571,42 @@ mod proptests {
             for &r in &red {
                 prop_assert!(txn.iter().any(|&x| x == r || t.is_ancestor(r, x)));
             }
+        }
+
+        #[test]
+        fn closure_table_matches_ancestors(t in arb_taxonomy()) {
+            let cl = t.closure();
+            for i in 0..t.num_items() {
+                let item = ItemId(i);
+                prop_assert_eq!(cl.ancestors(item), t.ancestors(item));
+                prop_assert_eq!(cl.chain_len(item), t.ancestors(item).len());
+            }
+            prop_assert_eq!(cl.offsets().len(), t.num_items() as usize + 1);
+        }
+
+        #[test]
+        fn into_variants_match_allocating(
+            t in arb_taxonomy(),
+            raw in proptest::collection::vec(0u32..200, 1..10),
+            large_mod in 2u32..5,
+        ) {
+            let txn: Vec<ItemId> = raw.into_iter()
+                .map(|x| ItemId(x % t.num_items()))
+                .collect();
+            // Pre-poison the scratch to prove it is cleared, and give it
+            // capacity to prove reuse does not change results.
+            let mut buf = vec![ItemId(u32::MAX); 7];
+
+            t.extend_transaction_into(&txn, &mut buf);
+            prop_assert_eq!(&buf, &t.extend_transaction(&txn));
+
+            let keep = |a: ItemId| a.raw().is_multiple_of(2);
+            t.extend_transaction_filtered_into(&txn, keep, &mut buf);
+            prop_assert_eq!(&buf, &t.extend_transaction_filtered(&txn, keep));
+
+            let is_large = |i: ItemId| i.raw().is_multiple_of(large_mod);
+            t.reduce_to_lowest_large_into(&txn, is_large, &mut buf);
+            prop_assert_eq!(&buf, &t.reduce_to_lowest_large(&txn, is_large));
         }
     }
 }

@@ -58,6 +58,14 @@ impl PrunedView {
     pub fn extend_transaction(&self, tax: &Taxonomy, t: &[ItemId]) -> Vec<ItemId> {
         tax.extend_transaction_filtered(t, |a| self.keeps(a))
     }
+
+    /// Buffer-reusing variant of [`PrunedView::extend_transaction`]: fills
+    /// `out` (cleared first) instead of allocating, so per-transaction scan
+    /// loops can thread one scratch `Vec` through every call.
+    #[inline]
+    pub fn extend_transaction_into(&self, tax: &Taxonomy, t: &[ItemId], out: &mut Vec<ItemId>) {
+        tax.extend_transaction_filtered_into(t, |a| self.keeps(a), out);
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,11 @@
 //! * `bench` — the perf-regression gate: runs the pinned smoke matrix
 //!   (see `crates/bench/src/bin/bench_gate.rs`) and, with `--check`,
 //!   compares modeled execution times against the committed
-//!   `BENCH_PR9.json` baseline.
+//!   `BENCH_PR10.json` baseline; `--gate-wall` additionally gates
+//!   wall-clock/modeled ratios (absolute 1.5× ceiling at 8 nodes plus
+//!   a per-entry ratchet against the baseline's recorded ratios).
+//! * `ci` — runs the whole CI job sequence locally, in the same order
+//!   as `.github/workflows/ci.yml`, stopping at the first failure.
 //! * `serve-smoke` — the serving-layer smoke: mine a tiny dataset,
 //!   persist the rule store, serve it at 1 and 4 shards, drive it with
 //!   the seeded `serve_load` generator, and assert byte-identical
@@ -46,6 +50,9 @@ fn usage() -> &'static str {
     "usage: cargo xtask <command>\n\
      \n\
      commands:\n\
+       ci            run the full CI job sequence locally (fmt, clippy,\n\
+                     lint, analyze, test, loom, chaos, serve-chaos,\n\
+                     bench --check --gate-wall, serve-smoke, serve-bench)\n\
        lint          run the legacy static-analysis rules (token-aware)\n\
        analyze [--check] [--json FILE]\n\
                      run the full gar-analyze catalog; --check is CI mode\n\
@@ -57,9 +64,10 @@ fn usage() -> &'static str {
        chaos         seeded fault-injection soak (GAR_CHAOS_ITERS scales it)\n\
        serve-chaos   seeded serve-layer fault soak (GAR_SERVE_CHAOS_SEEDS\n\
                      pins the seed matrix)\n\
-       bench [--check] [--tolerance F] [--out FILE]\n\
-                     run the pinned smoke matrix; --check gates against\n\
-                     the committed BENCH_PR9.json baseline\n\
+       bench [--check] [--gate-wall] [--tolerance F] [--out FILE]\n\
+                     run the pinned smoke matrix; --check gates modeled\n\
+                     times against the committed BENCH_PR10.json,\n\
+                     --gate-wall additionally gates wall/modeled ratios\n\
        serve-smoke [--out FILE]\n\
                      mine → persist → serve → load-test; asserts deterministic\n\
                      transcripts and writes a gar-serve-bench-v1 baseline\n\
@@ -93,6 +101,7 @@ fn main() -> ExitCode {
     let code = match cmd {
         "lint" => analyze::lint(&repo_root()),
         "analyze" => analyze::run(&repo_root(), rest),
+        "ci" => runners::ci(&repo_root(), rest),
         "loom" => runners::loom(&repo_root(), rest),
         "chaos" => runners::chaos(&repo_root(), rest),
         "serve-chaos" => runners::serve_chaos(&repo_root(), rest),

@@ -154,11 +154,74 @@ pub fn serve_chaos(root: &Path, args: &[String]) -> u8 {
     )
 }
 
+/// Runs the CI job sequence locally, in the same order the workflow
+/// does: format + clippy + repo lint, static analysis, build + test,
+/// loom, chaos, serve-chaos, bench (with the wall gate), serve-smoke,
+/// and serve-bench. Stops at the first failing job so the console ends
+/// at the same place the CI log would. `cargo xtask ci` before pushing
+/// ≈ a green run.
+pub fn ci(root: &Path, _args: &[String]) -> u8 {
+    let jobs: &[(&str, &dyn Fn() -> u8)] = &[
+        ("fmt", &|| {
+            run_echoed(
+                Command::new("cargo")
+                    .current_dir(root)
+                    .args(["fmt", "--all", "--check"]),
+            )
+        }),
+        ("clippy", &|| {
+            run_echoed(Command::new("cargo").current_dir(root).args([
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ]))
+        }),
+        ("lint", &|| crate::analyze::lint(root)),
+        ("analyze", &|| {
+            crate::analyze::run(root, &["--check".to_string()])
+        }),
+        ("test", &|| {
+            run_echoed(Command::new("cargo").current_dir(root).args(["test", "-q"]))
+        }),
+        ("loom", &|| loom(root, &[])),
+        ("chaos", &|| chaos(root, &[])),
+        ("serve-chaos", &|| serve_chaos(root, &[])),
+        ("bench", &|| {
+            bench(root, &["--check".to_string(), "--gate-wall".to_string()])
+        }),
+        ("serve-smoke", &|| serve_smoke(root, &[])),
+        ("serve-bench", &|| {
+            serve_bench(
+                root,
+                &[
+                    "--check".to_string(),
+                    "--tolerance".to_string(),
+                    "0.5".to_string(),
+                ],
+            )
+        }),
+    ];
+    for (name, job) in jobs {
+        eprintln!("\nxtask ci: ===== {name} =====");
+        let code = job();
+        if code != 0 {
+            eprintln!("xtask ci: job `{name}` failed (exit {code})");
+            return code;
+        }
+    }
+    eprintln!("\nxtask ci: all jobs green");
+    0
+}
+
 /// Runs the perf-regression bench gate: builds and runs the
 /// `bench_gate` binary from `gar-bench` in release mode, passing every
-/// argument through (`--check`, `--tolerance F`, `--out FILE`). The
-/// binary owns the smoke matrix and the baseline comparison; xtask just
-/// gives it a stable entry point (`cargo xtask bench [--check]`).
+/// argument through (`--check`, `--gate-wall`, `--tolerance F`,
+/// `--out FILE`). The binary owns the smoke matrix, the baseline
+/// comparison, and the CI step summary; xtask just gives it a stable
+/// entry point (`cargo xtask bench [--check] [--gate-wall]`).
 pub fn bench(root: &Path, args: &[String]) -> u8 {
     run_echoed(
         Command::new("cargo")
@@ -586,8 +649,35 @@ pub fn serve_bench(root: &Path, args: &[String]) -> u8 {
     }
     eprintln!("xtask serve-bench: wrote {}", out_path.display());
 
-    // Ratchet 1, on the fresh run: the inversion must stay fixed.
     let qps_of = |list: &[(u64, f64)], n: u64| list.iter().find(|(s, _)| *s == n).map(|(_, q)| *q);
+
+    // CI step summary, written before any gate so failed runs still
+    // show their numbers (best-effort; baseline column when the file
+    // reads).
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let base = std::fs::read_to_string(&baseline_path)
+            .map(|s| baseline_qps_by_shards(&s))
+            .unwrap_or_default();
+        let mut md = String::from(
+            "### Serve bench (batched, single-root-heavy)\n\n\
+             | shards | fresh qps | baseline qps |\n|---:|---:|---:|\n",
+        );
+        for (shards, qps) in &qps_by_shards {
+            let b = qps_of(&base, *shards).map_or_else(|| "—".to_string(), |q| format!("{q:.0}"));
+            md.push_str(&format!("| {shards} | {qps:.0} | {b} |\n"));
+        }
+        use std::io::Write as _;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&summary_path)
+            .and_then(|mut f| f.write_all(md.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("xtask serve-bench: cannot append step summary: {e}");
+        }
+    }
+
+    // Ratchet 1, on the fresh run: the inversion must stay fixed.
     let (Some(q1), Some(q4)) = (qps_of(&qps_by_shards, 1), qps_of(&qps_by_shards, 4)) else {
         eprintln!("xtask serve-bench: missing shard results");
         return 1;
